@@ -1,0 +1,9 @@
+//! Regenerates every table and figure of the paper in one pass
+//! (`cargo bench -p dos-bench --bench figures`).
+
+fn main() {
+    for (name, run) in dos_bench::all_experiments() {
+        println!("\n######## {name} ########");
+        println!("{}", run());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `ablation_critical_path` experiment; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::ablations::ablation_critical_path());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `ablation_gradient_path` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::ablations::ablation_gradient_path());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `ablation_pinned` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::ablations::ablation_pinned());
+}

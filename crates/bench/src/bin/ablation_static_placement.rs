@@ -1,0 +1,5 @@
+//! Regenerates the paper's `ablation_static_placement` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::ablations::ablation_static_placement());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `extension_numa_contention` experiment; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::contention::extension_numa_contention());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig10_ratio_update_time` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig10_ratio_update_time());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig11_ratio_iteration` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig11_ratio_iteration());
+}

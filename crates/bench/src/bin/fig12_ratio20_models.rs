@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig12_ratio20_models` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig12_ratio20_models());
+}

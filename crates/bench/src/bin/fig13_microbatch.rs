@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig13_microbatch` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::fig13_microbatch());
+}

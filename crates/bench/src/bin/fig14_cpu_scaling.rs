@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig14_cpu_scaling` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::fig14_cpu_scaling());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig15_utilization` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::fig15_utilization());
+}

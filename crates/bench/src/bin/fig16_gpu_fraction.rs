@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig16_gpu_fraction` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::fig16_gpu_fraction());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig17_weak_scaling` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::fig17_weak_scaling());
+}

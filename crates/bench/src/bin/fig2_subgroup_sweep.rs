@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig2_subgroup_sweep` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::timelines::fig2_subgroup_sweep());
+}

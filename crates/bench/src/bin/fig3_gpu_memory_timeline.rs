@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig3_gpu_memory_timeline` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::timelines::fig3_gpu_memory_timeline());
+}

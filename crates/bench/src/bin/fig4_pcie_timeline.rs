@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig4_pcie_timeline` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::timelines::fig4_pcie_timeline());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig5_schedule_gantt` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::timelines::fig5_schedule_gantt());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig6_gradient_path_gantt` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::timelines::fig6_gradient_path_gantt());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig7_iteration_breakdown` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig7_iteration_breakdown());
+}

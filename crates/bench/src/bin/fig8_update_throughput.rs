@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig8_update_throughput` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig8_update_throughput());
+}

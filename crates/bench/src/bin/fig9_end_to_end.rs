@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig9_end_to_end` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::comparisons::fig9_end_to_end());
+}

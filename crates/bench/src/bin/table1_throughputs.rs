@@ -1,0 +1,5 @@
+//! Regenerates the paper's `table1_throughputs` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::tables::table1_throughputs());
+}

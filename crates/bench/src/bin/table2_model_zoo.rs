@@ -1,0 +1,5 @@
+//! Regenerates the paper's `table2_model_zoo` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::tables::table2_model_zoo());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `v100_stride_validation` artifact; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::scaling::v100_stride_validation());
+}

@@ -1,0 +1,245 @@
+//! Figures 7–12: head-to-head comparisons against ZeRO-3 and TwinFlow.
+
+use dos::core::{DeepOptimizerStates, TwinFlow, Zero3Offload};
+use dos::hal::HardwareProfile;
+use dos::nn::ModelSpec;
+use dos::sim::{simulate_iteration, simulate_training, IterationReport, TrainConfig};
+
+use crate::support::{bpps, secs, speedup, TextTable};
+
+fn zero3_report(model: &ModelSpec) -> IterationReport {
+    let cfg = TrainConfig::baseline(model.clone(), HardwareProfile::jlse_h100());
+    simulate_iteration(&cfg, &Zero3Offload).unwrap()
+}
+
+fn dos_report(model: &ModelSpec, ratio: f64) -> IterationReport {
+    let mut cfg = TrainConfig::deep_optimizer_states(model.clone(), HardwareProfile::jlse_h100());
+    cfg.offload.gpu_resident_ratio = ratio;
+    simulate_iteration(&cfg, &DeepOptimizerStates::default()).unwrap()
+}
+
+fn twinflow_report(model: &ModelSpec, ratio: f64) -> IterationReport {
+    let mut cfg = TrainConfig::baseline(model.clone(), HardwareProfile::jlse_h100());
+    cfg.offload.gpu_resident_ratio = ratio;
+    simulate_iteration(&cfg, &TwinFlow).unwrap()
+}
+
+/// Figure 7: per-iteration breakdown, optimizer fully offloaded.
+pub fn fig7_iteration_breakdown() -> String {
+    let mut t = TextTable::new([
+        "model",
+        "zero3 fwd",
+        "zero3 bwd",
+        "zero3 upd",
+        "zero3 total",
+        "dos fwd",
+        "dos bwd",
+        "dos upd",
+        "dos total",
+        "speedup",
+    ]);
+    for m in ModelSpec::table2_zoo() {
+        let z = zero3_report(&m);
+        let d = dos_report(&m, 0.0);
+        t.row([
+            m.name.clone(),
+            secs(z.forward_secs),
+            secs(z.backward_secs),
+            secs(z.update_secs),
+            secs(z.total_secs),
+            secs(d.forward_secs),
+            secs(d.backward_secs),
+            secs(d.update_secs),
+            secs(d.total_secs),
+            speedup(z.total_secs / d.total_secs),
+        ]);
+    }
+    format!(
+        "== Figure 7: iteration breakdown, full CPU offload (paper: 2-2.5x) ==\n{}",
+        t.render()
+    )
+}
+
+/// Figure 8: aggregate update throughput (billions of params/s).
+pub fn fig8_update_throughput() -> String {
+    let world = HardwareProfile::jlse_h100().num_gpus;
+    let mut t = TextTable::new(["model", "zero3 (B P/s)", "dos (B P/s)", "gain"]);
+    let mut gains = Vec::new();
+    for m in ModelSpec::table2_zoo() {
+        let z = zero3_report(&m);
+        let d = dos_report(&m, 0.0);
+        let gain = d.update_pps_per_rank / z.update_pps_per_rank;
+        gains.push(gain);
+        t.row([
+            m.name.clone(),
+            bpps(z.update_pps_aggregate(world)),
+            bpps(d.update_pps_aggregate(world)),
+            speedup(gain),
+        ]);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    format!(
+        "== Figure 8: update throughput (paper: ~70% higher on average) ==\n{}\naverage gain: {}\n",
+        t.render(),
+        speedup(avg)
+    )
+}
+
+/// Figure 9: end-to-end runtime over 100 iterations.
+pub fn fig9_end_to_end() -> String {
+    let profile = HardwareProfile::jlse_h100();
+    let mut t = TextTable::new([
+        "model",
+        "zero3 100-iter (s)",
+        "dos 100-iter (s)",
+        "speedup",
+        "dos stable?",
+    ]);
+    for m in ModelSpec::table2_zoo() {
+        let zcfg = TrainConfig::baseline(m.clone(), profile.clone());
+        let z = simulate_training(&zcfg, &Zero3Offload, 100).unwrap();
+        let dcfg = TrainConfig::deep_optimizer_states(m.clone(), profile.clone());
+        let d = simulate_training(&dcfg, &DeepOptimizerStates::default(), 100).unwrap();
+        t.row([
+            m.name.clone(),
+            secs(z.total_secs),
+            secs(d.total_secs),
+            speedup(z.total_secs / d.total_secs),
+            if d.is_stable(2, 0.05) { "yes".to_string() } else { "NO".to_string() },
+        ]);
+    }
+    format!(
+        "== Figure 9: end-to-end 100 iterations (paper: same ~2.5x as per-iteration;\n\
+         \x20  spilled transfers do not destabilize subsequent iterations) ==\n{}",
+        t.render()
+    )
+}
+
+/// Figure 10: update time vs TwinFlow static-GPU ratio (20B).
+pub fn fig10_ratio_update_time() -> String {
+    let m = ModelSpec::by_name("20B").unwrap();
+    let mut t = TextTable::new(["static GPU ratio", "twinflow upd (s)", "dos upd (s)", "gain"]);
+    for ratio in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let tw = twinflow_report(&m, ratio);
+        let d = dos_report(&m, ratio);
+        t.row([
+            format!("{:.0}%", ratio * 100.0),
+            secs(tw.update_secs),
+            secs(d.update_secs),
+            speedup(tw.update_secs / d.update_secs),
+        ]);
+    }
+    format!(
+        "== Figure 10: update time vs static ratio, 20B (paper: >=1.7x at every ratio) ==\n{}",
+        t.render()
+    )
+}
+
+/// Figure 11: full-iteration breakdown vs TwinFlow ratio (20B).
+pub fn fig11_ratio_iteration() -> String {
+    let m = ModelSpec::by_name("20B").unwrap();
+    let mut t = TextTable::new([
+        "static GPU ratio",
+        "twinflow total (s)",
+        "dos total (s)",
+        "speedup",
+        "dos@0% vs twin@this",
+    ]);
+    let dos_at_zero = dos_report(&m, 0.0).total_secs;
+    for ratio in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let tw = twinflow_report(&m, ratio);
+        let d = dos_report(&m, ratio);
+        t.row([
+            format!("{:.0}%", ratio * 100.0),
+            secs(tw.total_secs),
+            secs(d.total_secs),
+            speedup(tw.total_secs / d.total_secs),
+            speedup(tw.total_secs / dos_at_zero),
+        ]);
+    }
+    format!(
+        "== Figure 11: iteration vs static ratio, 20B (paper: ~2x even at 50%;\n\
+         \x20  DOS at 0% beats TwinFlow at 50% by ~40% with ~35 GB/GPU less memory) ==\n{}",
+        t.render()
+    )
+}
+
+/// Figure 12: fixed 20 % ratio across model sizes.
+pub fn fig12_ratio20_models() -> String {
+    let mut t = TextTable::new(["model", "twinflow total (s)", "dos total (s)", "speedup"]);
+    for m in ModelSpec::table2_zoo() {
+        let tw = twinflow_report(&m, 0.2);
+        let d = dos_report(&m, 0.2);
+        t.row([
+            m.name.clone(),
+            secs(tw.total_secs),
+            secs(d.total_secs),
+            speedup(tw.total_secs / d.total_secs),
+        ]);
+    }
+    format!(
+        "== Figure 12: TwinFlow ratio = 20% across models (paper: 1.7-2.3x) ==\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedups_from(s: &str, col_contains: &str) -> Vec<f64> {
+        s.lines()
+            .filter(|l| l.contains('x') && !l.contains(col_contains) && !l.contains("=="))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .rev()
+                    .find(|w| w.ends_with('x'))
+                    .and_then(|w| w.trim_end_matches('x').parse().ok())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig7_speedups_in_band() {
+        let s = fig7_iteration_breakdown();
+        let v = speedups_from(&s, "speedup");
+        assert_eq!(v.len(), 5);
+        for sp in v {
+            assert!((1.8..3.0).contains(&sp), "fig7 speedup {sp}");
+        }
+    }
+
+    #[test]
+    fn fig9_matches_fig7_scale_and_is_stable() {
+        let s = fig9_end_to_end();
+        assert!(!s.contains("NO"), "unstable run detected:\n{s}");
+        let v = speedups_from(&s, "speedup");
+        for sp in v {
+            assert!((1.8..3.0).contains(&sp), "fig9 speedup {sp}");
+        }
+    }
+
+    #[test]
+    fn fig10_gains_exceed_1_5() {
+        let s = fig10_ratio_update_time();
+        let v = speedups_from(&s, "gain");
+        assert_eq!(v.len(), 6);
+        for sp in v {
+            assert!(sp > 1.5, "fig10 gain {sp}");
+        }
+    }
+
+    #[test]
+    fn fig11_dos_at_zero_beats_twinflow_at_50() {
+        let s = fig11_ratio_iteration();
+        let last = s.lines().rev().find(|l| l.trim_start().starts_with("50%")).unwrap();
+        let cross: f64 = last
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(cross > 1.0, "DOS@0% should beat TwinFlow@50%, got {cross}x");
+    }
+}

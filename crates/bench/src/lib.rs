@@ -1,0 +1,60 @@
+//! # dos-bench — regenerating every table and figure of the paper
+//!
+//! One function per evaluation artifact of *Deep Optimizer States*
+//! (MIDDLEWARE 2024), each returning the printed block its binary emits.
+//! `EXPERIMENTS.md` in the repository root records paper-vs-measured for
+//! every entry; run any experiment with
+//! `cargo run -p dos-bench --release --bin <name>`, or everything at once
+//! with `cargo bench -p dos-bench` (the `figures` bench target).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod comparisons;
+pub mod contention;
+pub mod extensions;
+pub mod scaling;
+pub mod support;
+pub mod tables;
+pub mod timelines;
+
+/// One experiment: its name and the function that renders it.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("table1_throughputs", tables::table1_throughputs as fn() -> String),
+        ("table2_model_zoo", tables::table2_model_zoo),
+        ("fig2_subgroup_sweep", timelines::fig2_subgroup_sweep),
+        ("fig3_gpu_memory_timeline", timelines::fig3_gpu_memory_timeline),
+        ("fig4_pcie_timeline", timelines::fig4_pcie_timeline),
+        ("fig5_schedule_gantt", timelines::fig5_schedule_gantt),
+        ("fig6_gradient_path_gantt", timelines::fig6_gradient_path_gantt),
+        ("fig7_iteration_breakdown", comparisons::fig7_iteration_breakdown),
+        ("fig8_update_throughput", comparisons::fig8_update_throughput),
+        ("fig9_end_to_end", comparisons::fig9_end_to_end),
+        ("fig10_ratio_update_time", comparisons::fig10_ratio_update_time),
+        ("fig11_ratio_iteration", comparisons::fig11_ratio_iteration),
+        ("fig12_ratio20_models", comparisons::fig12_ratio20_models),
+        ("fig13_microbatch", scaling::fig13_microbatch),
+        ("fig14_cpu_scaling", scaling::fig14_cpu_scaling),
+        ("fig15_utilization", scaling::fig15_utilization),
+        ("fig16_gpu_fraction", scaling::fig16_gpu_fraction),
+        ("fig17_weak_scaling", scaling::fig17_weak_scaling),
+        ("v100_stride_validation", scaling::v100_stride_validation),
+        ("ablation_gradient_path", ablations::ablation_gradient_path),
+        ("ablation_overlap", ablations::ablation_overlap),
+        ("ablation_static_placement", ablations::ablation_static_placement),
+        ("ablation_pinned", ablations::ablation_pinned),
+        ("ablation_stacked", ablations::ablation_stacked),
+        ("ablation_critical_path", ablations::ablation_critical_path),
+        ("extension_nvme_tier", extensions::extension_nvme_tier),
+        ("extension_checkpointing", extensions::extension_checkpointing),
+        ("extension_grace_hopper", extensions::extension_grace_hopper),
+        ("extension_grad_accumulation", extensions::extension_grad_accumulation),
+        ("extension_zero_stages", extensions::extension_zero_stages),
+        ("extension_numa_contention", contention::extension_numa_contention),
+    ]
+}

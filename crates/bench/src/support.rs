@@ -1,0 +1,139 @@
+//! Shared rendering and sweep helpers for the experiment harness.
+
+use dos::sim::IterationReport;
+use dos::telemetry::Timeline;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (width, cell) in widths.iter_mut().zip(row.iter()) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a series as a unicode sparkline (8 levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Extracts the spans of one phase from a report's timeline, rebased to
+/// start at zero — used by the Gantt figures.
+pub fn phase_timeline(report: &IterationReport, phase: &str) -> Timeline {
+    let mut out = Timeline::new();
+    let t0 = report
+        .timeline
+        .for_phase(phase)
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    if !t0.is_finite() {
+        return out;
+    }
+    for s in report.timeline.for_phase(phase) {
+        let mut s = s.clone();
+        s.start -= t0;
+        s.end -= t0;
+        out.push(s);
+    }
+    out
+}
+
+/// Formats seconds with three significant decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a dimensionless ratio as `x.xx×`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a byte count as decimal gigabytes.
+pub fn gb(v: u64) -> String {
+    format!("{:.1}", v as f64 / 1e9)
+}
+
+/// Formats parameters/second as billions.
+pub fn bpps(v: f64) -> String {
+    format!("{:.2}", v / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(["model", "secs"]);
+        t.row(["7B", "1.0"]);
+        t.row(["20B", "10.25"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("model"));
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(speedup(2.5), "2.50x");
+        assert_eq!(gb(80_000_000_000), "80.0");
+        assert_eq!(bpps(2.5e9), "2.50");
+    }
+}

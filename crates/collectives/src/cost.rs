@@ -1,0 +1,116 @@
+//! Analytic cost models for ring collectives.
+//!
+//! The simulator charges forward/backward communication with the standard
+//! ring-algorithm costs: for a payload of `S` bytes across `N` ranks over
+//! links of bandwidth `B` bytes/s with per-step latency `α`,
+//!
+//! * `all_gather` / `reduce_scatter`: `(N-1)·α + (N-1)/N · S / B`
+//! * `all_reduce`: `2(N-1)·α + 2(N-1)/N · S / B`
+//!
+//! These costs are what erodes Deep Optimizer States' end-to-end speedup at
+//! high data-parallel degrees (Figure 17): the update phase stays
+//! communication-free, but the ZeRO-3 all-gathers in forward/backward grow
+//! with the DP degree.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a collective cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingCost {
+    /// Number of participating ranks.
+    pub world: usize,
+    /// Per-rank link bandwidth, bytes/s (NVLink within a node).
+    pub link_bw: f64,
+    /// Per-step latency, seconds (launch + synchronization overhead).
+    pub latency: f64,
+}
+
+impl RingCost {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero or `link_bw` is not positive.
+    pub fn new(world: usize, link_bw: f64, latency: f64) -> RingCost {
+        assert!(world > 0, "world must be positive");
+        assert!(link_bw > 0.0, "bandwidth must be positive");
+        RingCost { world, link_bw, latency }
+    }
+
+    fn steps(&self) -> f64 {
+        (self.world - 1) as f64
+    }
+
+    fn ring_fraction(&self) -> f64 {
+        if self.world == 1 {
+            0.0
+        } else {
+            (self.world - 1) as f64 / self.world as f64
+        }
+    }
+
+    /// Seconds for an all-gather whose *total* (gathered) payload is
+    /// `total_bytes`.
+    pub fn all_gather(&self, total_bytes: f64) -> f64 {
+        self.steps() * self.latency + self.ring_fraction() * total_bytes / self.link_bw
+    }
+
+    /// Seconds for a reduce-scatter over `total_bytes` of input per rank.
+    pub fn reduce_scatter(&self, total_bytes: f64) -> f64 {
+        self.all_gather(total_bytes)
+    }
+
+    /// Seconds for an all-reduce over `total_bytes` per rank
+    /// (reduce-scatter followed by all-gather).
+    pub fn all_reduce(&self, total_bytes: f64) -> f64 {
+        2.0 * self.all_gather(total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_costs_nothing() {
+        let c = RingCost::new(1, 1e9, 1e-5);
+        assert_eq!(c.all_gather(1e9), 0.0);
+        assert_eq!(c.all_reduce(1e9), 0.0);
+    }
+
+    #[test]
+    fn large_world_approaches_bandwidth_bound() {
+        let c = RingCost::new(64, 1e9, 0.0);
+        let t = c.all_gather(1e9);
+        assert!((t - 63.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_all_gather() {
+        let c = RingCost::new(4, 100e9, 1e-5);
+        assert!((c.all_reduce(1e8) - 2.0 * c.all_gather(1e8)).abs() < 1e-12);
+        assert_eq!(c.reduce_scatter(1e8), c.all_gather(1e8));
+    }
+
+    #[test]
+    fn cost_is_monotone_in_size_and_world() {
+        let c = RingCost::new(4, 100e9, 1e-5);
+        assert!(c.all_gather(2e9) > c.all_gather(1e9));
+        let c8 = RingCost::new(8, 100e9, 1e-5);
+        assert!(c8.all_gather(1e9) > c.all_gather(1e9));
+    }
+
+    #[test]
+    fn latency_term_scales_with_steps() {
+        let c = RingCost::new(5, 1e12, 1e-3);
+        // Tiny payload: cost dominated by (N-1) * latency.
+        let t = c.all_gather(1.0);
+        assert!((t - 4e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_world_rejected() {
+        let _ = RingCost::new(0, 1e9, 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Functional (thread-based) collectives.
+//!
+//! Real multi-worker collectives over OS threads, used by the functional
+//! data-parallel trainer: each rank contributes a buffer, a rendezvous
+//! combines them, and every rank derives its result locally. Semantically
+//! equivalent to NCCL's `all_reduce`, `all_gather`, and `reduce_scatter`
+//! (sum reduction), which the ZeRO stages are built on.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Errors from collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// Ranks contributed buffers of different lengths to an operation that
+    /// requires uniform lengths.
+    LengthMismatch {
+        /// The lengths observed, by rank.
+        lengths: Vec<usize>,
+    },
+    /// A buffer could not be evenly partitioned across ranks.
+    UnevenPartition {
+        /// Buffer length.
+        len: usize,
+        /// World size.
+        world: usize,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::LengthMismatch { lengths } => {
+                write!(f, "ranks contributed different lengths: {lengths:?}")
+            }
+            CollectiveError::UnevenPartition { len, world } => {
+                write!(f, "buffer of {len} elements does not partition across {world} ranks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+#[derive(Debug)]
+struct Slot {
+    contributions: Vec<Option<Vec<f32>>>,
+    arrived: usize,
+    picked: usize,
+    result: Option<Arc<Vec<Vec<f32>>>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    world: usize,
+    slot: Mutex<Slot>,
+    cv: Condvar,
+}
+
+/// One rank's handle to a world of collective peers.
+///
+/// Create the full world with [`Communicator::world`], hand one handle to
+/// each thread, and call the collective methods; every method blocks until
+/// all ranks of the world have called it.
+///
+/// # Examples
+///
+/// ```
+/// use dos_collectives::Communicator;
+/// use std::thread;
+///
+/// let comms = Communicator::world(2);
+/// let handles: Vec<_> = comms
+///     .into_iter()
+///     .enumerate()
+///     .map(|(r, comm)| {
+///         thread::spawn(move || {
+///             let mut data = vec![r as f32 + 1.0; 4];
+///             comm.all_reduce_sum(&mut data).unwrap();
+///             data
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), vec![3.0; 4]);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+impl Communicator {
+    /// Creates the handles for a world of `world` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    pub fn world(world: usize) -> Vec<Communicator> {
+        assert!(world > 0, "world must be positive");
+        let shared = Arc::new(Shared {
+            world,
+            slot: Mutex::new(Slot {
+                contributions: vec![None; world],
+                arrived: 0,
+                picked: 0,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        });
+        (0..world).map(|rank| Communicator { rank, shared: Arc::clone(&shared) }).collect()
+    }
+
+    /// This handle's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world_size(&self) -> usize {
+        self.shared.world
+    }
+
+    /// Exchanges a buffer with all peers; returns every rank's contribution.
+    fn exchange(&self, data: Vec<f32>) -> Arc<Vec<Vec<f32>>> {
+        let shared = &self.shared;
+        let mut slot = shared.slot.lock();
+        // Wait for any previous round to fully drain.
+        while slot.result.is_some() {
+            shared.cv.wait(&mut slot);
+        }
+        slot.contributions[self.rank] = Some(data);
+        slot.arrived += 1;
+        if slot.arrived == shared.world {
+            let all: Vec<Vec<f32>> =
+                slot.contributions.iter_mut().map(|c| c.take().expect("deposited")).collect();
+            slot.result = Some(Arc::new(all));
+            shared.cv.notify_all();
+        } else {
+            while slot.result.is_none() {
+                shared.cv.wait(&mut slot);
+            }
+        }
+        let result = Arc::clone(slot.result.as_ref().expect("result present"));
+        slot.picked += 1;
+        if slot.picked == shared.world {
+            slot.result = None;
+            slot.arrived = 0;
+            slot.picked = 0;
+            shared.cv.notify_all();
+        }
+        result
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        let _ = self.exchange(Vec::new());
+    }
+
+    /// Sums `data` element-wise across all ranks, in place on every rank
+    /// (data parallelism's gradient averaging, before division).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::LengthMismatch`] if ranks disagree on
+    /// length.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), CollectiveError> {
+        let all = self.exchange(data.to_vec());
+        if all.iter().any(|c| c.len() != data.len()) {
+            return Err(CollectiveError::LengthMismatch {
+                lengths: all.iter().map(Vec::len).collect(),
+            });
+        }
+        data.fill(0.0);
+        for contribution in all.iter() {
+            for (d, c) in data.iter_mut().zip(contribution.iter()) {
+                *d += c;
+            }
+        }
+        Ok(())
+    }
+
+    /// Gathers every rank's buffer, concatenated in rank order (ZeRO-3's
+    /// layer-shard reassembly on the forward/backward path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::LengthMismatch`] if ranks disagree on
+    /// length.
+    pub fn all_gather(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+        let all = self.exchange(data.to_vec());
+        if all.iter().any(|c| c.len() != data.len()) {
+            return Err(CollectiveError::LengthMismatch {
+                lengths: all.iter().map(Vec::len).collect(),
+            });
+        }
+        let mut out = Vec::with_capacity(data.len() * all.len());
+        for contribution in all.iter() {
+            out.extend_from_slice(contribution);
+        }
+        Ok(out)
+    }
+
+    /// Reduces (sums) full-length buffers and returns this rank's 1/world
+    /// chunk (ZeRO's gradient partitioning primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::UnevenPartition`] if the length is not a
+    /// multiple of the world size, or [`CollectiveError::LengthMismatch`]
+    /// if ranks disagree on length.
+    pub fn reduce_scatter_sum(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+        let world = self.shared.world;
+        if !data.len().is_multiple_of(world) {
+            return Err(CollectiveError::UnevenPartition { len: data.len(), world });
+        }
+        let all = self.exchange(data.to_vec());
+        if all.iter().any(|c| c.len() != data.len()) {
+            return Err(CollectiveError::LengthMismatch {
+                lengths: all.iter().map(Vec::len).collect(),
+            });
+        }
+        let chunk = data.len() / world;
+        let start = self.rank * chunk;
+        let mut out = vec![0.0; chunk];
+        for contribution in all.iter() {
+            for (o, c) in out.iter_mut().zip(contribution[start..start + chunk].iter()) {
+                *o += c;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_world<F, T>(world: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = Communicator::world(world);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let results = run_world(4, |c| {
+            let mut data = vec![(c.rank() + 1) as f32; 3];
+            c.all_reduce_sum(&mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0; 3]); // 1+2+3+4
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let results = run_world(3, |c| c.all_gather(&[c.rank() as f32]).unwrap());
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_own_chunk() {
+        let results = run_world(2, |c| {
+            let data: Vec<f32> = (0..4).map(|i| (i + 1) as f32 * (c.rank() + 1) as f32).collect();
+            (c.rank(), c.reduce_scatter_sum(&data).unwrap())
+        });
+        // Sum over ranks: [1,2,3,4] + [2,4,6,8] = [3,6,9,12].
+        for (rank, chunk) in results {
+            if rank == 0 {
+                assert_eq!(chunk, vec![3.0, 6.0]);
+            } else {
+                assert_eq!(chunk, vec![9.0, 12.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_the_slot() {
+        let results = run_world(3, |c| {
+            let mut acc = 0.0;
+            for round in 0..10 {
+                let mut data = vec![round as f32 + c.rank() as f32];
+                c.all_reduce_sum(&mut data).unwrap();
+                acc += data[0];
+            }
+            acc
+        });
+        // Each round: sum over ranks of (round + rank) = 3*round + 3.
+        let expected: f32 = (0..10).map(|r| 3.0 * r as f32 + 3.0).sum();
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn uneven_reduce_scatter_is_rejected() {
+        let results = run_world(2, |c| c.reduce_scatter_sum(&[1.0, 2.0, 3.0]));
+        for r in results {
+            assert!(matches!(r, Err(CollectiveError::UnevenPartition { len: 3, world: 2 })));
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        // All ranks must pass; hang = failure by test timeout.
+        let results = run_world(4, |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn single_rank_world_is_identity() {
+        let comms = Communicator::world(1);
+        let c = &comms[0];
+        let mut d = vec![1.0, 2.0];
+        c.all_reduce_sum(&mut d).unwrap();
+        assert_eq!(d, vec![1.0, 2.0]);
+        assert_eq!(c.all_gather(&d).unwrap(), d);
+        assert_eq!(c.reduce_scatter_sum(&d).unwrap(), d);
+    }
+}

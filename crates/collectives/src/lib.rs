@@ -1,0 +1,20 @@
+//! # dos-collectives — collectives for data-parallel training
+//!
+//! Communication substrate of the *Deep Optimizer States* reproduction, in
+//! two flavors:
+//!
+//! * [`Communicator`] — *functional* collectives over OS threads (sum
+//!   all-reduce, all-gather, reduce-scatter, barrier) used by the functional
+//!   data-parallel trainer to really average gradients across ranks;
+//! * [`RingCost`] — *analytic* ring-collective cost models the simulator
+//!   charges for ZeRO-3's forward/backward all-gathers, which is what limits
+//!   the paper's speedup at high data-parallel degree (Figure 17).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod functional;
+
+pub use cost::RingCost;
+pub use functional::{CollectiveError, Communicator};

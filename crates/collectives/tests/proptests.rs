@@ -1,0 +1,92 @@
+//! Property tests: thread-based collectives match naive reference reductions.
+
+use dos_collectives::Communicator;
+use proptest::prelude::*;
+use std::thread;
+
+fn run_collective(
+    inputs: Vec<Vec<f32>>,
+    op: impl Fn(Communicator, Vec<f32>) -> Vec<f32> + Send + Sync + Clone + 'static,
+) -> Vec<Vec<f32>> {
+    let world = inputs.len();
+    let comms = Communicator::world(world);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .zip(inputs)
+        .map(|(c, data)| {
+            let op = op.clone();
+            thread::spawn(move || op(c, data))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_reduce_matches_reference(
+        world in 1usize..5,
+        len in 1usize..16,
+        seed in any::<u32>(),
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| ((seed as usize + r * 31 + i * 7) % 100) as f32 / 10.0).collect())
+            .collect();
+        let mut expected = vec![0.0f32; len];
+        for input in &inputs {
+            for (e, x) in expected.iter_mut().zip(input.iter()) {
+                *e += x;
+            }
+        }
+        let results = run_collective(inputs, |c, mut d| {
+            c.all_reduce_sum(&mut d).unwrap();
+            d
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn all_gather_matches_reference(
+        world in 1usize..5,
+        len in 1usize..8,
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| (r * 100 + i) as f32).collect())
+            .collect();
+        let expected: Vec<f32> = inputs.concat();
+        let results = run_collective(inputs, |c, d| c.all_gather(&d).unwrap());
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards_the_reduction(
+        world in 1usize..5,
+        chunks in 1usize..6,
+    ) {
+        let len = world * chunks;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| (r + 1) as f32 * (i + 1) as f32).collect())
+            .collect();
+        let mut total = vec![0.0f32; len];
+        for input in &inputs {
+            for (t, x) in total.iter_mut().zip(input.iter()) {
+                *t += x;
+            }
+        }
+        let results = run_collective(inputs, |c, d| {
+            let rank = c.rank();
+            let mut out = c.reduce_scatter_sum(&d).unwrap();
+            out.insert(0, rank as f32); // carry rank for the assertion
+            out
+        });
+        for r in results {
+            let rank = r[0] as usize;
+            prop_assert_eq!(&r[1..], &total[rank * chunks..(rank + 1) * chunks]);
+        }
+    }
+}

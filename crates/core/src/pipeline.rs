@@ -1,0 +1,279 @@
+//! Functional interleaved-update pipeline: real threads, real numerics.
+//!
+//! The simulator (`schedulers`) reproduces the paper's *timing*; this module
+//! reproduces its *mechanism* with real concurrency: a device worker thread
+//! ("the GPU"), DMA channels carrying subgroup state back and forth, and the
+//! calling thread playing the CPU — exactly Algorithm 1's structure. The
+//! correctness claim under test is §4.1's: out-of-order, cross-device
+//! subgroup updates produce results identical to a sequential CPU update.
+//!
+//! Buffers move through `crossbeam` channels by value, mirroring the fact
+//! that a subgroup's (p, m, v) is staged on exactly one device at a time.
+
+use crossbeam::channel;
+
+use dos_optim::MixedPrecisionState;
+use dos_tensor::F16;
+use dos_zero::SubgroupSpec;
+
+use crate::schedulers::StridePolicy;
+
+/// Configuration of the functional hybrid pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Update stride: every k-th subgroup goes to the device worker
+    /// (`Fixed(k)`); `CpuOnly` keeps everything on the calling thread;
+    /// `Auto` behaves as `Fixed(2)`, the paper's measured optimum.
+    pub stride: StridePolicy,
+    /// Number of trailing subgroups treated as static device residents
+    /// (updated on the device without staging transfers).
+    pub static_residents: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { stride: StridePolicy::Auto, static_residents: 0 }
+    }
+}
+
+/// Result of a hybrid update step.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Downscaled FP16 parameters for the whole flat space (what the GPU
+    /// trains the next iteration with).
+    pub fp16_params: Vec<F16>,
+    /// How many subgroups were updated on the device worker.
+    pub device_subgroups: usize,
+    /// How many subgroups were updated on the calling (CPU) thread.
+    pub cpu_subgroups: usize,
+}
+
+/// One staged subgroup travelling to the device worker.
+struct StagedSubgroup {
+    sg: SubgroupSpec,
+    p: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    g: Vec<f32>,
+}
+
+/// An updated subgroup travelling back.
+struct UpdatedSubgroup {
+    sg: SubgroupSpec,
+    p: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    p16: Vec<F16>,
+}
+
+/// Runs one interleaved hybrid optimizer step over `state` with `grads`,
+/// scheduling subgroups across the calling thread and a spawned device
+/// worker per `cfg`.
+///
+/// Equivalent to `state.full_step(grads)` followed by a full downscale —
+/// bitwise, for any stride and resident set (verified by the crate's
+/// property tests) — but executed with the paper's interleaved concurrency.
+///
+/// # Panics
+///
+/// Panics if `grads.len() != state.len()`, if `subgroups` do not tile
+/// `0..state.len()` contiguously, or if a worker thread panics.
+pub fn hybrid_update(
+    state: &mut MixedPrecisionState,
+    grads: &[f32],
+    subgroups: &[SubgroupSpec],
+    cfg: PipelineConfig,
+) -> PipelineReport {
+    assert_eq!(grads.len(), state.len(), "gradient length mismatch");
+    let mut cursor = 0;
+    for sg in subgroups {
+        assert_eq!(sg.start, cursor, "subgroups must tile the space contiguously");
+        cursor = sg.end;
+    }
+    assert_eq!(cursor, state.len(), "subgroups must cover the space");
+
+    let stride = match cfg.stride {
+        StridePolicy::Auto => Some(2),
+        StridePolicy::Fixed(k) => Some(k.max(1)),
+        StridePolicy::CpuOnly => None,
+    };
+    let n = subgroups.len();
+    let n_static = cfg.static_residents.min(n);
+    let dynamic = &subgroups[..n - n_static];
+    let residents = &subgroups[n - n_static..];
+
+    state.begin_step();
+    let step = state.step_count();
+    let rule = state.rule();
+    let lr = state.lr();
+
+    // DMA channels: H2D staging in, D2H updated state out.
+    let (h2d_tx, h2d_rx) = channel::unbounded::<StagedSubgroup>();
+    let (d2h_tx, d2h_rx) = channel::unbounded::<UpdatedSubgroup>();
+
+    let mut device_count = 0usize;
+    let mut cpu_count = 0usize;
+    let mut fp16 = vec![F16::ZERO; state.len()];
+
+    std::thread::scope(|scope| {
+        // The device worker: applies the same element-wise rule, then
+        // produces the FP16 copy on-device (the D2D `.half()` of Alg. 1).
+        scope.spawn(|| {
+            while let Ok(mut job) = h2d_rx.recv() {
+                rule.apply(step, lr, &mut job.p, &job.g, &mut job.m, &mut job.v);
+                let p16 = job.p.iter().map(|&x| F16::from_f32(x)).collect();
+                d2h_tx
+                    .send(UpdatedSubgroup { sg: job.sg, p: job.p, m: job.m, v: job.v, p16 })
+                    .expect("main thread receives until disconnect");
+            }
+            drop(d2h_tx);
+        });
+
+        // The CPU side: walk dynamic subgroups, shipping every k-th to the
+        // device (prefetch = send), updating the rest locally and
+        // downscaling them.
+        for (i, sg) in dynamic.iter().enumerate() {
+            let on_device = stride.is_some_and(|k| (i + 1) % k == 0);
+            if on_device {
+                let (p, m, v) = state.snapshot_range(sg.range());
+                h2d_tx
+                    .send(StagedSubgroup {
+                        sg: *sg,
+                        p: p.to_vec(),
+                        m: m.to_vec(),
+                        v: v.to_vec(),
+                        g: grads[sg.range()].to_vec(),
+                    })
+                    .expect("device worker alive");
+                device_count += 1;
+            } else {
+                state.update_range(sg.range(), &grads[sg.range()]);
+                for (dst, src) in
+                    fp16[sg.range()].iter_mut().zip(state.downscale_range(sg.range()))
+                {
+                    *dst = src;
+                }
+                cpu_count += 1;
+            }
+        }
+        // Static residents: updated on the device without staging; here the
+        // state is conceptually already device-resident, so ship them too.
+        for sg in residents {
+            let (p, m, v) = state.snapshot_range(sg.range());
+            h2d_tx
+                .send(StagedSubgroup {
+                    sg: *sg,
+                    p: p.to_vec(),
+                    m: m.to_vec(),
+                    v: v.to_vec(),
+                    g: grads[sg.range()].to_vec(),
+                })
+                .expect("device worker alive");
+            device_count += 1;
+        }
+        drop(h2d_tx); // signal the worker to finish
+
+        // Drain the D2H channel: write back out-of-order arrivals.
+        while let Ok(upd) = d2h_rx.recv() {
+            state.write_back_range(upd.sg.range(), &upd.p, &upd.m, &upd.v);
+            fp16[upd.sg.range()].copy_from_slice(&upd.p16);
+        }
+    });
+
+    PipelineReport { fp16_params: fp16, device_subgroups: device_count, cpu_subgroups: cpu_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dos_optim::UpdateRule;
+    use dos_zero::partition_into_subgroups;
+
+    fn setup(n: usize) -> (MixedPrecisionState, Vec<f32>) {
+        let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0).collect();
+        let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
+        (MixedPrecisionState::new(init, UpdateRule::adam(), 0.01), grads)
+    }
+
+    fn reference(n: usize) -> (Vec<f32>, Vec<F16>) {
+        let (mut state, grads) = setup(n);
+        state.full_step(&grads);
+        let p16 = state.downscale_range(0..n);
+        (state.params().to_vec(), p16)
+    }
+
+    #[test]
+    fn hybrid_matches_sequential_bitwise() {
+        let n = 1000;
+        let (expected_p, expected_16) = reference(n);
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 64);
+        let report = hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default());
+        assert_eq!(state.params(), &expected_p[..]);
+        assert_eq!(report.fp16_params, expected_16);
+        assert!(report.device_subgroups > 0);
+        assert!(report.cpu_subgroups > 0);
+    }
+
+    #[test]
+    fn all_strides_agree() {
+        let n = 500;
+        let (expected_p, _) = reference(n);
+        for stride in [
+            StridePolicy::CpuOnly,
+            StridePolicy::Fixed(1),
+            StridePolicy::Fixed(2),
+            StridePolicy::Fixed(3),
+            StridePolicy::Fixed(7),
+        ] {
+            let (mut state, grads) = setup(n);
+            let sgs = partition_into_subgroups(n, 33);
+            let cfg = PipelineConfig { stride, static_residents: 0 };
+            let report = hybrid_update(&mut state, &grads, &sgs, cfg);
+            assert_eq!(state.params(), &expected_p[..], "stride {stride:?} diverged");
+            if matches!(stride, StridePolicy::CpuOnly) {
+                assert_eq!(report.device_subgroups, 0);
+            }
+            if matches!(stride, StridePolicy::Fixed(1)) {
+                assert_eq!(report.cpu_subgroups, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn static_residents_update_on_device() {
+        let n = 300;
+        let (expected_p, _) = reference(n);
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 50);
+        let cfg = PipelineConfig { stride: StridePolicy::CpuOnly, static_residents: 2 };
+        let report = hybrid_update(&mut state, &grads, &sgs, cfg);
+        assert_eq!(report.device_subgroups, 2);
+        assert_eq!(report.cpu_subgroups, 4);
+        assert_eq!(state.params(), &expected_p[..]);
+    }
+
+    #[test]
+    fn repeated_steps_track_sequential_trajectory() {
+        let n = 200;
+        let (mut seq, grads) = setup(n);
+        let (mut hyb, _) = setup(n);
+        let sgs = partition_into_subgroups(n, 17);
+        for step in 0..5 {
+            let g: Vec<f32> = grads.iter().map(|x| x * (step as f32 + 1.0)).collect();
+            seq.full_step(&g);
+            hybrid_update(&mut hyb, &g, &sgs, PipelineConfig::default());
+        }
+        assert_eq!(seq.params(), hyb.params());
+        assert_eq!(seq.momentum(), hyb.momentum());
+        assert_eq!(seq.variance(), hyb.variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the space")]
+    fn incomplete_subgroups_rejected() {
+        let (mut state, grads) = setup(100);
+        let sgs = partition_into_subgroups(90, 30);
+        hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default());
+    }
+}

@@ -1,0 +1,225 @@
+//! Byte-pair encoding tokenizer, trained from scratch.
+//!
+//! Substitutes for the LLaMA-2 tokenizer the paper preprocesses with: a
+//! classic byte-level BPE. Training greedily merges the most frequent
+//! adjacent token pair until the target vocabulary size is reached; encoding
+//! applies merges in training order.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A trained byte-pair encoder.
+///
+/// # Examples
+///
+/// ```
+/// use dos_data::BpeTokenizer;
+/// let tok = BpeTokenizer::train("the cat sat on the mat. the cat sat.", 300);
+/// let ids = tok.encode("the cat");
+/// assert_eq!(tok.decode(&ids), "the cat");
+/// assert!(tok.vocab_size() >= 256);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BpeTokenizer {
+    /// Merge rules in training order: (left, right) -> new token id.
+    merges: Vec<(u32, u32)>,
+    /// Token id -> byte sequence.
+    vocab: Vec<Vec<u8>>,
+}
+
+impl BpeTokenizer {
+    /// Trains a tokenizer on `text` up to `vocab_size` entries (at least the
+    /// 256 byte tokens; merges stop early if no pair repeats).
+    pub fn train(text: &str, vocab_size: usize) -> BpeTokenizer {
+        let mut vocab: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+        let mut merges = Vec::new();
+        let mut ids: Vec<u32> = text.bytes().map(u32::from).collect();
+
+        while vocab.len() < vocab_size.max(256) {
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for w in ids.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            // Deterministic tie-break: highest count, then smallest pair.
+            let best = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some((pair, _)) = best else { break };
+            let new_id = vocab.len() as u32;
+            let mut bytes = vocab[pair.0 as usize].clone();
+            bytes.extend_from_slice(&vocab[pair.1 as usize]);
+            vocab.push(bytes);
+            merges.push(pair);
+            ids = Self::apply_merge(&ids, pair, new_id);
+        }
+        BpeTokenizer { merges, vocab }
+    }
+
+    fn apply_merge(ids: &[u32], pair: (u32, u32), new_id: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            if i + 1 < ids.len() && ids[i] == pair.0 && ids[i + 1] == pair.1 {
+                out.push(new_id);
+                i += 2;
+            } else {
+                out.push(ids[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of tokens in the vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes text into token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = text.bytes().map(u32::from).collect();
+        for (rank, &pair) in self.merges.iter().enumerate() {
+            let new_id = (256 + rank) as u32;
+            // Only scan if both halves can appear.
+            ids = Self::apply_merge(&ids, pair, new_id);
+        }
+        ids
+    }
+
+    /// Decodes token ids back into text (lossy for invalid UTF-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of vocabulary.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut bytes = Vec::new();
+        for &id in ids {
+            bytes.extend_from_slice(&self.vocab[id as usize]);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// The byte expansion of one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of vocabulary.
+    pub fn token_bytes(&self, id: u32) -> &[u8] {
+        &self.vocab[id as usize]
+    }
+
+    /// Number of learned merges.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Average bytes per token over `text` — the compression the tokenizer
+    /// achieves (a trained tokenizer should beat 1.0 on in-domain text).
+    pub fn bytes_per_token(&self, text: &str) -> f64 {
+        let ids = self.encode(text);
+        if ids.is_empty() {
+            return 0.0;
+        }
+        text.len() as f64 / ids.len() as f64
+    }
+
+    /// Writes the tokenizer to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialization errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Reads a tokenizer from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or deserialization errors.
+    pub fn load(path: &std::path::Path) -> std::io::Result<BpeTokenizer> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let text = "hello hello world, the quick brown fox! \u{1F600}";
+        let tok = BpeTokenizer::train(text, 300);
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+        // Also round-trips text it was not trained on.
+        let other = "completely different zebra text";
+        assert_eq!(tok.decode(&tok.encode(other)), other);
+    }
+
+    #[test]
+    fn merges_compress_repeated_text() {
+        let text = "ababababababababab abab abab";
+        let tok = BpeTokenizer::train(text, 300);
+        let ids = tok.encode("abababab");
+        assert!(ids.len() < 8, "expected compression, got {} tokens", ids.len());
+    }
+
+    #[test]
+    fn vocab_grows_to_target_when_data_allows() {
+        let text = "the cat sat on the mat and the dog sat on the log ".repeat(20);
+        let tok = BpeTokenizer::train(&text, 280);
+        assert_eq!(tok.vocab_size(), 280);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let text = "deterministic deterministic determinism";
+        let a = BpeTokenizer::train(text, 280);
+        let b = BpeTokenizer::train(text, 280);
+        assert_eq!(a.encode(text), b.encode(text));
+    }
+
+    #[test]
+    fn stops_when_no_pair_repeats() {
+        let tok = BpeTokenizer::train("abcdefg", 1000);
+        assert!(tok.vocab_size() < 300);
+    }
+
+    #[test]
+    fn token_bytes_expansion() {
+        let tok = BpeTokenizer::train("aaaa aaaa", 260);
+        assert_eq!(tok.token_bytes(b'a' as u32), b"a");
+        assert!(tok.merge_count() >= 1);
+    }
+
+    #[test]
+    fn trained_tokenizer_compresses_in_domain_text() {
+        let text = "the quick brown fox jumps over the lazy dog ".repeat(30);
+        let tok = BpeTokenizer::train(&text, 400);
+        assert!(
+            tok.bytes_per_token(&text) > 1.8,
+            "compression {} too weak",
+            tok.bytes_per_token(&text)
+        );
+        // Byte-level fallback on out-of-domain text: still >= 1 byte/token.
+        assert!(tok.bytes_per_token("zzz qqq xxx") >= 1.0);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let tok = BpeTokenizer::train("persistence persistence persist", 300);
+        let path = std::env::temp_dir()
+            .join(format!("dos-bpe-test-{}.json", std::process::id()));
+        tok.save(&path).unwrap();
+        let loaded = BpeTokenizer::load(&path).unwrap();
+        let sample = "persist this text";
+        assert_eq!(tok.encode(sample), loaded.encode(sample));
+        assert_eq!(tok.vocab_size(), loaded.vocab_size());
+        std::fs::remove_file(&path).ok();
+    }
+}

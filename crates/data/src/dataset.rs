@@ -1,0 +1,292 @@
+//! Token datasets and data-parallel loading.
+//!
+//! Mirrors the paper's data pipeline (§5.3): records are tokenized, packed
+//! into fixed-length sequences (default 2048), shuffled per epoch, and
+//! *partitioned among data-parallel ranks* so every rank sees a disjoint
+//! shard (§2, "Data Parallelism").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::bpe::BpeTokenizer;
+use crate::corpus::Corpus;
+
+/// A packed dataset of fixed-length token sequences.
+#[derive(Debug, Clone)]
+pub struct TokenDataset {
+    seq_len: usize,
+    /// All sequences, each of length `seq_len + 1` (input + shifted target).
+    sequences: Vec<Vec<usize>>,
+}
+
+impl TokenDataset {
+    /// Tokenizes a corpus and packs it into sequences of `seq_len + 1`
+    /// tokens (so input/target pairs can be sliced without re-tokenizing).
+    /// Trailing tokens that do not fill a sequence are dropped, as in GPT
+    /// training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len` is zero.
+    pub fn pack(corpus: &Corpus, tokenizer: &BpeTokenizer, seq_len: usize) -> TokenDataset {
+        assert!(seq_len > 0, "seq_len must be positive");
+        let mut stream: Vec<usize> = Vec::new();
+        for r in corpus.records() {
+            stream.extend(tokenizer.encode(&r.text).into_iter().map(|t| t as usize));
+        }
+        let stride = seq_len + 1;
+        let sequences = stream.chunks_exact(stride).map(|c| c.to_vec()).collect();
+        TokenDataset { seq_len, sequences }
+    }
+
+    /// Builds directly from a flat token stream (tests, synthetic tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len` is zero.
+    pub fn from_stream(stream: &[usize], seq_len: usize) -> TokenDataset {
+        assert!(seq_len > 0, "seq_len must be positive");
+        let stride = seq_len + 1;
+        TokenDataset {
+            seq_len,
+            sequences: stream.chunks_exact(stride).map(|c| c.to_vec()).collect(),
+        }
+    }
+
+    /// Sequence length of each sample.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of packed sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// The `(input, target)` pair of sequence `i`, each `seq_len` long with
+    /// targets shifted by one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> (&[usize], &[usize]) {
+        let s = &self.sequences[i];
+        (&s[..self.seq_len], &s[1..])
+    }
+
+    /// Splits off the last `fraction` of the sequences as a held-out set,
+    /// returning `(train, validation)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1)` or either split would be
+    /// empty.
+    pub fn split(&self, fraction: f64) -> (TokenDataset, TokenDataset) {
+        assert!((0.0..1.0).contains(&fraction) && fraction > 0.0, "fraction must be in (0, 1)");
+        let n_valid = ((self.sequences.len() as f64) * fraction).round() as usize;
+        assert!(
+            n_valid > 0 && n_valid < self.sequences.len(),
+            "split of {} sequences at {fraction} leaves an empty side",
+            self.sequences.len()
+        );
+        let cut = self.sequences.len() - n_valid;
+        (
+            TokenDataset { seq_len: self.seq_len, sequences: self.sequences[..cut].to_vec() },
+            TokenDataset { seq_len: self.seq_len, sequences: self.sequences[cut..].to_vec() },
+        )
+    }
+}
+
+/// A per-rank loader over a [`TokenDataset`]: shuffles indices each epoch
+/// with a shared seed and serves this rank's shard in micro-batches.
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    rank: usize,
+    world: usize,
+    micro_batch: usize,
+    seed: u64,
+    epoch: usize,
+    cursor: usize,
+    order: Vec<usize>,
+}
+
+/// One micro-batch of token ids: `batch * seq_len` inputs and targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroBatch {
+    /// Flattened input token ids, row-major `[batch, seq_len]`.
+    pub inputs: Vec<usize>,
+    /// Flattened target token ids, same shape.
+    pub targets: Vec<usize>,
+    /// Number of sequences in the batch.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+impl DataLoader {
+    /// Creates a loader for `rank` of `world` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`, `rank >= world`, or `micro_batch == 0`.
+    pub fn new(rank: usize, world: usize, micro_batch: usize, seed: u64) -> DataLoader {
+        assert!(world > 0, "world must be positive");
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        assert!(micro_batch > 0, "micro_batch must be positive");
+        DataLoader { rank, world, micro_batch, seed, epoch: 0, cursor: 0, order: Vec::new() }
+    }
+
+    fn reshuffle(&mut self, dataset_len: usize) {
+        // All ranks derive the same permutation (shared seed + epoch), then
+        // take a strided disjoint shard — the standard DDP sampler.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.epoch as u64).wrapping_mul(0x9E37));
+        let mut all: Vec<usize> = (0..dataset_len).collect();
+        all.shuffle(&mut rng);
+        self.order = all.into_iter().skip(self.rank).step_by(self.world).collect();
+        self.cursor = 0;
+    }
+
+    /// Returns the next micro-batch, advancing epochs as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer samples in this rank's shard than one
+    /// micro-batch.
+    pub fn next_batch(&mut self, dataset: &TokenDataset) -> MicroBatch {
+        if self.order.is_empty() {
+            self.reshuffle(dataset.len());
+        }
+        assert!(
+            self.order.len() >= self.micro_batch,
+            "shard of {} samples cannot fill micro-batch {}",
+            self.order.len(),
+            self.micro_batch
+        );
+        if self.cursor + self.micro_batch > self.order.len() {
+            self.epoch += 1;
+            self.reshuffle(dataset.len());
+        }
+        let seq = dataset.seq_len();
+        let mut inputs = Vec::with_capacity(self.micro_batch * seq);
+        let mut targets = Vec::with_capacity(self.micro_batch * seq);
+        for k in 0..self.micro_batch {
+            let idx = self.order[self.cursor + k];
+            let (x, y) = dataset.sample(idx);
+            inputs.extend_from_slice(x);
+            targets.extend_from_slice(y);
+        }
+        self.cursor += self.micro_batch;
+        MicroBatch { inputs, targets, batch: self.micro_batch, seq_len: seq }
+    }
+
+    /// The epoch currently being served.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> TokenDataset {
+        let stream: Vec<usize> = (0..105).map(|i| i % 13).collect();
+        TokenDataset::from_stream(&stream, 4) // 105 / 5 = 21 sequences
+    }
+
+    #[test]
+    fn packing_counts_and_shapes() {
+        let ds = toy_dataset();
+        assert_eq!(ds.len(), 21);
+        assert_eq!(ds.seq_len(), 4);
+        let (x, y) = ds.sample(0);
+        assert_eq!(x.len(), 4);
+        assert_eq!(y.len(), 4);
+        // Target is input shifted by one.
+        assert_eq!(&x[1..], &y[..3]);
+    }
+
+    #[test]
+    fn pack_from_corpus_round_trip() {
+        let corpus = Corpus::synthetic(3, 30);
+        let tok = BpeTokenizer::train(&corpus.joined_text(), 300);
+        let ds = TokenDataset::pack(&corpus, &tok, 16);
+        assert!(!ds.is_empty());
+        let (x, _) = ds.sample(0);
+        assert!(x.iter().all(|&t| t < tok.vocab_size()));
+    }
+
+    #[test]
+    fn ranks_get_disjoint_shards() {
+        let ds = toy_dataset();
+        let mut seen = Vec::new();
+        for rank in 0..3 {
+            let mut loader = DataLoader::new(rank, 3, 7, 99);
+            let b = loader.next_batch(&ds);
+            seen.push(b.inputs);
+        }
+        // Same epoch permutation, strided disjointly: no shared sequences.
+        // (Compare first tokens of each sequence as a proxy for identity.)
+        let firsts: Vec<Vec<usize>> =
+            seen.iter().map(|v| v.chunks(4).map(|c| c[0]).collect()).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                // Sequences all start with distinct residues mod 13 pattern;
+                // disjointness checked via multiset intersection size.
+                let inter = firsts[i].iter().filter(|x| firsts[j].contains(x)).count();
+                assert!(inter < firsts[i].len(), "ranks {i} and {j} fully overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_advance_and_reshuffle() {
+        let ds = toy_dataset();
+        let mut loader = DataLoader::new(0, 1, 10, 1);
+        let b1 = loader.next_batch(&ds);
+        let _b2 = loader.next_batch(&ds);
+        assert_eq!(loader.epoch(), 0);
+        let b3 = loader.next_batch(&ds); // 21 samples, third batch of 10 wraps
+        assert_eq!(loader.epoch(), 1);
+        assert_eq!(b3.batch, 10);
+        assert_ne!(b1.inputs, b3.inputs);
+    }
+
+    #[test]
+    fn loader_is_deterministic() {
+        let ds = toy_dataset();
+        let mut a = DataLoader::new(1, 2, 3, 5);
+        let mut b = DataLoader::new(1, 2, 3, 5);
+        assert_eq!(a.next_batch(&ds), b.next_batch(&ds));
+    }
+
+    #[test]
+    fn split_partitions_disjointly() {
+        let ds = toy_dataset(); // 21 sequences
+        let (train, valid) = ds.split(0.2);
+        assert_eq!(train.len() + valid.len(), ds.len());
+        assert_eq!(valid.len(), 4);
+        // The validation set is the tail.
+        assert_eq!(valid.sample(0).0, ds.sample(train.len()).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn split_fraction_validated() {
+        toy_dataset().split(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro-batch")]
+    fn oversized_micro_batch_panics() {
+        let ds = toy_dataset();
+        let mut loader = DataLoader::new(0, 1, 100, 1);
+        let _ = loader.next_batch(&ds);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dos-data — synthetic corpus, tokenizer, and data loading
+//!
+//! The data substrate of the *Deep Optimizer States* reproduction. The paper
+//! fine-tunes on a 79 K-record OSCAR-en subset preprocessed with the LLaMA-2
+//! tokenizer at sequence length 2048 (§5.3); since neither artifact is
+//! redistributable, this crate substitutes:
+//!
+//! * [`Corpus::synthetic`] — a deterministic English-like document generator,
+//! * [`BpeTokenizer`] — a from-scratch byte-pair encoder trained on it,
+//! * [`TokenDataset`]/[`DataLoader`] — fixed-length sequence packing with
+//!   per-epoch shuffling and disjoint data-parallel sharding.
+//!
+//! ```
+//! use dos_data::{Corpus, BpeTokenizer, TokenDataset, DataLoader};
+//!
+//! let corpus = Corpus::synthetic(42, 50);
+//! let tokenizer = BpeTokenizer::train(&corpus.joined_text(), 512);
+//! let dataset = TokenDataset::pack(&corpus, &tokenizer, 32);
+//! let mut loader = DataLoader::new(0, 2, 1, 7);
+//! let batch = loader.next_batch(&dataset);
+//! assert_eq!(batch.inputs.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bpe;
+mod corpus;
+mod dataset;
+
+pub use bpe::BpeTokenizer;
+pub use corpus::{Corpus, Record};
+pub use dataset::{DataLoader, MicroBatch, TokenDataset};

@@ -1,0 +1,846 @@
+//! Deterministic virtual-time scheduling engine.
+//!
+//! The engine models a node as a set of *resources* (compute units, PCIe link
+//! directions, NVLink, DMA engines) and *streams* (CUDA-stream-like FIFO
+//! queues). Work is submitted as operations; each operation names the stream
+//! it runs on, the resource it occupies, the amount of work (bytes for links,
+//! parameters or FLOPs for compute), and the operations it must wait for.
+//!
+//! Scheduling is *greedy list scheduling in submission order*: an operation
+//! starts at the latest of (a) the completion of its dependencies, (b) the
+//! completion of the previous operation on its stream, and (c) the instant
+//! its resource becomes free. This reproduces the semantics the paper relies
+//! on — per-stream ordering, cross-stream events, full-duplex PCIe (H2D and
+//! D2H are distinct resources), and exclusive occupancy of each direction —
+//! while remaining fully deterministic.
+//!
+//! Every completed operation is recorded as an [`Interval`] so that
+//! utilization timelines (paper Figures 3, 4, and 15) can be derived.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::time::SimTime;
+
+/// Identifies a resource registered with a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub(crate) usize);
+
+/// Identifies a stream registered with a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub(crate) usize);
+
+/// Identifies a submitted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub(crate) usize);
+
+/// Classifies what a resource models; used when deriving utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ResourceKind {
+    /// GPU execution units (updates, conversions, GEMMs).
+    GpuCompute,
+    /// Host CPU cores (optimizer updates, downscaling).
+    CpuCompute,
+    /// Host-to-device direction of a PCIe link.
+    LinkH2D,
+    /// Device-to-host direction of a PCIe link.
+    LinkD2H,
+    /// Device-to-device interconnect (NVLink).
+    LinkD2D,
+    /// Host DRAM bandwidth (allocation, memcpy, conversion on host).
+    HostMemory,
+    /// NVMe storage bandwidth (checkpointing / optional offload tier).
+    Nvme,
+}
+
+/// A completed operation, recorded for telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// The resource the operation occupied (`None` for pure markers).
+    pub resource: Option<ResourceId>,
+    /// The stream the operation ran on.
+    pub stream: StreamId,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Amount of work (bytes or parameters or FLOPs, by resource convention).
+    pub work: f64,
+    /// Free-form label (e.g., `"h2d:sg3:momentum"`).
+    pub label: String,
+    /// Training phase tag (e.g., `"forward"`, `"update"`).
+    pub phase: String,
+}
+
+impl Interval {
+    /// Duration of the interval.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Specification of one operation to submit to the engine.
+///
+/// Construct with [`OpSpec::compute`], [`OpSpec::transfer`], or
+/// [`OpSpec::marker`], then chain builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use dos_hal::{Simulator, OpSpec, ResourceKind};
+/// let mut sim = Simulator::new();
+/// let gpu = sim.add_resource("gpu0", ResourceKind::GpuCompute, 25e9);
+/// let s = sim.add_stream("compute");
+/// let op = sim.submit(OpSpec::compute(gpu, 1e9).on(s).label("update"))?;
+/// assert!((sim.finish_time(op).as_secs() - 0.04).abs() < 1e-12);
+/// # Ok::<(), dos_hal::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    stream: Option<StreamId>,
+    resource: Option<ResourceId>,
+    work: f64,
+    fixed_duration: Option<SimTime>,
+    latency: SimTime,
+    after: Vec<OpId>,
+    not_before: SimTime,
+    label: String,
+    phase: String,
+}
+
+impl OpSpec {
+    /// An operation occupying `resource` for `work / rate` seconds.
+    pub fn compute(resource: ResourceId, work: f64) -> Self {
+        OpSpec {
+            stream: None,
+            resource: Some(resource),
+            work,
+            fixed_duration: None,
+            latency: SimTime::ZERO,
+            after: Vec::new(),
+            not_before: SimTime::ZERO,
+            label: String::new(),
+            phase: String::new(),
+        }
+    }
+
+    /// A data movement of `bytes` over a link resource. Identical mechanics
+    /// to [`OpSpec::compute`]; a separate constructor keeps call sites
+    /// self-describing.
+    pub fn transfer(link: ResourceId, bytes: f64) -> Self {
+        Self::compute(link, bytes)
+    }
+
+    /// An operation occupying `resource` for an explicit `duration`,
+    /// recording `work` units in the trace. Use when the effective rate of
+    /// an operation differs from the resource's registered rate (pageable
+    /// transfers, fused conversion paths, contended update-phase bandwidth)
+    /// while still attributing the real byte count to the interval.
+    pub fn occupy(resource: ResourceId, duration: SimTime, work: f64) -> Self {
+        let mut spec = Self::compute(resource, work);
+        spec.fixed_duration = Some(duration);
+        spec
+    }
+
+    /// A zero-duration marker used to join dependencies or stamp phases.
+    pub fn marker() -> Self {
+        OpSpec {
+            stream: None,
+            resource: None,
+            work: 0.0,
+            fixed_duration: None,
+            latency: SimTime::ZERO,
+            after: Vec::new(),
+            not_before: SimTime::ZERO,
+            label: String::new(),
+            phase: String::new(),
+        }
+    }
+
+    /// Runs the operation on `stream` (default: a per-simulator default stream).
+    pub fn on(mut self, stream: StreamId) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Adds a dependency on a previously submitted operation.
+    pub fn after(mut self, op: OpId) -> Self {
+        self.after.push(op);
+        self
+    }
+
+    /// Adds dependencies on many previously submitted operations.
+    pub fn after_all<I: IntoIterator<Item = OpId>>(mut self, ops: I) -> Self {
+        self.after.extend(ops);
+        self
+    }
+
+    /// Prevents the operation from starting before `t`.
+    pub fn not_before(mut self, t: SimTime) -> Self {
+        self.not_before = t;
+        self
+    }
+
+    /// Adds a fixed latency on top of the throughput-derived duration
+    /// (models kernel-launch or DMA-setup overhead).
+    pub fn latency(mut self, l: SimTime) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Attaches a human-readable label, recorded in the trace.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Attaches a phase tag (e.g., `"forward"`), recorded in the trace.
+    pub fn phase(mut self, phase: impl Into<String>) -> Self {
+        self.phase = phase.into();
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ResourceState {
+    name: String,
+    kind: ResourceKind,
+    rate: f64,
+    scale: f64,
+    /// One availability time per server; a plain resource has one server,
+    /// a pool (core group, multi-channel DMA) has several that serve
+    /// operations concurrently. Each remembers the op it last served, for
+    /// critical-path reconstruction.
+    servers: Vec<(SimTime, Option<OpId>)>,
+    busy: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct StreamState {
+    #[allow(dead_code)]
+    name: String,
+    ready_at: SimTime,
+    last_op: Option<OpId>,
+}
+
+#[derive(Debug, Clone)]
+struct OpState {
+    finish: SimTime,
+    /// The predecessor whose completion determined this op's start
+    /// (dependency, stream order, or resource availability), if any.
+    binding: Option<OpId>,
+}
+
+/// Deterministic virtual-time scheduling engine.
+///
+/// See the module documentation above for the scheduling model.
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    resources: Vec<ResourceState>,
+    streams: Vec<StreamState>,
+    ops: Vec<OpState>,
+    trace: Vec<Interval>,
+    default_stream: Option<StreamId>,
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with throughput `rate` (work units per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        kind: ResourceKind,
+        rate: f64,
+    ) -> ResourceId {
+        self.add_resource_pool(name, kind, rate, 1)
+    }
+
+    /// Registers a resource pool of `servers` identical units, each with
+    /// throughput `rate`: up to `servers` operations proceed concurrently,
+    /// each at the full per-unit rate (a group of CPU cores, a
+    /// multi-channel DMA engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive or `servers` is zero.
+    pub fn add_resource_pool(
+        &mut self,
+        name: impl Into<String>,
+        kind: ResourceKind,
+        rate: f64,
+        servers: usize,
+    ) -> ResourceId {
+        assert!(rate.is_finite() && rate > 0.0, "resource rate must be positive, got {rate}");
+        assert!(servers > 0, "resource pool needs at least one server");
+        self.resources.push(ResourceState {
+            name: name.into(),
+            kind,
+            rate,
+            scale: 1.0,
+            servers: vec![(SimTime::ZERO, None); servers],
+            busy: SimTime::ZERO,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Registers a stream. Operations on the same stream execute in order.
+    pub fn add_stream(&mut self, name: impl Into<String>) -> StreamId {
+        self.streams
+            .push(StreamState { name: name.into(), ready_at: SimTime::ZERO, last_op: None });
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Scales a resource's effective throughput by `factor`.
+    ///
+    /// Used to model shared-resource contention (e.g., the paper's DRAM
+    /// contention between concurrent PCIe transfers and CPU-side updates,
+    /// Figure 15). Affects operations submitted *after* the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_throughput_scale(&mut self, resource: ResourceId, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "scale must be positive, got {factor}");
+        self.resources[resource.0].scale = factor;
+    }
+
+    /// Returns the name a resource was registered with.
+    pub fn resource_name(&self, resource: ResourceId) -> &str {
+        &self.resources[resource.0].name
+    }
+
+    /// Returns the kind a resource was registered with.
+    pub fn resource_kind(&self, resource: ResourceId) -> ResourceKind {
+        self.resources[resource.0].kind
+    }
+
+    /// Returns the effective rate (rate × scale) of a resource.
+    pub fn resource_rate(&self, resource: ResourceId) -> f64 {
+        let r = &self.resources[resource.0];
+        r.rate * r.scale
+    }
+
+    /// Submits an operation and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHandle`] if the spec references an unknown
+    /// stream, resource, or dependency, and [`SimError::InvalidWork`] if a
+    /// throughput operation has negative or non-finite work.
+    pub fn submit(&mut self, spec: OpSpec) -> Result<OpId, SimError> {
+        let stream = match spec.stream.or(self.default_stream) {
+            Some(s) => s,
+            None => {
+                let s = self.add_stream("default");
+                self.default_stream = Some(s);
+                s
+            }
+        };
+        if stream.0 >= self.streams.len() {
+            return Err(SimError::UnknownHandle { kind: "stream", index: stream.0 });
+        }
+        if let Some(r) = spec.resource {
+            if r.0 >= self.resources.len() {
+                return Err(SimError::UnknownHandle { kind: "resource", index: r.0 });
+            }
+        }
+        if !spec.work.is_finite() || spec.work < 0.0 {
+            return Err(SimError::InvalidWork {
+                detail: format!("work={} on `{}`", spec.work, spec.label),
+            });
+        }
+        // Track which constraint binds the start time, for critical paths.
+        let mut start = spec.not_before;
+        let mut binding: Option<OpId> = None;
+        let stream_state = &self.streams[stream.0];
+        if stream_state.ready_at > start {
+            start = stream_state.ready_at;
+            binding = stream_state.last_op;
+        }
+        for dep in &spec.after {
+            let dep_state = self
+                .ops
+                .get(dep.0)
+                .ok_or(SimError::UnknownHandle { kind: "op", index: dep.0 })?;
+            if dep_state.finish >= start {
+                start = dep_state.finish;
+                binding = Some(*dep);
+            }
+        }
+        let mut chosen_server = 0;
+        let duration = match spec.resource {
+            Some(r) => {
+                let res = &mut self.resources[r.0];
+                // Earliest-available server of the pool serves this op.
+                let (idx, &(earliest, last)) = res
+                    .servers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (t, _))| *t)
+                    .expect("pools have at least one server");
+                chosen_server = idx;
+                if earliest > start {
+                    start = earliest;
+                    binding = last;
+                }
+                let base = match spec.fixed_duration {
+                    Some(d) => d,
+                    None => SimTime::from_secs(spec.work / (res.rate * res.scale)),
+                };
+                base + spec.latency
+            }
+            None => spec.fixed_duration.unwrap_or(SimTime::ZERO) + spec.latency,
+        };
+        let finish = start + duration;
+        let this_id = OpId(self.ops.len());
+        if let Some(r) = spec.resource {
+            let res = &mut self.resources[r.0];
+            res.servers[chosen_server] = (finish, Some(this_id));
+            res.busy += duration;
+        }
+        let stream_state = &mut self.streams[stream.0];
+        stream_state.ready_at = finish;
+        stream_state.last_op = Some(this_id);
+        self.ops.push(OpState { finish, binding });
+        self.trace.push(Interval {
+            resource: spec.resource,
+            stream,
+            start,
+            end: finish,
+            work: spec.work,
+            label: spec.label,
+            phase: spec.phase,
+        });
+        Ok(OpId(self.ops.len() - 1))
+    }
+
+    /// Submits a zero-duration join of `ops` on `stream`; the returned op
+    /// finishes when all of `ops` have finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Simulator::submit`].
+    pub fn join(
+        &mut self,
+        stream: StreamId,
+        ops: impl IntoIterator<Item = OpId>,
+    ) -> Result<OpId, SimError> {
+        self.submit(OpSpec::marker().on(stream).after_all(ops).label("join"))
+    }
+
+    /// Returns the completion instant of a submitted operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not returned by this simulator.
+    pub fn finish_time(&self, op: OpId) -> SimTime {
+        self.ops[op.0].finish
+    }
+
+    /// The instant at which all submitted work has completed.
+    pub fn makespan(&self) -> SimTime {
+        self.ops.iter().map(|o| o.finish).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy time accumulated on a resource.
+    pub fn busy_time(&self, resource: ResourceId) -> SimTime {
+        self.resources[resource.0].busy
+    }
+
+    /// Fraction of `[0, makespan]` during which the resource was busy,
+    /// normalized by its server count (1.0 = every server always busy).
+    ///
+    /// Returns 0 if nothing has been submitted.
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        let total = self.makespan().as_secs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let servers = self.resources[resource.0].servers.len() as f64;
+        (self.busy_time(resource).as_secs() / (total * servers)).min(1.0)
+    }
+
+    /// All recorded intervals, in submission order.
+    pub fn trace(&self) -> &[Interval] {
+        &self.trace
+    }
+
+    /// Recorded intervals grouped by phase tag, preserving submission order.
+    pub fn trace_by_phase(&self) -> HashMap<String, Vec<&Interval>> {
+        let mut map: HashMap<String, Vec<&Interval>> = HashMap::new();
+        for iv in &self.trace {
+            map.entry(iv.phase.clone()).or_default().push(iv);
+        }
+        map
+    }
+
+    /// Duration spanned by intervals with the given phase tag
+    /// (latest end minus earliest start), or zero if the phase is absent.
+    pub fn phase_span(&self, phase: &str) -> SimTime {
+        let mut start: Option<SimTime> = None;
+        let mut end: Option<SimTime> = None;
+        for iv in self.trace.iter().filter(|iv| iv.phase == phase) {
+            start = Some(start.map_or(iv.start, |s| s.min(iv.start)));
+            end = Some(end.map_or(iv.end, |e| e.max(iv.end)));
+        }
+        match (start, end) {
+            (Some(s), Some(e)) => e.saturating_sub(s),
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Number of operations submitted so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The chain of operations whose completions successively determined
+    /// `op`'s start time — the *critical path* ending at `op`, earliest
+    /// first. An op with slack before it terminates the walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not returned by this simulator.
+    pub fn critical_path(&self, op: OpId) -> Vec<OpId> {
+        let mut chain = vec![op];
+        let mut cursor = op;
+        while let Some(prev) = self.ops[cursor.0].binding {
+            chain.push(prev);
+            cursor = prev;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Total critical-path seconds attributed to each resource for the path
+    /// ending at `op`, as `(resource name or "(marker)", seconds)` sorted by
+    /// descending time — "where did the makespan go?".
+    pub fn critical_path_breakdown(&self, op: OpId) -> Vec<(String, f64)> {
+        let mut by_resource: HashMap<String, f64> = HashMap::new();
+        for id in self.critical_path(op) {
+            let iv = &self.trace[id.0];
+            let name = match iv.resource {
+                Some(r) => self.resources[r.0].name.clone(),
+                None => "(marker)".to_string(),
+            };
+            *by_resource.entry(name).or_insert(0.0) += iv.duration().as_secs();
+        }
+        let mut out: Vec<(String, f64)> = by_resource.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite durations"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulator {
+        Simulator::new()
+    }
+
+    #[test]
+    fn single_op_duration_follows_rate() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 10.0);
+        let st = s.add_stream("s");
+        let op = s.submit(OpSpec::compute(r, 5.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(op).as_secs(), 0.5);
+        assert_eq!(s.makespan().as_secs(), 0.5);
+    }
+
+    #[test]
+    fn stream_serializes_ops() {
+        let mut s = sim();
+        let r = s.add_resource("link", ResourceKind::LinkH2D, 1.0);
+        let st = s.add_stream("s");
+        let a = s.submit(OpSpec::transfer(r, 1.0).on(st)).unwrap();
+        let b = s.submit(OpSpec::transfer(r, 1.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 1.0);
+        assert_eq!(s.finish_time(b).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn distinct_streams_and_resources_overlap() {
+        let mut s = sim();
+        let h2d = s.add_resource("h2d", ResourceKind::LinkH2D, 1.0);
+        let d2h = s.add_resource("d2h", ResourceKind::LinkD2H, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        let a = s.submit(OpSpec::transfer(h2d, 2.0).on(s1)).unwrap();
+        let b = s.submit(OpSpec::transfer(d2h, 2.0).on(s2)).unwrap();
+        // Full duplex: both finish at t=2, not serialized.
+        assert_eq!(s.finish_time(a).as_secs(), 2.0);
+        assert_eq!(s.finish_time(b).as_secs(), 2.0);
+        assert_eq!(s.makespan().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn shared_resource_serializes_across_streams() {
+        let mut s = sim();
+        let link = s.add_resource("h2d", ResourceKind::LinkH2D, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        let a = s.submit(OpSpec::transfer(link, 2.0).on(s1)).unwrap();
+        let b = s.submit(OpSpec::transfer(link, 2.0).on(s2)).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 2.0);
+        assert_eq!(s.finish_time(b).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut s = sim();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let cpu = s.add_resource("cpu", ResourceKind::CpuCompute, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        let a = s.submit(OpSpec::compute(gpu, 3.0).on(s1)).unwrap();
+        let b = s.submit(OpSpec::compute(cpu, 1.0).on(s2).after(a)).unwrap();
+        assert_eq!(s.finish_time(b).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn join_waits_for_all() {
+        let mut s = sim();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let cpu = s.add_resource("cpu", ResourceKind::CpuCompute, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        let s3 = s.add_stream("c");
+        let a = s.submit(OpSpec::compute(gpu, 3.0).on(s1)).unwrap();
+        let b = s.submit(OpSpec::compute(cpu, 5.0).on(s2)).unwrap();
+        let j = s.join(s3, [a, b]).unwrap();
+        assert_eq!(s.finish_time(j).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn latency_adds_to_duration() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 10.0);
+        let st = s.add_stream("s");
+        let op = s
+            .submit(OpSpec::compute(r, 10.0).on(st).latency(SimTime::from_millis(5.0)))
+            .unwrap();
+        assert!((s.finish_time(op).as_secs() - 1.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_before_is_respected() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let st = s.add_stream("s");
+        let op = s
+            .submit(OpSpec::compute(r, 1.0).on(st).not_before(SimTime::from_secs(10.0)))
+            .unwrap();
+        assert_eq!(s.finish_time(op).as_secs(), 11.0);
+    }
+
+    #[test]
+    fn throughput_scale_slows_resource() {
+        let mut s = sim();
+        let cpu = s.add_resource("cpu", ResourceKind::CpuCompute, 10.0);
+        let st = s.add_stream("s");
+        s.set_throughput_scale(cpu, 0.5);
+        let op = s.submit(OpSpec::compute(cpu, 10.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(op).as_secs(), 2.0);
+        assert_eq!(s.resource_rate(cpu), 5.0);
+    }
+
+    #[test]
+    fn utilization_and_busy_time() {
+        let mut s = sim();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let cpu = s.add_resource("cpu", ResourceKind::CpuCompute, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        s.submit(OpSpec::compute(gpu, 4.0).on(s1)).unwrap();
+        s.submit(OpSpec::compute(cpu, 2.0).on(s2)).unwrap();
+        assert_eq!(s.utilization(gpu), 1.0);
+        assert_eq!(s.utilization(cpu), 0.5);
+        assert_eq!(s.busy_time(cpu).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn unknown_dependency_errors() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let st = s.add_stream("s");
+        let err = s.submit(OpSpec::compute(r, 1.0).on(st).after(OpId(99))).unwrap_err();
+        assert!(matches!(err, SimError::UnknownHandle { kind: "op", .. }));
+    }
+
+    #[test]
+    fn invalid_work_errors() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let st = s.add_stream("s");
+        let err = s.submit(OpSpec::compute(r, f64::NAN).on(st)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidWork { .. }));
+    }
+
+    #[test]
+    fn trace_records_labels_and_phases() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let st = s.add_stream("s");
+        s.submit(OpSpec::compute(r, 1.0).on(st).label("update:sg0").phase("update")).unwrap();
+        let t = s.trace();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].label, "update:sg0");
+        assert_eq!(t[0].phase, "update");
+        assert_eq!(t[0].duration().as_secs(), 1.0);
+        assert_eq!(s.phase_span("update").as_secs(), 1.0);
+        assert_eq!(s.phase_span("missing").as_secs(), 0.0);
+        assert_eq!(s.trace_by_phase()["update"].len(), 1);
+    }
+
+    #[test]
+    fn default_stream_is_created_lazily() {
+        let mut s = sim();
+        let r = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let a = s.submit(OpSpec::compute(r, 1.0)).unwrap();
+        let b = s.submit(OpSpec::compute(r, 1.0)).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 1.0);
+        assert_eq!(s.finish_time(b).as_secs(), 2.0);
+        assert_eq!(s.op_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod critical_path_tests {
+    use super::*;
+
+    #[test]
+    fn path_follows_binding_dependencies() {
+        let mut s = Simulator::new();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let cpu = s.add_resource("cpu", ResourceKind::CpuCompute, 1.0);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        // Long GPU op binds; short CPU op has slack.
+        let long = s.submit(OpSpec::compute(gpu, 5.0).on(s1)).unwrap();
+        let short = s.submit(OpSpec::compute(cpu, 1.0).on(s2)).unwrap();
+        let joined = s.join(s2, [long, short]).unwrap();
+        let path = s.critical_path(joined);
+        assert!(path.contains(&long), "long op must be on the path");
+        assert!(!path.contains(&short), "short op has slack");
+        assert_eq!(*path.last().unwrap(), joined);
+    }
+
+    #[test]
+    fn breakdown_attributes_time_to_resources() {
+        let mut s = Simulator::new();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 1.0);
+        let link = s.add_resource("h2d", ResourceKind::LinkH2D, 1.0);
+        let st = s.add_stream("a");
+        let xfer = s.submit(OpSpec::transfer(link, 2.0).on(st)).unwrap();
+        let compute = s.submit(OpSpec::compute(gpu, 3.0).on(st).after(xfer)).unwrap();
+        let bd = s.critical_path_breakdown(compute);
+        assert_eq!(bd[0], ("gpu".to_string(), 3.0));
+        assert_eq!(bd[1], ("h2d".to_string(), 2.0));
+    }
+
+    #[test]
+    fn stream_order_binds_when_no_deps() {
+        let mut s = Simulator::new();
+        let r = s.add_resource("r", ResourceKind::CpuCompute, 1.0);
+        let st = s.add_stream("a");
+        let a = s.submit(OpSpec::compute(r, 1.0).on(st)).unwrap();
+        let b = s.submit(OpSpec::compute(r, 1.0).on(st)).unwrap();
+        assert_eq!(s.critical_path(b), vec![a, b]);
+    }
+
+    #[test]
+    fn unconstrained_op_has_singleton_path() {
+        let mut s = Simulator::new();
+        let r = s.add_resource("r", ResourceKind::CpuCompute, 1.0);
+        let st = s.add_stream("a");
+        let a = s.submit(OpSpec::compute(r, 1.0).on(st)).unwrap();
+        assert_eq!(s.critical_path(a), vec![a]);
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    #[test]
+    fn pool_serves_concurrently_up_to_capacity() {
+        let mut s = Simulator::new();
+        let pool = s.add_resource_pool("dma", ResourceKind::LinkH2D, 1.0, 2);
+        let streams: Vec<StreamId> = (0..3).map(|i| s.add_stream(format!("s{i}"))).collect();
+        let ops: Vec<OpId> = streams
+            .iter()
+            .map(|&st| s.submit(OpSpec::transfer(pool, 2.0).on(st)).unwrap())
+            .collect();
+        // Two run concurrently, the third queues behind the first free unit.
+        assert_eq!(s.finish_time(ops[0]).as_secs(), 2.0);
+        assert_eq!(s.finish_time(ops[1]).as_secs(), 2.0);
+        assert_eq!(s.finish_time(ops[2]).as_secs(), 4.0);
+        // Busy time sums over servers; utilization normalizes by the pool.
+        assert_eq!(s.busy_time(pool).as_secs(), 6.0);
+        assert!((s.utilization(pool) - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_pool_matches_plain_resource() {
+        let mut a = Simulator::new();
+        let ra = a.add_resource("r", ResourceKind::CpuCompute, 2.0);
+        let sa = a.add_stream("s");
+        let mut b = Simulator::new();
+        let rb = b.add_resource_pool("r", ResourceKind::CpuCompute, 2.0, 1);
+        let sb = b.add_stream("s");
+        for w in [1.0, 3.0, 0.5] {
+            a.submit(OpSpec::compute(ra, w).on(sa)).unwrap();
+            b.submit(OpSpec::compute(rb, w).on(sb)).unwrap();
+        }
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let mut s = Simulator::new();
+        let _ = s.add_resource_pool("r", ResourceKind::CpuCompute, 1.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod occupy_tests {
+    use super::*;
+
+    #[test]
+    fn occupy_uses_fixed_duration_and_records_work() {
+        let mut s = Simulator::new();
+        let link = s.add_resource("h2d", ResourceKind::LinkH2D, 1e9);
+        let st = s.add_stream("s");
+        let op = s
+            .submit(OpSpec::occupy(link, SimTime::from_secs(2.0), 5e9).on(st).label("slow"))
+            .unwrap();
+        assert_eq!(s.finish_time(op).as_secs(), 2.0);
+        assert_eq!(s.trace()[0].work, 5e9);
+    }
+
+    #[test]
+    fn occupy_still_serializes_on_the_resource() {
+        let mut s = Simulator::new();
+        let link = s.add_resource("h2d", ResourceKind::LinkH2D, 1e9);
+        let s1 = s.add_stream("a");
+        let s2 = s.add_stream("b");
+        let a = s.submit(OpSpec::occupy(link, SimTime::from_secs(1.0), 1.0).on(s1)).unwrap();
+        let b = s.submit(OpSpec::occupy(link, SimTime::from_secs(1.0), 1.0).on(s2)).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 1.0);
+        assert_eq!(s.finish_time(b).as_secs(), 2.0);
+    }
+}

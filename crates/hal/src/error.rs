@@ -1,0 +1,97 @@
+//! Error types for the simulated hardware substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A memory pool allocation exceeded the pool's capacity.
+    ///
+    /// This is the simulated equivalent of a CUDA out-of-memory error and is
+    /// how experiments such as the paper's Figure 13 (micro-batch 16 OOM on
+    /// 80 GB HBM) surface in this reproduction.
+    OutOfMemory {
+        /// Name of the pool that overflowed.
+        pool: String,
+        /// Instant at which usage first exceeded capacity.
+        at: SimTime,
+        /// Bytes requested by the allocation that overflowed.
+        requested: u64,
+        /// Bytes in use immediately before the failing allocation.
+        in_use: u64,
+        /// Pool capacity in bytes.
+        capacity: u64,
+    },
+    /// An operation referenced a resource, stream, pool, or op that does not
+    /// exist in this simulator instance.
+    UnknownHandle {
+        /// The kind of handle (`"resource"`, `"stream"`, ...).
+        kind: &'static str,
+        /// The raw index that failed to resolve.
+        index: usize,
+    },
+    /// An operation was submitted with a non-positive amount of work on a
+    /// throughput resource, or a resource was registered with a non-positive
+    /// rate.
+    InvalidWork {
+        /// Human-readable description of the invalid quantity.
+        detail: String,
+    },
+    /// A free was recorded for more bytes than were allocated with the tag.
+    UnbalancedFree {
+        /// Name of the pool.
+        pool: String,
+        /// Allocation tag whose balance went negative.
+        tag: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { pool, at, requested, in_use, capacity } => write!(
+                f,
+                "out of memory in pool `{pool}` at {at}: requested {requested} B with {in_use} B in use (capacity {capacity} B)"
+            ),
+            SimError::UnknownHandle { kind, index } => {
+                write!(f, "unknown {kind} handle with index {index}")
+            }
+            SimError::InvalidWork { detail } => write!(f, "invalid work amount: {detail}"),
+            SimError::UnbalancedFree { pool, tag } => {
+                write!(f, "unbalanced free in pool `{pool}` for tag `{tag}`")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory {
+            pool: "gpu0.hbm".into(),
+            at: SimTime::from_secs(1.0),
+            requested: 128,
+            in_use: 64,
+            capacity: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("gpu0.hbm"));
+        assert!(msg.contains("128"));
+        assert!(msg.contains("capacity 100"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

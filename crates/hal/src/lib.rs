@@ -1,0 +1,76 @@
+//! # dos-hal — simulated hardware substrate
+//!
+//! This crate is the hardware abstraction layer of the *Deep Optimizer
+//! States* reproduction (Maurya et al., MIDDLEWARE 2024). The paper's system
+//! runs on CUDA GPUs, PCIe links, and pinned host memory; this crate
+//! replaces that hardware with a **deterministic discrete-event model** that
+//! preserves the properties the paper's scheduling results depend on:
+//!
+//! * per-stream FIFO ordering and cross-stream events (CUDA stream
+//!   semantics, used by Algorithm 1's dedicated p/m/v transfer streams),
+//! * full-duplex PCIe — H2D and D2H are independent resources that can be
+//!   occupied simultaneously but each serializes its own traffic,
+//! * distinct throughputs for pinned vs. pageable memory, precision
+//!   conversion on either side of the link (Table 1), CPU vs. GPU optimizer
+//!   updates, and host-DRAM contention,
+//! * capacity-bounded memories whose fluctuation over a training iteration
+//!   (Figure 3) creates the headroom the middleware exploits.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dos_hal::{HardwareProfile, RankSim, OpSpec, SimTime};
+//!
+//! // One data-parallel rank of the paper's 4xH100 testbed.
+//! let profile = HardwareProfile::jlse_h100();
+//! let mut rank = RankSim::new(&profile);
+//!
+//! // Prefetch one 100M-parameter FP32 subgroup (p, m, v) while the CPU
+//! // updates another subgroup: the two overlap because they occupy
+//! // different resources.
+//! let bytes = 3.0 * 4.0 * 100e6;
+//! let prefetch = rank.sim.submit(
+//!     OpSpec::transfer(rank.res.h2d, bytes)
+//!         .on(rank.streams.param)
+//!         .label("prefetch:sg3")
+//!         .phase("update"),
+//! )?;
+//! let cpu_secs = 100e6 / profile.cpu_update_pps();
+//! let cpu_update = rank.sim.submit(
+//!     OpSpec::compute(rank.res.cpu, cpu_secs)
+//!         .on(rank.streams.cpu)
+//!         .label("cpu-update:sg1")
+//!         .phase("update"),
+//! )?;
+//! let gpu_update = rank.sim.submit(
+//!     OpSpec::compute(rank.res.gpu, 100e6 / profile.gpu_update_pps)
+//!         .on(rank.streams.compute)
+//!         .after(prefetch)
+//!         .label("gpu-update:sg3")
+//!         .phase("update"),
+//! )?;
+//! assert!(rank.sim.finish_time(gpu_update) > rank.sim.finish_time(prefetch));
+//! assert!(rank.sim.makespan() >= rank.sim.finish_time(cpu_update));
+//! # Ok::<(), dos_hal::SimError>(())
+//! ```
+//!
+//! Higher layers: `dos-sim` builds whole training iterations on these
+//! primitives, and `dos-core` implements the paper's interleaved update
+//! scheduler against them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod error;
+mod memory;
+mod node;
+mod profile;
+mod time;
+
+pub use engine::{Interval, OpId, OpSpec, ResourceId, ResourceKind, Simulator, StreamId};
+pub use error::SimError;
+pub use memory::{MemEvent, MemSample, MemoryPool};
+pub use node::{RankResources, RankSim, RankStreams};
+pub use profile::{ConversionTable, HardwareProfile, PerfModelInputs, GB, GIB};
+pub use time::SimTime;

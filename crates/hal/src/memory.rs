@@ -1,0 +1,277 @@
+//! Simulated memory pools with capacity accounting.
+//!
+//! A [`MemoryPool`] models one memory (a GPU's HBM, the host DRAM of a NUMA
+//! domain, a pinned-buffer arena). Allocations and frees are recorded as
+//! timestamped deltas; [`MemoryPool::validate`] replays them in time order to
+//! detect the first out-of-memory instant and to produce the usage timeline
+//! the paper plots in Figure 3.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::time::SimTime;
+
+/// One timestamped change in pool usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemEvent {
+    /// Instant of the change.
+    pub at: SimTime,
+    /// Signed byte delta (positive = allocation).
+    pub delta: i64,
+    /// Allocation tag (e.g., `"activations"`, `"fp16-params"`).
+    pub tag: String,
+}
+
+/// A point on the usage timeline produced by [`MemoryPool::timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemSample {
+    /// Instant of the sample.
+    pub at: SimTime,
+    /// Bytes in use immediately after the event at `at`.
+    pub in_use: u64,
+}
+
+/// A capacity-bounded simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use dos_hal::{MemoryPool, SimTime};
+/// let mut pool = MemoryPool::new("gpu0.hbm", 80_000_000_000);
+/// pool.alloc(SimTime::from_secs(0.0), 10_000_000_000, "fp16-params");
+/// pool.alloc(SimTime::from_secs(1.0), 20_000_000_000, "activations");
+/// pool.free(SimTime::from_secs(2.0), 20_000_000_000, "activations");
+/// pool.validate()?;
+/// assert_eq!(pool.peak_usage(), 30_000_000_000);
+/// # Ok::<(), dos_hal::SimError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryPool {
+    name: String,
+    capacity: u64,
+    events: Vec<MemEvent>,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given capacity in bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        MemoryPool { name: name.into(), capacity, events: Vec::new() }
+    }
+
+    /// The pool's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pool's capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Records an allocation of `bytes` at instant `at`.
+    pub fn alloc(&mut self, at: SimTime, bytes: u64, tag: impl Into<String>) {
+        self.events.push(MemEvent { at, delta: bytes as i64, tag: tag.into() });
+    }
+
+    /// Records a free of `bytes` at instant `at`.
+    pub fn free(&mut self, at: SimTime, bytes: u64, tag: impl Into<String>) {
+        self.events.push(MemEvent { at, delta: -(bytes as i64), tag: tag.into() });
+    }
+
+    /// Events sorted by time (frees before allocations at equal instants, so
+    /// that a buffer released and reused at the same timestamp does not
+    /// spuriously double-count).
+    fn sorted_events(&self) -> Vec<&MemEvent> {
+        let mut evs: Vec<&MemEvent> = self.events.iter().collect();
+        evs.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.delta.cmp(&b.delta)));
+        evs
+    }
+
+    /// Replays all events and checks capacity and tag balance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] at the first instant usage exceeds
+    /// capacity, or [`SimError::UnbalancedFree`] if any tag's balance goes
+    /// negative.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let mut in_use: i64 = 0;
+        let mut per_tag: HashMap<&str, i64> = HashMap::new();
+        for ev in self.sorted_events() {
+            in_use += ev.delta;
+            let bal = per_tag.entry(ev.tag.as_str()).or_insert(0);
+            *bal += ev.delta;
+            if *bal < 0 {
+                return Err(SimError::UnbalancedFree {
+                    pool: self.name.clone(),
+                    tag: ev.tag.clone(),
+                });
+            }
+            if in_use > self.capacity as i64 {
+                return Err(SimError::OutOfMemory {
+                    pool: self.name.clone(),
+                    at: ev.at,
+                    requested: ev.delta.max(0) as u64,
+                    in_use: (in_use - ev.delta).max(0) as u64,
+                    capacity: self.capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Peak bytes in use over the whole replay (even past an OOM point).
+    pub fn peak_usage(&self) -> u64 {
+        let mut in_use: i64 = 0;
+        let mut peak: i64 = 0;
+        for ev in self.sorted_events() {
+            in_use += ev.delta;
+            peak = peak.max(in_use);
+        }
+        peak.max(0) as u64
+    }
+
+    /// Bytes in use at instant `t` (events at exactly `t` are included).
+    pub fn usage_at(&self, t: SimTime) -> u64 {
+        let mut in_use: i64 = 0;
+        for ev in self.sorted_events() {
+            if ev.at > t {
+                break;
+            }
+            in_use += ev.delta;
+        }
+        in_use.max(0) as u64
+    }
+
+    /// The full usage timeline: one sample per event, in time order.
+    pub fn timeline(&self) -> Vec<MemSample> {
+        let mut in_use: i64 = 0;
+        let mut out = Vec::with_capacity(self.events.len());
+        for ev in self.sorted_events() {
+            in_use += ev.delta;
+            out.push(MemSample { at: ev.at, in_use: in_use.max(0) as u64 });
+        }
+        out
+    }
+
+    /// Evenly-spaced usage samples between `start` and `end` inclusive;
+    /// convenient for plotting (paper Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or `end < start`.
+    pub fn sampled_timeline(&self, start: SimTime, end: SimTime, steps: usize) -> Vec<MemSample> {
+        assert!(steps > 0, "steps must be positive");
+        assert!(end >= start, "end must not precede start");
+        let span = end.saturating_sub(start).as_secs();
+        (0..=steps)
+            .map(|i| {
+                let at = start + SimTime::from_secs(span * i as f64 / steps as f64);
+                MemSample { at, in_use: self.usage_at(at) }
+            })
+            .collect()
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn alloc_free_and_peak() {
+        let mut p = MemoryPool::new("hbm", 100);
+        p.alloc(t(0.0), 40, "a");
+        p.alloc(t(1.0), 50, "b");
+        p.free(t(2.0), 40, "a");
+        p.alloc(t(3.0), 30, "c");
+        p.validate().unwrap();
+        assert_eq!(p.peak_usage(), 90);
+        assert_eq!(p.usage_at(t(0.5)), 40);
+        assert_eq!(p.usage_at(t(1.5)), 90);
+        assert_eq!(p.usage_at(t(2.5)), 50);
+        assert_eq!(p.usage_at(t(3.5)), 80);
+    }
+
+    #[test]
+    fn oom_is_detected_with_details() {
+        let mut p = MemoryPool::new("hbm", 100);
+        p.alloc(t(0.0), 60, "a");
+        p.alloc(t(1.0), 60, "b");
+        let err = p.validate().unwrap_err();
+        match err {
+            SimError::OutOfMemory { pool, at, requested, in_use, capacity } => {
+                assert_eq!(pool, "hbm");
+                assert_eq!(at, t(1.0));
+                assert_eq!(requested, 60);
+                assert_eq!(in_use, 60);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_before_alloc_at_same_instant_is_allowed() {
+        let mut p = MemoryPool::new("hbm", 100);
+        p.alloc(t(0.0), 100, "a");
+        // At t=1 we simultaneously release "a" and allocate "b": legal because
+        // frees replay before allocations at equal timestamps.
+        p.alloc(t(1.0), 100, "b");
+        p.free(t(1.0), 100, "a");
+        p.validate().unwrap();
+        assert_eq!(p.peak_usage(), 100);
+    }
+
+    #[test]
+    fn unbalanced_free_is_detected() {
+        let mut p = MemoryPool::new("hbm", 100);
+        p.alloc(t(0.0), 10, "a");
+        p.free(t(1.0), 20, "a");
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, SimError::UnbalancedFree { .. }));
+    }
+
+    #[test]
+    fn timeline_is_time_ordered() {
+        let mut p = MemoryPool::new("hbm", 1000);
+        p.alloc(t(2.0), 20, "b");
+        p.alloc(t(0.0), 10, "a");
+        p.free(t(3.0), 10, "a");
+        let tl = p.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].in_use, 10);
+        assert_eq!(tl[1].in_use, 30);
+        assert_eq!(tl[2].in_use, 20);
+        assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn sampled_timeline_has_requested_resolution() {
+        let mut p = MemoryPool::new("hbm", 1000);
+        p.alloc(t(0.0), 100, "a");
+        p.free(t(10.0), 100, "a");
+        let samples = p.sampled_timeline(t(0.0), t(10.0), 10);
+        assert_eq!(samples.len(), 11);
+        assert_eq!(samples[0].in_use, 100);
+        assert_eq!(samples[10].in_use, 0);
+    }
+
+    #[test]
+    fn empty_pool_is_valid() {
+        let p = MemoryPool::new("hbm", 0);
+        p.validate().unwrap();
+        assert_eq!(p.peak_usage(), 0);
+        assert_eq!(p.event_count(), 0);
+        assert!(p.timeline().is_empty());
+    }
+}

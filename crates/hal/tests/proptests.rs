@@ -1,0 +1,113 @@
+//! Property tests of the discrete-event engine's invariants.
+
+use dos_hal::{MemoryPool, OpSpec, ResourceKind, SimTime, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    /// A resource never runs two operations at once: total busy time equals
+    /// the sum of durations, and utilization never exceeds 1.
+    #[test]
+    fn resource_never_overcommits(
+        works in proptest::collection::vec(0.1f64..10.0, 1..40),
+        rate in 0.5f64..100.0,
+    ) {
+        let mut sim = Simulator::new();
+        let r = sim.add_resource("r", ResourceKind::GpuCompute, rate);
+        // Alternate between two streams to force cross-stream contention.
+        let s1 = sim.add_stream("a");
+        let s2 = sim.add_stream("b");
+        for (i, w) in works.iter().enumerate() {
+            let stream = if i % 2 == 0 { s1 } else { s2 };
+            sim.submit(OpSpec::compute(r, *w).on(stream)).unwrap();
+        }
+        let expected: f64 = works.iter().map(|w| w / rate).sum();
+        prop_assert!((sim.busy_time(r).as_secs() - expected).abs() < 1e-9);
+        prop_assert!(sim.utilization(r) <= 1.0 + 1e-12);
+        // With a single contended resource, makespan == total busy time.
+        prop_assert!((sim.makespan().as_secs() - expected).abs() < 1e-9);
+    }
+
+    /// Dependencies only ever delay: adding an edge never makes an op
+    /// finish earlier.
+    #[test]
+    fn dependencies_are_monotone(
+        w1 in 0.1f64..5.0,
+        w2 in 0.1f64..5.0,
+    ) {
+        // Independent ops on independent resources.
+        let mut free = Simulator::new();
+        let r1 = free.add_resource("r1", ResourceKind::GpuCompute, 1.0);
+        let r2 = free.add_resource("r2", ResourceKind::CpuCompute, 1.0);
+        let s1 = free.add_stream("a");
+        let s2 = free.add_stream("b");
+        let _a = free.submit(OpSpec::compute(r1, w1).on(s1)).unwrap();
+        let b_free = free.submit(OpSpec::compute(r2, w2).on(s2)).unwrap();
+        let t_free = free.finish_time(b_free);
+
+        let mut dep = Simulator::new();
+        let r1 = dep.add_resource("r1", ResourceKind::GpuCompute, 1.0);
+        let r2 = dep.add_resource("r2", ResourceKind::CpuCompute, 1.0);
+        let s1 = dep.add_stream("a");
+        let s2 = dep.add_stream("b");
+        let a = dep.submit(OpSpec::compute(r1, w1).on(s1)).unwrap();
+        let b_dep = dep.submit(OpSpec::compute(r2, w2).on(s2).after(a)).unwrap();
+        prop_assert!(dep.finish_time(b_dep) >= t_free);
+    }
+
+    /// Scaling a resource's throughput down never speeds anything up.
+    #[test]
+    fn throughput_scaling_is_monotone(
+        works in proptest::collection::vec(0.1f64..5.0, 1..20),
+        factor in 0.1f64..1.0,
+    ) {
+        let run = |scale: f64| {
+            let mut sim = Simulator::new();
+            let r = sim.add_resource("r", ResourceKind::CpuCompute, 10.0);
+            sim.set_throughput_scale(r, scale);
+            let s = sim.add_stream("s");
+            for w in &works {
+                sim.submit(OpSpec::compute(r, *w).on(s)).unwrap();
+            }
+            sim.makespan().as_secs()
+        };
+        prop_assert!(run(factor) >= run(1.0) - 1e-12);
+    }
+
+    /// Alloc/free pairs always validate and the peak bounds every sample.
+    #[test]
+    fn balanced_pools_validate(
+        events in proptest::collection::vec((0.0f64..100.0, 1u64..1000), 1..30),
+    ) {
+        let total: u64 = events.iter().map(|(_, b)| b).sum();
+        let mut pool = MemoryPool::new("p", total);
+        for (i, (t, bytes)) in events.iter().enumerate() {
+            pool.alloc(SimTime::from_secs(*t), *bytes, format!("tag{i}"));
+            pool.free(SimTime::from_secs(t + 1000.0), *bytes, format!("tag{i}"));
+        }
+        prop_assert!(pool.validate().is_ok());
+        let peak = pool.peak_usage();
+        for s in pool.timeline() {
+            prop_assert!(s.in_use <= peak);
+        }
+        // Everything freed by the end.
+        prop_assert_eq!(pool.usage_at(SimTime::from_secs(10_000.0)), 0);
+    }
+
+    /// Stream FIFO: ops on one stream finish in submission order.
+    #[test]
+    fn stream_order_is_preserved(
+        works in proptest::collection::vec(0.01f64..2.0, 2..20),
+    ) {
+        let mut sim = Simulator::new();
+        let r = sim.add_resource("r", ResourceKind::LinkH2D, 3.0);
+        let s = sim.add_stream("s");
+        let mut last = None;
+        for w in &works {
+            let op = sim.submit(OpSpec::transfer(r, *w).on(s)).unwrap();
+            if let Some(prev) = last {
+                prop_assert!(sim.finish_time(op) >= sim.finish_time(prev));
+            }
+            last = Some(op);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Inverted dropout with manual backprop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training, zeroes each element with probability
+/// `p` and scales survivors by `1/(1-p)`; at evaluation it is the identity.
+///
+/// Parameter-free; the mask is cached for the backward pass.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seed for its
+    /// private mask stream (deterministic given the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new() }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass. With `training == false` (or `p == 0`) this is the
+    /// identity and the backward mask is all-ones.
+    pub fn forward(&mut self, x: &[f32], training: bool) -> Vec<f32> {
+        if !training || self.p == 0.0 {
+            self.mask = vec![1.0; x.len()];
+            return x.to_vec();
+        }
+        let keep = 1.0 - self.p;
+        let inv_keep = 1.0 / keep;
+        self.mask = (0..x.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { inv_keep } else { 0.0 })
+            .collect();
+        x.iter().zip(self.mask.iter()).map(|(v, m)| v * m).collect()
+    }
+
+    /// Backward pass: applies the cached mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not run or `dy` has the wrong length.
+    pub fn backward(&self, dy: &[f32]) -> Vec<f32> {
+        assert_eq!(dy.len(), self.mask.len(), "backward before forward, or wrong size");
+        dy.iter().zip(self.mask.iter()).map(|(d, m)| d * m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&[1.0, 1.0, 1.0]), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn training_drops_and_rescales() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = vec![1.0f32; 10_000];
+        let y = d.forward(&x, true);
+        let dropped = y.iter().filter(|v| **v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "dropped fraction {frac}");
+        // Survivors are scaled so the expectation is preserved.
+        let mean: f32 = y.iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = vec![1.0f32; 64];
+        let y = d.forward(&x, true);
+        let dx = d.backward(&vec![1.0; 64]);
+        // Gradient flows exactly where activations survived.
+        for (yy, dd) in y.iter().zip(dx.iter()) {
+            assert_eq!(*yy == 0.0, *dd == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Dropout::new(0.4, 9);
+        let mut b = Dropout::new(0.4, 9);
+        let x = vec![1.0f32; 128];
+        assert_eq!(a.forward(&x, true), b.forward(&x, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn p_validated() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

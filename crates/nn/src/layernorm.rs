@@ -1,0 +1,150 @@
+//! Layer normalization with manual backprop.
+
+use crate::param::{Param, VisitParams};
+
+/// Per-row layer normalization: `y = (x - μ) / σ · γ + β`.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale parameter γ, initialized to ones.
+    pub gamma: Param,
+    /// Shift parameter β, initialized to zeros.
+    pub beta: Param,
+    dim: usize,
+    eps: f32,
+    cached_xhat: Vec<f32>,
+    cached_rstd: Vec<f32>,
+    cached_rows: usize,
+}
+
+impl LayerNorm {
+    /// Creates a layer normalizing over the last `dim` features.
+    pub fn new(name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), vec![1.0; dim]),
+            beta: Param::zeros(format!("{name}.beta"), dim),
+            dim,
+            eps: 1e-5,
+            cached_xhat: Vec::new(),
+            cached_rstd: Vec::new(),
+            cached_rows: 0,
+        }
+    }
+
+    /// Forward pass over `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * dim`.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(x.len(), rows * self.dim, "bad input size");
+        let d = self.dim;
+        let mut y = vec![0.0; x.len()];
+        self.cached_xhat = vec![0.0; x.len()];
+        self.cached_rstd = vec![0.0; rows];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let rstd = 1.0 / (var + self.eps).sqrt();
+            self.cached_rstd[r] = rstd;
+            for i in 0..d {
+                let xh = (row[i] - mean) * rstd;
+                self.cached_xhat[r * d + i] = xh;
+                y[r * d + i] = xh * self.gamma.w[i] + self.beta.w[i];
+            }
+        }
+        self.cached_rows = rows;
+        y
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not run or `dy` has the wrong size.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let rows = self.cached_rows;
+        let d = self.dim;
+        assert!(rows > 0, "backward before forward");
+        assert_eq!(dy.len(), rows * d, "bad grad size");
+        let mut dx = vec![0.0; dy.len()];
+        for r in 0..rows {
+            let xhat = &self.cached_xhat[r * d..(r + 1) * d];
+            let dyr = &dy[r * d..(r + 1) * d];
+            let rstd = self.cached_rstd[r];
+            // dγ += dy ⊙ x̂, dβ += dy
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xhat = 0.0f32;
+            for i in 0..d {
+                self.gamma.g[i] += dyr[i] * xhat[i];
+                self.beta.g[i] += dyr[i];
+                let dyg = dyr[i] * self.gamma.w[i];
+                sum_dyg += dyg;
+                sum_dyg_xhat += dyg * xhat[i];
+            }
+            let inv_d = 1.0 / d as f32;
+            for i in 0..d {
+                let dyg = dyr[i] * self.gamma.w[i];
+                dx[r * d + i] =
+                    rstd * (dyg - inv_d * sum_dyg - xhat[i] * inv_d * sum_dyg_xhat);
+            }
+        }
+        dx
+    }
+}
+
+impl VisitParams for LayerNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut ln = LayerNorm::new("ln", 4);
+        let y = ln.forward(&[1.0, 2.0, 3.0, 4.0], 1);
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut ln = LayerNorm::new("ln", 2);
+        ln.gamma.w = vec![2.0, 2.0];
+        ln.beta.w = vec![1.0, 1.0];
+        let y = ln.forward(&[-1.0, 1.0], 1);
+        assert!((y[0] - (-1.0)).abs() < 1e-3); // -1*2+1
+        assert!((y[1] - 3.0).abs() < 1e-3); // 1*2+1
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        let mut ln = LayerNorm::new("ln", 5);
+        ln.gamma.w = vec![1.1, 0.9, 1.3, 0.7, 1.0];
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 * 0.9).cos() * 2.0).collect();
+        gradcheck(
+            &mut ln,
+            &x,
+            2,
+            |m, x, rows| m.forward(x, rows),
+            |m, dy| m.backward(dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn constant_rows_are_handled() {
+        let mut ln = LayerNorm::new("ln", 3);
+        let y = ln.forward(&[5.0, 5.0, 5.0], 1);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(y.iter().all(|v| v.abs() < 1e-2));
+    }
+}

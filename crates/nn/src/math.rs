@@ -1,0 +1,210 @@
+//! Dense kernels used by the layers.
+//!
+//! All matrices are row-major `&[f32]` slices with explicit dimensions.
+//! These loops are deliberately straightforward — the functional engine
+//! trains *tiny* models to validate numerics; large-model performance is the
+//! job of the `dos-sim` cost models.
+
+/// `c = a · b` where `a` is `[m, k]`, `b` is `[k, n]`, `c` is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "a has wrong length");
+    assert_eq!(b.len(), k * n, "b has wrong length");
+    assert_eq!(c.len(), m * n, "c has wrong length");
+    c.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ · b` where `a` is `[m, k]`, `b` is `[m, n]`, `c` is `[k, n]`.
+/// (Gradient of a weight matrix: `dW += xᵀ · dy`.)
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "a has wrong length");
+    assert_eq!(b.len(), m * n, "b has wrong length");
+    assert_eq!(c.len(), k * n, "c has wrong length");
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[i * n..(i + 1) * n];
+            let crow = &mut c[p * n..(p + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c = a · bᵀ` where `a` is `[m, n]`, `b` is `[k, n]`, `c` is `[m, k]`.
+/// (Gradient of an input: `dx = dy · Wᵀ`.)
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * n, "a has wrong length");
+    assert_eq!(b.len(), k * n, "b has wrong length");
+    assert_eq!(c.len(), m * k, "c has wrong length");
+    for i in 0..m {
+        let arow = &a[i * n..(i + 1) * n];
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            c[i * k + p] = arow.iter().zip(brow.iter()).map(|(x, y)| x * y).sum();
+        }
+    }
+}
+
+/// Numerically stable in-place softmax over each row of an `[rows, cols]`
+/// matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols`.
+pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols, "x has wrong length");
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// The tanh-approximated GELU used by GPT-family models.
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Exact derivative of [`gelu`] (of the tanh approximation).
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        // [2x2] * [2x2]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1x3] * [3x2]
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = [0.0; 2];
+        matmul(&a, &b, &mut c, 1, 3, 2);
+        assert_eq!(c, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn at_b_accumulates() {
+        let a = [1.0, 2.0]; // [2x1]
+        let b = [3.0, 4.0]; // [2x1]
+        let mut c = [10.0]; // [1x1], pre-seeded to check accumulation
+        matmul_at_b_acc(&a, &b, &mut c, 2, 1, 1);
+        assert_eq!(c, [10.0 + 1.0 * 3.0 + 2.0 * 4.0]);
+    }
+
+    #[test]
+    fn a_bt_matches_manual() {
+        // a [1x2], b [3x2] -> c [1x3]
+        let a = [1.0, 2.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = [0.0; 3];
+        matmul_a_bt(&a, &b, &mut c, 1, 2, 3);
+        assert_eq!(c, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_identities() {
+        // (a·b) computed two ways: matmul(a,b) == matmul_a_bt(a, b^T).
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2x3]
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // [3x2]
+        let mut c1 = [0.0; 4];
+        matmul(&a, &b, &mut c1, 2, 3, 2);
+        // b^T is [2x3]
+        let bt = [7.0, 9.0, 11.0, 8.0, 10.0, 12.0];
+        let mut c2 = [0.0; 4];
+        matmul_a_bt(&a, &bt, &mut c2, 2, 3, 2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for r in 0..2 {
+            let s: f32 = x[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "grad mismatch at {x}: {} vs {fd}",
+                gelu_grad(x)
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The transformer feed-forward block (GELU MLP).
+
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::math::{gelu, gelu_grad};
+use crate::param::{Param, VisitParams};
+
+/// Two-layer GELU MLP: `fc2(gelu(fc1(x)))` with hidden size
+/// `dim * expansion` (transformers use expansion 4).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Expansion projection `[dim, dim*expansion]`.
+    pub fc1: Linear,
+    /// Contraction projection `[dim*expansion, dim]`.
+    pub fc2: Linear,
+    cached_pre: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates an MLP with hidden size `dim * expansion`.
+    pub fn new<R: Rng>(
+        name: &str,
+        dim: usize,
+        expansion: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Mlp {
+        Mlp {
+            fc1: Linear::new(&format!("{name}.fc1"), dim, dim * expansion, std, rng),
+            fc2: Linear::new(&format!("{name}.fc2"), dim * expansion, dim, std, rng),
+            cached_pre: Vec::new(),
+        }
+    }
+
+    /// Forward pass over `rows` rows.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        let pre = self.fc1.forward(x, rows);
+        let hidden: Vec<f32> = pre.iter().map(|&v| gelu(v)).collect();
+        self.cached_pre = pre;
+        self.fc2.forward(&hidden, rows)
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not run.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        assert!(!self.cached_pre.is_empty(), "backward before forward");
+        let dhidden = self.fc2.backward(dy);
+        let dpre: Vec<f32> = dhidden
+            .iter()
+            .zip(self.cached_pre.iter())
+            .map(|(&dh, &p)| dh * gelu_grad(p))
+            .collect();
+        self.fc1.backward(&dpre)
+    }
+}
+
+impl VisitParams for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_nonlinearity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new("m", 3, 4, 0.3, &mut rng);
+        let y = mlp.forward(&[0.5, -0.5, 1.0, 0.1, 0.2, 0.3], 2);
+        assert_eq!(y.len(), 6);
+        // Nonlinearity: f(2x) != 2 f(x)
+        let y1 = mlp.forward(&[1.0, 1.0, 1.0], 1);
+        let y2 = mlp.forward(&[2.0, 2.0, 2.0], 1);
+        assert!((y2[0] - 2.0 * y1[0]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_mlp() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new("m", 3, 2, 0.5, &mut rng);
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 * 0.81).sin()).collect();
+        gradcheck(
+            &mut mlp,
+            &x,
+            2,
+            |m, x, rows| m.forward(x, rows),
+            |m, dy| m.backward(dy),
+            3e-2,
+        );
+    }
+}

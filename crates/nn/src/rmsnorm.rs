@@ -1,0 +1,134 @@
+//! RMS normalization (LLaMA-family models).
+
+use crate::param::{Param, VisitParams};
+
+/// Root-mean-square layer normalization: `y = x / rms(x) · γ` with
+/// `rms(x) = sqrt(mean(x²) + ε)` — LayerNorm without the mean subtraction
+/// or bias, as used by the LLaMA models the evaluation zoo derives from.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    /// Scale parameter γ, initialized to ones.
+    pub gamma: Param,
+    dim: usize,
+    eps: f32,
+    cached_x: Vec<f32>,
+    cached_rrms: Vec<f32>,
+    cached_rows: usize,
+}
+
+impl RmsNorm {
+    /// Creates a layer normalizing over the last `dim` features.
+    pub fn new(name: &str, dim: usize) -> RmsNorm {
+        RmsNorm {
+            gamma: Param::new(format!("{name}.gamma"), vec![1.0; dim]),
+            dim,
+            eps: 1e-5,
+            cached_x: Vec::new(),
+            cached_rrms: Vec::new(),
+            cached_rows: 0,
+        }
+    }
+
+    /// Forward pass over `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * dim`.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(x.len(), rows * self.dim, "bad input size");
+        let d = self.dim;
+        let mut y = vec![0.0; x.len()];
+        self.cached_rrms = vec![0.0; rows];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let rrms = 1.0 / (ms + self.eps).sqrt();
+            self.cached_rrms[r] = rrms;
+            for i in 0..d {
+                y[r * d + i] = row[i] * rrms * self.gamma.w[i];
+            }
+        }
+        self.cached_x = x.to_vec();
+        self.cached_rows = rows;
+        y
+    }
+
+    /// Backward pass: accumulates `dγ` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not run or `dy` has the wrong size.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let rows = self.cached_rows;
+        let d = self.dim;
+        assert!(rows > 0, "backward before forward");
+        assert_eq!(dy.len(), rows * d, "bad grad size");
+        let mut dx = vec![0.0; dy.len()];
+        for r in 0..rows {
+            let x = &self.cached_x[r * d..(r + 1) * d];
+            let dyr = &dy[r * d..(r + 1) * d];
+            let rrms = self.cached_rrms[r];
+            // dγ += dy ⊙ (x·rrms); and the x-gradient couples through rms.
+            let mut dot = 0.0f32; // Σ dyᵢ γᵢ xᵢ
+            for i in 0..d {
+                self.gamma.g[i] += dyr[i] * x[i] * rrms;
+                dot += dyr[i] * self.gamma.w[i] * x[i];
+            }
+            let coef = dot * rrms * rrms * rrms / d as f32;
+            for i in 0..d {
+                dx[r * d + i] = dyr[i] * self.gamma.w[i] * rrms - x[i] * coef;
+            }
+        }
+        dx
+    }
+}
+
+impl VisitParams for RmsNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck;
+
+    #[test]
+    fn output_has_unit_rms() {
+        let mut ln = RmsNorm::new("rms", 4);
+        let y = ln.forward(&[1.0, 2.0, 3.0, 4.0], 1);
+        let ms: f32 = y.iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((ms - 1.0).abs() < 1e-3, "rms {}", ms.sqrt());
+    }
+
+    #[test]
+    fn no_mean_subtraction() {
+        // Unlike LayerNorm, a constant positive row stays positive.
+        let mut ln = RmsNorm::new("rms", 3);
+        let y = ln.forward(&[5.0, 5.0, 5.0], 1);
+        assert!(y.iter().all(|&v| v > 0.9));
+    }
+
+    #[test]
+    fn gradcheck_rmsnorm() {
+        let mut ln = RmsNorm::new("rms", 5);
+        ln.gamma.w = vec![1.2, 0.8, 1.1, 0.9, 1.0];
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).sin() * 2.0 + 0.5).collect();
+        gradcheck(
+            &mut ln,
+            &x,
+            2,
+            |m, x, rows| m.forward(x, rows),
+            |m, dy| m.backward(dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn has_half_the_params_of_layernorm() {
+        let mut rms = RmsNorm::new("a", 16);
+        let mut ln = crate::LayerNorm::new("b", 16);
+        assert_eq!(rms.num_params() * 2, ln.num_params());
+    }
+}

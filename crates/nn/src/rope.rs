@@ -1,0 +1,139 @@
+//! Rotary positional embeddings (RoPE, LLaMA-family models).
+
+/// Rotary positional embedding over per-head query/key vectors.
+///
+/// Rotates consecutive pairs `(x[2i], x[2i+1])` of each head vector by a
+/// position- and frequency-dependent angle `pos · θ⁻²ⁱ/ᵈ`. Because the
+/// rotation is orthogonal, the backward pass is the rotation by the
+/// negated angle.
+#[derive(Debug, Clone)]
+pub struct Rope {
+    head_dim: usize,
+    /// Precomputed `cos`/`sin` tables indexed `[pos][pair]`.
+    cos: Vec<Vec<f32>>,
+    sin: Vec<Vec<f32>>,
+}
+
+impl Rope {
+    /// Builds tables for head dimension `head_dim` (must be even) up to
+    /// `max_seq` positions, with the conventional base θ = 10 000.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd or zero.
+    pub fn new(head_dim: usize, max_seq: usize) -> Rope {
+        assert!(head_dim > 0 && head_dim.is_multiple_of(2), "head_dim must be even and positive");
+        let pairs = head_dim / 2;
+        let mut cos = Vec::with_capacity(max_seq);
+        let mut sin = Vec::with_capacity(max_seq);
+        for pos in 0..max_seq {
+            let mut c = Vec::with_capacity(pairs);
+            let mut s = Vec::with_capacity(pairs);
+            for i in 0..pairs {
+                let freq = 1.0 / 10_000f32.powf(2.0 * i as f32 / head_dim as f32);
+                let angle = pos as f32 * freq;
+                c.push(angle.cos());
+                s.push(angle.sin());
+            }
+            cos.push(c);
+            sin.push(s);
+        }
+        Rope { head_dim, cos, sin }
+    }
+
+    /// Rotates one head vector in place for position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != head_dim` or `pos` exceeds the table.
+    pub fn apply(&self, x: &mut [f32], pos: usize) {
+        assert_eq!(x.len(), self.head_dim, "bad head vector size");
+        let (c, s) = (&self.cos[pos], &self.sin[pos]);
+        for i in 0..self.head_dim / 2 {
+            let (a, b) = (x[2 * i], x[2 * i + 1]);
+            x[2 * i] = a * c[i] - b * s[i];
+            x[2 * i + 1] = a * s[i] + b * c[i];
+        }
+    }
+
+    /// The inverse rotation (gradient propagation): rotate by `-angle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != head_dim` or `pos` exceeds the table.
+    pub fn apply_inverse(&self, x: &mut [f32], pos: usize) {
+        assert_eq!(x.len(), self.head_dim, "bad head vector size");
+        let (c, s) = (&self.cos[pos], &self.sin[pos]);
+        for i in 0..self.head_dim / 2 {
+            let (a, b) = (x[2 * i], x[2 * i + 1]);
+            x[2 * i] = a * c[i] + b * s[i];
+            x[2 * i + 1] = -a * s[i] + b * c[i];
+        }
+    }
+
+    /// Head dimension the tables were built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = Rope::new(8, 4);
+        let mut x: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let orig = x.clone();
+        rope.apply(&mut x, 0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = Rope::new(8, 16);
+        let mut x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin()).collect();
+        let norm0: f32 = x.iter().map(|v| v * v).sum();
+        rope.apply(&mut x, 11);
+        let norm1: f32 = x.iter().map(|v| v * v).sum();
+        assert!((norm0 - norm1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let rope = Rope::new(6, 10);
+        let orig: Vec<f32> = (0..6).map(|i| (i as f32).cos()).collect();
+        let mut x = orig.clone();
+        rope.apply(&mut x, 7);
+        rope.apply_inverse(&mut x, 7);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // RoPE's defining property: <R_m q, R_n k> depends only on m - n.
+        let rope = Rope::new(4, 32);
+        let q: Vec<f32> = vec![0.3, -0.7, 1.1, 0.2];
+        let k: Vec<f32> = vec![-0.5, 0.9, 0.4, -0.1];
+        let dot = |m: usize, n: usize| -> f32 {
+            let mut qm = q.clone();
+            let mut kn = k.clone();
+            rope.apply(&mut qm, m);
+            rope.apply(&mut kn, n);
+            qm.iter().zip(kn.iter()).map(|(a, b)| a * b).sum()
+        };
+        assert!((dot(3, 1) - dot(10, 8)).abs() < 1e-4, "offset 2 differs");
+        assert!((dot(5, 5) - dot(20, 20)).abs() < 1e-4, "offset 0 differs");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_head_dim_rejected() {
+        let _ = Rope::new(5, 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! SwiGLU feed-forward network (LLaMA-family models).
+
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::param::{Param, VisitParams};
+
+/// SiLU (swish): `x · σ(x)`.
+fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Derivative of SiLU.
+fn silu_grad(x: f32) -> f32 {
+    let s = 1.0 / (1.0 + (-x).exp());
+    s * (1.0 + x * (1.0 - s))
+}
+
+/// Gated feed-forward block: `down( silu(gate(x)) ⊙ up(x) )`, the MLP used
+/// by the LLaMA models the paper's 7B/13B configurations derive from.
+#[derive(Debug, Clone)]
+pub struct SwiGlu {
+    /// Gate projection `[dim, hidden]`.
+    pub gate: Linear,
+    /// Up projection `[dim, hidden]`.
+    pub up: Linear,
+    /// Down projection `[hidden, dim]`.
+    pub down: Linear,
+    cached_gate_pre: Vec<f32>,
+    cached_up_out: Vec<f32>,
+}
+
+impl SwiGlu {
+    /// Creates a SwiGLU block with the given hidden width.
+    pub fn new<R: Rng>(
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> SwiGlu {
+        SwiGlu {
+            gate: Linear::new(&format!("{name}.gate"), dim, hidden, std, rng),
+            up: Linear::new(&format!("{name}.up"), dim, hidden, std, rng),
+            down: Linear::new(&format!("{name}.down"), hidden, dim, std, rng),
+            cached_gate_pre: Vec::new(),
+            cached_up_out: Vec::new(),
+        }
+    }
+
+    /// Forward pass over `rows` rows.
+    pub fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        let gate_pre = self.gate.forward(x, rows);
+        let up_out = self.up.forward(x, rows);
+        let hidden: Vec<f32> = gate_pre
+            .iter()
+            .zip(up_out.iter())
+            .map(|(&g, &u)| silu(g) * u)
+            .collect();
+        self.cached_gate_pre = gate_pre;
+        self.cached_up_out = up_out;
+        self.down.forward(&hidden, rows)
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not run.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        assert!(!self.cached_gate_pre.is_empty(), "backward before forward");
+        let dhidden = self.down.backward(dy);
+        let mut dgate_pre = vec![0.0; dhidden.len()];
+        let mut dup_out = vec![0.0; dhidden.len()];
+        for i in 0..dhidden.len() {
+            let g = self.cached_gate_pre[i];
+            let u = self.cached_up_out[i];
+            dgate_pre[i] = dhidden[i] * u * silu_grad(g);
+            dup_out[i] = dhidden[i] * silu(g);
+        }
+        let dx_gate = self.gate.backward(&dgate_pre);
+        let dx_up = self.up.backward(&dup_out);
+        dx_gate.iter().zip(dx_up.iter()).map(|(a, b)| a + b).collect()
+    }
+}
+
+impl VisitParams for SwiGlu {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+        self.up.visit_params(f);
+        self.down.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(10.0) - 10.0).abs() < 1e-3, "silu(x) -> x for large x");
+        assert!(silu(-10.0).abs() < 1e-3);
+        for &x in &[-2.0f32, -0.3, 0.0, 0.7, 3.0] {
+            let h = 1e-3;
+            let fd = (silu(x + h) - silu(x - h)) / (2.0 * h);
+            assert!((silu_grad(x) - fd).abs() < 1e-3, "silu' at {x}");
+        }
+    }
+
+    #[test]
+    fn shape_and_gating() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ff = SwiGlu::new("ff", 4, 8, 0.3, &mut rng);
+        let y = ff.forward(&[0.5, -0.5, 1.0, 0.1], 1);
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn gradcheck_swiglu() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ff = SwiGlu::new("ff", 3, 5, 0.5, &mut rng);
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 * 0.77).cos()).collect();
+        gradcheck(
+            &mut ff,
+            &x,
+            2,
+            |m, x, rows| m.forward(x, rows),
+            |m, dy| m.backward(dy),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn param_count_is_three_matrices() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (d, h) = (6usize, 16usize);
+        let mut ff = SwiGlu::new("ff", d, h, 0.1, &mut rng);
+        // gate: d*h + h; up: d*h + h; down: h*d + d.
+        assert_eq!(ff.num_params(), 3 * d * h + 2 * h + d);
+    }
+}

@@ -1,0 +1,172 @@
+//! Learning-rate schedules and gradient clipping.
+//!
+//! Standard LLM-training auxiliaries (the paper trains with the usual
+//! Megatron/DeepSpeed recipe): linear warmup into cosine decay, and global
+//! gradient-norm clipping. Both are pure functions of the step/gradients,
+//! so they compose with any update scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LrSchedule {
+    /// A constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `peak` over `warmup_steps`, then cosine
+    /// decay to `peak * min_factor` at `total_steps` (and held there).
+    WarmupCosine {
+        /// Peak learning rate reached at the end of warmup.
+        peak: f32,
+        /// Warmup length in steps.
+        warmup_steps: u64,
+        /// Total schedule length in steps.
+        total_steps: u64,
+        /// Final rate as a fraction of `peak`.
+        min_factor: f32,
+    },
+    /// Linear warmup then linear decay to zero at `total_steps`.
+    WarmupLinear {
+        /// Peak learning rate reached at the end of warmup.
+        peak: f32,
+        /// Warmup length in steps.
+        warmup_steps: u64,
+        /// Total schedule length in steps.
+        total_steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at 1-based step `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        assert!(step > 0, "step is 1-based");
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupCosine { peak, warmup_steps, total_steps, min_factor } => {
+                if step <= warmup_steps {
+                    peak * step as f32 / warmup_steps.max(1) as f32
+                } else if step >= total_steps {
+                    peak * min_factor
+                } else {
+                    let progress = (step - warmup_steps) as f32
+                        / (total_steps - warmup_steps).max(1) as f32;
+                    let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                    peak * (min_factor + (1.0 - min_factor) * cosine)
+                }
+            }
+            LrSchedule::WarmupLinear { peak, warmup_steps, total_steps } => {
+                if step <= warmup_steps {
+                    peak * step as f32 / warmup_steps.max(1) as f32
+                } else if step >= total_steps {
+                    0.0
+                } else {
+                    let progress = (step - warmup_steps) as f32
+                        / (total_steps - warmup_steps).max(1) as f32;
+                    peak * (1.0 - progress)
+                }
+            }
+        }
+    }
+}
+
+/// Scales `grads` in place so their global L2 norm is at most `max_norm`;
+/// returns the pre-clipping norm. The norm is computed in `f64` and the
+/// scale applied uniformly, matching `torch.nn.utils.clip_grad_norm_`.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = grads.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>().sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(1), 0.1);
+        assert_eq!(s.lr_at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+            min_factor: 0.1,
+        };
+        // Linear warmup.
+        assert!((s.lr_at(5) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(10) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine: halfway between peak and floor.
+        assert!((s.lr_at(60) - 0.55).abs() < 1e-2);
+        // Floor at and beyond the end.
+        assert!((s.lr_at(110) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(500) - 0.1).abs() < 1e-6);
+        // Monotone decay after warmup.
+        let decays: Vec<f32> = (10..=110).map(|t| s.lr_at(t)).collect();
+        assert!(decays.windows(2).all(|w| w[1] <= w[0] + 1e-7));
+    }
+
+    #[test]
+    fn warmup_linear_reaches_zero() {
+        let s = LrSchedule::WarmupLinear { peak: 2.0, warmup_steps: 4, total_steps: 8 };
+        assert!((s.lr_at(2) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(4) - 2.0).abs() < 1e-6);
+        assert!((s.lr_at(6) - 1.0).abs() < 1e-6);
+        assert_eq!(s.lr_at(8), 0.0);
+        assert_eq!(s.lr_at(9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn step_zero_rejected() {
+        let _ = LrSchedule::Constant { lr: 0.1 }.lr_at(0);
+    }
+
+    #[test]
+    fn clipping_scales_only_when_needed() {
+        let mut g = vec![3.0f32, 4.0];
+        let norm = clip_grad_norm(&mut g, 10.0);
+        assert_eq!(norm, 5.0);
+        assert_eq!(g, vec![3.0, 4.0]); // untouched below the limit
+
+        let norm = clip_grad_norm(&mut g, 1.0);
+        assert_eq!(norm, 5.0);
+        let new_norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-6);
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6, "direction preserved");
+    }
+
+    #[test]
+    fn clipping_handles_zero_gradients() {
+        let mut g = vec![0.0f32; 8];
+        assert_eq!(clip_grad_norm(&mut g, 1.0), 0.0);
+        assert!(g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_max_norm_rejected() {
+        clip_grad_norm(&mut [1.0], 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the paper's core correctness claim (§4.1): optimizer
+//! subgroups can be updated in any order without affecting the result.
+
+use dos_optim::{MixedPrecisionState, UpdateRule};
+use proptest::prelude::*;
+
+/// Builds a random partition of `0..n` into contiguous ranges.
+fn partition(n: usize, cuts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds.windows(2).map(|w| w[0]..w[1]).filter(|r| !r.is_empty()).collect()
+}
+
+fn rules() -> impl Strategy<Value = UpdateRule> {
+    prop_oneof![
+        Just(UpdateRule::adam()),
+        Just(UpdateRule::adamw(0.01)),
+        Just(UpdateRule::adagrad()),
+        Just(UpdateRule::rmsprop()),
+    ]
+}
+
+proptest! {
+    /// Any partition, updated in any permutation, equals the monolithic step
+    /// bit-for-bit — for every supported rule.
+    #[test]
+    fn subgroup_permutation_invariance(
+        n in 1usize..120,
+        cuts in proptest::collection::vec(any::<usize>(), 0..6),
+        perm_seed in any::<u64>(),
+        rule in rules(),
+    ) {
+        let init: Vec<f32> = (0..n).map(|i| ((i * 31 + 7) % 23) as f32 / 23.0).collect();
+        let grads: Vec<f32> = (0..n).map(|i| ((i * 17 + 3) % 19) as f32 / 19.0 - 0.5).collect();
+
+        let mut mono = MixedPrecisionState::new(init.clone(), rule, 0.01);
+        mono.full_step(&grads);
+
+        let mut ranges = partition(n, &cuts);
+        // Deterministic pseudo-shuffle of the subgroup order.
+        let len = ranges.len();
+        for i in 0..len {
+            let j = ((perm_seed.rotate_left(i as u32) as usize) % len).min(len - 1);
+            ranges.swap(i, j);
+        }
+
+        let mut sharded = MixedPrecisionState::new(init, rule, 0.01);
+        sharded.begin_step();
+        for r in &ranges {
+            sharded.update_range(r.clone(), &grads[r.clone()]);
+        }
+
+        prop_assert_eq!(mono.params(), sharded.params());
+        prop_assert_eq!(mono.momentum(), sharded.momentum());
+        prop_assert_eq!(mono.variance(), sharded.variance());
+    }
+
+    /// Multi-step: interleaving different partitions across steps still
+    /// matches the monolithic trajectory.
+    #[test]
+    fn multi_step_sharded_trajectory(
+        n in 2usize..60,
+        steps in 1usize..5,
+        cuts in proptest::collection::vec(any::<usize>(), 0..4),
+    ) {
+        let init: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let mut mono = MixedPrecisionState::new(init.clone(), UpdateRule::adam(), 0.02);
+        let mut sharded = MixedPrecisionState::new(init, UpdateRule::adam(), 0.02);
+        for s in 0..steps {
+            let grads: Vec<f32> = (0..n).map(|i| ((i + s) as f32 * 0.7).cos()).collect();
+            mono.full_step(&grads);
+            sharded.begin_step();
+            let mut ranges = partition(n, &cuts);
+            if s % 2 == 1 { ranges.reverse(); }
+            for r in ranges {
+                sharded.update_range(r.clone(), &grads[r]);
+            }
+        }
+        prop_assert_eq!(mono.params(), sharded.params());
+    }
+
+    /// snapshot -> external update -> write_back equals updating in place
+    /// (the GPU-offload round trip of Algorithm 1).
+    #[test]
+    fn offload_round_trip_equivalence(
+        n in 4usize..80,
+        split in 1usize..3,
+    ) {
+        let split = (n / (split + 1)).max(1);
+        let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let grads: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).sin() * 0.1).collect();
+
+        let mut inplace = MixedPrecisionState::new(init.clone(), UpdateRule::adam(), 0.01);
+        inplace.full_step(&grads);
+
+        let mut offloaded = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+        offloaded.begin_step();
+        // First range updated "on the CPU" in place.
+        offloaded.update_range(0..split, &grads[0..split]);
+        // Second range round-trips through a simulated device buffer.
+        let (p, m, v) = offloaded.snapshot_range(split..n);
+        let (mut p, mut m, mut v) = (p.to_vec(), m.to_vec(), v.to_vec());
+        offloaded.rule().apply(1, 0.01, &mut p, &grads[split..n], &mut m, &mut v);
+        offloaded.write_back_range(split..n, &p, &m, &v);
+
+        prop_assert_eq!(inplace.params(), offloaded.params());
+        prop_assert_eq!(inplace.momentum(), offloaded.momentum());
+        prop_assert_eq!(inplace.variance(), offloaded.variance());
+    }
+}

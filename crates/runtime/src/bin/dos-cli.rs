@@ -1,0 +1,138 @@
+//! `dos-cli` — run a Deep Optimizer States training simulation from a
+//! DeepSpeed-style JSON config file.
+//!
+//! ```text
+//! dos-cli <config.json> [--iterations N] [--compare] [--explain]
+//!
+//!   --iterations N   simulate N iterations (default: 1, with breakdown)
+//!   --compare        also run the ZeRO-3 and TwinFlow baselines
+//!   --explain        print the schedule Equation 1 derives first
+//! ```
+//!
+//! Example config:
+//!
+//! ```json
+//! { "model": "20B", "deep_optimizer_states": { "enabled": true } }
+//! ```
+
+use std::process::ExitCode;
+
+use dos_runtime::{run_iteration, run_training, RuntimeConfig};
+
+struct Args {
+    config_path: String,
+    iterations: usize,
+    compare: bool,
+    explain: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut config_path = None;
+    let mut iterations = 1;
+    let mut compare = false;
+    let mut explain = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iterations" => {
+                let v = args.next().ok_or("--iterations needs a value")?;
+                iterations = v.parse().map_err(|_| format!("bad iteration count `{v}`"))?;
+            }
+            "--compare" => compare = true,
+            "--explain" => explain = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if config_path.is_none() => config_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        config_path: config_path.ok_or("missing config path")?,
+        iterations,
+        compare,
+        explain,
+    })
+}
+
+fn usage() {
+    eprintln!("usage: dos-cli <config.json> [--iterations N] [--compare] [--explain]");
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let json = std::fs::read_to_string(&args.config_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.config_path))?;
+    let config = RuntimeConfig::from_json(&json).map_err(|e| e.to_string())?;
+
+    if args.explain {
+        let train = config.resolve().map_err(|e| e.to_string())?;
+        println!("{}\n", dos_core::explain_schedule(&train));
+    }
+
+    let mut variants = vec![config.clone()];
+    if args.compare {
+        let mut baseline = config.clone();
+        baseline.deep_optimizer_states.enabled = false;
+        baseline.gpu_resident_ratio = 0.0;
+        variants.push(baseline);
+        let mut twin = config.clone();
+        twin.deep_optimizer_states.enabled = false;
+        twin.gpu_resident_ratio = config.gpu_resident_ratio.max(0.2);
+        variants.push(twin);
+    }
+
+    let mut reference: Option<f64> = None;
+    for cfg in &variants {
+        if args.iterations <= 1 {
+            let r = run_iteration(cfg).map_err(|e| e.to_string())?;
+            println!(
+                "{:>22} | fwd {:7.3}s | bwd {:7.3}s | upd {:7.3}s | total {:7.3}s | {:5.1} TFLOP/s/GPU{}{}",
+                r.scheduler,
+                r.forward_secs,
+                r.backward_secs,
+                r.update_secs,
+                r.total_secs,
+                r.tflops_per_gpu,
+                r.oom.as_deref().map(|_| " | GPU OOM").unwrap_or(""),
+                r.host_oom.as_deref().map(|_| " | HOST OOM").unwrap_or(""),
+            );
+            note_speedup(&mut reference, r.total_secs);
+        } else {
+            let r = run_training(cfg, args.iterations).map_err(|e| e.to_string())?;
+            println!(
+                "{:>22} | {} iterations | total {:9.2}s | avg {:7.3}s/iter | stable: {}",
+                r.scheduler,
+                r.iterations,
+                r.total_secs,
+                r.avg_iteration_secs,
+                r.is_stable(2, 0.05),
+            );
+            note_speedup(&mut reference, r.total_secs);
+        }
+    }
+    Ok(())
+}
+
+fn note_speedup(reference: &mut Option<f64>, total: f64) {
+    match reference {
+        None => *reference = Some(total),
+        Some(first) => println!("{:>22}   ({:.2}x the first line's time)", "", total / *first),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

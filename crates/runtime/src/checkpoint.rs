@@ -1,0 +1,241 @@
+//! Functional checkpointing of model + optimizer state.
+//!
+//! One motivation the paper gives for host-offloaded optimizer state (§2)
+//! is cheap checkpointing: the large FP32 tensors already live in host
+//! memory, so they can be flushed to persistent storage asynchronously
+//! without blocking the GPUs (the DataStates-LLM line of work). This module
+//! provides that for the functional engine: capture a consistent snapshot
+//! (an owned copy, taken at an update-phase boundary), then write it on a
+//! background thread while training continues.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+
+use dos_nn::VisitParams;
+use dos_optim::MixedPrecisionState;
+
+/// A consistent snapshot of training state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingCheckpoint {
+    /// The model's (device) parameters at capture time.
+    pub params: Vec<f32>,
+    /// The FP32 optimizer state (master params, momentum, variance, step).
+    pub optimizer: MixedPrecisionState,
+    /// Iterations completed when captured.
+    pub iteration: usize,
+}
+
+impl TrainingCheckpoint {
+    /// Captures a snapshot from a model and its optimizer state.
+    ///
+    /// The copy is taken eagerly (host memory is cheap relative to the GPU
+    /// tier it stands in for), so training may mutate both immediately
+    /// after this returns.
+    pub fn capture(
+        model: &mut impl VisitParams,
+        optimizer: &MixedPrecisionState,
+        iteration: usize,
+    ) -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            params: model.gather_params(),
+            optimizer: optimizer.clone(),
+            iteration,
+        }
+    }
+
+    /// Restores the snapshot into a model; returns the optimizer state to
+    /// resume with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameter count differs from the snapshot's.
+    pub fn restore(&self, model: &mut impl VisitParams) -> MixedPrecisionState {
+        model.scatter_params(&self.params);
+        model.zero_grads();
+        self.optimizer.clone()
+    }
+
+    /// Writes the snapshot to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialization errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let file = File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self).map_err(io::Error::other)
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or deserialization errors.
+    pub fn load(path: &Path) -> io::Result<TrainingCheckpoint> {
+        let file = File::open(path)?;
+        serde_json::from_reader(BufReader::new(file)).map_err(io::Error::other)
+    }
+}
+
+/// Writes checkpoints on a background thread so training continues
+/// unblocked; at most one write is in flight (a new request waits for the
+/// previous one, bounding staging memory like the paper's pinned windows).
+#[derive(Debug, Default)]
+pub struct AsyncCheckpointer {
+    in_flight: Option<(PathBuf, JoinHandle<io::Result<()>>)>,
+}
+
+impl AsyncCheckpointer {
+    /// Creates an idle checkpointer.
+    pub fn new() -> AsyncCheckpointer {
+        AsyncCheckpointer::default()
+    }
+
+    /// Starts writing `checkpoint` to `path` in the background, first
+    /// draining any previous in-flight write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the *previous* write if it failed.
+    pub fn save_async(
+        &mut self,
+        checkpoint: TrainingCheckpoint,
+        path: impl Into<PathBuf>,
+    ) -> io::Result<()> {
+        self.drain()?;
+        let path = path.into();
+        let thread_path = path.clone();
+        let handle = std::thread::spawn(move || checkpoint.save(&thread_path));
+        self.in_flight = Some((path, handle));
+        Ok(())
+    }
+
+    /// Whether a write is currently in flight (without blocking).
+    pub fn is_writing(&self) -> bool {
+        self.in_flight.as_ref().is_some_and(|(_, h)| !h.is_finished())
+    }
+
+    /// Blocks until any in-flight write completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write's I/O error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer thread panicked.
+    pub fn drain(&mut self) -> io::Result<()> {
+        if let Some((_, handle)) = self.in_flight.take() {
+            handle.join().expect("checkpoint writer panicked")?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for AsyncCheckpointer {
+    fn drop(&mut self) {
+        // Destructors must not fail: ignore errors, finish the write.
+        let _ = self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dos_nn::{Gpt, GptConfig};
+    use dos_optim::UpdateRule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Gpt, MixedPrecisionState) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = Gpt::new(GptConfig::tiny(), &mut rng);
+        let state =
+            MixedPrecisionState::new(model.gather_params(), UpdateRule::adam(), 1e-2);
+        (model, state)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dos-ckpt-test-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (mut model, mut state) = setup();
+        state.full_step(&vec![0.01; state.len()]);
+        let ckpt = TrainingCheckpoint::capture(&mut model, &state, 7);
+        let path = tmp("roundtrip");
+        ckpt.save(&path).unwrap();
+        let loaded = TrainingCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(loaded.iteration, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_training() {
+        let (mut model_a, mut state_a) = setup();
+        let (mut model_b, mut state_b) = setup();
+        let tokens = [1usize, 2, 3, 4];
+        let targets = [2usize, 3, 4, 5];
+
+        let train_step = |m: &mut Gpt, s: &mut MixedPrecisionState| {
+            m.loss_and_backward(&tokens, &targets, 1, 4);
+            let grads = m.gather_grads();
+            s.full_step(&grads);
+            m.scatter_params(s.params());
+            m.zero_grads();
+        };
+
+        // A: 4 uninterrupted steps.
+        for _ in 0..4 {
+            train_step(&mut model_a, &mut state_a);
+        }
+        // B: 2 steps, checkpoint to disk, restore into fresh objects, 2 more.
+        for _ in 0..2 {
+            train_step(&mut model_b, &mut state_b);
+        }
+        let path = tmp("resume");
+        TrainingCheckpoint::capture(&mut model_b, &state_b, 2).save(&path).unwrap();
+        let (mut model_c, _) = setup();
+        let loaded = TrainingCheckpoint::load(&path).unwrap();
+        let mut state_c = loaded.restore(&mut model_c);
+        for _ in 0..2 {
+            train_step(&mut model_c, &mut state_c);
+        }
+        assert_eq!(model_a.gather_params(), model_c.gather_params());
+        assert_eq!(state_a.params(), state_c.params());
+        assert_eq!(state_a.step_count(), state_c.step_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn async_writer_overlaps_and_drains() {
+        let (mut model, state) = setup();
+        let ckpt = TrainingCheckpoint::capture(&mut model, &state, 0);
+        let path = tmp("async");
+        let mut writer = AsyncCheckpointer::new();
+        writer.save_async(ckpt.clone(), &path).unwrap();
+        // Training can proceed here while the write is in flight.
+        writer.drain().unwrap();
+        assert!(!writer.is_writing());
+        assert_eq!(TrainingCheckpoint::load(&path).unwrap(), ckpt);
+        // Back-to-back saves drain the previous write first.
+        writer.save_async(ckpt.clone(), &path).unwrap();
+        writer.save_async(ckpt.clone(), &path).unwrap();
+        writer.drain().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn async_writer_reports_errors_on_drain() {
+        let (mut model, state) = setup();
+        let ckpt = TrainingCheckpoint::capture(&mut model, &state, 0);
+        let mut writer = AsyncCheckpointer::new();
+        writer.save_async(ckpt, "/nonexistent-dir/ckpt.json").unwrap();
+        assert!(writer.drain().is_err());
+    }
+}

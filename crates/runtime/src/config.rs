@@ -1,0 +1,345 @@
+//! JSON runtime configuration.
+//!
+//! The paper ships Deep Optimizer States as a middleware "that can be
+//! enabled and configured through a single JSON entry in the configuration
+//! file given to the training runtime" (§4.4). This module mirrors that
+//! surface: a DeepSpeed-style JSON document with a
+//! `"deep_optimizer_states"` entry.
+
+use serde::{Deserialize, Serialize};
+
+use dos_core::StridePolicy;
+use dos_hal::HardwareProfile;
+use dos_nn::ModelSpec;
+use dos_sim::{GradientPath, TrainConfig};
+use dos_zero::{OffloadConfig, ZeroStage};
+
+/// Errors raised while parsing or resolving a runtime configuration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The JSON failed to parse.
+    Parse(serde_json::Error),
+    /// A referenced name could not be resolved.
+    Unknown {
+        /// What kind of name (`"model"`, `"profile"`, ...).
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A field value is out of range.
+    Invalid {
+        /// Description of the invalid value.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Parse(e) => write!(f, "invalid config JSON: {e}"),
+            ConfigError::Unknown { kind, name } => write!(f, "unknown {kind}: `{name}`"),
+            ConfigError::Invalid { detail } => write!(f, "invalid config value: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for ConfigError {
+    fn from(e: serde_json::Error) -> Self {
+        ConfigError::Parse(e)
+    }
+}
+
+/// The `"deep_optimizer_states"` JSON entry (§4.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct DosEntry {
+    /// Master switch; `false` leaves the baseline scheduler in place.
+    pub enabled: bool,
+    /// `"auto"` (solve Equation 1), `"cpu_only"`, or an integer stride.
+    pub update_stride: StrideEntry,
+    /// FP32-on-GPU gradient conversion path (Figure 6 bottom).
+    pub fp32_gradient_path: bool,
+    /// Overlap gradient flushes with backward compute.
+    pub overlap_backward: bool,
+}
+
+impl Default for DosEntry {
+    fn default() -> Self {
+        DosEntry {
+            enabled: true,
+            update_stride: StrideEntry::Auto,
+            fp32_gradient_path: true,
+            overlap_backward: true,
+        }
+    }
+}
+
+/// JSON form of [`StridePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", untagged)]
+pub enum StrideEntry {
+    /// A fixed stride value.
+    Fixed(usize),
+    /// A named policy: `"auto"` or `"cpu_only"`.
+    Named(NamedStride),
+}
+
+/// Named stride policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NamedStride {
+    /// Solve Equation 1.
+    Auto,
+    /// Keep every dynamic subgroup on the CPU.
+    CpuOnly,
+}
+
+impl StrideEntry {
+    /// The `"auto"` policy.
+    #[allow(non_upper_case_globals)]
+    pub const Auto: StrideEntry = StrideEntry::Named(NamedStride::Auto);
+
+    /// Converts to the scheduler's policy type.
+    pub fn to_policy(self) -> StridePolicy {
+        match self {
+            StrideEntry::Fixed(k) => StridePolicy::Fixed(k),
+            StrideEntry::Named(NamedStride::Auto) => StridePolicy::Auto,
+            StrideEntry::Named(NamedStride::CpuOnly) => StridePolicy::CpuOnly,
+        }
+    }
+}
+
+/// The whole runtime configuration document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RuntimeConfig {
+    /// Table 2 model name (`"7B"`, ..., `"20B"`).
+    pub model: String,
+    /// Hardware profile name (`"jlse-4xH100"`, `"4xV100-32GB"`, ...), or
+    /// omitted for the H100 default.
+    #[serde(default)]
+    pub profile: Option<String>,
+    /// ZeRO stage (1, 2, or 3; the paper evaluates 3).
+    #[serde(default = "default_stage")]
+    pub zero_stage: u8,
+    /// Data-parallel degree (defaults to the profile's GPU count).
+    #[serde(default)]
+    pub data_parallel: Option<usize>,
+    /// Micro-batch size per GPU.
+    #[serde(default = "default_one")]
+    pub micro_batch: usize,
+    /// Gradient accumulation steps.
+    #[serde(default = "default_one")]
+    pub grad_accumulation: usize,
+    /// Subgroup size in parameters (DeepSpeed's
+    /// `sub_group_size`; paper default 100 M).
+    #[serde(default = "default_subgroup")]
+    pub subgroup_size: usize,
+    /// TwinFlow-style static GPU residency ratio in `[0, 1]`.
+    #[serde(default)]
+    pub gpu_resident_ratio: f64,
+    /// Offload the FP32 optimizer state to NVMe instead of host DRAM
+    /// (ZeRO-Infinity tier; §6 future work).
+    #[serde(default)]
+    pub nvme_offload: bool,
+    /// Activation checkpointing (paper default: on).
+    #[serde(default = "default_true")]
+    pub activation_checkpointing: bool,
+    /// The middleware entry.
+    #[serde(default)]
+    pub deep_optimizer_states: DosEntry,
+}
+
+fn default_stage() -> u8 {
+    3
+}
+fn default_one() -> usize {
+    1
+}
+fn default_subgroup() -> usize {
+    100_000_000
+}
+fn default_true() -> bool {
+    true
+}
+
+impl RuntimeConfig {
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Parse`] on malformed JSON.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dos_runtime::RuntimeConfig;
+    /// let cfg = RuntimeConfig::from_json(r#"{
+    ///     "model": "20B",
+    ///     "deep_optimizer_states": { "enabled": true, "update_stride": "auto" }
+    /// }"#)?;
+    /// assert_eq!(cfg.model, "20B");
+    /// # Ok::<(), dos_runtime::ConfigError>(())
+    /// ```
+    pub fn from_json(json: &str) -> Result<RuntimeConfig, ConfigError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes back to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Resolves into a simulator [`TrainConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Unknown`] for unrecognized model/profile
+    /// names and [`ConfigError::Invalid`] for out-of-range fields.
+    pub fn resolve(&self) -> Result<TrainConfig, ConfigError> {
+        let spec = ModelSpec::by_name(&self.model)
+            .ok_or(ConfigError::Unknown { kind: "model", name: self.model.clone() })?;
+        let profile = match &self.profile {
+            None => HardwareProfile::jlse_h100(),
+            Some(name) => HardwareProfile::presets()
+                .into_iter()
+                .find(|p| &p.name == name)
+                .ok_or(ConfigError::Unknown { kind: "profile", name: name.clone() })?,
+        };
+        let stage = match self.zero_stage {
+            1 => ZeroStage::One,
+            2 => ZeroStage::Two,
+            3 => ZeroStage::Three,
+            other => {
+                return Err(ConfigError::Invalid { detail: format!("zero_stage {other}") })
+            }
+        };
+        if !(0.0..=1.0).contains(&self.gpu_resident_ratio) {
+            return Err(ConfigError::Invalid {
+                detail: format!("gpu_resident_ratio {}", self.gpu_resident_ratio),
+            });
+        }
+        if self.micro_batch == 0 || self.subgroup_size == 0 || self.grad_accumulation == 0 {
+            return Err(ConfigError::Invalid {
+                detail: "micro_batch, subgroup_size, grad_accumulation must be positive".into(),
+            });
+        }
+        let dos = &self.deep_optimizer_states;
+        Ok(TrainConfig {
+            spec,
+            world: self.data_parallel.unwrap_or(profile.num_gpus),
+            stage,
+            micro_batch: self.micro_batch,
+            grad_accumulation: self.grad_accumulation,
+            offload: OffloadConfig {
+                gpu_resident_ratio: self.gpu_resident_ratio,
+                activation_checkpointing: self.activation_checkpointing,
+                subgroup_params: self.subgroup_size,
+                optimizer_on_nvme: self.nvme_offload,
+            },
+            gradient_path: if dos.enabled && dos.fp32_gradient_path {
+                GradientPath::Fp32OnGpu
+            } else {
+                GradientPath::LegacyFp16Flush
+            },
+            overlap_backward: dos.enabled && dos.overlap_backward,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_config_uses_paper_defaults() {
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "20B" }"#).unwrap();
+        assert_eq!(cfg.zero_stage, 3);
+        assert_eq!(cfg.micro_batch, 1);
+        assert_eq!(cfg.subgroup_size, 100_000_000);
+        assert!(cfg.activation_checkpointing);
+        assert!(cfg.deep_optimizer_states.enabled);
+        let train = cfg.resolve().unwrap();
+        assert_eq!(train.world, 4);
+        assert_eq!(train.gradient_path, GradientPath::Fp32OnGpu);
+    }
+
+    #[test]
+    fn stride_entry_forms() {
+        let cfg = RuntimeConfig::from_json(
+            r#"{ "model": "7B", "deep_optimizer_states": { "update_stride": 3 } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deep_optimizer_states.update_stride.to_policy(), StridePolicy::Fixed(3));
+        let cfg = RuntimeConfig::from_json(
+            r#"{ "model": "7B", "deep_optimizer_states": { "update_stride": "cpu_only" } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deep_optimizer_states.update_stride.to_policy(), StridePolicy::CpuOnly);
+    }
+
+    #[test]
+    fn disabling_the_middleware_restores_baseline_paths() {
+        let cfg = RuntimeConfig::from_json(
+            r#"{ "model": "13B", "deep_optimizer_states": { "enabled": false } }"#,
+        )
+        .unwrap();
+        let train = cfg.resolve().unwrap();
+        assert_eq!(train.gradient_path, GradientPath::LegacyFp16Flush);
+        assert!(!train.overlap_backward);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "99B" }"#).unwrap();
+        assert!(matches!(cfg.resolve(), Err(ConfigError::Unknown { kind: "model", .. })));
+        let cfg =
+            RuntimeConfig::from_json(r#"{ "model": "7B", "profile": "nonexistent" }"#).unwrap();
+        assert!(matches!(cfg.resolve(), Err(ConfigError::Unknown { kind: "profile", .. })));
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let cfg =
+            RuntimeConfig::from_json(r#"{ "model": "7B", "zero_stage": 4 }"#).unwrap();
+        assert!(matches!(cfg.resolve(), Err(ConfigError::Invalid { .. })));
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "7B", "gpu_resident_ratio": 1.5 }"#)
+            .unwrap();
+        assert!(matches!(cfg.resolve(), Err(ConfigError::Invalid { .. })));
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "7B", "micro_batch": 0 }"#).unwrap();
+        assert!(matches!(cfg.resolve(), Err(ConfigError::Invalid { .. })));
+    }
+
+    #[test]
+    fn unknown_fields_fail_fast() {
+        assert!(RuntimeConfig::from_json(r#"{ "model": "7B", "typo_field": 1 }"#).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "20B", "gpu_resident_ratio": 0.2 }"#)
+            .unwrap();
+        let again = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again.model, "20B");
+        assert_eq!(again.gpu_resident_ratio, 0.2);
+    }
+
+    #[test]
+    fn profile_lookup_by_name() {
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "7B", "profile": "4xV100-32GB" }"#)
+            .unwrap();
+        let train = cfg.resolve().unwrap();
+        assert_eq!(train.profile.name, "4xV100-32GB");
+    }
+}

@@ -1,0 +1,34 @@
+//! # dos-runtime — trainer facade and JSON configuration
+//!
+//! The user-facing surface of the *Deep Optimizer States* reproduction,
+//! mirroring §4.4's packaging ("enabled and configured through a single
+//! JSON entry in the configuration file given to the training runtime"):
+//!
+//! * [`RuntimeConfig`] — a DeepSpeed-style JSON document with a
+//!   `"deep_optimizer_states"` entry; [`run_iteration`]/[`run_training`]
+//!   resolve it onto the calibrated simulator with the right scheduler;
+//! * [`train_functional`] — *real* data-parallel training: per-rank threads
+//!   with `dos-nn` models, `dos-collectives` reduce-scatter/all-gather,
+//!   ZeRO-sharded optimizer state, and the `dos-core` interleaved hybrid
+//!   pipeline doing the updates.
+//!
+//! ```
+//! use dos_runtime::{run_iteration, RuntimeConfig};
+//! let cfg = RuntimeConfig::from_json(r#"{ "model": "7B" }"#)?;
+//! let report = run_iteration(&cfg).unwrap();
+//! assert!(report.total_secs > 0.0);
+//! # Ok::<(), dos_runtime::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod checkpoint;
+mod config;
+mod functional;
+mod sim_trainer;
+
+pub use checkpoint::{AsyncCheckpointer, TrainingCheckpoint};
+pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
+pub use functional::{evaluate, train_functional, FunctionalConfig, FunctionalReport};
+pub use sim_trainer::{run_iteration, run_training, scheduler_for};

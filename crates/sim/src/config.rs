@@ -1,0 +1,129 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use dos_hal::HardwareProfile;
+use dos_nn::ModelSpec;
+use dos_zero::{OffloadConfig, ZeroStage};
+
+/// How FP16 gradients produced by the backward pass reach the host-resident
+/// FP32 gradient buffer (§4.1 "PCIe Transfers with Higher Precision",
+/// Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GradientPath {
+    /// DeepSpeed's default: allocate an *unpinned* FP16 staging buffer on
+    /// the host (~4 GB/s), D2H-copy into it (~10 GB/s unpinned), then
+    /// upscale FP16→FP32 on the CPU (62 GB/s) — ~2.5 GB/s end to end, and
+    /// blocking with respect to the backward compute stream.
+    LegacyFp16Flush,
+    /// Deep Optimizer States: chunk-wise FP16→FP32 conversion *on the GPU*
+    /// (1.2 TB/s), then DMA the FP32 chunks straight into the pinned host
+    /// gradient buffer at full PCIe rate, overlapped with backward compute.
+    Fp32OnGpu,
+}
+
+/// Complete description of one simulated training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// The model being trained (Table 2 zoo or custom).
+    pub spec: ModelSpec,
+    /// The machine (calibrated profile).
+    pub profile: HardwareProfile,
+    /// ZeRO stage (the paper evaluates stage 3).
+    pub stage: ZeroStage,
+    /// Data-parallel degree. The paper's single-node runs use
+    /// `profile.num_gpus`; the weak-scaling sweep (Fig. 17) raises it.
+    pub world: usize,
+    /// Micro-batch size per GPU (paper default 1, Fig. 13 sweeps it).
+    pub micro_batch: usize,
+    /// Gradient accumulation steps per iteration (1 unless noted).
+    pub grad_accumulation: usize,
+    /// Optimizer placement and activation handling.
+    pub offload: OffloadConfig,
+    /// Gradient flush path (baselines use the legacy path).
+    pub gradient_path: GradientPath,
+    /// Whether gradient flushes overlap backward compute (Deep Optimizer
+    /// States) or block it (baselines) — with the legacy path this is the
+    /// 1.9× backward component of the paper's 2.5× speedup.
+    pub overlap_backward: bool,
+}
+
+impl TrainConfig {
+    /// The paper's default configuration for a model on the H100 testbed:
+    /// ZeRO-3, DP = 4, micro-batch 1, activation checkpointing, optimizer
+    /// fully offloaded, legacy gradient path (i.e., the ZeRO-3 baseline).
+    pub fn baseline(spec: ModelSpec, profile: HardwareProfile) -> TrainConfig {
+        let world = profile.num_gpus;
+        TrainConfig {
+            spec,
+            profile,
+            stage: ZeroStage::Three,
+            world,
+            micro_batch: 1,
+            grad_accumulation: 1,
+            offload: OffloadConfig::default(),
+            gradient_path: GradientPath::LegacyFp16Flush,
+            overlap_backward: false,
+        }
+    }
+
+    /// The same configuration with Deep Optimizer States' data paths
+    /// enabled (FP32-on-GPU gradient flush, overlapped backward). The
+    /// update-phase scheduling is chosen separately via the
+    /// [`UpdateScheduler`](crate::UpdateScheduler) passed to the runner.
+    pub fn deep_optimizer_states(spec: ModelSpec, profile: HardwareProfile) -> TrainConfig {
+        TrainConfig {
+            gradient_path: GradientPath::Fp32OnGpu,
+            overlap_backward: true,
+            ..Self::baseline(spec, profile)
+        }
+    }
+
+    /// Parameters of this rank's optimizer shard.
+    pub fn params_per_rank(&self) -> usize {
+        (self.spec.param_count() as usize).div_ceil(self.world)
+    }
+
+    /// Tokens processed per rank per iteration.
+    pub fn tokens_per_rank(&self) -> usize {
+        self.micro_batch * self.grad_accumulation * self.spec.seq_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrainConfig {
+        TrainConfig::baseline(ModelSpec::by_name("20B").unwrap(), HardwareProfile::jlse_h100())
+    }
+
+    #[test]
+    fn baseline_matches_paper_defaults() {
+        let c = cfg();
+        assert_eq!(c.world, 4);
+        assert_eq!(c.micro_batch, 1);
+        assert!(c.offload.activation_checkpointing);
+        assert_eq!(c.offload.gpu_resident_ratio, 0.0);
+        assert_eq!(c.offload.subgroup_params, 100_000_000);
+        assert_eq!(c.gradient_path, GradientPath::LegacyFp16Flush);
+        assert!(!c.overlap_backward);
+    }
+
+    #[test]
+    fn dos_config_flips_data_paths() {
+        let c = TrainConfig::deep_optimizer_states(
+            ModelSpec::by_name("20B").unwrap(),
+            HardwareProfile::jlse_h100(),
+        );
+        assert_eq!(c.gradient_path, GradientPath::Fp32OnGpu);
+        assert!(c.overlap_backward);
+    }
+
+    #[test]
+    fn per_rank_accounting() {
+        let c = cfg();
+        assert_eq!(c.params_per_rank(), (c.spec.param_count() as usize).div_ceil(4));
+        assert_eq!(c.tokens_per_rank(), 2048);
+    }
+}

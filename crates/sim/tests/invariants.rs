@@ -1,0 +1,115 @@
+//! Simulator-wide invariants, swept across models, schedulers cannot be
+//! referenced here (they live one layer up), so a local CPU scheduler
+//! stands in; `dos-core`'s suites cover the real ones.
+
+use dos_hal::{HardwareProfile, OpId, SimError};
+use dos_nn::ModelSpec;
+use dos_sim::{simulate_iteration, IterationScenario, TrainConfig, UpdateScheduler};
+use proptest::prelude::*;
+
+struct CpuChain;
+
+impl UpdateScheduler for CpuChain {
+    fn name(&self) -> &str {
+        "cpu-chain"
+    }
+
+    fn schedule_update(
+        &self,
+        scn: &mut IterationScenario,
+        grads_ready: OpId,
+    ) -> Result<OpId, SimError> {
+        let sgs = scn.subgroups().to_vec();
+        let mut last = grads_ready;
+        for sg in &sgs {
+            let u = scn.cpu_update(sg, &[last])?;
+            let d = scn.cpu_downscale(sg, &[u])?;
+            last = scn.h2d_updated_params(sg, &[d])?;
+        }
+        Ok(last)
+    }
+}
+
+fn zoo_model(idx: usize) -> ModelSpec {
+    let zoo = ModelSpec::table2_zoo();
+    zoo[idx % zoo.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The phase breakdown always sums to the total, utilizations stay in
+    /// [0, 1], and throughputs are positive — for any model and micro-batch.
+    #[test]
+    fn report_consistency(model_idx in 0usize..5, micro_batch in 1usize..4) {
+        let mut cfg = TrainConfig::baseline(zoo_model(model_idx), HardwareProfile::jlse_h100());
+        cfg.micro_batch = micro_batch;
+        let r = simulate_iteration(&cfg, &CpuChain).unwrap();
+        let sum = r.forward_secs + r.backward_secs + r.update_secs;
+        prop_assert!((sum - r.total_secs).abs() < 1e-6);
+        for u in [
+            r.update_utilization.gpu,
+            r.update_utilization.gpu_nvml,
+            r.update_utilization.cpu,
+            r.update_utilization.pcie_h2d,
+            r.update_utilization.pcie_d2h,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+        prop_assert!(r.tflops_per_gpu > 0.0);
+        prop_assert!(r.update_pps_per_rank > 0.0);
+        prop_assert!(r.spill_secs >= 0.0);
+    }
+
+    /// More CPU cores never slow the CPU-bound update chain down.
+    #[test]
+    fn more_cores_never_hurt(cores in 2usize..48) {
+        let base = HardwareProfile::jlse_h100();
+        let few = TrainConfig::baseline(zoo_model(0), base.with_cores_per_gpu(cores));
+        let many = TrainConfig::baseline(zoo_model(0), base.with_cores_per_gpu(cores + 8));
+        let t_few = simulate_iteration(&few, &CpuChain).unwrap().total_secs;
+        let t_many = simulate_iteration(&many, &CpuChain).unwrap().total_secs;
+        prop_assert!(t_many <= t_few + 1e-9, "{cores}+8 cores took {t_many} vs {t_few}");
+    }
+
+    /// Larger micro-batches never make an iteration faster.
+    #[test]
+    fn bigger_batches_cost_time(mb in 1usize..8) {
+        let p = HardwareProfile::jlse_h100();
+        let mut small = TrainConfig::baseline(zoo_model(4), p.clone());
+        small.micro_batch = mb;
+        let mut big = small.clone();
+        big.micro_batch = mb + 1;
+        let t_small = simulate_iteration(&small, &CpuChain).unwrap().total_secs;
+        let t_big = simulate_iteration(&big, &CpuChain).unwrap().total_secs;
+        prop_assert!(t_big >= t_small);
+    }
+
+    /// The same configuration always produces bit-identical reports
+    /// (the engine is fully deterministic).
+    #[test]
+    fn simulation_is_deterministic(model_idx in 0usize..5) {
+        let cfg = TrainConfig::deep_optimizer_states(
+            zoo_model(model_idx),
+            HardwareProfile::v100_node(),
+        );
+        let a = simulate_iteration(&cfg, &CpuChain).unwrap();
+        let b = simulate_iteration(&cfg, &CpuChain).unwrap();
+        prop_assert_eq!(a.total_secs, b.total_secs);
+        prop_assert_eq!(a.timeline.spans().len(), b.timeline.spans().len());
+    }
+
+    /// Subgroup size never changes the CPU-chain update time by more than
+    /// rounding effects (Eq. 1 and Figure 2's independence claim).
+    #[test]
+    fn subgroup_size_independence(sg_millions in 1usize..20) {
+        let p = HardwareProfile::jlse_h100();
+        let mut a = TrainConfig::baseline(zoo_model(2), p.clone());
+        a.offload.subgroup_params = sg_millions * 50_000_000;
+        let mut b = a.clone();
+        b.offload.subgroup_params = 100_000_000;
+        let ta = simulate_iteration(&a, &CpuChain).unwrap().update_secs;
+        let tb = simulate_iteration(&b, &CpuChain).unwrap().update_secs;
+        prop_assert!((ta / tb - 1.0).abs() < 0.02, "{ta} vs {tb}");
+    }
+}

@@ -1,0 +1,127 @@
+//! ASCII Gantt rendering of timelines.
+//!
+//! Renders schedules the way the paper's Figures 5 and 6 illustrate them:
+//! one row per resource, time flowing left to right, each span drawn with a
+//! glyph derived from its label. Used by the `fig5_schedule_gantt` and
+//! `fig6_gradient_path_gantt` binaries.
+
+use crate::timeline::Timeline;
+
+/// Renders `timeline` as an ASCII Gantt chart `width` characters wide.
+///
+/// Spans are drawn with the first character of their label (`#` when the
+/// label is empty); later spans overwrite earlier ones where they collide
+/// within a row. A scale line in seconds is appended.
+///
+/// # Panics
+///
+/// Panics if `width < 10`.
+pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
+    assert!(width >= 10, "width too small");
+    let end = timeline.end_time();
+    if end == 0.0 {
+        return String::from("(empty timeline)\n");
+    }
+    let resources = timeline.resources();
+    let name_w = resources.iter().map(String::len).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    for res in &resources {
+        let mut row = vec![b'.'; width];
+        for span in timeline.for_resource(res) {
+            let a = ((span.start / end) * width as f64).floor() as usize;
+            let b = ((span.end / end) * width as f64).ceil() as usize;
+            let glyph = span.label.bytes().next().unwrap_or(b'#');
+            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                *cell = glyph;
+            }
+        }
+        out.push_str(&format!(
+            "{:>name_w$} |{}|\n",
+            res,
+            String::from_utf8(row).expect("ascii glyphs"),
+        ));
+    }
+    // Scale line.
+    out.push_str(&format!(
+        "{:>name_w$} |0{:>pad$}|\n",
+        "t(s)",
+        format!("{end:.3}"),
+        pad = width - 1,
+    ));
+    out
+}
+
+/// Renders a legend mapping the first-character glyphs used in the chart to
+/// full labels (one entry per distinct label prefix).
+pub fn render_legend(timeline: &Timeline) -> String {
+    let mut seen: Vec<(u8, String)> = Vec::new();
+    for span in timeline.spans() {
+        let glyph = span.label.bytes().next().unwrap_or(b'#');
+        let stem = span.label.split(':').next().unwrap_or(&span.label).to_string();
+        if !seen.iter().any(|(g, s)| *g == glyph && *s == stem) {
+            seen.push((glyph, stem));
+        }
+    }
+    let mut out = String::from("legend: ");
+    for (i, (g, stem)) in seen.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push(*g as char);
+        out.push_str(" = ");
+        out.push_str(stem);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "update:sg1", "update", 0.0, 1.0, 1.0);
+        tl.record("cpu", "cpu-update:sg0", "update", 0.0, 2.0, 2.0);
+        tl.record("pcie.h2d", "prefetch:sg1", "update", 0.5, 1.0, 100.0);
+        tl
+    }
+
+    #[test]
+    fn rows_per_resource_and_scale_line() {
+        let chart = render_gantt(&timeline(), 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 resources + scale
+        assert!(lines[0].contains("gpu"));
+        assert!(lines[3].contains("t(s)"));
+    }
+
+    #[test]
+    fn glyph_density_tracks_duration() {
+        let chart = render_gantt(&timeline(), 40);
+        let cpu_row = chart.lines().find(|l| l.trim_start().starts_with("cpu ")).unwrap();
+        let gpu_row = chart.lines().find(|l| l.trim_start().starts_with("gpu ")).unwrap();
+        let cpu_busy = cpu_row.matches('c').count();
+        let gpu_busy = gpu_row.matches('u').count();
+        assert!(cpu_busy > gpu_busy, "cpu row {cpu_busy} vs gpu row {gpu_busy}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert_eq!(render_gantt(&Timeline::new(), 40), "(empty timeline)\n");
+    }
+
+    #[test]
+    fn legend_lists_distinct_stems() {
+        let legend = render_legend(&timeline());
+        assert!(legend.contains("u = update"));
+        assert!(legend.contains("c = cpu-update"));
+        assert!(legend.contains("p = prefetch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width too small")]
+    fn width_validated() {
+        let _ = render_gantt(&Timeline::new(), 5);
+    }
+}

@@ -1,0 +1,17 @@
+//! # dos-telemetry — timelines, utilization sampling, and Gantt export
+//!
+//! The reproduction's NVML (§3): simulators and pipelines record busy
+//! [`Span`]s into a [`Timeline`], from which windowed utilization and
+//! throughput series are derived — the data behind the paper's GPU-memory
+//! (Figure 3), PCIe-traffic (Figure 4), and resource-utilization (Figure 15)
+//! plots — and ASCII Gantt charts ([`render_gantt`]) in the style of the
+//! schedule illustrations (Figures 5 and 6).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gantt;
+mod timeline;
+
+pub use gantt::{render_gantt, render_legend};
+pub use timeline::{Sample, Span, Timeline};

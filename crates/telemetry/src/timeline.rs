@@ -1,0 +1,385 @@
+//! Span timelines and windowed utilization.
+//!
+//! The paper instruments training with NVML (§3, §5.4) to plot GPU memory,
+//! PCIe traffic, and compute utilization over time (Figures 3, 4, 15). This
+//! module is the reproduction's NVML: simulators and pipelines record
+//! [`Span`]s, and [`Timeline`] derives windowed utilization and throughput
+//! series from them.
+
+use serde::{Deserialize, Serialize};
+
+/// One busy interval on a named resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Resource name (e.g. `"pcie.h2d"`, `"gpu"`, `"cpu"`).
+    pub resource: String,
+    /// Free-form label (e.g. `"prefetch:sg3"`).
+    pub label: String,
+    /// Training phase (e.g. `"forward"`, `"update"`).
+    pub phase: String,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Work performed (bytes for links, device-seconds for compute).
+    pub work: f64,
+}
+
+impl Span {
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Seconds of overlap with the window `[a, b)`.
+    pub fn overlap(&self, a: f64, b: f64) -> f64 {
+        (self.end.min(b) - self.start.max(a)).max(0.0)
+    }
+}
+
+/// A point in a sampled utilization or throughput series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Window midpoint, seconds.
+    pub time: f64,
+    /// The sampled value (utilization in `[0,1]`, or units/s).
+    pub value: f64,
+}
+
+/// An append-only collection of spans with derived views.
+///
+/// # Examples
+///
+/// ```
+/// use dos_telemetry::Timeline;
+/// let mut tl = Timeline::new();
+/// tl.record("gpu", "update:sg0", "update", 0.0, 1.0, 1.0);
+/// tl.record("gpu", "update:sg1", "update", 1.5, 2.0, 0.5);
+/// let util = tl.utilization("gpu", 0.0, 2.0, 4);
+/// assert_eq!(util.len(), 4);
+/// assert_eq!(util[0].value, 1.0); // [0, 0.5): fully busy
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Records a span.
+    pub fn record(
+        &mut self,
+        resource: impl Into<String>,
+        label: impl Into<String>,
+        phase: impl Into<String>,
+        start: f64,
+        end: f64,
+        work: f64,
+    ) {
+        self.spans.push(Span {
+            resource: resource.into(),
+            label: label.into(),
+            phase: phase.into(),
+            start,
+            end,
+            work,
+        });
+    }
+
+    /// Appends an already-built span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans on one resource.
+    pub fn for_resource<'a>(&'a self, resource: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.resource == resource)
+    }
+
+    /// Spans in one phase.
+    pub fn for_phase<'a>(&'a self, phase: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// Distinct resource names in first-seen order.
+    pub fn resources(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.resource) {
+                out.push(s.resource.clone());
+            }
+        }
+        out
+    }
+
+    /// Latest span end (the makespan), or 0 when empty.
+    pub fn end_time(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Busy fraction of `resource` in each of `windows` equal windows over
+    /// `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or `end <= start`.
+    pub fn utilization(&self, resource: &str, start: f64, end: f64, windows: usize) -> Vec<Sample> {
+        assert!(windows > 0, "windows must be positive");
+        assert!(end > start, "end must exceed start");
+        let w = (end - start) / windows as f64;
+        (0..windows)
+            .map(|i| {
+                let a = start + i as f64 * w;
+                let b = a + w;
+                let busy: f64 = self.for_resource(resource).map(|s| s.overlap(a, b)).sum();
+                Sample { time: (a + b) / 2.0, value: (busy / w).min(1.0) }
+            })
+            .collect()
+    }
+
+    /// Work throughput (work units per second, e.g. bytes/s on a link) of
+    /// `resource` over equal windows — the PCIe-traffic view of Figure 4.
+    ///
+    /// Work is attributed uniformly over each span's duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or `end <= start`.
+    pub fn throughput(&self, resource: &str, start: f64, end: f64, windows: usize) -> Vec<Sample> {
+        assert!(windows > 0, "windows must be positive");
+        assert!(end > start, "end must exceed start");
+        let w = (end - start) / windows as f64;
+        (0..windows)
+            .map(|i| {
+                let a = start + i as f64 * w;
+                let b = a + w;
+                let work: f64 = self
+                    .for_resource(resource)
+                    .map(|s| {
+                        let d = s.duration();
+                        if d == 0.0 {
+                            0.0
+                        } else {
+                            s.work * s.overlap(a, b) / d
+                        }
+                    })
+                    .sum();
+                Sample { time: (a + b) / 2.0, value: work / w }
+            })
+            .collect()
+    }
+
+    /// Total busy seconds of a resource across all spans.
+    pub fn busy_time(&self, resource: &str) -> f64 {
+        self.for_resource(resource).map(Span::duration).sum()
+    }
+
+    /// Overall busy fraction of a resource over `[0, end_time]`.
+    pub fn overall_utilization(&self, resource: &str) -> f64 {
+        let total = self.end_time();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.busy_time(resource) / total).min(1.0)
+        }
+    }
+
+    /// The span of a phase: `(earliest start, latest end)`, if any span has
+    /// that phase.
+    pub fn phase_bounds(&self, phase: &str) -> Option<(f64, f64)> {
+        let mut bounds: Option<(f64, f64)> = None;
+        for s in self.for_phase(phase) {
+            bounds = Some(match bounds {
+                None => (s.start, s.end),
+                Some((a, b)) => (a.min(s.start), b.max(s.end)),
+            });
+        }
+        bounds
+    }
+
+    /// Merges another timeline's spans into this one.
+    pub fn extend_from(&mut self, other: &Timeline) {
+        self.spans.extend_from_slice(&other.spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "fwd", "forward", 0.0, 1.0, 1.0);
+        tl.record("pcie.h2d", "fetch", "forward", 0.5, 1.5, 100.0);
+        tl.record("gpu", "upd", "update", 2.0, 3.0, 1.0);
+        tl
+    }
+
+    #[test]
+    fn span_overlap_math() {
+        let s = Span {
+            resource: "r".into(),
+            label: "l".into(),
+            phase: "p".into(),
+            start: 1.0,
+            end: 3.0,
+            work: 10.0,
+        };
+        assert_eq!(s.duration(), 2.0);
+        assert_eq!(s.overlap(0.0, 2.0), 1.0);
+        assert_eq!(s.overlap(1.5, 2.5), 1.0);
+        assert_eq!(s.overlap(3.0, 4.0), 0.0);
+        assert_eq!(s.overlap(0.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn utilization_windows() {
+        let tl = sample_timeline();
+        let u = tl.utilization("gpu", 0.0, 3.0, 3);
+        assert_eq!(u[0].value, 1.0);
+        assert_eq!(u[1].value, 0.0);
+        assert_eq!(u[2].value, 1.0);
+    }
+
+    #[test]
+    fn throughput_attributes_work_uniformly() {
+        let tl = sample_timeline();
+        // pcie span: 100 units over [0.5, 1.5] = 100 units/s while active.
+        let t = tl.throughput("pcie.h2d", 0.0, 2.0, 4);
+        assert_eq!(t[0].value, 0.0); // [0, 0.5)
+        assert!((t[1].value - 100.0).abs() < 1e-9); // [0.5, 1.0)
+        assert!((t[2].value - 100.0).abs() < 1e-9);
+        assert_eq!(t[3].value, 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let tl = sample_timeline();
+        assert_eq!(tl.busy_time("gpu"), 2.0);
+        assert_eq!(tl.end_time(), 3.0);
+        assert!((tl.overall_utilization("gpu") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(tl.resources(), vec!["gpu".to_string(), "pcie.h2d".to_string()]);
+        assert_eq!(tl.phase_bounds("forward"), Some((0.0, 1.5)));
+        assert_eq!(tl.phase_bounds("missing"), None);
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = sample_timeline();
+        let b = sample_timeline();
+        a.extend_from(&b);
+        assert_eq!(a.spans().len(), 6);
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let tl = Timeline::new();
+        assert_eq!(tl.end_time(), 0.0);
+        assert_eq!(tl.overall_utilization("gpu"), 0.0);
+    }
+}
+
+/// CSV export of spans and sampled series (for external plotting).
+impl Timeline {
+    /// Renders all spans as CSV with a header row
+    /// (`resource,label,phase,start,end,work`).
+    pub fn spans_to_csv(&self) -> String {
+        let mut out = String::from("resource,label,phase,start,end,work\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                csv_escape(&s.resource),
+                csv_escape(&s.label),
+                csv_escape(&s.phase),
+                s.start,
+                s.end,
+                s.work
+            ));
+        }
+        out
+    }
+
+    /// Renders a sampled utilization series for `resources` as CSV: one
+    /// `time` column plus one utilization column per resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or `end <= start`.
+    pub fn utilization_to_csv(
+        &self,
+        resources: &[&str],
+        start: f64,
+        end: f64,
+        windows: usize,
+    ) -> String {
+        let series: Vec<Vec<Sample>> =
+            resources.iter().map(|r| self.utilization(r, start, end, windows)).collect();
+        let mut out = String::from("time");
+        for r in resources {
+            out.push(',');
+            out.push_str(&csv_escape(r));
+        }
+        out.push('\n');
+        for i in 0..windows {
+            out.push_str(&format!("{}", series[0][i].time));
+            for s in &series {
+                out.push_str(&format!(",{}", s[i].value));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "fwd,part", "forward", 0.0, 1.0, 1.0);
+        tl.record("pcie.h2d", "fetch", "update", 1.0, 2.0, 100.0);
+        tl
+    }
+
+    #[test]
+    fn spans_csv_has_header_and_escaping() {
+        let csv = tl().spans_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "resource,label,phase,start,end,work");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"fwd,part\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn utilization_csv_is_rectangular() {
+        let csv = tl().utilization_to_csv(&["gpu", "pcie.h2d"], 0.0, 2.0, 4);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "time,gpu,pcie.h2d");
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 3);
+        }
+        // First window: gpu fully busy, link idle.
+        let first: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(first[1], "1");
+        assert_eq!(first[2], "0");
+    }
+}

@@ -1,0 +1,146 @@
+//! Software bfloat16.
+//!
+//! BF16 shares FP32's exponent range with an 8-bit mantissa; real-world LLM
+//! pre-training (BLOOM, GPT-NeoX) uses it interchangeably with FP16 (§2,
+//! "Mixed Precision Training"). Conversion is a round-to-nearest-even
+//! truncation of the upper 16 bits of the FP32 representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A bfloat16 value stored as raw bits.
+///
+/// # Examples
+///
+/// ```
+/// use dos_tensor::Bf16;
+/// let b = Bf16::from_f32(1.0);
+/// assert_eq!(b.to_bits(), 0x3F80);
+/// assert_eq!(b.to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+
+    /// Constructs from raw bits.
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bits.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet the NaN, preserve sign and (truncated) payload.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let lower = bits & 0xFFFF;
+        let mut upper = (bits >> 16) as u16;
+        if lower > 0x8000 || (lower == 0x8000 && (upper & 1) == 1) {
+            upper = upper.wrapping_add(1);
+        }
+        Bf16(upper)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Whether the value is finite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(b: Bf16) -> f32 {
+        b.to_f32()
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Bf16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(Bf16::from_f32(1.0).to_bits(), 0x3F80);
+        assert_eq!(Bf16::from_f32(-2.0).to_bits(), 0xC000);
+        // BF16 keeps FP32's range: 1e38 is finite.
+        assert!(Bf16::from_f32(1e38).is_finite());
+        assert_eq!(Bf16::from_f32(f32::INFINITY), Bf16::INFINITY);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn exhaustive_round_trip() {
+        for bits in 0..=u16::MAX {
+            let b = Bf16::from_bits(bits);
+            let back = Bf16::from_f32(b.to_f32());
+            if b.is_nan() {
+                assert!(back.is_nan(), "bits {bits:#06x} lost NaN-ness");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} failed round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn rne_tie_behaviour() {
+        // 1.0 has bits 0x3F80_0000. A tie at lower=0x8000 with even upper
+        // stays; with odd upper rounds up.
+        let even_tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(even_tie).to_bits(), 0x3F80);
+        let odd_tie = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(odd_tie).to_bits(), 0x3F82);
+        let above_tie = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above_tie).to_bits(), 0x3F81);
+    }
+
+    #[test]
+    fn precision_is_coarser_than_f16_in_unit_range() {
+        // BF16 has 8 mantissa bits vs FP16's 11 near 1.0.
+        let x = 1.0 + 1.0 / 512.0;
+        assert_eq!(Bf16::from_f32(x).to_f32(), 1.0); // below bf16 ULP
+        assert!(crate::F16::from_f32(x).to_f32() > 1.0); // above f16 ULP
+    }
+}

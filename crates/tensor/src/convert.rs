@@ -1,0 +1,173 @@
+//! Chunk-wise precision conversion kernels.
+//!
+//! Deep Optimizer States replaces DeepSpeed's gradient flush (allocate an
+//! unpinned FP16 host staging buffer → D2H copy → host-side FP16→FP32
+//! upscale) with a *chunk-wise in-place on-the-fly* FP16→FP32 conversion on
+//! the GPU followed by a direct DMA of FP32 chunks into the pinned host
+//! gradient buffer (§4.1, Figure 6). These kernels are the functional
+//! counterparts of that path; `dos-hal` models their timing.
+
+use crate::bf16::Bf16;
+use crate::error::TensorError;
+use crate::f16::F16;
+
+/// Upscales FP16 `src` into FP32 `dst`, processing `chunk` elements at a
+/// time (a `chunk` of 0 means one pass over the whole buffer).
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if the buffers differ in length.
+pub fn upscale_f16_chunked(
+    src: &[F16],
+    dst: &mut [f32],
+    chunk: usize,
+) -> Result<(), TensorError> {
+    if src.len() != dst.len() {
+        return Err(TensorError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    let chunk = if chunk == 0 { src.len().max(1) } else { chunk };
+    for (s, d) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
+        for (x, y) in s.iter().zip(d.iter_mut()) {
+            *y = x.to_f32();
+        }
+    }
+    Ok(())
+}
+
+/// Downscales FP32 `src` into FP16 `dst` with round-to-nearest-even,
+/// processing `chunk` elements at a time.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if the buffers differ in length.
+pub fn downscale_f32_chunked(
+    src: &[f32],
+    dst: &mut [F16],
+    chunk: usize,
+) -> Result<(), TensorError> {
+    if src.len() != dst.len() {
+        return Err(TensorError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    let chunk = if chunk == 0 { src.len().max(1) } else { chunk };
+    for (s, d) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
+        for (x, y) in s.iter().zip(d.iter_mut()) {
+            *y = F16::from_f32(*x);
+        }
+    }
+    Ok(())
+}
+
+/// Upscales BF16 `src` into FP32 `dst`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if the buffers differ in length.
+pub fn upscale_bf16(src: &[Bf16], dst: &mut [f32]) -> Result<(), TensorError> {
+    if src.len() != dst.len() {
+        return Err(TensorError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    for (x, y) in src.iter().zip(dst.iter_mut()) {
+        *y = x.to_f32();
+    }
+    Ok(())
+}
+
+/// Downscales FP32 `src` into BF16 `dst`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if the buffers differ in length.
+pub fn downscale_bf16(src: &[f32], dst: &mut [Bf16]) -> Result<(), TensorError> {
+    if src.len() != dst.len() {
+        return Err(TensorError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    for (x, y) in src.iter().zip(dst.iter_mut()) {
+        *y = Bf16::from_f32(*x);
+    }
+    Ok(())
+}
+
+/// Accumulates `src` into `dst` (`dst += src`), the gradient-accumulation
+/// kernel (`old_grad.add_(new_grad)`) that §3 observes is orders of
+/// magnitude faster on the GPU.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if the buffers differ in length.
+pub fn accumulate(dst: &mut [f32], src: &[f32]) -> Result<(), TensorError> {
+    if src.len() != dst.len() {
+        return Err(TensorError::LengthMismatch { src: src.len(), dst: dst.len() });
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upscale_matches_elementwise() {
+        let src: Vec<F16> = (0..100).map(|i| F16::from_f32(i as f32 * 0.25)).collect();
+        let mut a = vec![0.0f32; 100];
+        let mut b = vec![0.0f32; 100];
+        upscale_f16_chunked(&src, &mut a, 7).unwrap();
+        upscale_f16_chunked(&src, &mut b, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[4], 1.0);
+    }
+
+    #[test]
+    fn downscale_round_trips_representable_values() {
+        let src: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut dst = vec![F16::ZERO; 64];
+        downscale_f32_chunked(&src, &mut dst, 16).unwrap();
+        let mut back = vec![0.0f32; 64];
+        upscale_f16_chunked(&dst, &mut back, 16).unwrap();
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let src: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let mut out1 = vec![F16::ZERO; 1000];
+        let mut out2 = vec![F16::ZERO; 1000];
+        downscale_f32_chunked(&src, &mut out1, 1).unwrap();
+        downscale_f32_chunked(&src, &mut out2, 333).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let src = vec![F16::ZERO; 3];
+        let mut dst = vec![0.0f32; 4];
+        assert!(matches!(
+            upscale_f16_chunked(&src, &mut dst, 2),
+            Err(TensorError::LengthMismatch { src: 3, dst: 4 })
+        ));
+        let mut short = vec![F16::ZERO; 2];
+        assert!(downscale_f32_chunked(&[1.0; 3], &mut short, 1).is_err());
+    }
+
+    #[test]
+    fn bf16_paths() {
+        let src = vec![1.0f32, -2.0, 0.5];
+        let mut b = vec![Bf16::ZERO; 3];
+        downscale_bf16(&src, &mut b).unwrap();
+        let mut back = vec![0.0f32; 3];
+        upscale_bf16(&b, &mut back).unwrap();
+        assert_eq!(src, back);
+        assert!(downscale_bf16(&src, &mut [Bf16::ZERO; 2]).is_err());
+        assert!(upscale_bf16(&b, &mut [0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut dst = vec![1.0f32, 2.0, 3.0];
+        accumulate(&mut dst, &[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(dst, vec![1.5, 2.5, 3.5]);
+        assert!(accumulate(&mut dst, &[1.0]).is_err());
+    }
+}

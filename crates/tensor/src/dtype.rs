@@ -1,0 +1,68 @@
+//! Element types for tensors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The element type of a [`Tensor`](crate::Tensor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float — optimizer master weights, momentum, variance.
+    F32,
+    /// 16-bit IEEE half — GPU-resident model parameters and gradients.
+    F16,
+    /// bfloat16 — alternative low-precision format with FP32 range.
+    BF16,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 | DType::BF16 => 2,
+        }
+    }
+
+    /// Whether this is a 16-bit ("low precision") type.
+    pub const fn is_half(self) -> bool {
+        matches!(self, DType::F16 | DType::BF16)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "fp32",
+            DType::F16 => "fp16",
+            DType::BF16 => "bf16",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+    }
+
+    #[test]
+    fn half_classification() {
+        assert!(!DType::F32.is_half());
+        assert!(DType::F16.is_half());
+        assert!(DType::BF16.is_half());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F32.to_string(), "fp32");
+        assert_eq!(DType::F16.to_string(), "fp16");
+        assert_eq!(DType::BF16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for dos-tensor invariants.
+
+use dos_tensor::convert::{accumulate, downscale_f32_chunked, upscale_f16_chunked};
+use dos_tensor::{Bf16, DType, F16, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// f16 -> f32 -> f16 is the identity for every non-NaN value.
+    #[test]
+    fn f16_f32_round_trip(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    /// bf16 -> f32 -> bf16 is the identity for every non-NaN value.
+    #[test]
+    fn bf16_f32_round_trip(bits in any::<u16>()) {
+        let b = Bf16::from_bits(bits);
+        prop_assume!(!b.is_nan());
+        prop_assert_eq!(Bf16::from_f32(b.to_f32()).to_bits(), bits);
+    }
+
+    /// The f32 -> f16 conversion picks a *nearest* representable value: no
+    /// neighbouring f16 is strictly closer.
+    #[test]
+    fn f16_conversion_is_nearest(x in -70000.0f32..70000.0) {
+        let h = F16::from_f32(x);
+        prop_assume!(h.is_finite());
+        let v = h.to_f32();
+        let bits = h.to_bits();
+        // Walk to numeric neighbours (bit-adjacent within the same sign, or
+        // across the zero boundary).
+        let neighbours = [bits.wrapping_add(1), bits.wrapping_sub(1), bits ^ 0x8000];
+        for nb in neighbours {
+            let n = F16::from_bits(nb);
+            if n.is_finite() {
+                prop_assert!(
+                    (x - v).abs() <= (x - n.to_f32()).abs() + f32::EPSILON,
+                    "{} -> {} but neighbour {} is closer", x, v, n.to_f32()
+                );
+            }
+        }
+    }
+
+    /// Conversion is monotone: a <= b implies f16(a) <= f16(b).
+    #[test]
+    fn f16_conversion_is_monotone(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Relative error of f16 rounding is bounded by 2^-11 for normal values.
+    #[test]
+    fn f16_relative_error_bound(x in 1e-3f32..60000.0) {
+        let v = F16::from_f32(x).to_f32();
+        let rel = ((x - v) / x).abs();
+        prop_assert!(rel <= 1.0 / 2048.0, "relative error {} too large for {}", rel, x);
+    }
+
+    /// Chunked downscale/upscale is independent of the chunk size.
+    #[test]
+    fn chunking_is_transparent(
+        data in proptest::collection::vec(-1000.0f32..1000.0, 1..300),
+        chunk in 1usize..64,
+    ) {
+        let n = data.len();
+        let mut whole = vec![F16::ZERO; n];
+        let mut chunked = vec![F16::ZERO; n];
+        downscale_f32_chunked(&data, &mut whole, 0).unwrap();
+        downscale_f32_chunked(&data, &mut chunked, chunk).unwrap();
+        prop_assert_eq!(&whole, &chunked);
+
+        let mut up_whole = vec![0.0f32; n];
+        let mut up_chunked = vec![0.0f32; n];
+        upscale_f16_chunked(&whole, &mut up_whole, 0).unwrap();
+        upscale_f16_chunked(&chunked, &mut up_chunked, chunk).unwrap();
+        prop_assert_eq!(up_whole, up_chunked);
+    }
+
+    /// Casting a tensor to f16 and back never increases the element count,
+    /// shape, or (beyond rounding) the values.
+    #[test]
+    fn tensor_cast_preserves_shape(
+        data in proptest::collection::vec(-100.0f32..100.0, 1..64),
+    ) {
+        let n = data.len();
+        let t = Tensor::from_vec(&[n], data.clone()).unwrap();
+        let h = t.to_dtype(DType::F16).to_dtype(DType::F32);
+        prop_assert_eq!(h.shape(), t.shape());
+        for (i, x) in data.iter().enumerate() {
+            prop_assert!((h.get(i) - x).abs() <= x.abs() / 1024.0 + 1e-4);
+        }
+    }
+
+    /// Accumulation is element-wise addition.
+    #[test]
+    fn accumulate_is_addition(
+        a in proptest::collection::vec(-1e6f32..1e6, 1..64),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5).collect();
+        let mut dst = a.clone();
+        accumulate(&mut dst, &b).unwrap();
+        for i in 0..a.len() {
+            prop_assert_eq!(dst[i], a[i] + b[i]);
+        }
+    }
+}

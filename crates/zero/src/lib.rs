@@ -1,0 +1,24 @@
+//! # dos-zero — ZeRO-style partitioning and memory accounting
+//!
+//! The redundancy-elimination substrate of the *Deep Optimizer States*
+//! reproduction, mirroring DeepSpeed ZeRO (§2):
+//!
+//! * [`ZeroStage`]/[`ZeroPartition`] — which of optimizer state, gradients,
+//!   and parameters are sharded across data-parallel ranks, and which flat
+//!   parameter range each rank owns;
+//! * [`SubgroupSpec`]/[`partition_into_subgroups`] — ZeRO-3's fixed-size
+//!   subgroup sharding (Figure 1(c)), the unit Deep Optimizer States
+//!   schedules between CPU and GPU;
+//! * [`MemoryEstimator`] — per-rank GPU/host byte accounting (Table 2 sizes,
+//!   the Figure 13 OOM boundary, and TwinFlow's static-residency ratio).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod estimator;
+mod stage;
+mod subgroup;
+
+pub use estimator::{MemoryEstimator, OffloadConfig, RankMemory};
+pub use stage::{ZeroPartition, ZeroStage};
+pub use subgroup::{partition_into_subgroups, rank_range, SubgroupSpec};

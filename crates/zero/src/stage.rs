@@ -1,0 +1,161 @@
+//! ZeRO redundancy-elimination stages.
+//!
+//! DeepSpeed's ZeRO partitions training state across data-parallel ranks in
+//! three increments (§2): stage 1 shards the optimizer state, stage 2 adds
+//! gradients, stage 3 adds the model parameters themselves (with per-layer
+//! all-gathers on the forward/backward path). Deep Optimizer States targets
+//! stage 3, whose subgroup sharding it schedules, but the scheduling is
+//! stage-agnostic (§4.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::subgroup::{partition_into_subgroups, rank_range, SubgroupSpec};
+
+/// A ZeRO stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZeroStage {
+    /// Optimizer state partitioned across ranks.
+    One,
+    /// Optimizer state + gradients partitioned.
+    Two,
+    /// Optimizer state + gradients + parameters partitioned.
+    Three,
+}
+
+impl ZeroStage {
+    /// Whether gradients are sharded across ranks.
+    pub fn shards_gradients(self) -> bool {
+        matches!(self, ZeroStage::Two | ZeroStage::Three)
+    }
+
+    /// Whether model parameters are sharded across ranks (requiring
+    /// all-gathers during forward/backward).
+    pub fn shards_parameters(self) -> bool {
+        matches!(self, ZeroStage::Three)
+    }
+}
+
+/// A rank's view of a ZeRO-partitioned flat parameter space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroPartition {
+    /// The ZeRO stage.
+    pub stage: ZeroStage,
+    /// Data-parallel world size.
+    pub world: usize,
+    /// This rank.
+    pub rank: usize,
+}
+
+impl ZeroPartition {
+    /// Creates a partition descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero or `rank >= world`.
+    pub fn new(stage: ZeroStage, world: usize, rank: usize) -> ZeroPartition {
+        assert!(world > 0, "world must be positive");
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        ZeroPartition { stage, world, rank }
+    }
+
+    /// The flat parameter range whose *optimizer state* this rank owns
+    /// (sharded in every stage).
+    pub fn optimizer_shard(&self, total_params: usize) -> std::ops::Range<usize> {
+        rank_range(total_params, self.rank, self.world)
+    }
+
+    /// The subgroups of this rank's optimizer shard, re-indexed from zero
+    /// (each is at most `subgroup_size` parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subgroup_size` is zero.
+    pub fn subgroups(&self, total_params: usize, subgroup_size: usize) -> Vec<SubgroupSpec> {
+        let shard = self.optimizer_shard(total_params);
+        partition_into_subgroups(shard.len(), subgroup_size)
+            .into_iter()
+            .map(|sg| SubgroupSpec {
+                id: sg.id,
+                start: shard.start + sg.start,
+                end: shard.start + sg.end,
+            })
+            .collect()
+    }
+
+    /// Per-rank FP16 parameter bytes held on the GPU.
+    pub fn gpu_param_bytes(&self, total_params: u64) -> u64 {
+        if self.stage.shards_parameters() {
+            2 * total_params / self.world as u64
+        } else {
+            2 * total_params
+        }
+    }
+
+    /// Per-rank FP16 gradient bytes held on the GPU during backward.
+    pub fn gpu_grad_bytes(&self, total_params: u64) -> u64 {
+        if self.stage.shards_gradients() {
+            2 * total_params / self.world as u64
+        } else {
+            2 * total_params
+        }
+    }
+
+    /// Per-rank FP32 optimizer-state bytes (p, m, v), wherever they live.
+    pub fn optimizer_bytes(&self, total_params: u64) -> u64 {
+        12 * total_params / self.world as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_capabilities() {
+        assert!(!ZeroStage::One.shards_gradients());
+        assert!(ZeroStage::Two.shards_gradients());
+        assert!(!ZeroStage::Two.shards_parameters());
+        assert!(ZeroStage::Three.shards_parameters());
+    }
+
+    #[test]
+    fn optimizer_shards_cover_space() {
+        let total = 1001;
+        let mut covered = 0;
+        for rank in 0..4 {
+            let p = ZeroPartition::new(ZeroStage::Three, 4, rank);
+            covered += p.optimizer_shard(total).len();
+        }
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn subgroups_are_rank_local_and_rebased() {
+        let p = ZeroPartition::new(ZeroStage::Three, 4, 1);
+        let sgs = p.subgroups(1000, 100);
+        let shard = p.optimizer_shard(1000);
+        assert_eq!(sgs.first().unwrap().start, shard.start);
+        assert_eq!(sgs.last().unwrap().end, shard.end);
+        assert_eq!(sgs[0].id, 0);
+        assert!(sgs.iter().all(|sg| sg.len() <= 100));
+    }
+
+    #[test]
+    fn memory_scales_with_stage() {
+        let total = 1_000_000u64;
+        let s1 = ZeroPartition::new(ZeroStage::One, 4, 0);
+        let s3 = ZeroPartition::new(ZeroStage::Three, 4, 0);
+        assert_eq!(s1.gpu_param_bytes(total), 2 * total);
+        assert_eq!(s3.gpu_param_bytes(total), 2 * total / 4);
+        assert_eq!(s1.gpu_grad_bytes(total), 2 * total);
+        assert_eq!(s3.gpu_grad_bytes(total), 2 * total / 4);
+        // Optimizer is sharded in every stage.
+        assert_eq!(s1.optimizer_bytes(total), s3.optimizer_bytes(total));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_validation() {
+        let _ = ZeroPartition::new(ZeroStage::Three, 2, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Subgroup partitioning of a flat parameter space.
+//!
+//! ZeRO-3 splits each rank's parameter shard into fixed-size *subgroups*
+//! (§2, Figure 1(c)): the unit of optimizer-state movement and of update
+//! scheduling. Deep Optimizer States schedules whole subgroups onto the CPU
+//! or GPU; the paper uses 100 M parameters per subgroup and shows the choice
+//! does not affect iteration time (Figure 2, and Eq. 1 is independent of the
+//! subgroup size).
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous subgroup of the flat parameter space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubgroupSpec {
+    /// Subgroup index within its rank (0-based, in parameter order).
+    pub id: usize,
+    /// First flat parameter index (inclusive).
+    pub start: usize,
+    /// One past the last flat parameter index.
+    pub end: usize,
+}
+
+impl SubgroupSpec {
+    /// Number of parameters in the subgroup.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the subgroup is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// The subgroup as a range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Bytes of FP32 optimizer state (parameters + momentum + variance).
+    pub fn optimizer_bytes(&self) -> u64 {
+        3 * 4 * self.len() as u64
+    }
+
+    /// Bytes of the FP16 parameter copy.
+    pub fn fp16_param_bytes(&self) -> u64 {
+        2 * self.len() as u64
+    }
+}
+
+/// Splits `total` parameters into subgroups of at most `subgroup_size`.
+///
+/// The final subgroup absorbs the remainder (DeepSpeed's behaviour).
+///
+/// # Panics
+///
+/// Panics if `subgroup_size` is zero.
+pub fn partition_into_subgroups(total: usize, subgroup_size: usize) -> Vec<SubgroupSpec> {
+    assert!(subgroup_size > 0, "subgroup_size must be positive");
+    let mut out = Vec::with_capacity(total.div_ceil(subgroup_size));
+    let mut start = 0;
+    let mut id = 0;
+    while start < total {
+        let end = (start + subgroup_size).min(total);
+        out.push(SubgroupSpec { id, start, end });
+        start = end;
+        id += 1;
+    }
+    out
+}
+
+/// The contiguous slice of a flat space owned by `rank` out of `world`
+/// ranks, with the remainder spread over the first ranks (sizes differ by at
+/// most one).
+///
+/// # Panics
+///
+/// Panics if `world` is zero or `rank >= world`.
+pub fn rank_range(total: usize, rank: usize, world: usize) -> std::ops::Range<usize> {
+    assert!(world > 0, "world must be positive");
+    assert!(rank < world, "rank {rank} out of range for world {world}");
+    let base = total / world;
+    let extra = total % world;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subgroups_tile_the_space_exactly() {
+        let sgs = partition_into_subgroups(1050, 100);
+        assert_eq!(sgs.len(), 11);
+        assert_eq!(sgs[0].range(), 0..100);
+        assert_eq!(sgs[10].range(), 1000..1050);
+        assert_eq!(sgs.iter().map(SubgroupSpec::len).sum::<usize>(), 1050);
+        for w in sgs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].id + 1, w[1].id);
+        }
+    }
+
+    #[test]
+    fn exact_division_has_no_remainder_group() {
+        let sgs = partition_into_subgroups(400, 100);
+        assert_eq!(sgs.len(), 4);
+        assert!(sgs.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn empty_space_has_no_subgroups() {
+        assert!(partition_into_subgroups(0, 100).is_empty());
+    }
+
+    #[test]
+    fn subgroup_byte_accounting() {
+        let sg = SubgroupSpec { id: 0, start: 0, end: 100_000_000 };
+        // 100M params: 1.2 GB of FP32 p+m+v, as §5.3 computes.
+        assert_eq!(sg.optimizer_bytes(), 1_200_000_000);
+        assert_eq!(sg.fp16_param_bytes(), 200_000_000);
+        assert!(!sg.is_empty());
+    }
+
+    #[test]
+    fn rank_ranges_partition_disjointly() {
+        let total = 103;
+        let world = 4;
+        let mut covered = vec![false; total];
+        for rank in 0..world {
+            for i in rank_range(total, rank, world) {
+                assert!(!covered[i], "index {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = (0..world).map(|r| rank_range(total, r, world).len()).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_bounds_checked() {
+        let _ = rank_range(10, 4, 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Train a tiny GPT on the synthetic corpus, then sample text from it —
+//! exercising the whole functional stack (tokenizer, data-parallel
+//! training with interleaved hybrid updates, autoregressive decoding).
+//!
+//! ```sh
+//! cargo run --release --example generate_text
+//! ```
+
+use dos::data::{BpeTokenizer, Corpus, TokenDataset};
+use dos::nn::{Gpt, GptConfig, VisitParams};
+use dos::optim::LrSchedule;
+use dos_runtime::{train_functional, FunctionalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let corpus = Corpus::synthetic(7, 600);
+    let tokenizer = BpeTokenizer::train(&corpus.joined_text(), 512);
+    let seq_len = 16;
+    let dataset = TokenDataset::pack(&corpus, &tokenizer, seq_len);
+    println!(
+        "tokenizer: {} entries, {:.2} bytes/token on the corpus; {} training sequences",
+        tokenizer.vocab_size(),
+        tokenizer.bytes_per_token(&corpus.joined_text()),
+        dataset.len(),
+    );
+
+    let cfg = FunctionalConfig {
+        model: GptConfig {
+            vocab_size: tokenizer.vocab_size(),
+            max_seq: seq_len,
+            dim: 48,
+            num_layers: 2,
+            num_heads: 4,
+            init_std: 0.05,
+        },
+        world: 2,
+        micro_batch: 8,
+        lr: 4e-3,
+        lr_schedule: Some(LrSchedule::WarmupCosine {
+            peak: 4e-3,
+            warmup_steps: 5,
+            total_steps: 60,
+            min_factor: 0.1,
+        }),
+        ..FunctionalConfig::small()
+    };
+
+    const ITERS: usize = 60;
+    println!("training {ITERS} iterations on {} ranks with stride-2 interleaving...", cfg.world);
+    let report = train_functional(&cfg, &dataset, ITERS);
+    println!(
+        "loss: {:.3} -> {:.3} (ranks consistent: {})\n",
+        report.losses[0],
+        report.losses[ITERS - 1],
+        report.ranks_consistent,
+    );
+
+    // Rebuild a model from the trained parameters and sample from it.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Gpt::new(cfg.model.clone(), &mut rng);
+    model.scatter_params(&report.final_params);
+
+    let prompt_text = "The ";
+    let prompt: Vec<usize> =
+        tokenizer.encode(prompt_text).into_iter().map(|t| t as usize).collect();
+    for temperature in [0.0f32, 0.8] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = model.generate(&prompt, 24, temperature, &mut rng);
+        let ids: Vec<u32> = out.iter().map(|&t| t as u32).collect();
+        println!("T={temperature:<4} | {:?}", tokenizer.decode(&ids));
+    }
+    println!(
+        "\n(A 2-layer, 48-dim model after 60 steps is no poet — the point is that the\n\
+         whole pipeline, trained through the interleaved hybrid updater, decodes.)"
+    );
+}

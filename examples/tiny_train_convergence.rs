@@ -1,0 +1,86 @@
+//! Functional end-to-end training: a tiny GPT on a synthetic corpus, with
+//! real data-parallel ranks (threads), real ring collectives, a real BPE
+//! tokenizer, and the *actual interleaved hybrid pipeline* doing the
+//! optimizer updates — demonstrating the paper's §4.1 correctness claim:
+//! interleaved CPU/GPU subgroup updates change nothing about training.
+//!
+//! ```sh
+//! cargo run --release --example tiny_train_convergence
+//! ```
+
+use dos::core::StridePolicy;
+use dos::data::{BpeTokenizer, Corpus, TokenDataset};
+use dos::nn::GptConfig;
+use dos_runtime::{train_functional, FunctionalConfig};
+
+fn main() {
+    // Data pipeline: synthetic corpus -> trained BPE -> packed sequences.
+    let corpus = Corpus::synthetic(2024, 400);
+    let tokenizer = BpeTokenizer::train(&corpus.joined_text(), 512);
+    let seq_len = 16;
+    let dataset = TokenDataset::pack(&corpus, &tokenizer, seq_len);
+    println!(
+        "corpus: {} records, {} chars | tokenizer vocab {} | {} sequences of {} tokens",
+        corpus.records().len(),
+        corpus.total_chars(),
+        tokenizer.vocab_size(),
+        dataset.len(),
+        seq_len,
+    );
+
+    let base = FunctionalConfig {
+        model: GptConfig {
+            vocab_size: tokenizer.vocab_size(),
+            max_seq: seq_len,
+            dim: 32,
+            num_layers: 2,
+            num_heads: 4,
+            init_std: 0.06,
+        },
+        world: 2,
+        micro_batch: 4,
+        ..FunctionalConfig::small()
+    };
+
+    const ITERS: usize = 30;
+    println!("\ntraining {} iterations on {} data-parallel ranks...\n", ITERS, base.world);
+
+    // Reference: everything on the "CPU".
+    let mut cpu_cfg = base.clone();
+    cpu_cfg.pipeline.stride = StridePolicy::CpuOnly;
+    let cpu = train_functional(&cpu_cfg, &dataset, ITERS);
+
+    // Interleaved: every second subgroup goes through the device worker,
+    // travelling over the DMA channels — Algorithm 1 with real numerics.
+    let mut hybrid_cfg = base;
+    hybrid_cfg.pipeline.stride = StridePolicy::Fixed(2);
+    let hybrid = train_functional(&hybrid_cfg, &dataset, ITERS);
+
+    println!("iter   cpu-only loss   interleaved loss");
+    for i in (0..ITERS).step_by(5) {
+        println!("{:>4}   {:>13.4}   {:>16.4}", i, cpu.losses[i], hybrid.losses[i]);
+    }
+    println!(
+        "{:>4}   {:>13.4}   {:>16.4}",
+        ITERS - 1,
+        cpu.losses[ITERS - 1],
+        hybrid.losses[ITERS - 1]
+    );
+
+    assert!(cpu.losses[ITERS - 1] < cpu.losses[0], "training did not converge");
+    assert_eq!(
+        cpu.losses, hybrid.losses,
+        "interleaved offloading must not change the loss trajectory"
+    );
+    assert_eq!(
+        cpu.final_params, hybrid.final_params,
+        "interleaved offloading must be bitwise identical"
+    );
+    assert!(cpu.ranks_consistent && hybrid.ranks_consistent);
+
+    println!(
+        "\nloss trajectories and final parameters are BITWISE IDENTICAL across the\n\
+         CPU-only and interleaved schedules, and all data-parallel ranks agree —\n\
+         the embarrassingly-parallel-update property (§4.1) the scheduler exploits."
+    );
+}

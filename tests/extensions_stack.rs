@@ -1,0 +1,103 @@
+//! Integration tests of the extension features through the public surface:
+//! JSON-configured NVMe tiering, schedule explanation, checkpointing in
+//! training, and the calibration bridge.
+
+use dos::core::{explain_schedule, PerfModel};
+use dos::hal::HardwareProfile;
+use dos::nn::ModelSpec;
+use dos::sim::{
+    simulate_training, simulate_training_with_checkpoints, CheckpointPolicy, TrainConfig,
+};
+use dos_runtime::{run_iteration, scheduler_for, RuntimeConfig};
+
+/// The whole §6 NVMe story through the JSON config: a 65B model that
+/// overflows host DRAM trains once `nvme_offload` is flipped on.
+#[test]
+fn nvme_tier_via_json() {
+    let dram_bound = RuntimeConfig::from_json(r#"{ "model": "65B" }"#).unwrap();
+    let r = run_iteration(&dram_bound).unwrap();
+    assert!(r.host_oom.is_some(), "65B must overflow 512 GB DRAM");
+
+    let tiered =
+        RuntimeConfig::from_json(r#"{ "model": "65B", "nvme_offload": true }"#).unwrap();
+    assert_eq!(scheduler_for(&tiered).name(), "dos-nvme-offload");
+    let r = run_iteration(&tiered).unwrap();
+    assert!(r.host_oom.is_none(), "{:?}", r.host_oom);
+    assert!(r.oom.is_none(), "{:?}", r.oom);
+    assert!(r.total_secs > 0.0);
+}
+
+/// The explanation, the prediction, and the simulation agree on the 20B
+/// schedule within a reasonable band.
+#[test]
+fn explanation_matches_simulation() {
+    let cfg = TrainConfig::deep_optimizer_states(
+        ModelSpec::by_name("20B").unwrap(),
+        HardwareProfile::jlse_h100(),
+    );
+    let e = explain_schedule(&cfg);
+    assert_eq!(e.stride, Some(2));
+    let r = dos::sim::simulate_iteration(&cfg, &dos::core::DeepOptimizerStates::default())
+        .unwrap();
+    let err = (e.predicted_chosen_secs - r.update_secs).abs() / r.update_secs;
+    assert!(
+        err < 0.15,
+        "prediction {:.2}s vs simulated {:.2}s ({:.0}% off)",
+        e.predicted_chosen_secs,
+        r.update_secs,
+        err * 100.0
+    );
+}
+
+/// Checkpointing policies through the simulated trainer keep iteration
+/// stability intact.
+#[test]
+fn checkpointing_preserves_stability() {
+    let cfg = TrainConfig::deep_optimizer_states(
+        ModelSpec::by_name("13B").unwrap(),
+        HardwareProfile::jlse_h100(),
+    );
+    let sched = dos::core::DeepOptimizerStates::default();
+    let plain = simulate_training(&cfg, &sched, 9).unwrap();
+    let ckpt = simulate_training_with_checkpoints(
+        &cfg,
+        &sched,
+        9,
+        CheckpointPolicy { every: 3, asynchronous: true },
+    )
+    .unwrap();
+    assert!(plain.is_stable(1, 0.05));
+    // Async checkpoints must not destabilize the cadence either.
+    let durs = ckpt.iteration_durations();
+    let mean = durs[1..].iter().sum::<f64>() / (durs.len() - 1) as f64;
+    for d in &durs[1..] {
+        assert!((d - mean).abs() < 0.1 * mean, "cadence wobble: {durs:?}");
+    }
+}
+
+/// The calibration report plugs into the same PerfModel type the profiles
+/// use, end to end.
+#[test]
+fn calibration_bridges_into_the_model() {
+    let report = dos::core::calibrate(1 << 16);
+    let machine_model = report.perf_model(HardwareProfile::jlse_h100().gpu_update_pps);
+    let profile_model =
+        PerfModel::new(HardwareProfile::jlse_h100().perf_model_inputs());
+    // Both are valid solver instances; the profile one must give the
+    // paper's k = 2, the host one whatever this machine deserves.
+    assert_eq!(profile_model.optimal_stride(), Some(2));
+    let _ = machine_model.optimal_stride();
+}
+
+/// Extended-zoo lookups work everywhere a Table 2 name does.
+#[test]
+fn extended_zoo_is_first_class() {
+    for name in ["33B", "65B"] {
+        let spec = ModelSpec::by_name(name).unwrap();
+        let cfg = TrainConfig::deep_optimizer_states(spec, HardwareProfile::jlse_h100());
+        assert!(cfg.params_per_rank() > 7_000_000_000);
+        let json = format!(r#"{{ "model": "{name}", "nvme_offload": true }}"#);
+        let rc = RuntimeConfig::from_json(&json).unwrap();
+        assert!(rc.resolve().is_ok());
+    }
+}
