@@ -16,6 +16,7 @@
 //! | [`core`] | `dos-core` | **the paper**: Eq. 1 perf model, Algorithm 1 schedulers, functional pipeline |
 //! | [`telemetry`] | `dos-telemetry` | timelines, utilization, Gantt |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
+//! | [`oracle`] | `dos-oracle` | differential conformance harness (Eq. 1 vs simulator vs pipeline) |
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the full
 //! system inventory.
@@ -29,6 +30,7 @@ pub use dos_data as data;
 pub use dos_hal as hal;
 pub use dos_nn as nn;
 pub use dos_optim as optim;
+pub use dos_oracle as oracle;
 pub use dos_runtime as runtime;
 pub use dos_sim as sim;
 pub use dos_telemetry as telemetry;

@@ -1,0 +1,348 @@
+//! The performance-model oracle: Equation 1's closed form vs. the
+//! discrete-event simulator.
+//!
+//! For every cell of the model × scheduler × stride × resident-ratio
+//! matrix, the update phase is predicted analytically from the profile's
+//! calibrated throughputs (`PerfModel::predicted_update_secs` plus the
+//! per-scheduler serialization structure described below) and simulated
+//! with the real dependency graph. The cell conforms when the
+//! simulated/predicted ratio falls inside the band declared for its
+//! scheduler family; the bands encode how much of each schedule the
+//! closed form abstracts away (drain tails, partial subgroups, resident
+//! overlap) — they are *declared*, not fitted per run, so a scheduler or
+//! perf-model regression moves cells outside them.
+
+use serde::{Deserialize, Serialize};
+
+use dos_core::{DeepOptimizerStates, PerfModel, StridePolicy, TwinFlow, Zero3Offload};
+use dos_hal::HardwareProfile;
+use dos_nn::ModelSpec;
+use dos_sim::{simulate_iteration, TrainConfig};
+use dos_zero::partition_into_subgroups;
+
+use crate::report::{Divergence, DivergenceReport};
+
+/// Which update scheduler a matrix cell exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// DeepSpeed ZeRO-3 with fully CPU-offloaded optimizer (blocking chain).
+    Zero3Offload,
+    /// TwinFlow: head static residents on the GPU, blocking CPU remainder.
+    TwinFlow,
+    /// Deep Optimizer States with the given stride policy.
+    DeepOptimizerStates(StridePolicy),
+}
+
+impl SchedulerKind {
+    fn scheduler_name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Zero3Offload => "zero3-offload",
+            SchedulerKind::TwinFlow => "twinflow",
+            SchedulerKind::DeepOptimizerStates(_) => "deep-optimizer-states",
+        }
+    }
+
+    fn stride_label(&self) -> String {
+        match self {
+            SchedulerKind::Zero3Offload | SchedulerKind::TwinFlow => "-".to_string(),
+            SchedulerKind::DeepOptimizerStates(StridePolicy::Auto) => "auto".to_string(),
+            SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly) => "cpu-only".to_string(),
+            SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)) => format!("k={k}"),
+        }
+    }
+}
+
+/// The ratio band `simulated / predicted` a cell must land in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceBand {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl ToleranceBand {
+    /// Whether `ratio` falls inside the band.
+    pub fn contains(&self, ratio: f64) -> bool {
+        ratio.is_finite() && self.lo <= ratio && ratio <= self.hi
+    }
+}
+
+/// Declared bands per scheduler family.
+///
+/// * ZeRO-3's blocking chain is exactly the Equation 1 CPU-only cost, so
+///   the prediction matches the event simulation to rounding; the band is
+///   effectively "exact".
+/// * TwinFlow adds the head residents' serialized GPU updates — still a
+///   fully serial schedule the closed form reproduces exactly.
+/// * Deep Optimizer States overlaps three resources; the closed form
+///   keeps only the per-cycle max, so pipeline fill/drain tails and
+///   resident overlap leave a wider (still regression-catching) band —
+///   the full H100 matrix observes sim/pred in [0.91, 1.20].
+pub fn band_for(kind: SchedulerKind) -> ToleranceBand {
+    match kind {
+        SchedulerKind::Zero3Offload => ToleranceBand { lo: 0.99, hi: 1.01 },
+        SchedulerKind::TwinFlow => ToleranceBand { lo: 0.98, hi: 1.02 },
+        SchedulerKind::DeepOptimizerStates(_) => ToleranceBand { lo: 0.85, hi: 1.25 },
+    }
+}
+
+/// One evaluated cell of the perf-model matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCell {
+    /// Table 2 model name.
+    pub model: String,
+    /// Scheduler name (`IterationReport::scheduler` spelling).
+    pub scheduler: String,
+    /// Stride coordinate (`k=N`, `auto`, `cpu-only`, or `-`).
+    pub stride: String,
+    /// Static GPU-resident ratio.
+    pub resident_ratio: f64,
+    /// Equation 1 prediction of the update phase, seconds.
+    pub predicted_secs: f64,
+    /// Simulated update phase, seconds.
+    pub simulated_secs: f64,
+    /// Declared tolerance on `simulated / predicted`.
+    pub band: ToleranceBand,
+}
+
+impl PerfCell {
+    /// Simulated-over-predicted ratio.
+    pub fn ratio(&self) -> f64 {
+        self.simulated_secs / self.predicted_secs
+    }
+
+    /// Whether the cell landed inside its declared band.
+    pub fn conformant(&self) -> bool {
+        self.band.contains(self.ratio())
+    }
+
+    /// Cell coordinates for divergence reporting.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "{}/{}/{}/ratio={:.2}",
+            self.model, self.scheduler, self.stride, self.resident_ratio
+        )
+    }
+}
+
+/// Predicts the update-phase seconds for one cell from the profile's
+/// calibrated throughputs, mirroring each scheduler's serialization
+/// structure (see the module docs).
+pub fn predict_update_secs(cfg: &TrainConfig, kind: SchedulerKind) -> f64 {
+    let inputs = cfg.profile.perf_model_inputs();
+    let model = PerfModel::new(inputs);
+    let params = cfg.params_per_rank() as f64;
+    let subgroup = cfg.offload.subgroup_params as f64;
+    let sgs = partition_into_subgroups(cfg.params_per_rank(), cfg.offload.subgroup_params);
+    let n = sgs.len();
+    let n_static = ((cfg.offload.gpu_resident_ratio * n as f64).ceil() as usize).min(n);
+
+    match kind {
+        SchedulerKind::Zero3Offload => model.predicted_update_secs(params, subgroup, None),
+        SchedulerKind::TwinFlow => {
+            // Head residents update serially on the GPU while the CPU
+            // idles, then the remainder runs the blocking CPU chain.
+            let resident_params: f64 = sgs[..n_static].iter().map(|s| s.len() as f64).sum();
+            resident_params / inputs.ug
+                + model.predicted_update_secs(params - resident_params, subgroup, None)
+        }
+        SchedulerKind::DeepOptimizerStates(policy) => {
+            // Tail residents overlap the dynamic pipeline on the GPU; the
+            // phase ends when the slower of the two finishes.
+            let resident_params: f64 = sgs[n - n_static..].iter().map(|s| s.len() as f64).sum();
+            let dynamic_params = params - resident_params;
+            let n_dynamic = n - n_static;
+            let stride = match policy {
+                StridePolicy::Auto => model.optimal_stride(),
+                StridePolicy::Fixed(k) => Some(k.max(1)),
+                StridePolicy::CpuOnly => None,
+            };
+            let interleaving = stride.is_some_and(|k| n_dynamic > k.saturating_sub(1));
+            let dynamic_secs = if interleaving {
+                let k = stride.expect("interleaving implies a stride");
+                model
+                    .with_contention(cfg.profile.dram_contention_cpu_factor)
+                    .predicted_update_secs(dynamic_params, subgroup, Some(k))
+            } else {
+                model.predicted_update_secs(dynamic_params, subgroup, None)
+            };
+            let gpu_params = resident_params
+                + if interleaving {
+                    let k = stride.expect("interleaving implies a stride") as f64;
+                    dynamic_params / k
+                } else {
+                    0.0
+                };
+            dynamic_secs.max(gpu_params / inputs.ug)
+        }
+    }
+}
+
+/// Evaluates one matrix cell: predicts and simulates the update phase.
+///
+/// # Panics
+///
+/// Panics if `model` is not in the zoo or the simulation fails (both are
+/// programming errors in the matrix definition, not divergences).
+pub fn evaluate_cell(
+    model: &str,
+    profile: &HardwareProfile,
+    kind: SchedulerKind,
+    resident_ratio: f64,
+) -> PerfCell {
+    let spec = ModelSpec::by_name(model)
+        .unwrap_or_else(|| panic!("unknown model `{model}` in conformance matrix"));
+    let mut cfg = match kind {
+        SchedulerKind::Zero3Offload | SchedulerKind::TwinFlow => {
+            TrainConfig::baseline(spec, profile.clone())
+        }
+        SchedulerKind::DeepOptimizerStates(_) => {
+            TrainConfig::deep_optimizer_states(spec, profile.clone())
+        }
+    };
+    cfg.offload.gpu_resident_ratio = resident_ratio;
+
+    let report = match kind {
+        SchedulerKind::Zero3Offload => simulate_iteration(&cfg, &Zero3Offload),
+        SchedulerKind::TwinFlow => simulate_iteration(&cfg, &TwinFlow),
+        SchedulerKind::DeepOptimizerStates(stride) => simulate_iteration(
+            &cfg,
+            &DeepOptimizerStates { stride, ..DeepOptimizerStates::default() },
+        ),
+    }
+    .expect("conformance simulation failed");
+
+    PerfCell {
+        model: model.to_string(),
+        scheduler: kind.scheduler_name().to_string(),
+        stride: kind.stride_label(),
+        resident_ratio,
+        predicted_secs: predict_update_secs(&cfg, kind),
+        simulated_secs: report.update_secs,
+        band: band_for(kind),
+    }
+}
+
+/// Runs a matrix of cells and folds the out-of-band ones into a
+/// [`DivergenceReport`].
+pub fn run_matrix(
+    models: &[String],
+    profile: &HardwareProfile,
+    strides: &[usize],
+    ratios: &[f64],
+) -> (Vec<PerfCell>, DivergenceReport) {
+    let mut cells = Vec::new();
+    for model in models {
+        cells.push(evaluate_cell(model, profile, SchedulerKind::Zero3Offload, 0.0));
+        cells.push(evaluate_cell(
+            model,
+            profile,
+            SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly),
+            0.0,
+        ));
+        for &ratio in ratios {
+            cells.push(evaluate_cell(model, profile, SchedulerKind::TwinFlow, ratio));
+            cells.push(evaluate_cell(
+                model,
+                profile,
+                SchedulerKind::DeepOptimizerStates(StridePolicy::Auto),
+                ratio,
+            ));
+            for &k in strides {
+                cells.push(evaluate_cell(
+                    model,
+                    profile,
+                    SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)),
+                    ratio,
+                ));
+            }
+        }
+    }
+    let report = report_from_cells(&cells);
+    (cells, report)
+}
+
+/// Builds the divergence report for a set of evaluated cells.
+pub fn report_from_cells(cells: &[PerfCell]) -> DivergenceReport {
+    DivergenceReport {
+        cells_checked: cells.len(),
+        divergences: cells
+            .iter()
+            .filter(|c| !c.conformant())
+            .map(|c| Divergence {
+                oracle: "perf-model".to_string(),
+                cell: c.coordinates(),
+                expected: format!("sim/pred in [{:.2}, {:.2}]", c.band.lo, c.band.hi),
+                observed: format!(
+                    "sim/pred = {:.3} (sim {:.3}s, pred {:.3}s)",
+                    c.ratio(),
+                    c.simulated_secs,
+                    c.predicted_secs
+                ),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero3_prediction_is_tight() {
+        let cell =
+            evaluate_cell("20B", &HardwareProfile::jlse_h100(), SchedulerKind::Zero3Offload, 0.0);
+        assert!(cell.conformant(), "ratio {:.3} outside {:?}", cell.ratio(), cell.band);
+    }
+
+    #[test]
+    fn twinflow_prediction_tracks_resident_sweep() {
+        for ratio in [0.0, 0.2, 0.5] {
+            let cell =
+                evaluate_cell("13B", &HardwareProfile::jlse_h100(), SchedulerKind::TwinFlow, ratio);
+            assert!(
+                cell.conformant(),
+                "ratio={ratio}: sim/pred {:.3} outside {:?}",
+                cell.ratio(),
+                cell.band
+            );
+        }
+    }
+
+    #[test]
+    fn dos_prediction_holds_across_strides() {
+        for k in 1..=5 {
+            let cell = evaluate_cell(
+                "20B",
+                &HardwareProfile::jlse_h100(),
+                SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)),
+                0.0,
+            );
+            assert!(
+                cell.conformant(),
+                "k={k}: sim/pred {:.3} outside {:?} (sim {:.3}s pred {:.3}s)",
+                cell.ratio(),
+                cell.band,
+                cell.simulated_secs,
+                cell.predicted_secs
+            );
+        }
+    }
+
+    #[test]
+    fn broken_prediction_is_flagged() {
+        // Reintroducing the classic seed bug — dropping the H2D term from
+        // the CPU-only cost — must push ZeRO-3 cells out of their band.
+        let cell =
+            evaluate_cell("20B", &HardwareProfile::jlse_h100(), SchedulerKind::Zero3Offload, 0.0);
+        let inputs = HardwareProfile::jlse_h100().perf_model_inputs();
+        let params = cell.predicted_secs / (1.0 / inputs.uc + 1.0 / inputs.dc + 1.0 / (2.0 * inputs.b));
+        let buggy_pred = params * (1.0 / inputs.uc + 1.0 / inputs.dc);
+        let buggy = PerfCell { predicted_secs: buggy_pred, ..cell };
+        assert!(!buggy.conformant(), "bug not caught: ratio {:.3}", buggy.ratio());
+        let report = report_from_cells(&[buggy]);
+        assert_eq!(report.divergences.len(), 1);
+        assert!(report.divergences[0].cell.contains("zero3-offload"));
+    }
+}

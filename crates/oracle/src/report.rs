@@ -1,0 +1,146 @@
+//! Divergence reporting: serde-serializable records plus an ASCII table
+//! renderer following the `dos-telemetry` conventions (right-aligned label
+//! column, `|`-separated body).
+
+use serde::{Deserialize, Serialize};
+
+/// One conformance failure: the exact cell that diverged, the band it was
+/// expected to land in, and what was observed instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Which oracle flagged the cell (`"perf-model"` or `"numerics"`).
+    pub oracle: String,
+    /// Cell coordinates, e.g. `20B/deep-optimizer-states/k=3/ratio=0.20`.
+    pub cell: String,
+    /// The declared expectation, e.g. `sim/pred in [0.90, 1.15]`.
+    pub expected: String,
+    /// The observed value, e.g. `sim/pred = 1.42`.
+    pub observed: String,
+}
+
+/// The outcome of a conformance run: how many cells were checked and every
+/// cell that fell outside its declared band.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// Total cells evaluated across all oracles.
+    pub cells_checked: usize,
+    /// Cells that diverged; empty means full conformance.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DivergenceReport {
+    /// A report with no cells checked yet.
+    pub fn new() -> DivergenceReport {
+        DivergenceReport::default()
+    }
+
+    /// `true` when every checked cell landed inside its band.
+    pub fn is_conformant(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Folds another report's cells and divergences into this one.
+    pub fn merge(&mut self, other: DivergenceReport) {
+        self.cells_checked += other.cells_checked;
+        self.divergences.extend(other.divergences);
+    }
+
+    /// Renders the divergences as an ASCII table (the telemetry style:
+    /// right-aligned label column, `|` separators), followed by a one-line
+    /// verdict. Conformant reports render the verdict only.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.divergences.is_empty() {
+            let headers = ["oracle", "cell", "expected", "observed"];
+            let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+            let rows: Vec<[&str; 4]> = self
+                .divergences
+                .iter()
+                .map(|d| {
+                    [d.oracle.as_str(), d.cell.as_str(), d.expected.as_str(), d.observed.as_str()]
+                })
+                .collect();
+            for row in &rows {
+                for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let line = |cells: &[&str; 4], widths: &[usize]| -> String {
+                format!(
+                    "{:>w0$} | {:<w1$} | {:<w2$} | {:<w3$}\n",
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3],
+                    w0 = widths[0],
+                    w1 = widths[1],
+                    w2 = widths[2],
+                    w3 = widths[3],
+                )
+            };
+            out.push_str(&line(&headers, &widths));
+            let rule_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+            out.push_str(&"-".repeat(rule_len));
+            out.push('\n');
+            for row in &rows {
+                out.push_str(&line(row, &widths));
+            }
+        }
+        out.push_str(&format!(
+            "{} cells checked, {} divergence(s): {}\n",
+            self.cells_checked,
+            self.divergences.len(),
+            if self.is_conformant() { "CONFORMANT" } else { "DIVERGENT" },
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DivergenceReport {
+        DivergenceReport {
+            cells_checked: 3,
+            divergences: vec![Divergence {
+                oracle: "perf-model".into(),
+                cell: "20B/twinflow/ratio=0.20".into(),
+                expected: "sim/pred in [0.90, 1.10]".into(),
+                observed: "sim/pred = 1.42".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn conformance_flag_tracks_divergences() {
+        assert!(DivergenceReport::new().is_conformant());
+        assert!(!sample().is_conformant());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut r = DivergenceReport { cells_checked: 2, divergences: vec![] };
+        r.merge(sample());
+        assert_eq!(r.cells_checked, 5);
+        assert_eq!(r.divergences.len(), 1);
+    }
+
+    #[test]
+    fn table_names_the_cell_and_band() {
+        let t = sample().render_table();
+        assert!(t.contains("20B/twinflow/ratio=0.20"), "{t}");
+        assert!(t.contains("[0.90, 1.10]"), "{t}");
+        assert!(t.contains("DIVERGENT"), "{t}");
+        let clean = DivergenceReport { cells_checked: 4, divergences: vec![] }.render_table();
+        assert!(clean.contains("CONFORMANT"), "{clean}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DivergenceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

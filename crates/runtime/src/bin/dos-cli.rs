@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! dos-cli <config.json> [--iterations N] [--compare] [--explain]
+//! dos-cli conformance [--quick] [--json]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
 //!   --compare        also run the ZeRO-3 and TwinFlow baselines
 //!   --explain        print the schedule Equation 1 derives first
+//!
+//! conformance: run the differential oracle matrix (Eq. 1 model vs
+//! simulator vs functional pipeline) and exit nonzero on any divergence.
+//!   --quick          reduced matrix (2 models, strides 1..3, 2 ratios)
+//!   --json           emit the DivergenceReport as JSON instead of a table
 //! ```
 //!
 //! Example config:
@@ -55,6 +61,30 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!("usage: dos-cli <config.json> [--iterations N] [--compare] [--explain]");
+    eprintln!("       dos-cli conformance [--quick] [--json]");
+}
+
+/// Runs the differential conformance matrix; `Ok(true)` means conformant.
+fn run_conformance(rest: &[String]) -> Result<bool, String> {
+    let mut quick = false;
+    let mut json = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let oracle = if quick { dos_oracle::Oracle::quick() } else { dos_oracle::Oracle::full() };
+    let outcome = oracle.run();
+    if json {
+        let rendered = serde_json::to_string_pretty(&outcome.report)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{rendered}");
+    } else {
+        print!("{}", outcome.report.render_table());
+    }
+    Ok(outcome.report.is_conformant())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -119,6 +149,18 @@ fn note_speedup(reference: &mut Option<f64>, total: f64) {
 }
 
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("conformance") {
+        return match run_conformance(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args() {
         Ok(args) => match run(&args) {
             Ok(()) => ExitCode::SUCCESS,

@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn conversion_is_nearest() {
         let cases = [
-            0.1f32, 0.2, 0.3, 1.1, 3.14, 2.72, 1000.5, 0.000123, 42.42, 65503.0,
+            0.1f32, 0.2, 0.3, 1.1, std::f32::consts::PI, 2.72, 1000.5, 0.000123, 42.42, 65503.0,
         ];
         for &x in &cases {
             let h = F16::from_f32(x).to_f32();

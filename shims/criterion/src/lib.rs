@@ -1,0 +1,215 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock harness: each benchmark runs a short warmup, then
+//! a fixed measurement window, and prints mean time per iteration plus
+//! derived throughput. No statistics, plots, or baselines — enough to run
+//! `cargo bench` offline and eyeball regressions.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation: scales the per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Total measured time across `iters` (set by `iter`).
+    elapsed: Duration,
+    iters: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and calibration: find an iteration count that fills the
+        // measurement window.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        let target =
+            ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let mut line = format!("{name:<50} {:>12}/iter", format_duration(per_iter));
+    if let Some(tp) = throughput {
+        let rate = match tp {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                format!("{:.2} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+            }
+            Throughput::Elements(n) => {
+                format!("{:.2} Melem/s", n as f64 / per_iter / 1e6)
+            }
+        };
+        line.push_str(&format!("  {rate:>14}"));
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(name, b.elapsed, b.iters, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.parent.measurement_time = t;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measurement_time: self.parent.measurement_time,
+        };
+        f(&mut b);
+        report(&format!("{}/{label}", self.name), b.elapsed, b.iters, self.throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.run(label, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.name.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = <$crate::Criterion as ::std::default::Default>::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,235 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with MPMC semantics (both endpoints are
+//! `Clone + Send + Sync`, unlike `std::sync::mpsc`), which the functional
+//! pipeline relies on: receivers are borrowed into scoped threads.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        capacity: Option<usize>,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// Sending half of a channel; cloning adds a producer.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of a channel; cloning adds a consumer.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value like crossbeam's.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug without requiring `T: Debug`, so
+    // `.expect()` works on channels of non-Debug payloads.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                capacity,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel; `send` blocks while `cap` items queue.
+    /// A zero capacity degrades to capacity 1 (no rendezvous support).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.inner.cv.wait(st).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            self.inner.cv.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.inner.cv.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.cv.wait(st).expect("channel lock");
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.cv.notify_all();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").receivers += 1;
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.inner.state.lock().expect("channel lock").senders -= 1;
+            self.inner.cv.notify_all();
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.state.lock().expect("channel lock").receivers -= 1;
+            self.inner.cv.notify_all();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_cross_thread_round_trip() {
+            let (tx, rx) = unbounded::<usize>();
+            let (back_tx, back_rx) = unbounded::<usize>();
+            thread::scope(|s| {
+                s.spawn(|| {
+                    while let Ok(v) = rx.recv() {
+                        back_tx.send(v * 2).unwrap();
+                    }
+                    drop(back_tx);
+                });
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                let mut got: Vec<usize> = Vec::new();
+                while let Ok(v) = back_rx.recv() {
+                    got.push(v);
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn recv_errors_after_senders_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receivers_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Samples strategies with a deterministic RNG (seeded from the test
+//! name) and runs each case through the test body; failures panic with
+//! the sampled inputs. No shrinking — a failing case prints its inputs
+//! verbatim instead of a minimized counterexample.
+
+#[doc(hidden)]
+pub use ::rand as __rand;
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, Standard};
+
+    /// A source of sampled values. Unlike real proptest there is no value
+    /// tree: `sample` draws directly and failures are not shrunk.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for `any::<T>()`: uniform over T's natural domain.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Uniform sampling over the whole domain of `T`.
+    pub fn any<T: Standard>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Helper used by `prop_oneof!` to unify branch types.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() + 1 }
+        }
+    }
+
+    /// Samples a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = {
+                    use ::std::hash::{Hash, Hasher};
+                    let mut __h = ::std::collections::hash_map::DefaultHasher::new();
+                    ::std::stringify!($name).hash(&mut __h);
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        __h.finish(),
+                    )
+                };
+                for __case_idx in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(&::std::format!(
+                            "{} = {:?}, ",
+                            ::std::stringify!($arg),
+                            &$arg
+                        ));
+                    )*
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        ::std::panic!(
+                            "proptest `{}` case {} failed: {}\n  inputs: {}",
+                            ::std::stringify!($name),
+                            __case_idx,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(__l == __r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        ::std::stringify!($left),
+                        ::std::stringify!($right),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(__l == __r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        ::std::format!($($fmt)+),
+                        __l,
+                        __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if __l == __r {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        ::std::stringify!($left),
+                        ::std::stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when `cond` is false. Unlike real proptest
+/// the case is not resampled, so heavy use of `prop_assume!` reduces the
+/// effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len was {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_picks_from_options(v in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn assume_discards(b in any::<bool>()) {
+            prop_assume!(b);
+            prop_assert!(b);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Real serde streams through a `Serializer`/`Deserializer` pair; this shim
+//! round-trips through an owned [`Value`] tree instead, which is all the
+//! workspace needs (JSON config parsing, checkpoints, report export). The
+//! derive macros in `serde_derive` generate impls of the two traits below,
+//! honoring the subset of `#[serde(...)]` attributes this workspace uses:
+//! `default`, `default = "path"`, `deny_unknown_fields`,
+//! `rename_all = "snake_case"`, and `untagged`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (the JSON data model, with
+/// integers kept exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (always used when the value fits in `i64`).
+    Int(i64),
+    /// Unsigned integers above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a message plus nothing else (no spans — the
+/// value tree has already lost them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match *value {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => f as i128,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Value::Int(v as i64)
+                } else {
+                    Value::UInt(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match *value {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => f as i128,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    ref other => Err(Error::custom(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => {
+                Err(Error::custom(format!("expected sequence, found {}", other.kind())))
+            }
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                let seq = value.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected sequence, found {}", value.kind()))
+                })?;
+                if seq.len() != ARITY {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {ARITY}, found sequence of {}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Support functions called by `serde_derive`-generated code. Not a
+/// public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn expect_map<'a>(
+        value: &'a Value,
+        ty: &str,
+    ) -> Result<&'a [(String, Value)], Error> {
+        value.as_map().ok_or_else(|| {
+            Error::custom(format!("{ty}: expected map, found {}", value.kind()))
+        })
+    }
+
+    pub fn expect_seq<'a>(value: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+        value.as_seq().ok_or_else(|| {
+            Error::custom(format!("{ty}: expected sequence, found {}", value.kind()))
+        })
+    }
+
+    pub fn de_field<T: Deserialize>(
+        map: &[(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match map_get(map, key) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+            None => Err(Error::custom(format!("{ty}: missing field `{key}`"))),
+        }
+    }
+
+    pub fn de_field_or<T: Deserialize>(
+        map: &[(String, Value)],
+        key: &str,
+        ty: &str,
+        default: impl FnOnce() -> T,
+    ) -> Result<T, Error> {
+        match map_get(map, key) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+            None => Ok(default()),
+        }
+    }
+
+    pub fn deny_unknown(
+        map: &[(String, Value)],
+        allowed: &[&str],
+        ty: &str,
+    ) -> Result<(), Error> {
+        for (k, _) in map {
+            if !allowed.contains(&k.as_str()) {
+                return Err(Error::custom(format!("{ty}: unknown field `{k}`")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The single `(tag, payload)` entry of an externally-tagged enum map.
+    pub fn enum_entry<'a>(
+        value: &'a Value,
+        ty: &str,
+    ) -> Result<(&'a str, &'a Value), Error> {
+        let map = expect_map(value, ty)?;
+        if map.len() != 1 {
+            return Err(Error::custom(format!(
+                "{ty}: expected single-entry variant map, found {} entries",
+                map.len()
+            )));
+        }
+        Ok((map[0].0.as_str(), &map[0].1))
+    }
+}

@@ -1,0 +1,696 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim: no `syn`, no `quote` — a small token-tree walker
+//! parses the item, and impls are emitted as source strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named-field structs, tuple structs, and enums with unit / newtype /
+//! tuple / named-field variants. Supported attributes: container-level
+//! `#[serde(default)]`, `#[serde(deny_unknown_fields)]`,
+//! `#[serde(rename_all = "snake_case")]`, `#[serde(untagged)]`, and
+//! field-level `#[serde(default)]` / `#[serde(default = "path")]`.
+//! Anything else panics at compile time rather than silently diverging
+//! from real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct ContainerAttrs {
+    default: bool,
+    deny_unknown: bool,
+    rename_all_snake: bool,
+    untagged: bool,
+}
+
+#[derive(Default, Clone)]
+enum FieldDefault {
+    #[default]
+    None,
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Def {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    def: Def,
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses one `#[...]` bracket group into `attrs`/`field_default`.
+fn apply_attr(group: &proc_macro::Group, attrs: &mut ContainerAttrs, field_default: &mut FieldDefault) {
+    let mut it = group.stream().into_iter();
+    let head = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return,
+    };
+    if head != "serde" {
+        return;
+    }
+    let args = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde shim: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut toks = args.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(ref p) if p.as_char() == ',' => continue,
+            other => panic!("serde shim: unexpected token in #[serde(...)]: {other}"),
+        };
+        let eq_value = if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+        {
+            toks.next();
+            match toks.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde shim: expected string after `{name} =`: {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (name.as_str(), eq_value) {
+            ("default", None) => {
+                attrs.default = true;
+                *field_default = FieldDefault::Std;
+            }
+            ("default", Some(path)) => *field_default = FieldDefault::Path(path),
+            ("deny_unknown_fields", None) => attrs.deny_unknown = true,
+            ("untagged", None) => attrs.untagged = true,
+            ("rename_all", Some(style)) => {
+                assert_eq!(
+                    style, "snake_case",
+                    "serde shim: only rename_all = \"snake_case\" is supported"
+                );
+                attrs.rename_all_snake = true;
+            }
+            (other, _) => panic!("serde shim: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consumes leading attributes from `it`, folding serde ones into the
+/// returned values.
+fn take_attrs(
+    it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> (ContainerAttrs, FieldDefault) {
+    let mut attrs = ContainerAttrs::default();
+    let mut field_default = FieldDefault::None;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        apply_attr(&g, &mut attrs, &mut field_default);
+                    }
+                    other => panic!("serde shim: expected [...] after #: {other:?}"),
+                }
+            }
+            _ => break,
+        }
+    }
+    (attrs, field_default)
+}
+
+fn skip_visibility(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+/// Parses `{ field: Type, ... }` contents.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let (_cattrs, default) = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim: expected `:` after field `{name}`: {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in it.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated slots of a parenthesized tuple body.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut angle_depth = 0i32;
+    let mut slots = 0usize;
+    let mut saw_tokens = false;
+    for tok in group.stream() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                slots += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        slots += 1;
+    }
+    slots
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let (_attrs, _default) = take_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected variant name, found {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                it.next();
+                if arity == 0 {
+                    Shape::Unit
+                } else {
+                    Shape::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.clone());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Trailing comma between variants.
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let (attrs, _field_default) = take_attrs(&mut it);
+    skip_visibility(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic types are not supported (deriving on `{name}`)");
+    }
+    let def = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Def::Struct(Shape::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Def::Struct(Shape::Tuple(tuple_arity(&g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Def::Struct(Shape::Unit),
+            other => panic!("serde shim: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Def::Enum(parse_variants(g))
+            }
+            other => panic!("serde shim: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive on `{other}`"),
+    };
+    Input { name, attrs, def }
+}
+
+fn variant_key(input: &Input, variant: &str) -> String {
+    if input.attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.def {
+        Def::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let key = if input.attrs.rename_all_snake {
+                        snake_case(&f.name)
+                    } else {
+                        f.name.clone()
+                    };
+                    format!(
+                        "(\"{key}\".to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Def::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Def::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Def::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Def::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let key = variant_key(input, &v.name);
+                let arm = match &v.shape {
+                    Shape::Unit => {
+                        if input.attrs.untagged {
+                            format!("{name}::{} => ::serde::Value::Null,", v.name)
+                        } else {
+                            format!(
+                                "{name}::{} => ::serde::Value::Str(\"{key}\".to_string()),",
+                                v.name
+                            )
+                        }
+                    }
+                    Shape::Tuple(1) => {
+                        let payload = "::serde::Serialize::to_value(__f0)".to_string();
+                        if input.attrs.untagged {
+                            format!("{name}::{}(__f0) => {payload},", v.name)
+                        } else {
+                            format!(
+                                "{name}::{}(__f0) => ::serde::Value::Map(::std::vec![(\"{key}\".to_string(), {payload})]),",
+                                v.name
+                            )
+                        }
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let payload =
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "));
+                        if input.attrs.untagged {
+                            format!("{name}::{}({}) => {payload},", v.name, binds.join(", "))
+                        } else {
+                            format!(
+                                "{name}::{}({}) => ::serde::Value::Map(::std::vec![(\"{key}\".to_string(), {payload})]),",
+                                v.name,
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let payload =
+                            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "));
+                        if input.attrs.untagged {
+                            format!(
+                                "{name}::{} {{ {} }} => {payload},",
+                                v.name,
+                                binds.join(", ")
+                            )
+                        } else {
+                            format!(
+                                "{name}::{} {{ {} }} => ::serde::Value::Map(::std::vec![(\"{key}\".to_string(), {payload})]),",
+                                v.name,
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_struct_de(input: &Input, fields: &[Field]) -> String {
+    let name = &input.name;
+    let keys: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if input.attrs.rename_all_snake {
+                snake_case(&f.name)
+            } else {
+                f.name.clone()
+            }
+        })
+        .collect();
+    let mut body = format!("let __map = ::serde::__private::expect_map(__value, \"{name}\")?;\n");
+    if input.attrs.deny_unknown {
+        let allowed: Vec<String> = keys.iter().map(|k| format!("\"{k}\"")).collect();
+        body.push_str(&format!(
+            "::serde::__private::deny_unknown(__map, &[{}], \"{name}\")?;\n",
+            allowed.join(", ")
+        ));
+    }
+    if input.attrs.default {
+        // Container default: start from Default::default() and overwrite
+        // the fields present in the map.
+        body.push_str("let mut __out: Self = ::std::default::Default::default();\n");
+        for (f, key) in fields.iter().zip(&keys) {
+            body.push_str(&format!(
+                "if let ::std::option::Option::Some(__v) = ::serde::__private::map_get(__map, \"{key}\") {{\n\
+                     __out.{0} = ::serde::Deserialize::from_value(__v)\n\
+                         .map_err(|e| ::serde::Error::custom(::std::format!(\"{name}.{key}: {{e}}\")))?;\n\
+                 }}\n",
+                f.name
+            ));
+        }
+        body.push_str("::std::result::Result::Ok(__out)\n");
+    } else {
+        let mut inits = Vec::new();
+        for (f, key) in fields.iter().zip(&keys) {
+            let init = match &f.default {
+                FieldDefault::None => format!(
+                    "{0}: ::serde::__private::de_field(__map, \"{key}\", \"{name}\")?",
+                    f.name
+                ),
+                FieldDefault::Std => format!(
+                    "{0}: ::serde::__private::de_field_or(__map, \"{key}\", \"{name}\", ::std::default::Default::default)?",
+                    f.name
+                ),
+                FieldDefault::Path(path) => format!(
+                    "{0}: ::serde::__private::de_field_or(__map, \"{key}\", \"{name}\", {path})?",
+                    f.name
+                ),
+            };
+            inits.push(init);
+        }
+        body.push_str(&format!(
+            "::std::result::Result::Ok({name} {{ {} }})\n",
+            inits.join(", ")
+        ));
+    }
+    body
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.def {
+        Def::Struct(Shape::Named(fields)) => gen_named_struct_de(input, fields),
+        Def::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)\n\
+                 .map_err(|e| ::serde::Error::custom(::std::format!(\"{name}: {{e}}\")))?))"
+        ),
+        Def::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::__private::expect_seq(__value, \"{name}\")?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: expected {n} elements, found {{}}\", __seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Def::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Def::Enum(variants) if input.attrs.untagged => {
+            // Try variants in declaration order, first success wins.
+            let mut body = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "if ::std::matches!(__value, ::serde::Value::Null) {{\n\
+                             return ::std::result::Result::Ok({name}::{});\n\
+                         }}\n",
+                        v.name
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "if let ::std::result::Result::Ok(__v) = ::serde::Deserialize::from_value(__value) {{\n\
+                             return ::std::result::Result::Ok({name}::{}(__v));\n\
+                         }}\n",
+                        v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{{ let __try = || -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                                 let __seq = ::serde::__private::expect_seq(__value, \"{name}\")?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\"arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{}({}))\n\
+                             }};\n\
+                             if let ::std::result::Result::Ok(__v) = __try() {{\n\
+                                 return ::std::result::Result::Ok(__v);\n\
+                             }} }}\n",
+                            v.name,
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{0}: ::serde::__private::de_field(__m, \"{0}\", \"{name}::{1}\")?",
+                                    f.name, v.name
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{{ let __try = || -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                                 let __m = ::serde::__private::expect_map(__value, \"{name}::{0}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{0} {{ {1} }})\n\
+                             }};\n\
+                             if let ::std::result::Result::Ok(__v) = __try() {{\n\
+                                 return ::std::result::Result::Ok(__v);\n\
+                             }} }}\n",
+                            v.name,
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\n\
+                     \"{name}: data did not match any untagged variant\"))"
+            ));
+            body
+        }
+        Def::Enum(variants) => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.shape, Shape::Unit)).collect();
+            let data: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.shape, Shape::Unit)).collect();
+            let mut body = String::new();
+            if !unit.is_empty() {
+                let arms: Vec<String> = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{}\" => ::std::result::Result::Ok({name}::{}),",
+                            variant_key(input, &v.name),
+                            v.name
+                        )
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                         return match __s {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }};\n\
+                     }}\n",
+                    arms.join("\n")
+                ));
+            }
+            if data.is_empty() {
+                body.push_str(&format!(
+                    "::std::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: expected variant string, found {{}}\", __value.kind())))"
+                ));
+            } else {
+                let mut arms = Vec::new();
+                for v in &data {
+                    let key = variant_key(input, &v.name);
+                    let arm = match &v.shape {
+                        Shape::Unit => unreachable!("unit variants handled above"),
+                        Shape::Tuple(1) => format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{}(\n\
+                                 ::serde::Deserialize::from_value(__payload)\n\
+                                     .map_err(|e| ::serde::Error::custom(::std::format!(\"{name}::{key}: {{e}}\")))?)),",
+                            v.name
+                        ),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{key}\" => {{\n\
+                                     let __seq = ::serde::__private::expect_seq(__payload, \"{name}::{key}\")?;\n\
+                                     if __seq.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::custom(\n\
+                                             ::std::format!(\"{name}::{key}: expected {n} elements, found {{}}\", __seq.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{}({}))\n\
+                                 }},",
+                                v.name,
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{0}: ::serde::__private::de_field(__m, \"{0}\", \"{name}::{1}\")?",
+                                        f.name, v.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{key}\" => {{\n\
+                                     let __m = ::serde::__private::expect_map(__payload, \"{name}::{}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{} {{ {} }})\n\
+                                 }},",
+                                v.name,
+                                v.name,
+                                inits.join(", ")
+                            )
+                        }
+                    };
+                    arms.push(arm);
+                }
+                body.push_str(&format!(
+                    "let (__tag, __payload) = ::serde::__private::enum_entry(__value, \"{name}\")?;\n\
+                     match __tag {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                             ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }}",
+                    arms.join("\n")
+                ));
+            }
+            body
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim: generated Deserialize impl parses")
+}

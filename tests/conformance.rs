@@ -1,0 +1,46 @@
+//! Integration test for the tri-oracle conformance harness through the
+//! `dos` facade: the reduced matrix must be fully conformant, and the
+//! divergence report must serialize and render.
+
+use dos::oracle::{DivergenceReport, Oracle};
+
+#[test]
+fn quick_conformance_matrix_is_green() {
+    let outcome = Oracle::quick().run();
+    assert!(
+        outcome.report.is_conformant(),
+        "divergences found:\n{}",
+        outcome.report.render_table()
+    );
+    // The reduced matrix still covers every scheduler family...
+    for family in ["zero3-offload", "twinflow", "deep-optimizer-states"] {
+        assert!(
+            outcome.perf_cells.iter().any(|c| c.scheduler == family),
+            "matrix never exercised {family}"
+        );
+    }
+    // ...and every update rule in the numerics oracle.
+    for rule in ["adam", "adamw", "adagrad", "rmsprop"] {
+        assert!(
+            outcome.numerics_cells.iter().any(|c| c.rule == rule),
+            "numerics oracle never exercised {rule}"
+        );
+    }
+}
+
+#[test]
+fn perf_cells_expose_their_bands() {
+    let outcome = Oracle::quick().run();
+    for cell in &outcome.perf_cells {
+        assert!(cell.band.lo < cell.band.hi, "degenerate band in {}", cell.coordinates());
+        assert!(cell.predicted_secs > 0.0 && cell.simulated_secs > 0.0);
+    }
+}
+
+#[test]
+fn report_survives_json_round_trip() {
+    let outcome = Oracle::quick().run();
+    let json = dos::oracle::to_json(&outcome.report).expect("serialize");
+    let back: DivergenceReport = dos::oracle::from_json(&json).expect("deserialize");
+    assert_eq!(back, outcome.report);
+}
