@@ -68,12 +68,26 @@ pub fn fig3_gpu_memory_timeline() -> String {
         let peak = series.iter().copied().fold(f64::MIN, f64::max) / 1e9;
         let t_fwd = scn.rank.sim.finish_time(fwd).as_secs() / end.as_secs();
         let t_bwd = scn.rank.sim.finish_time(bwd).as_secs() / end.as_secs();
+        let analysis = dos::telemetry::analyze(&scn.timeline());
+        let phase_sum: f64 = analysis.phases.iter().map(|p| p.duration).sum();
+        let phase_line = analysis
+            .phases
+            .iter()
+            .map(|p| format!("{} {:.2}s", p.phase, p.duration))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "{label:>26}: |{}| peak {peak:.1} GB\n{:>26}   fwd ends at {:.0}%, bwd at {:.0}% of the line\n",
+            "{label:>26}: |{}| peak {peak:.1} GB\n\
+             {:>26}   fwd ends at {:.0}%, bwd at {:.0}% of the line\n\
+             {:>26}   analyzer phases: {} (sum {:.2}s of {:.2}s iteration)\n",
             sparkline(&series),
             "",
             t_fwd * 100.0,
-            t_bwd * 100.0
+            t_bwd * 100.0,
+            "",
+            phase_line,
+            phase_sum,
+            analysis.total_secs,
         ));
     }
     out.push_str(
@@ -99,11 +113,14 @@ pub fn fig4_pcie_timeline() -> String {
     let peak_d2h = d2h_series.iter().copied().fold(f64::MIN, f64::max);
     let fwd_frac = r.forward_secs / end * 100.0;
     let bwd_frac = (r.forward_secs + r.backward_secs) / end * 100.0;
+    let analysis = dos::telemetry::analyze(&r.timeline);
     format!(
         "== Figure 4: PCIe traffic over one iteration (20B, ZeRO-3) ==\n\
          H2D |{}| peak {:.1} GB/s\n\
          D2H |{}| peak {:.1} GB/s\n\
          forward ends at {:.0}%, backward at {:.0}% of the line\n\
+         analyzer: whole-run H2D {:.1}% busy, D2H {:.1}% busy;\n\
+         \x20 backward-phase D2H {:.1}% (grad flushes), update-phase H2D {:.1}% (param fetches)\n\
          (paper: <10% of the 50 GB/s peak; D2H grad flushes in backward,\n\
           H2D parameter fetches in update)\n",
         sparkline(&h2d_series),
@@ -111,7 +128,11 @@ pub fn fig4_pcie_timeline() -> String {
         sparkline(&d2h_series),
         peak_d2h,
         fwd_frac,
-        bwd_frac
+        bwd_frac,
+        r.timeline.overall_utilization("pcie.h2d") * 100.0,
+        r.timeline.overall_utilization("pcie.d2h") * 100.0,
+        analysis.busy_fraction("backward", "pcie.d2h") * 100.0,
+        analysis.busy_fraction("update", "pcie.h2d") * 100.0,
     )
 }
 
@@ -218,6 +239,43 @@ mod tests {
             .collect();
         assert_eq!(peaks.len(), 2);
         assert!(peaks[1] < peaks[0], "checkpointing peak {} !< {}", peaks[1], peaks[0]);
+    }
+
+    #[test]
+    fn fig3_phase_durations_sum_to_the_iteration() {
+        let s = fig3_gpu_memory_timeline();
+        let sums: Vec<(f64, f64)> = s
+            .lines()
+            .filter_map(|l| l.split("(sum ").nth(1))
+            .map(|tail| {
+                let sum: f64 = tail.split('s').next().unwrap().parse().unwrap();
+                let total: f64 =
+                    tail.split("of ").nth(1).unwrap().split('s').next().unwrap().parse().unwrap();
+                (sum, total)
+            })
+            .collect();
+        assert_eq!(sums.len(), 2, "{s}");
+        for (sum, total) in sums {
+            assert!((sum - total).abs() < 0.02 * total, "phases {sum}s != iteration {total}s");
+        }
+    }
+
+    #[test]
+    fn fig4_analyzer_confirms_pcie_is_underutilized() {
+        let s = fig4_pcie_timeline();
+        let pct = |prefix: &str| -> f64 {
+            s.split(prefix)
+                .nth(1)
+                .and_then(|t| t.split('%').next())
+                .and_then(|t| t.trim().parse().ok())
+                .unwrap_or_else(|| panic!("missing `{prefix}`:\n{s}"))
+        };
+        // The paper's Figure 4 claim: the links idle most of the iteration.
+        assert!(pct("whole-run H2D ") < 10.0, "{s}");
+        assert!(pct("busy, D2H ") < 10.0, "{s}");
+        // But within their phases the transfers are real.
+        assert!(pct("backward-phase D2H ") > 5.0, "{s}");
+        assert!(pct("update-phase H2D ") > 5.0, "{s}");
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use calibration::{calibrate, CalibrationReport};
 pub use explain::{explain_schedule, ScheduleExplanation};
 pub use nvme::NvmeOffload;
 pub use perf_model::PerfModel;
-pub use pipeline::{hybrid_update, PipelineConfig, PipelineReport};
+pub use pipeline::{hybrid_update, hybrid_update_traced, PipelineConfig, PipelineReport};
 pub use schedulers::{DeepOptimizerStates, StridePolicy, TwinFlow, Zero3Offload};

@@ -13,10 +13,16 @@
 use crossbeam::channel;
 
 use dos_optim::MixedPrecisionState;
+use dos_telemetry::Tracer;
 use dos_tensor::F16;
 use dos_zero::SubgroupSpec;
 
 use crate::schedulers::StridePolicy;
+
+/// Track name for the calling (CPU) thread's spans.
+const CPU_TRACK: &str = "cpu";
+/// Track name for the spawned device worker's spans.
+const DEVICE_TRACK: &str = "device-worker";
 
 /// Configuration of the functional hybrid pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +90,37 @@ pub fn hybrid_update(
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
 ) -> PipelineReport {
+    hybrid_update_inner(state, grads, subgroups, cfg, None)
+}
+
+/// [`hybrid_update`] with wall-clock tracing: every pipeline stage emits a
+/// real-time span into `tracer` — `prefetch:sg{id}` (H2D staging) /
+/// `update:sg{id}` / `flush:sg{id}` (D2H write-back) on the `"cpu"` track,
+/// and `update:sg{id}` / `flush:sg{id}` (on-device downscale + send) on the
+/// `"device-worker"` track — plus byte counters in the tracer's metrics
+/// registry. Numerics are identical to the untraced path (tracing only
+/// observes).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`hybrid_update`].
+pub fn hybrid_update_traced(
+    state: &mut MixedPrecisionState,
+    grads: &[f32],
+    subgroups: &[SubgroupSpec],
+    cfg: PipelineConfig,
+    tracer: &Tracer,
+) -> PipelineReport {
+    hybrid_update_inner(state, grads, subgroups, cfg, Some(tracer))
+}
+
+fn hybrid_update_inner(
+    state: &mut MixedPrecisionState,
+    grads: &[f32],
+    subgroups: &[SubgroupSpec],
+    cfg: PipelineConfig,
+    tracer: Option<&Tracer>,
+) -> PipelineReport {
     assert_eq!(grads.len(), state.len(), "gradient length mismatch");
     let mut cursor = 0;
     for sg in subgroups {
@@ -120,7 +157,17 @@ pub fn hybrid_update(
         // produces the FP16 copy on-device (the D2D `.half()` of Alg. 1).
         scope.spawn(|| {
             while let Ok(mut job) = h2d_rx.recv() {
-                rule.apply(step, lr, &mut job.p, &job.g, &mut job.m, &mut job.v);
+                let label = format!("update:sg{}", job.sg.id);
+                {
+                    let mut guard =
+                        tracer.map(|t| t.span_on(DEVICE_TRACK, "gpu", &label, "update"));
+                    if let Some(g) = guard.as_mut() {
+                        g.set_work(job.sg.len() as f64);
+                    }
+                    rule.apply(step, lr, &mut job.p, &job.g, &mut job.m, &mut job.v);
+                }
+                let flush = format!("flush:sg{}", job.sg.id);
+                let _guard = tracer.map(|t| t.span_on(DEVICE_TRACK, "gpu", &flush, "update"));
                 let p16 = job.p.iter().map(|&x| F16::from_f32(x)).collect();
                 d2h_tx
                     .send(UpdatedSubgroup { sg: job.sg, p: job.p, m: job.m, v: job.v, p16 })
@@ -132,21 +179,38 @@ pub fn hybrid_update(
         // The CPU side: walk dynamic subgroups, shipping every k-th to the
         // device (prefetch = send), updating the rest locally and
         // downscaling them.
+        let prefetch = |state: &MixedPrecisionState, sg: &SubgroupSpec| {
+            let label = format!("prefetch:sg{}", sg.id);
+            let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "pcie.h2d", &label, "update"));
+            let (p, m, v) = state.snapshot_range(sg.range());
+            let bytes = 4 * (3 * sg.len() + sg.len()); // p, m, v + grads, f32
+            if let Some(g) = guard.as_mut() {
+                g.set_work(bytes as f64);
+            }
+            if let Some(t) = tracer {
+                t.metrics().inc_counter("pipeline.h2d.bytes", bytes as u64);
+            }
+            StagedSubgroup {
+                sg: *sg,
+                p: p.to_vec(),
+                m: m.to_vec(),
+                v: v.to_vec(),
+                g: grads[sg.range()].to_vec(),
+            }
+        };
+
         for (i, sg) in dynamic.iter().enumerate() {
             let on_device = stride.is_some_and(|k| (i + 1) % k == 0);
             if on_device {
-                let (p, m, v) = state.snapshot_range(sg.range());
-                h2d_tx
-                    .send(StagedSubgroup {
-                        sg: *sg,
-                        p: p.to_vec(),
-                        m: m.to_vec(),
-                        v: v.to_vec(),
-                        g: grads[sg.range()].to_vec(),
-                    })
-                    .expect("device worker alive");
+                h2d_tx.send(prefetch(state, sg)).expect("device worker alive");
                 device_count += 1;
             } else {
+                let label = format!("update:sg{}", sg.id);
+                let mut guard =
+                    tracer.map(|t| t.span_on(CPU_TRACK, "cpu", &label, "update"));
+                if let Some(g) = guard.as_mut() {
+                    g.set_work(sg.len() as f64);
+                }
                 state.update_range(sg.range(), &grads[sg.range()]);
                 for (dst, src) in
                     fp16[sg.range()].iter_mut().zip(state.downscale_range(sg.range()))
@@ -159,26 +223,31 @@ pub fn hybrid_update(
         // Static residents: updated on the device without staging; here the
         // state is conceptually already device-resident, so ship them too.
         for sg in residents {
-            let (p, m, v) = state.snapshot_range(sg.range());
-            h2d_tx
-                .send(StagedSubgroup {
-                    sg: *sg,
-                    p: p.to_vec(),
-                    m: m.to_vec(),
-                    v: v.to_vec(),
-                    g: grads[sg.range()].to_vec(),
-                })
-                .expect("device worker alive");
+            h2d_tx.send(prefetch(state, sg)).expect("device worker alive");
             device_count += 1;
         }
         drop(h2d_tx); // signal the worker to finish
 
         // Drain the D2H channel: write back out-of-order arrivals.
         while let Ok(upd) = d2h_rx.recv() {
+            let label = format!("flush:sg{}", upd.sg.id);
+            let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "pcie.d2h", &label, "update"));
+            let bytes = 4 * 3 * upd.sg.len() + 2 * upd.sg.len(); // f32 state + f16 params
+            if let Some(g) = guard.as_mut() {
+                g.set_work(bytes as f64);
+            }
+            if let Some(t) = tracer {
+                t.metrics().inc_counter("pipeline.d2h.bytes", bytes as u64);
+            }
             state.write_back_range(upd.sg.range(), &upd.p, &upd.m, &upd.v);
             fp16[upd.sg.range()].copy_from_slice(&upd.p16);
         }
     });
+
+    if let Some(t) = tracer {
+        t.metrics().inc_counter("pipeline.device_subgroups", device_count as u64);
+        t.metrics().inc_counter("pipeline.cpu_subgroups", cpu_count as u64);
+    }
 
     PipelineReport { fp16_params: fp16, device_subgroups: device_count, cpu_subgroups: cpu_count }
 }
@@ -267,6 +336,40 @@ mod tests {
         assert_eq!(seq.params(), hyb.params());
         assert_eq!(seq.momentum(), hyb.momentum());
         assert_eq!(seq.variance(), hyb.variance());
+    }
+
+    #[test]
+    fn traced_update_is_bitwise_identical_and_emits_both_tracks() {
+        let n = 1000;
+        let (expected_p, expected_16) = reference(n);
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 64);
+        let tracer = Tracer::new();
+        let report = hybrid_update_traced(&mut state, &grads, &sgs, PipelineConfig::default(), &tracer);
+        assert_eq!(state.params(), &expected_p[..]);
+        assert_eq!(report.fp16_params, expected_16);
+
+        let events = tracer.events();
+        let on = |track: &str, prefix: &str| {
+            events.iter().filter(|e| e.track == track && e.name.starts_with(prefix)).count()
+        };
+        // CPU track: prefetch per shipped subgroup, update per local one,
+        // flush per write-back.
+        assert_eq!(on(super::CPU_TRACK, "prefetch:sg"), report.device_subgroups);
+        assert_eq!(on(super::CPU_TRACK, "update:sg"), report.cpu_subgroups);
+        assert_eq!(on(super::CPU_TRACK, "flush:sg"), report.device_subgroups);
+        // Device-worker track: update + flush per shipped subgroup.
+        assert_eq!(on(super::DEVICE_TRACK, "update:sg"), report.device_subgroups);
+        assert_eq!(on(super::DEVICE_TRACK, "flush:sg"), report.device_subgroups);
+        // All wall-clock spans carry the update phase and real durations.
+        assert!(events.iter().all(|e| e.phase == "update" && e.dur >= 0.0));
+        // Byte counters rode along in the metrics registry.
+        assert!(tracer.metrics().counter("pipeline.h2d.bytes") > 0);
+        assert!(tracer.metrics().counter("pipeline.d2h.bytes") > 0);
+        assert_eq!(
+            tracer.metrics().counter("pipeline.device_subgroups"),
+            report.device_subgroups as u64
+        );
     }
 
     #[test]

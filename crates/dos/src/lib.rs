@@ -14,7 +14,7 @@
 //! | [`zero`] | `dos-zero` | ZeRO stages, subgroups, memory estimation |
 //! | [`sim`] | `dos-sim` | training-iteration simulator |
 //! | [`core`] | `dos-core` | **the paper**: Eq. 1 perf model, Algorithm 1 schedulers, functional pipeline |
-//! | [`telemetry`] | `dos-telemetry` | timelines, utilization, Gantt |
+//! | [`telemetry`] | `dos-telemetry` | tracer + metrics, timelines, Chrome/Perfetto export, overlap/stall analyzer, Gantt |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
 //! | [`oracle`] | `dos-oracle` | differential conformance harness (Eq. 1 vs simulator vs pipeline) |
 //!

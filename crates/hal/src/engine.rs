@@ -220,7 +220,6 @@ struct ResourceState {
 
 #[derive(Debug, Clone)]
 struct StreamState {
-    #[allow(dead_code)]
     name: String,
     ready_at: SimTime,
     last_op: Option<OpId>,
@@ -323,6 +322,35 @@ impl Simulator {
     /// Returns the kind a resource was registered with.
     pub fn resource_kind(&self, resource: ResourceId) -> ResourceKind {
         self.resources[resource.0].kind
+    }
+
+    /// Returns the name a stream was registered with.
+    pub fn stream_name(&self, stream: StreamId) -> &str {
+        &self.streams[stream.0].name
+    }
+
+    /// Replays the recorded schedule into a [`dos_telemetry::Tracer`] on
+    /// the simulated clock: one explicit-time span per interval, on a track
+    /// named after the interval's stream and tagged with the resource it
+    /// occupied. Resource-less markers become instant events. This is the
+    /// bridge that lets the discrete-event engine and the wall-clock
+    /// pipelines share one exporter and one analyzer.
+    pub fn record_into(&self, tracer: &dos_telemetry::Tracer) {
+        for iv in &self.trace {
+            let track = self.stream_name(iv.stream);
+            match iv.resource {
+                Some(r) => tracer.record_span(
+                    track,
+                    self.resource_name(r),
+                    &iv.label,
+                    &iv.phase,
+                    iv.start.as_secs(),
+                    iv.end.as_secs(),
+                    iv.work,
+                ),
+                None => tracer.instant_at(track, &iv.label, &iv.phase, iv.start.as_secs()),
+            }
+        }
     }
 
     /// Returns the effective rate (rate × scale) of a resource.
@@ -842,5 +870,37 @@ mod occupy_tests {
         let b = s.submit(OpSpec::occupy(link, SimTime::from_secs(1.0), 1.0).on(s2)).unwrap();
         assert_eq!(s.finish_time(a).as_secs(), 1.0);
         assert_eq!(s.finish_time(b).as_secs(), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod trace_export_tests {
+    use super::*;
+
+    #[test]
+    fn record_into_replays_streams_as_tracks() {
+        let mut s = Simulator::new();
+        let gpu = s.add_resource("gpu", ResourceKind::GpuCompute, 2.0);
+        let st = s.add_stream("stream:update");
+        s.submit(OpSpec::compute(gpu, 4.0).on(st).label("gpu-update:sg0").phase("update"))
+            .unwrap();
+        s.submit(OpSpec::marker().on(st).label("join").phase("update")).unwrap();
+        assert_eq!(s.stream_name(st), "stream:update");
+
+        let tracer = dos_telemetry::Tracer::new();
+        s.record_into(&tracer);
+        let evs = tracer.events();
+        assert_eq!(evs.len(), 2);
+        let span = evs.iter().find(|e| e.name == "gpu-update:sg0").unwrap();
+        assert_eq!(span.track, "stream:update");
+        assert_eq!(span.resource, "gpu");
+        assert_eq!(span.start, 0.0);
+        assert_eq!(span.dur, 2.0); // 4 work at rate 2
+        assert_eq!(span.kind, dos_telemetry::EventKind::Span);
+        let marker = evs.iter().find(|e| e.name == "join").unwrap();
+        assert_eq!(marker.kind, dos_telemetry::EventKind::Instant);
+        // The exported timeline matches the engine's own accounting.
+        let tl = tracer.to_timeline();
+        assert_eq!(tl.busy_time("gpu"), s.busy_time(gpu).as_secs());
     }
 }

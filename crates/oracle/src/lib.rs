@@ -110,10 +110,26 @@ impl Oracle {
 
     /// Runs both oracles over the matrix and merges their reports.
     pub fn run(&self) -> ConformanceOutcome {
-        let (perf_cells, mut report) =
-            perf::run_matrix(&self.models, &self.profile, &self.strides, &self.ratios);
-        let (numerics_cells, numerics_report) =
-            numerics::run_cases(&numerics::default_cases(self.numerics_max_stride));
+        self.run_filtered(None)
+    }
+
+    /// Runs only the cells whose coordinate strings contain `filter`
+    /// (both oracles; see [`perf::cell_coordinates`] and
+    /// [`numerics::NumericsCase::coordinates`] for the formats). Cells
+    /// outside the filter are never evaluated, so this is the fast way to
+    /// re-run a single diverging cell. `None` runs everything.
+    pub fn run_filtered(&self, filter: Option<&str>) -> ConformanceOutcome {
+        let (perf_cells, mut report) = perf::run_matrix_filtered(
+            &self.models,
+            &self.profile,
+            &self.strides,
+            &self.ratios,
+            filter,
+        );
+        let (numerics_cells, numerics_report) = numerics::run_cases_filtered(
+            &numerics::default_cases(self.numerics_max_stride),
+            filter,
+        );
         report.merge(numerics_report);
         ConformanceOutcome { perf_cells, numerics_cells, report }
     }
@@ -130,6 +146,28 @@ mod tests {
         assert!(outcome.report.cells_checked > 50);
         assert!(!outcome.perf_cells.is_empty());
         assert!(!outcome.numerics_cells.is_empty());
+    }
+
+    #[test]
+    fn filter_selects_matching_cells_only() {
+        let outcome = Oracle::quick().run_filtered(Some("zero3-offload"));
+        assert!(!outcome.perf_cells.is_empty());
+        assert!(outcome.perf_cells.iter().all(|c| c.scheduler == "zero3-offload"));
+        assert!(outcome.numerics_cells.is_empty(), "no numerics cell mentions zero3");
+        assert!(outcome.report.is_conformant());
+
+        let adagrad = Oracle::quick().run_filtered(Some("adagrad/"));
+        assert!(adagrad.perf_cells.is_empty());
+        assert!(!adagrad.numerics_cells.is_empty());
+        assert!(adagrad.numerics_cells.iter().all(|c| c.rule == "adagrad"));
+
+        // A filter is a coordinate substring, so one exact coordinate
+        // re-runs exactly one cell.
+        let one = Oracle::quick().run_filtered(Some("20B/twinflow/-/ratio=0.30"));
+        assert_eq!(one.report.cells_checked, 1);
+
+        let none = Oracle::quick().run_filtered(Some("no-such-cell"));
+        assert_eq!(none.report.cells_checked, 0);
     }
 
     #[test]

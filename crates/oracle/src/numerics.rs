@@ -35,6 +35,20 @@ pub struct NumericsCase {
     pub steps: usize,
 }
 
+impl NumericsCase {
+    /// The coordinate string the evaluated cell will carry,
+    /// `<rule>/<stride>/residents=<n>` — computable before the case runs,
+    /// so `--filter` can skip cases instead of evaluating them.
+    pub fn coordinates(&self) -> String {
+        format!(
+            "{}/{}/residents={}",
+            rule_name(self.rule),
+            stride_name(self.stride),
+            self.static_residents
+        )
+    }
+}
+
 /// The outcome of one evaluated numerics cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NumericsCell {
@@ -164,7 +178,20 @@ pub fn default_cases(max_stride: usize) -> Vec<NumericsCase> {
 /// Runs a set of cases and folds the non-exact ones into a
 /// [`DivergenceReport`].
 pub fn run_cases(cases: &[NumericsCase]) -> (Vec<NumericsCell>, DivergenceReport) {
-    let cells: Vec<NumericsCell> = cases.iter().map(run_case).collect();
+    run_cases_filtered(cases, None)
+}
+
+/// Like [`run_cases`], but only evaluates cases whose coordinate string
+/// (see [`NumericsCase::coordinates`]) contains `filter`.
+pub fn run_cases_filtered(
+    cases: &[NumericsCase],
+    filter: Option<&str>,
+) -> (Vec<NumericsCell>, DivergenceReport) {
+    let cells: Vec<NumericsCell> = cases
+        .iter()
+        .filter(|c| filter.is_none_or(|f| c.coordinates().contains(f)))
+        .map(run_case)
+        .collect();
     let report = DivergenceReport {
         cells_checked: cells.len(),
         divergences: cells

@@ -119,11 +119,16 @@ impl PerfCell {
 
     /// Cell coordinates for divergence reporting.
     pub fn coordinates(&self) -> String {
-        format!(
-            "{}/{}/{}/ratio={:.2}",
-            self.model, self.scheduler, self.stride, self.resident_ratio
-        )
+        cell_coordinates(&self.model, self.scheduler.as_str(), &self.stride, self.resident_ratio)
     }
+}
+
+/// The canonical perf-cell coordinate string,
+/// `<model>/<scheduler>/<stride>/ratio=<r>` — computable *before* a cell is
+/// evaluated, so `--filter` can skip cells instead of evaluating and
+/// discarding them.
+pub fn cell_coordinates(model: &str, scheduler: &str, stride: &str, ratio: f64) -> String {
+    format!("{model}/{scheduler}/{stride}/ratio={ratio:.2}")
 }
 
 /// Predicts the update-phase seconds for one cell from the profile's
@@ -224,6 +229,40 @@ pub fn evaluate_cell(
     }
 }
 
+/// Enumerates every `(model, scheduler, ratio)` coordinate of the matrix
+/// without evaluating anything.
+fn matrix_specs(
+    models: &[String],
+    strides: &[usize],
+    ratios: &[f64],
+) -> Vec<(String, SchedulerKind, f64)> {
+    let mut specs = Vec::new();
+    for model in models {
+        specs.push((model.clone(), SchedulerKind::Zero3Offload, 0.0));
+        specs.push((
+            model.clone(),
+            SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly),
+            0.0,
+        ));
+        for &ratio in ratios {
+            specs.push((model.clone(), SchedulerKind::TwinFlow, ratio));
+            specs.push((
+                model.clone(),
+                SchedulerKind::DeepOptimizerStates(StridePolicy::Auto),
+                ratio,
+            ));
+            for &k in strides {
+                specs.push((
+                    model.clone(),
+                    SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)),
+                    ratio,
+                ));
+            }
+        }
+    }
+    specs
+}
+
 /// Runs a matrix of cells and folds the out-of-band ones into a
 /// [`DivergenceReport`].
 pub fn run_matrix(
@@ -232,33 +271,30 @@ pub fn run_matrix(
     strides: &[usize],
     ratios: &[f64],
 ) -> (Vec<PerfCell>, DivergenceReport) {
-    let mut cells = Vec::new();
-    for model in models {
-        cells.push(evaluate_cell(model, profile, SchedulerKind::Zero3Offload, 0.0));
-        cells.push(evaluate_cell(
-            model,
-            profile,
-            SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly),
-            0.0,
-        ));
-        for &ratio in ratios {
-            cells.push(evaluate_cell(model, profile, SchedulerKind::TwinFlow, ratio));
-            cells.push(evaluate_cell(
-                model,
-                profile,
-                SchedulerKind::DeepOptimizerStates(StridePolicy::Auto),
-                ratio,
-            ));
-            for &k in strides {
-                cells.push(evaluate_cell(
-                    model,
-                    profile,
-                    SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)),
-                    ratio,
-                ));
-            }
-        }
-    }
+    run_matrix_filtered(models, profile, strides, ratios, None)
+}
+
+/// Like [`run_matrix`], but only evaluates cells whose coordinate string
+/// (see [`cell_coordinates`]) contains `filter`. Filtered-out cells are
+/// never simulated, so narrow filters run in a fraction of the full
+/// matrix's time.
+pub fn run_matrix_filtered(
+    models: &[String],
+    profile: &HardwareProfile,
+    strides: &[usize],
+    ratios: &[f64],
+    filter: Option<&str>,
+) -> (Vec<PerfCell>, DivergenceReport) {
+    let cells: Vec<PerfCell> = matrix_specs(models, strides, ratios)
+        .into_iter()
+        .filter(|(model, kind, ratio)| {
+            filter.is_none_or(|f| {
+                cell_coordinates(model, kind.scheduler_name(), &kind.stride_label(), *ratio)
+                    .contains(f)
+            })
+        })
+        .map(|(model, kind, ratio)| evaluate_cell(&model, profile, kind, ratio))
+        .collect();
     let report = report_from_cells(&cells);
     (cells, report)
 }

@@ -3,16 +3,25 @@
 //!
 //! ```text
 //! dos-cli <config.json> [--iterations N] [--compare] [--explain]
-//! dos-cli conformance [--quick] [--json]
+//! dos-cli trace <config.json> [--out trace.json] [--analyze]
+//! dos-cli conformance [--quick] [--json] [--filter SUBSTR]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
 //!   --compare        also run the ZeRO-3 and TwinFlow baselines
 //!   --explain        print the schedule Equation 1 derives first
 //!
+//! trace: simulate one iteration with tracing and export a Chrome
+//! trace-event JSON (open it in ui.perfetto.dev or chrome://tracing).
+//!   --out FILE       write the trace JSON here (default: trace.json)
+//!   --analyze        print the overlap/stall analysis and exit nonzero
+//!                    if any analyzer invariant is violated
+//!
 //! conformance: run the differential oracle matrix (Eq. 1 model vs
 //! simulator vs functional pipeline) and exit nonzero on any divergence.
 //!   --quick          reduced matrix (2 models, strides 1..3, 2 ratios)
 //!   --json           emit the DivergenceReport as JSON instead of a table
+//!   --filter SUBSTR  only run cells whose coordinates contain SUBSTR,
+//!                    e.g. `20B/`, `zero3-offload`, `adamw/k=3`
 //! ```
 //!
 //! Example config:
@@ -23,7 +32,7 @@
 
 use std::process::ExitCode;
 
-use dos_runtime::{run_iteration, run_training, RuntimeConfig};
+use dos_runtime::{run_iteration, run_training, trace_iteration, RuntimeConfig};
 
 struct Args {
     config_path: String,
@@ -61,22 +70,33 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!("usage: dos-cli <config.json> [--iterations N] [--compare] [--explain]");
-    eprintln!("       dos-cli conformance [--quick] [--json]");
+    eprintln!("       dos-cli trace <config.json> [--out trace.json] [--analyze]");
+    eprintln!("       dos-cli conformance [--quick] [--json] [--filter SUBSTR]");
 }
 
 /// Runs the differential conformance matrix; `Ok(true)` means conformant.
 fn run_conformance(rest: &[String]) -> Result<bool, String> {
     let mut quick = false;
     let mut json = false;
-    for arg in rest {
+    let mut filter = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--filter" => {
+                filter = Some(args.next().ok_or("--filter needs a substring")?.to_string());
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let oracle = if quick { dos_oracle::Oracle::quick() } else { dos_oracle::Oracle::full() };
-    let outcome = oracle.run();
+    let outcome = oracle.run_filtered(filter.as_deref());
+    if let Some(f) = &filter {
+        if outcome.report.cells_checked == 0 {
+            return Err(format!("--filter `{f}` matched no conformance cells"));
+        }
+    }
     if json {
         let rendered = serde_json::to_string_pretty(&outcome.report)
             .map_err(|e| format!("cannot serialize report: {e}"))?;
@@ -85,6 +105,63 @@ fn run_conformance(rest: &[String]) -> Result<bool, String> {
         print!("{}", outcome.report.render_table());
     }
     Ok(outcome.report.is_conformant())
+}
+
+/// Simulates one traced iteration and exports a Chrome trace-event JSON;
+/// `Ok(true)` means the export (and, with `--analyze`, every analyzer
+/// invariant) held.
+fn run_trace(rest: &[String]) -> Result<bool, String> {
+    let mut config_path = None;
+    let mut out = "trace.json".to_string();
+    let mut analyze = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().ok_or("--out needs a path")?.to_string(),
+            "--analyze" => analyze = true,
+            other if config_path.is_none() => config_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let config_path = config_path.ok_or("missing config path")?;
+    let json = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let config = RuntimeConfig::from_json(&json).map_err(|e| e.to_string())?;
+    let (report, tracer) = trace_iteration(&config).map_err(|e| e.to_string())?;
+
+    let trace = dos_telemetry::chrome_trace(&tracer);
+    let rendered = serde_json::to_string_pretty(&trace)
+        .map_err(|e| format!("cannot serialize trace: {e}"))?;
+    // The file is only useful if a consumer can read it back; verify the
+    // round trip before writing.
+    let back: dos_telemetry::ChromeTrace = serde_json::from_str(&rendered)
+        .map_err(|e| format!("exported trace does not parse back: {e}"))?;
+    if back != trace {
+        return Err("exported trace does not round-trip losslessly".to_string());
+    }
+    std::fs::write(&out, &rendered).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{}: {} events on {} tracks, {:.3} simulated seconds -> {out}",
+        report.scheduler,
+        tracer.len(),
+        tracer.tracks().len(),
+        report.total_secs,
+    );
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+
+    if analyze {
+        let analysis = dos_telemetry::analyze(&tracer.to_timeline());
+        println!();
+        print!("{}", analysis.render());
+        let violations = analysis.validate();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("analyzer invariant violated: {v}");
+            }
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -152,6 +229,17 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("conformance") {
         return match run_conformance(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("trace") {
+        return match run_trace(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

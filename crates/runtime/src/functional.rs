@@ -51,6 +51,12 @@ pub struct FunctionalConfig {
     pub checkpoint_path: Option<std::path::PathBuf>,
     /// Checkpoint interval in iterations (ignored without a path).
     pub checkpoint_every: usize,
+    /// Wall-clock tracer shared by every rank thread. Each rank records
+    /// phase spans onto its own `rank{r}` track, and the hybrid pipeline
+    /// records prefetch/update/flush spans onto the shared `cpu` and
+    /// `device-worker` tracks. `None` disables tracing entirely (the
+    /// update path is bitwise identical either way).
+    pub tracer: Option<dos_telemetry::Tracer>,
 }
 
 impl FunctionalConfig {
@@ -71,6 +77,7 @@ impl FunctionalConfig {
             loss_scale: None,
             checkpoint_path: None,
             checkpoint_every: 10,
+            tracer: None,
         }
     }
 }
@@ -157,6 +164,9 @@ fn run_rank(
 
     let rank = comm.rank();
     let world = comm.world_size();
+    if let Some(t) = &cfg.tracer {
+        t.set_thread_track(&format!("rank{rank}"));
+    }
     // Identical init on every rank (same seed).
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = Gpt::new(cfg.model.clone(), &mut rng);
@@ -176,6 +186,8 @@ fn run_rank(
     let mut losses = Vec::with_capacity(iterations);
     for it in 0..iterations {
         let batch = loader.next_batch(dataset);
+        let fwd_span =
+            cfg.tracer.as_ref().map(|t| t.span(&format!("fwd-bwd:it{it}"), "forward-backward"));
         let loss = match (&scaler, cfg.activation_checkpointing) {
             (Some(s), _) => model.loss_and_backward_scaled(
                 &batch.inputs,
@@ -195,8 +207,12 @@ fn run_rank(
             }
         };
 
+        drop(fwd_span);
+
         // Average gradients across ranks; keep only this rank's shard
         // (ZeRO's reduce-scatter).
+        let comm_span =
+            cfg.tracer.as_ref().map(|t| t.span(&format!("grad-exchange:it{it}"), "communicate"));
         let mut grads = pad_to_multiple(model.gather_grads(), world);
         // Unscale (and overflow-check) before any reduction; all ranks see
         // the same values, so the skip decision is globally consistent.
@@ -228,21 +244,31 @@ fn run_rank(
                 *g *= inv;
             }
         }
+        drop(comm_span);
         if let Some(schedule) = cfg.lr_schedule {
             state.set_lr(schedule.lr_at(it as u64 + 1));
         }
 
         // Interleaved hybrid update of this rank's shard (real threads,
         // Algorithm 1's structure).
-        let report = dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline);
+        let report = match &cfg.tracer {
+            Some(t) => {
+                let _sp = t.span(&format!("hybrid-update:it{it}"), "update");
+                dos_core::hybrid_update_traced(&mut state, &shard_grads, &subgroups, cfg.pipeline, t)
+            }
+            None => dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline),
+        };
 
         // All-gather the updated FP16 parameters (the device copies every
         // rank trains the next iteration with).
+        let gather_span =
+            cfg.tracer.as_ref().map(|t| t.span(&format!("all-gather:it{it}"), "communicate"));
         let shard_fp16: Vec<f32> = report.fp16_params.iter().map(|h| h.to_f32()).collect();
         let mut full = comm.all_gather(&shard_fp16).expect("uniform shard lengths");
         full.truncate(model.num_params());
         model.scatter_params(&full);
         model.zero_grads();
+        drop(gather_span);
 
         // Rank 0 snapshots its state at update boundaries and writes it in
         // the background (the DataStates-style asynchronous flush the
@@ -321,6 +347,55 @@ mod tests {
             assert_eq!(a.losses, b.losses, "world {world} not deterministic");
             assert!(a.ranks_consistent);
         }
+    }
+
+    #[test]
+    fn traced_training_is_observational_only() {
+        let ds = toy_dataset(8);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 4);
+
+        let tracer = dos_telemetry::Tracer::new();
+        let mut cfg = FunctionalConfig::small();
+        cfg.pipeline.stride = StridePolicy::Fixed(2);
+        cfg.tracer = Some(tracer.clone());
+        let mut plain_cfg = FunctionalConfig::small();
+        plain_cfg.pipeline.stride = StridePolicy::Fixed(2);
+        let reference = train_functional(&plain_cfg, &ds, 4);
+        let traced = train_functional(&cfg, &ds, 4);
+
+        // Tracing never perturbs the math (and interleaving matches plain
+        // training, so the untraced default agrees too).
+        assert_eq!(traced.losses, reference.losses);
+        assert_eq!(traced.final_params, reference.final_params);
+        assert_eq!(traced.losses, plain.losses);
+
+        // Every rank thread has its own track, and the hybrid pipeline
+        // recorded wall-clock prefetch/update/flush spans on the shared
+        // cpu / device-worker tracks.
+        let tracks = tracer.tracks();
+        assert!(tracks.iter().any(|t| t == "rank0"), "{tracks:?}");
+        assert!(tracks.iter().any(|t| t == "rank1"), "{tracks:?}");
+        assert!(tracks.iter().any(|t| t == "cpu"), "{tracks:?}");
+        assert!(tracks.iter().any(|t| t == "device-worker"), "{tracks:?}");
+        let events = tracer.events();
+        let count = |track: &str, prefix: &str| {
+            events.iter().filter(|e| e.track == track && e.name.starts_with(prefix)).count()
+        };
+        // 2 ranks x 4 iterations of phase spans on the rank tracks.
+        for rank in ["rank0", "rank1"] {
+            assert_eq!(count(rank, "fwd-bwd:it"), 4);
+            assert_eq!(count(rank, "grad-exchange:it"), 4);
+            assert_eq!(count(rank, "hybrid-update:it"), 4);
+            assert_eq!(count(rank, "all-gather:it"), 4);
+        }
+        assert!(count("cpu", "prefetch:sg") > 0);
+        assert!(count("device-worker", "update:sg") > 0);
+        assert!(count("device-worker", "flush:sg") > 0);
+        // Wall-clock spans: durations are non-negative and the trace ends
+        // after it starts.
+        assert!(events.iter().all(|e| e.dur >= 0.0));
+        let tl = tracer.to_timeline();
+        assert!(tl.end_time() > 0.0);
     }
 
     #[test]

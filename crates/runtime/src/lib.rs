@@ -31,4 +31,4 @@ mod sim_trainer;
 pub use checkpoint::{AsyncCheckpointer, TrainingCheckpoint};
 pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
 pub use functional::{evaluate, train_functional, FunctionalConfig, FunctionalReport};
-pub use sim_trainer::{run_iteration, run_training, scheduler_for};
+pub use sim_trainer::{run_iteration, run_training, scheduler_for, trace_iteration};

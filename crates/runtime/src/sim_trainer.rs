@@ -2,8 +2,10 @@
 
 use dos_core::{DeepOptimizerStates, NvmeOffload, TwinFlow, Zero3Offload};
 use dos_sim::{
-    simulate_iteration, simulate_training, IterationReport, TrainingReport, UpdateScheduler,
+    simulate_iteration, simulate_iteration_traced, simulate_training, IterationReport,
+    TrainingReport, UpdateScheduler,
 };
+use dos_telemetry::Tracer;
 
 use crate::config::{ConfigError, RuntimeConfig};
 
@@ -44,6 +46,24 @@ pub fn run_iteration(config: &RuntimeConfig) -> Result<IterationReport, ConfigEr
         .map_err(|e| ConfigError::Invalid { detail: e.to_string() })
 }
 
+/// Simulates one iteration under the configured scheduler with the engine
+/// schedule replayed into a fresh [`Tracer`] (one track per engine stream,
+/// simulated clock). Returns the report and the tracer, ready for
+/// [`dos_telemetry::chrome_trace`] export and [`dos_telemetry::analyze`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for unresolvable configurations; engine errors
+/// are wrapped as [`ConfigError::Invalid`].
+pub fn trace_iteration(config: &RuntimeConfig) -> Result<(IterationReport, Tracer), ConfigError> {
+    let train = config.resolve()?;
+    let sched = scheduler_for(config);
+    let tracer = Tracer::new();
+    let report = simulate_iteration_traced(&train, sched.as_ref(), &tracer)
+        .map_err(|e| ConfigError::Invalid { detail: e.to_string() })?;
+    Ok((report, tracer))
+}
+
 /// Simulates a multi-iteration run under the configured scheduler.
 ///
 /// # Errors
@@ -70,6 +90,26 @@ mod tests {
         let report = run_iteration(&cfg).unwrap();
         assert_eq!(report.scheduler, "deep-optimizer-states");
         assert!(report.total_secs > 0.0);
+    }
+
+    #[test]
+    fn trace_iteration_round_trips_and_validates() {
+        let cfg = RuntimeConfig::from_json(r#"{ "model": "20B" }"#).unwrap();
+        let (report, tracer) = trace_iteration(&cfg).unwrap();
+        let plain = run_iteration(&cfg).unwrap();
+        assert_eq!(report.total_secs, plain.total_secs, "tracing must not change the schedule");
+
+        let analysis = dos_telemetry::analyze(&tracer.to_timeline());
+        assert!(analysis.validate().is_empty(), "{:?}", analysis.validate());
+        assert_eq!(
+            analysis.phases.iter().map(|p| p.phase.as_str()).collect::<Vec<_>>(),
+            ["forward", "backward", "update"],
+        );
+
+        let trace = dos_telemetry::chrome_trace(&tracer);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: dos_telemetry::ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

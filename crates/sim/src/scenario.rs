@@ -688,6 +688,12 @@ impl IterationScenario {
         }
         tl
     }
+
+    /// Replays the engine schedule into `tracer` on the simulated clock,
+    /// one track per stream (see [`dos_hal::Simulator::record_into`]).
+    pub fn record_into(&self, tracer: &dos_telemetry::Tracer) {
+        self.rank.sim.record_into(tracer);
+    }
 }
 
 #[cfg(test)]

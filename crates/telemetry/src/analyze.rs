@@ -1,0 +1,489 @@
+//! Overlap/stall analyzer: turns a trace into the paper's plotted numbers.
+//!
+//! Consumes a [`Timeline`] (from the simulator, or a [`crate::Tracer`] via
+//! [`crate::Tracer::to_timeline`]) and reports, per training phase, the
+//! quantities Figures 3, 4, and 15 visualize:
+//!
+//! * per-resource **busy fraction** (PCIe per direction → Figure 4 / §5.4's
+//!   "<10% PCIe utilization" claim; GPU/CPU → Figure 15);
+//! * pairwise **overlap efficiency** — of the time the less-busy resource of
+//!   a pair is busy, how much coincides with the other being busy (the DOS
+//!   update's CPU/GPU interleave claim);
+//! * pipeline **fill/drain tails** — how long after the phase opens before
+//!   two resources first run concurrently, and how long the phase runs on
+//!   after concurrency last collapses to one (the Eq. 1 band's fill/drain
+//!   terms);
+//! * per-resource **idle-gap histograms** (stall accounting).
+//!
+//! [`TraceAnalysis::validate`] machine-checks the invariants the CI trace
+//! step relies on: fractions and efficiencies in [0, 1], phase bounds
+//! inside the run, and the phases covering the iteration end-to-end.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Histogram;
+use crate::timeline::Timeline;
+
+/// Idle-gap histogram bucket bounds, in seconds (1µs .. 1s, then overflow).
+pub const IDLE_GAP_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Busy statistics for one resource within one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStats {
+    /// Resource name (`"gpu"`, `"cpu"`, `"pcie.h2d"`, ...).
+    pub resource: String,
+    /// Seconds the resource was busy (interval union, overlaps merged).
+    pub busy_secs: f64,
+    /// `busy_secs / phase duration`, in [0, 1].
+    pub busy_fraction: f64,
+    /// First time the resource became busy in the phase.
+    pub first_start: f64,
+    /// Last time the resource was busy in the phase.
+    pub last_end: f64,
+    /// Number of raw spans recorded.
+    pub span_count: u64,
+    /// Histogram of idle gaps *between* busy intervals (bounds:
+    /// [`IDLE_GAP_BOUNDS`]); leading/trailing idle is fill/drain.
+    pub idle_gaps: Histogram,
+}
+
+/// Pairwise busy-time overlap between two resources within a phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapStat {
+    /// First resource of the pair.
+    pub a: String,
+    /// Second resource of the pair.
+    pub b: String,
+    /// Seconds both were busy simultaneously.
+    pub overlap_secs: f64,
+    /// `overlap_secs / min(busy_a, busy_b)`, in [0, 1]: 1.0 means the
+    /// less-busy resource ran entirely under cover of the other.
+    pub efficiency: f64,
+}
+
+/// Analysis of one training phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAnalysis {
+    /// Phase name (`"forward"`, `"backward"`, `"update"`, ...).
+    pub phase: String,
+    /// Earliest span start in the phase.
+    pub start: f64,
+    /// Latest span end in the phase.
+    pub end: f64,
+    /// `end - start`.
+    pub duration: f64,
+    /// Pipeline fill tail: seconds from `start` until two resources first
+    /// run concurrently (0 when concurrency never reaches two).
+    pub fill_secs: f64,
+    /// Pipeline drain tail: seconds from the last two-wide concurrent
+    /// moment until `end` (0 when concurrency never reaches two).
+    pub drain_secs: f64,
+    /// Per-resource busy statistics, sorted by resource name.
+    pub resources: Vec<ResourceStats>,
+    /// All resource pairs, sorted by `(a, b)`.
+    pub overlaps: Vec<OverlapStat>,
+}
+
+/// Whole-trace analysis: one entry per phase, ordered by phase start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// End of the last span in the trace (seconds).
+    pub total_secs: f64,
+    /// Per-phase breakdowns.
+    pub phases: Vec<PhaseAnalysis>,
+}
+
+/// Merges possibly-overlapping `[start, end]` intervals into a disjoint,
+/// sorted list.
+fn merge(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|x, y| x.partial_cmp(y).expect("finite interval bounds"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn measure(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Intersection of two disjoint sorted interval lists.
+fn intersect(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if s < e {
+            out.push((s, e));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Pipeline fill/drain tails of a phase: seconds from the phase opening
+/// until two resources first run concurrently, and from the last concurrent
+/// moment until the phase closes. Phases that never reach two-wide
+/// concurrency (or have a single resource) report (0, 0).
+fn fill_drain(busy_sets: &[(String, Vec<(f64, f64)>)], start: f64, end: f64) -> (f64, f64) {
+    let mut edges: Vec<(f64, i32)> = Vec::new();
+    for (_, set) in busy_sets {
+        for &(s, e) in set {
+            edges.push((s, 1));
+            edges.push((e, -1));
+        }
+    }
+    // Opens before closes at equal times, so a zero-length touch counts.
+    edges.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(y.1.cmp(&x.1)));
+    let mut depth = 0;
+    let mut first2: Option<f64> = None;
+    let mut last2: Option<f64> = None;
+    for (t, d) in edges {
+        let was = depth;
+        depth += d;
+        if depth >= 2 && first2.is_none() {
+            first2 = Some(t);
+        }
+        if was >= 2 && depth < 2 {
+            last2 = Some(t);
+        }
+    }
+    match (first2, last2) {
+        (Some(f), Some(l)) => (f - start, end - l),
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Analyzes a timeline into per-phase busy/overlap/stall statistics.
+pub fn analyze(tl: &Timeline) -> TraceAnalysis {
+    // Phases ordered by first span start.
+    let mut phase_names: Vec<(f64, String)> = Vec::new();
+    for span in tl.spans() {
+        match phase_names.iter_mut().find(|(_, p)| *p == span.phase) {
+            Some(entry) => entry.0 = entry.0.min(span.start),
+            None => phase_names.push((span.start, span.phase.clone())),
+        }
+    }
+    phase_names.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+
+    let mut phases = Vec::with_capacity(phase_names.len());
+    for (_, phase) in &phase_names {
+        let spans: Vec<_> = tl.for_phase(phase).collect();
+        let start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let end = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        let duration = end - start;
+
+        let mut resources: Vec<String> = spans.iter().map(|s| s.resource.clone()).collect();
+        resources.sort();
+        resources.dedup();
+
+        let mut stats = Vec::with_capacity(resources.len());
+        let mut busy_sets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for res in &resources {
+            let raw: Vec<(f64, f64)> = spans
+                .iter()
+                .filter(|s| &s.resource == res)
+                .map(|s| (s.start, s.end))
+                .collect();
+            let span_count = raw.len() as u64;
+            let merged = merge(raw);
+            let busy_secs = measure(&merged);
+            let mut idle_gaps = Histogram::new(IDLE_GAP_BOUNDS);
+            for w in merged.windows(2) {
+                idle_gaps.observe(w[1].0 - w[0].1);
+            }
+            stats.push(ResourceStats {
+                resource: res.clone(),
+                busy_secs,
+                busy_fraction: if duration > 0.0 { (busy_secs / duration).min(1.0) } else { 0.0 },
+                first_start: merged.first().map_or(start, |iv| iv.0),
+                last_end: merged.last().map_or(end, |iv| iv.1),
+                span_count,
+                idle_gaps,
+            });
+            busy_sets.push((res.clone(), merged));
+        }
+
+        let (fill_secs, drain_secs) = fill_drain(&busy_sets, start, end);
+
+        let mut overlaps = Vec::new();
+        for i in 0..busy_sets.len() {
+            for j in i + 1..busy_sets.len() {
+                let overlap_secs = measure(&intersect(&busy_sets[i].1, &busy_sets[j].1));
+                let floor = stats[i].busy_secs.min(stats[j].busy_secs);
+                overlaps.push(OverlapStat {
+                    a: busy_sets[i].0.clone(),
+                    b: busy_sets[j].0.clone(),
+                    overlap_secs,
+                    efficiency: if floor > 0.0 { (overlap_secs / floor).min(1.0) } else { 0.0 },
+                });
+            }
+        }
+
+        phases.push(PhaseAnalysis {
+            phase: phase.clone(),
+            start,
+            end,
+            duration,
+            fill_secs,
+            drain_secs,
+            resources: stats,
+            overlaps,
+        });
+    }
+
+    TraceAnalysis { total_secs: tl.end_time(), phases }
+}
+
+impl TraceAnalysis {
+    /// The analysis for the named phase, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseAnalysis> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// Busy fraction of `resource` during `phase` (0.0 when either is
+    /// absent from the trace).
+    pub fn busy_fraction(&self, phase: &str, resource: &str) -> f64 {
+        self.phase(phase)
+            .and_then(|p| p.resources.iter().find(|r| r.resource == resource))
+            .map_or(0.0, |r| r.busy_fraction)
+    }
+
+    /// Overlap efficiency between two resources during `phase` (order
+    /// independent; 0.0 when the pair is absent).
+    pub fn overlap_efficiency(&self, phase: &str, a: &str, b: &str) -> f64 {
+        self.phase(phase)
+            .and_then(|p| {
+                p.overlaps
+                    .iter()
+                    .find(|o| (o.a == a && o.b == b) || (o.a == b && o.b == a))
+            })
+            .map_or(0.0, |o| o.efficiency)
+    }
+
+    /// Machine-checks the analyzer invariants; returns one message per
+    /// violation (empty = healthy). Checked: every busy fraction and
+    /// overlap efficiency lies in [0, 1]; every phase fits inside
+    /// `[0, total_secs]` with `start <= end`; `fill + drain <= duration`;
+    /// and the union of phase windows covers the run from the first span to
+    /// `total_secs` (phase times sum to the iteration time) within 1%.
+    pub fn validate(&self) -> Vec<String> {
+        const EPS: f64 = 1e-9;
+        let mut violations = Vec::new();
+        for p in &self.phases {
+            if p.start > p.end {
+                violations.push(format!("phase {}: start {} > end {}", p.phase, p.start, p.end));
+            }
+            if p.start < -EPS || p.end > self.total_secs + EPS {
+                violations.push(format!(
+                    "phase {}: bounds [{}, {}] outside run [0, {}]",
+                    p.phase, p.start, p.end, self.total_secs
+                ));
+            }
+            if p.fill_secs + p.drain_secs > p.duration + EPS {
+                violations.push(format!(
+                    "phase {}: fill {} + drain {} exceed duration {}",
+                    p.phase, p.fill_secs, p.drain_secs, p.duration
+                ));
+            }
+            for r in &p.resources {
+                if !(-EPS..=1.0 + EPS).contains(&r.busy_fraction) {
+                    violations.push(format!(
+                        "phase {} resource {}: busy fraction {} outside [0, 1]",
+                        p.phase, r.resource, r.busy_fraction
+                    ));
+                }
+            }
+            for o in &p.overlaps {
+                if !(-EPS..=1.0 + EPS).contains(&o.efficiency) {
+                    violations.push(format!(
+                        "phase {} overlap {}x{}: efficiency {} outside [0, 1]",
+                        p.phase, o.a, o.b, o.efficiency
+                    ));
+                }
+            }
+        }
+        if !self.phases.is_empty() {
+            let first = self.phases.iter().map(|p| p.start).fold(f64::INFINITY, f64::min);
+            let covered = measure(&merge(self.phases.iter().map(|p| (p.start, p.end)).collect()));
+            let run = self.total_secs - first;
+            if run > 0.0 && covered < 0.99 * run {
+                violations.push(format!(
+                    "phases cover {covered:.6}s of the {run:.6}s run (< 99%): \
+                     phase times do not sum to the iteration time"
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Renders the analysis as an ASCII report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace analysis: {} phase(s), {:.6} s total\n",
+            self.phases.len(),
+            self.total_secs
+        );
+        for p in &self.phases {
+            out.push_str(&format!(
+                "phase {:<12} [{:.6}, {:.6}]  dur {:.6}s  fill {:.6}s  drain {:.6}s\n",
+                p.phase, p.start, p.end, p.duration, p.fill_secs, p.drain_secs
+            ));
+            for r in &p.resources {
+                let stalls = r.idle_gaps.count();
+                out.push_str(&format!(
+                    "  {:<10} busy {:.6}s ({:5.1}%)  spans {:>4}  idle gaps {} (mean {:.1} us)\n",
+                    r.resource,
+                    r.busy_secs,
+                    r.busy_fraction * 100.0,
+                    r.span_count,
+                    stalls,
+                    r.idle_gaps.mean() * 1e6,
+                ));
+            }
+            for o in &p.overlaps {
+                if o.overlap_secs > 0.0 {
+                    out.push_str(&format!(
+                        "  overlap {:<10} x {:<10} {:.6}s  (efficiency {:5.1}%)\n",
+                        o.a,
+                        o.b,
+                        o.overlap_secs,
+                        o.efficiency * 100.0
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two phases: a "forward" with gpu solo, an "update" where cpu runs
+    /// 0..4 and gpu runs 1..3 (fully covered by cpu), pcie 3.5..4.
+    fn sample() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "fwd", "forward", 0.0, 2.0, 10.0);
+        tl.record("cpu", "cpu-update:sg0", "update", 2.0, 4.0, 4.0);
+        tl.record("cpu", "cpu-update:sg1", "update", 4.0, 6.0, 4.0);
+        tl.record("gpu", "gpu-update:sg2", "update", 3.0, 5.0, 4.0);
+        tl.record("pcie.h2d", "prefetch:sg2", "update", 5.5, 6.0, 64.0);
+        tl
+    }
+
+    #[test]
+    fn phases_ordered_by_start_with_bounds() {
+        let a = analyze(&sample());
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.phases[0].phase, "forward");
+        assert_eq!(a.phases[1].phase, "update");
+        let upd = a.phase("update").unwrap();
+        assert_eq!(upd.start, 2.0);
+        assert_eq!(upd.end, 6.0);
+        assert_eq!(upd.duration, 4.0);
+        assert_eq!(a.total_secs, 6.0);
+    }
+
+    #[test]
+    fn busy_fractions_merge_overlapping_spans() {
+        let a = analyze(&sample());
+        assert!((a.busy_fraction("update", "cpu") - 1.0).abs() < 1e-12);
+        assert!((a.busy_fraction("update", "gpu") - 0.5).abs() < 1e-12);
+        assert!((a.busy_fraction("update", "pcie.h2d") - 0.125).abs() < 1e-12);
+        assert_eq!(a.busy_fraction("update", "nvme"), 0.0);
+        assert_eq!(a.busy_fraction("missing-phase", "cpu"), 0.0);
+    }
+
+    #[test]
+    fn overlap_efficiency_is_cover_of_less_busy_side() {
+        let a = analyze(&sample());
+        // gpu busy 2s entirely inside cpu busy 4s: efficiency 1.0.
+        assert!((a.overlap_efficiency("update", "cpu", "gpu") - 1.0).abs() < 1e-12);
+        // Order-independent lookup.
+        assert!((a.overlap_efficiency("update", "gpu", "cpu") - 1.0).abs() < 1e-12);
+        // pcie (0.5s) entirely inside cpu busy: efficiency 1.0 too.
+        assert!((a.overlap_efficiency("update", "pcie.h2d", "cpu") - 1.0).abs() < 1e-12);
+        // gpu [3,5] vs pcie [5.5,6]: no overlap.
+        assert_eq!(a.overlap_efficiency("update", "gpu", "pcie.h2d"), 0.0);
+    }
+
+    #[test]
+    fn fill_and_drain_track_concurrency_edges() {
+        let a = analyze(&sample());
+        let upd = a.phase("update").unwrap();
+        // cpu runs alone on [2, 3]; gpu joins at 3 → fill 1.0s. The last
+        // concurrent stretch (cpu+pcie) runs to the phase end at 6 →
+        // drain 0.0s.
+        assert!((upd.fill_secs - 1.0).abs() < 1e-12);
+        assert!(upd.drain_secs.abs() < 1e-12);
+        // A solo phase has no pipeline to fill.
+        let fwd = a.phase("forward").unwrap();
+        assert_eq!((fwd.fill_secs, fwd.drain_secs), (0.0, 0.0));
+    }
+
+    #[test]
+    fn idle_gaps_are_binned() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "a", "update", 0.0, 1.0, 1.0);
+        tl.record("cpu", "b", "update", 1.5, 2.0, 1.0); // 0.5 s gap
+        tl.record("cpu", "c", "update", 2.0, 3.0, 1.0); // contiguous
+        let a = analyze(&tl);
+        let cpu = &a.phase("update").unwrap().resources[0];
+        assert_eq!(cpu.idle_gaps.count(), 1);
+        assert!((cpu.idle_gaps.sum() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_trace_validates_clean() {
+        let a = analyze(&sample());
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    #[test]
+    fn coverage_gap_is_flagged() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "a", "forward", 0.0, 1.0, 1.0);
+        tl.record("cpu", "b", "update", 50.0, 51.0, 1.0); // 49 s of nothing
+        let a = analyze(&tl);
+        let violations = a.validate();
+        assert!(
+            violations.iter().any(|v| v.contains("do not sum")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn empty_timeline_analyzes_empty() {
+        let a = analyze(&Timeline::new());
+        assert!(a.phases.is_empty());
+        assert!(a.validate().is_empty());
+    }
+
+    #[test]
+    fn analysis_serializes_round_trip() {
+        let a = analyze(&sample());
+        let json = serde_json::to_string_pretty(&a).expect("serialize");
+        let back: TraceAnalysis = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn render_mentions_each_phase_and_resource() {
+        let text = analyze(&sample()).render();
+        assert!(text.contains("phase forward"));
+        assert!(text.contains("phase update"));
+        assert!(text.contains("pcie.h2d"));
+        assert!(text.contains("overlap"));
+    }
+}

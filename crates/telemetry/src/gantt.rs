@@ -28,10 +28,12 @@ pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
     for res in &resources {
         let mut row = vec![b'.'; width];
         for span in timeline.for_resource(res) {
-            let a = ((span.start / end) * width as f64).floor() as usize;
-            let b = ((span.end / end) * width as f64).ceil() as usize;
+            // Clamp every span to at least one cell so zero-width spans
+            // (instants, sub-cell transfers) stay visible.
+            let a = (((span.start / end) * width as f64).floor() as usize).min(width - 1);
+            let b = (((span.end / end) * width as f64).ceil() as usize).clamp(a + 1, width);
             let glyph = span.label.bytes().next().unwrap_or(b'#');
-            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+            for cell in row.iter_mut().take(b).skip(a) {
                 *cell = glyph;
             }
         }
@@ -123,5 +125,23 @@ mod tests {
     #[should_panic(expected = "width too small")]
     fn width_validated() {
         let _ = render_gantt(&Timeline::new(), 5);
+    }
+
+    #[test]
+    fn zero_width_spans_still_draw_one_cell() {
+        // A 1 ms span on a 100 s timeline occupies far less than one cell at
+        // width 40; it used to round to nothing. It must draw exactly one
+        // glyph, even at the extreme right edge.
+        let mut tl = Timeline::new();
+        tl.record("gpu", "work", "update", 0.0, 100.0, 1.0);
+        tl.record("cpu", "blip", "update", 50.0, 50.001, 1.0);
+        tl.record("nvme", "zip", "update", 100.0, 100.0, 0.0);
+        let chart = render_gantt(&tl, 40);
+        let cpu_row = chart.lines().find(|l| l.trim_start().starts_with("cpu ")).unwrap();
+        assert_eq!(cpu_row.matches('b').count(), 1, "sub-cell span lost: {chart}");
+        let nvme_row = chart.lines().find(|l| l.trim_start().starts_with("nvme ")).unwrap();
+        assert_eq!(nvme_row.matches('z').count(), 1, "edge span lost: {chart}");
+        // The in-row glyph sits at the last cell, not past the border.
+        assert!(nvme_row.trim_end().ends_with("z|"), "{chart}");
     }
 }

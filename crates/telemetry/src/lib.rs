@@ -1,17 +1,41 @@
-//! # dos-telemetry — timelines, utilization sampling, and Gantt export
+//! # dos-telemetry — unified tracing, metrics, timelines, and analysis
 //!
-//! The reproduction's NVML (§3): simulators and pipelines record busy
-//! [`Span`]s into a [`Timeline`], from which windowed utilization and
-//! throughput series are derived — the data behind the paper's GPU-memory
-//! (Figure 3), PCIe-traffic (Figure 4), and resource-utilization (Figure 15)
-//! plots — and ASCII Gantt charts ([`render_gantt`]) in the style of the
-//! schedule illustrations (Figures 5 and 6).
+//! The reproduction's observability layer (the paper's NVML, §3):
+//!
+//! * [`Tracer`] — a lock-cheap, thread-safe event recorder both clocks feed:
+//!   wall-clock scoped spans ([`Tracer::span`]) from the real threaded
+//!   pipeline and trainer, and explicit-time spans ([`Tracer::record_span`])
+//!   replayed from the discrete-event simulator. A [`MetricsRegistry`] of
+//!   counters, gauges, and fixed-bucket [`Histogram`]s rides along.
+//! * [`Timeline`] — busy [`Span`]s per resource, with windowed utilization
+//!   and throughput series — the data behind the paper's GPU-memory
+//!   (Figure 3), PCIe-traffic (Figure 4), and resource-utilization
+//!   (Figure 15) plots.
+//! * [`chrome_trace`] — Chrome trace-event / Perfetto JSON export, openable
+//!   in <https://ui.perfetto.dev>, alongside ASCII Gantt charts
+//!   ([`render_gantt`]) in the style of Figures 5 and 6.
+//! * [`analyze`] — the overlap/stall analyzer: per-phase PCIe busy
+//!   fractions, CPU/GPU overlap efficiency, pipeline fill/drain tails, and
+//!   idle-gap histograms, with machine-checkable invariants
+//!   ([`TraceAnalysis::validate`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod analyze;
+mod chrome;
 mod gantt;
+mod metrics;
 mod timeline;
+mod tracer;
 
+pub use analyze::{
+    analyze, OverlapStat, PhaseAnalysis, ResourceStats, TraceAnalysis, IDLE_GAP_BOUNDS,
+};
+pub use chrome::{chrome_trace, chrome_trace_from_timeline, ChromeArgs, ChromeEvent, ChromeTrace};
 pub use gantt::{render_gantt, render_legend};
+pub use metrics::{
+    CounterSample, GaugeSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
+};
 pub use timeline::{Sample, Span, Timeline};
+pub use tracer::{EventKind, SpanGuard, TraceEvent, Tracer};

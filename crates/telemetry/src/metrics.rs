@@ -1,0 +1,277 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! The numeric sibling of the [`crate::Tracer`]'s event stream: where spans
+//! answer *when* something ran, metrics answer *how much* — bytes shipped
+//! over PCIe, subgroups updated per device, stall durations binned into a
+//! histogram. Every handle is cheap to clone and safe to update from any
+//! thread (one short `parking_lot` lock per operation), so the simulated
+//! schedulers and the real crossbeam pipeline feed the same registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first `bounds.len()` buckets; one final overflow bucket catches the rest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0 }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// Bucket upper bounds (the last, overflow bucket is unbounded).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts; `counts().len() == bounds().len() + 1`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+}
+
+/// One counter reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Monotonic value.
+    pub value: u64,
+}
+
+/// One gauge reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One histogram reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// The histogram state (bounds, per-bucket counts, sum).
+    pub histogram: Histogram,
+}
+
+/// A serializable point-in-time copy of a [`MetricsRegistry`], embedded in
+/// exported traces (see [`crate::ChromeTrace::metrics`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+#[derive(Debug, Default)]
+struct Registers {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named counters, gauges, and histograms.
+///
+/// Clones share storage, so a registry handle can be passed into worker
+/// threads alongside a [`crate::Tracer`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    regs: Arc<Mutex<Registers>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        *self.regs.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.regs.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.regs.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Last value of the named gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.regs.lock().gauges.get(name).copied()
+    }
+
+    /// Records `value` into the named histogram, creating it with `bounds`
+    /// on first use (later calls ignore `bounds`).
+    pub fn observe(&self, name: &str, bounds: &[f64], value: f64) {
+        self.regs
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// A copy of the named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.regs.lock().histograms.get(name).cloned()
+    }
+
+    /// Serializable copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let regs = self.regs.lock();
+        MetricsSnapshot {
+            counters: regs
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterSample { name: name.clone(), value })
+                .collect(),
+            gauges: regs
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeSample { name: name.clone(), value })
+                .collect(),
+            histograms: regs
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSample { name: name.clone(), histogram: h.clone() })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(&[1.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.4).abs() < 1e-9);
+        assert!((h.mean() - 26.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_boundary_is_inclusive() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(1.0);
+        assert_eq!(h.counts(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("h2d.bytes", 100);
+        m.inc_counter("h2d.bytes", 50);
+        m.set_gauge("stride", 2.0);
+        m.observe("gap", &[0.001, 0.1], 0.05);
+        assert_eq!(m.counter("h2d.bytes"), 150);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("stride"), Some(2.0));
+        assert_eq!(m.gauge("missing"), None);
+        assert_eq!(m.histogram("gap").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage_across_threads() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.inc_counter("ops", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("ops"), 400);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("b", 2);
+        m.inc_counter("a", 1);
+        m.set_gauge("g", 9.5);
+        m.observe("h", &[1.0], 0.5);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms[0].histogram.count(), 1);
+    }
+}

@@ -286,6 +286,72 @@ mod tests {
         assert_eq!(tl.end_time(), 0.0);
         assert_eq!(tl.overall_utilization("gpu"), 0.0);
     }
+
+    #[test]
+    fn utilization_spans_exactly_on_window_boundaries() {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "a", "update", 1.0, 2.0, 1.0);
+        // Three unit windows over [0, 3): the span fills exactly the middle
+        // one; its endpoints must not bleed into the neighbours.
+        let u = tl.utilization("gpu", 0.0, 3.0, 3);
+        assert_eq!(u[0].value, 0.0);
+        assert_eq!(u[1].value, 1.0);
+        assert_eq!(u[2].value, 0.0);
+        // A window whose edge bisects the span sees exactly half.
+        let half = tl.utilization("gpu", 0.5, 2.5, 2);
+        assert!((half[0].value - 0.5).abs() < 1e-12);
+        assert!((half[1].value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_absent_resource_is_zero() {
+        let tl = sample_timeline();
+        let u = tl.utilization("nvme", 0.0, 3.0, 6);
+        assert_eq!(u.len(), 6);
+        assert!(u.iter().all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn utilization_window_past_end_time_reads_idle() {
+        let tl = sample_timeline(); // gpu spans end at 3.0
+        let u = tl.utilization("gpu", 0.0, 6.0, 6);
+        assert_eq!(u.len(), 6);
+        // Busy windows up to the makespan, strictly idle past it.
+        assert!(u[5].value == 0.0 && u[4].value == 0.0 && u[3].value == 0.0);
+        assert_eq!(u[2].value, 1.0); // [2, 3): the update span
+        // Sample midpoints keep marching past end_time.
+        assert!((u[5].time - 5.5).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// Windowed utilization is a density: integrated over any window
+        /// partition that covers all spans, it recovers the total busy
+        /// time. (Spans are laid out gap-separated so they never overlap —
+        /// overlapping spans saturate at 1.0 by design.)
+        #[test]
+        fn windowed_utilization_integrates_to_busy_time(
+            layout in proptest::collection::vec((0.0f64..1.0, 0.01f64..1.0), 1..8),
+            windows in 1usize..50,
+        ) {
+            let mut tl = Timeline::new();
+            let mut t = 0.0;
+            for (gap, dur) in &layout {
+                t += gap;
+                tl.record("gpu", "w", "update", t, t + dur, 1.0);
+                t += dur;
+            }
+            let end = tl.end_time() + 0.5;
+            let w = end / windows as f64;
+            let integral: f64 =
+                tl.utilization("gpu", 0.0, end, windows).iter().map(|s| s.value * w).sum();
+            proptest::prop_assert!(
+                (integral - tl.busy_time("gpu")).abs() < 1e-9 * (1.0 + tl.busy_time("gpu")),
+                "integral {} != busy {}",
+                integral,
+                tl.busy_time("gpu")
+            );
+        }
+    }
 }
 
 /// CSV export of spans and sampled series (for external plotting).

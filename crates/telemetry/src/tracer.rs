@@ -1,0 +1,391 @@
+//! A lock-cheap, thread-safe tracer unifying simulated and wall clocks.
+//!
+//! Every instrumented component — the HAL discrete-event engine, the
+//! `dos-sim` scenarios, the crossbeam-threaded hybrid pipeline, the
+//! functional trainer — emits [`TraceEvent`]s into one [`Tracer`] handle:
+//!
+//! * **wall-clock** emitters open scoped [`SpanGuard`]s ([`Tracer::span`])
+//!   that time themselves against the tracer's epoch and record on drop,
+//!   nesting naturally (a per-thread depth counter tracks parents);
+//! * **simulated-clock** emitters replay an already-scheduled timeline via
+//!   [`Tracer::record_span`] with explicit start/end seconds.
+//!
+//! Both land in the same event stream, so one exporter
+//! ([`crate::chrome_trace`]) and one analyzer ([`crate::analyze`]) serve
+//! both worlds. Each event carries a *track* (a Perfetto thread row: a real
+//! thread or a simulator stream) and optionally a *resource* (the hardware
+//! unit it occupies: `"gpu"`, `"pcie.h2d"`, ...), which is what the
+//! overlap analyzer aggregates by.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::metrics::MetricsRegistry;
+use crate::timeline::Timeline;
+
+/// What kind of event a [`TraceEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration span (`start..start + dur`).
+    Span,
+    /// A zero-duration instant marker.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Track the event belongs to (thread name or simulator stream).
+    pub track: String,
+    /// Event label, e.g. `"cpu-update:sg3"`.
+    pub name: String,
+    /// Training phase, e.g. `"update"` (Chrome category).
+    pub phase: String,
+    /// Hardware resource occupied, or `""` when the event is purely a
+    /// track-local annotation.
+    pub resource: String,
+    /// Start time in seconds (since the tracer epoch for wall-clock spans,
+    /// since t=0 for simulated spans).
+    pub start: f64,
+    /// Duration in seconds (0.0 for instants).
+    pub dur: f64,
+    /// Abstract work attributed to the span (FLOPs, bytes); 0.0 if unknown.
+    pub work: f64,
+    /// Nesting depth below the track's root (0 = top-level).
+    pub depth: usize,
+    /// Span or instant.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    metrics: MetricsRegistry,
+}
+
+thread_local! {
+    static THREAD_TRACK: RefCell<Option<String>> = const { RefCell::new(None) };
+    static THREAD_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Thread-safe trace recorder. Cloning is cheap and shares storage, so the
+/// same tracer can be handed to every worker thread of a pipeline.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer whose wall-clock epoch (t=0) is "now".
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// Seconds elapsed since the tracer's epoch.
+    pub fn now(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Names the *calling thread's* track for subsequent [`Tracer::span`] /
+    /// [`Tracer::instant`] calls. The setting is thread-local (it applies to
+    /// every tracer used from this thread) and stays until overwritten.
+    pub fn set_thread_track(&self, name: &str) {
+        THREAD_TRACK.with(|t| *t.borrow_mut() = Some(name.to_string()));
+    }
+
+    fn current_track() -> String {
+        THREAD_TRACK.with(|t| t.borrow().clone()).unwrap_or_else(|| {
+            std::thread::current().name().unwrap_or("thread").to_string()
+        })
+    }
+
+    /// Opens a wall-clock scoped span on the calling thread's track; the
+    /// span is recorded when the returned guard drops. Nested guards record
+    /// increasing [`TraceEvent::depth`].
+    #[must_use = "the span is recorded when the guard drops"]
+    pub fn span(&self, name: &str, phase: &str) -> SpanGuard {
+        self.span_on(&Self::current_track(), "", name, phase)
+    }
+
+    /// Like [`Tracer::span`], but on an explicit track and attributing the
+    /// time to `resource` (empty string for none).
+    #[must_use = "the span is recorded when the guard drops"]
+    pub fn span_on(&self, track: &str, resource: &str, name: &str, phase: &str) -> SpanGuard {
+        let depth = THREAD_DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            track: track.to_string(),
+            resource: resource.to_string(),
+            name: name.to_string(),
+            phase: phase.to_string(),
+            start: self.now(),
+            work: 0.0,
+            depth,
+        }
+    }
+
+    /// Records a wall-clock instant event on the calling thread's track.
+    pub fn instant(&self, name: &str, phase: &str) {
+        let t = self.now();
+        self.push(TraceEvent {
+            track: Self::current_track(),
+            name: name.to_string(),
+            phase: phase.to_string(),
+            resource: String::new(),
+            start: t,
+            dur: 0.0,
+            work: 0.0,
+            depth: THREAD_DEPTH.with(Cell::get),
+            kind: EventKind::Instant,
+        });
+    }
+
+    /// Records a span with explicit times — the simulated-clock entry
+    /// point. `start`/`end` are seconds on the emitter's own clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        track: &str,
+        resource: &str,
+        name: &str,
+        phase: &str,
+        start: f64,
+        end: f64,
+        work: f64,
+    ) {
+        assert!(end >= start, "span ends before it starts: [{start}, {end}]");
+        self.push(TraceEvent {
+            track: track.to_string(),
+            name: name.to_string(),
+            phase: phase.to_string(),
+            resource: resource.to_string(),
+            start,
+            dur: end - start,
+            work,
+            depth: 0,
+            kind: EventKind::Span,
+        });
+    }
+
+    /// Records an instant event at an explicit time on an explicit track.
+    pub fn instant_at(&self, track: &str, name: &str, phase: &str, at: f64) {
+        self.push(TraceEvent {
+            track: track.to_string(),
+            name: name.to_string(),
+            phase: phase.to_string(),
+            resource: String::new(),
+            start: at,
+            dur: 0.0,
+            work: 0.0,
+            depth: 0,
+            kind: EventKind::Instant,
+        });
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        self.inner.events.lock().push(ev);
+    }
+
+    /// The metrics registry sharing this tracer's lifetime.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// A snapshot of all recorded events, sorted by start time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut evs = self.inner.events.lock().clone();
+        evs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        evs
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.events.lock().is_empty()
+    }
+
+    /// Discards all recorded events (metrics are kept).
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+    }
+
+    /// Distinct track names in order of first appearance.
+    pub fn tracks(&self) -> Vec<String> {
+        let evs = self.inner.events.lock();
+        let mut tracks: Vec<String> = Vec::new();
+        for ev in evs.iter() {
+            if !tracks.contains(&ev.track) {
+                tracks.push(ev.track.clone());
+            }
+        }
+        tracks
+    }
+
+    /// Converts the span events into a [`Timeline`] for the analyzer and
+    /// Gantt renderer. A span's timeline resource is its `resource` field
+    /// when set, otherwise its track; instants are skipped.
+    pub fn to_timeline(&self) -> Timeline {
+        let mut tl = Timeline::new();
+        for ev in self.events() {
+            if ev.kind != EventKind::Span {
+                continue;
+            }
+            let resource = if ev.resource.is_empty() { &ev.track } else { &ev.resource };
+            tl.record(resource, &ev.name, &ev.phase, ev.start, ev.start + ev.dur, ev.work);
+        }
+        tl
+    }
+}
+
+/// Guard for a wall-clock scoped span; records the event when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    track: String,
+    resource: String,
+    name: String,
+    phase: String,
+    start: f64,
+    work: f64,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Attributes abstract work (FLOPs, bytes) to the span.
+    pub fn set_work(&mut self, work: f64) {
+        self.work = work;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = self.tracer.now();
+        THREAD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        self.tracer.push(TraceEvent {
+            track: std::mem::take(&mut self.track),
+            name: std::mem::take(&mut self.name),
+            phase: std::mem::take(&mut self.phase),
+            resource: std::mem::take(&mut self.resource),
+            start: self.start,
+            dur: (end - self.start).max(0.0),
+            work: self.work,
+            depth: self.depth,
+            kind: EventKind::Span,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_spans_record_on_drop_with_nesting() {
+        let tr = Tracer::new();
+        tr.set_thread_track("main");
+        {
+            let _outer = tr.span("outer", "update");
+            {
+                let _inner = tr.span("inner", "update");
+            }
+        }
+        let evs = tr.events();
+        assert_eq!(evs.len(), 2);
+        let outer = evs.iter().find(|e| e.name == "outer").unwrap();
+        let inner = evs.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.track, "main");
+        assert!(inner.start >= outer.start);
+        assert!(inner.start + inner.dur <= outer.start + outer.dur + 1e-9);
+    }
+
+    #[test]
+    fn explicit_time_spans_carry_sim_clock() {
+        let tr = Tracer::new();
+        tr.record_span("stream:update", "gpu", "gpu-update:sg0", "update", 1.0, 2.5, 42.0);
+        let evs = tr.events();
+        assert_eq!(evs[0].start, 1.0);
+        assert_eq!(evs[0].dur, 1.5);
+        assert_eq!(evs[0].work, 42.0);
+        assert_eq!(evs[0].resource, "gpu");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn backwards_span_rejected() {
+        Tracer::new().record_span("t", "", "x", "p", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn clones_share_events_across_threads() {
+        let tr = Tracer::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tr = tr.clone();
+                s.spawn(move || {
+                    tr.set_thread_track(&format!("worker{i}"));
+                    let _g = tr.span("job", "update");
+                });
+            }
+        });
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.tracks().len(), 4);
+    }
+
+    #[test]
+    fn to_timeline_maps_resource_or_track() {
+        let tr = Tracer::new();
+        tr.record_span("stream", "pcie.h2d", "h2d", "update", 0.0, 1.0, 8.0);
+        tr.record_span("cpu", "", "cpu-update", "update", 0.0, 2.0, 0.0);
+        tr.instant_at("cpu", "marker", "update", 0.5);
+        let tl = tr.to_timeline();
+        assert_eq!(tl.spans().len(), 2);
+        assert_eq!(tl.for_resource("pcie.h2d").count(), 1);
+        assert_eq!(tl.for_resource("cpu").count(), 1);
+    }
+
+    #[test]
+    fn instants_are_zero_duration() {
+        let tr = Tracer::new();
+        tr.instant("tick", "forward");
+        let evs = tr.events();
+        assert_eq!(evs[0].kind, EventKind::Instant);
+        assert_eq!(evs[0].dur, 0.0);
+    }
+
+    #[test]
+    fn metrics_ride_along() {
+        let tr = Tracer::new();
+        tr.metrics().inc_counter("spans", 1);
+        assert_eq!(tr.clone().metrics().counter("spans"), 1);
+    }
+}

@@ -1,9 +1,12 @@
 //! Offline shim for the `proptest` crate.
 //!
 //! Samples strategies with a deterministic RNG (seeded from the test
-//! name) and runs each case through the test body; failures panic with
-//! the sampled inputs. No shrinking — a failing case prints its inputs
-//! verbatim instead of a minimized counterexample.
+//! name) and runs each case through the test body. A failing case is
+//! *shrunk* by greedy halving descent: each strategy proposes smaller
+//! candidates ([`strategy::Strategy::shrink`]) — the floor of its domain,
+//! the midpoint toward it, and a single step — and the runner walks to
+//! the smallest candidate that still fails (capped at 1000 attempts),
+//! then panics with both the minimized and the original inputs.
 
 #[doc(hidden)]
 pub use ::rand as __rand;
@@ -34,13 +37,98 @@ pub mod strategy {
     use rand::{Rng, SampleRange, Standard};
 
     /// A source of sampled values. Unlike real proptest there is no value
-    /// tree: `sample` draws directly and failures are not shrunk.
+    /// tree: `sample` draws directly, and `shrink` proposes strictly
+    /// "smaller" candidates for a failing value (the runner re-checks each
+    /// candidate and greedily descends). The default proposes nothing,
+    /// which disables shrinking for that strategy.
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
     }
 
-    impl<T> Strategy for std::ops::Range<T>
+    /// A value with a natural "smallest" point and a halving walk toward
+    /// a floor — the engine behind the shim's shrinking. Candidates are
+    /// ordered most-aggressive first: the floor itself, the midpoint, a
+    /// single step.
+    pub trait ShrinkValue: Sized {
+        /// The globally simplest value (`0`, `0.0`, `false`).
+        fn origin() -> Self;
+        /// Candidates strictly between `floor` and `self` (plus `floor`),
+        /// empty when `self` is already at the floor.
+        fn shrink_toward(&self, floor: &Self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_shrink_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl ShrinkValue for $t {
+                fn origin() -> Self {
+                    0
+                }
+                fn shrink_toward(&self, floor: &Self) -> Vec<Self> {
+                    let (v, f) = (*self, *floor);
+                    if v == f {
+                        return Vec::new();
+                    }
+                    // `abs_diff / 2` always fits the signed type, so the
+                    // midpoint is exact even across the full domain.
+                    let half = (v.abs_diff(f) / 2) as $t;
+                    let mid = if v > f { f + half } else { f - half };
+                    let step = if v > f { v - 1 } else { v + 1 };
+                    let mut out = vec![f];
+                    for c in [mid, step] {
+                        if c != v && !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_shrink_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_shrink_float {
+        ($($t:ty),* $(,)?) => {$(
+            impl ShrinkValue for $t {
+                fn origin() -> Self {
+                    0.0
+                }
+                fn shrink_toward(&self, floor: &Self) -> Vec<Self> {
+                    let (v, f) = (*self, *floor);
+                    if v == f || !v.is_finite() || !f.is_finite() {
+                        return Vec::new();
+                    }
+                    let mid = f + (v - f) / 2.0;
+                    let mut out = vec![f];
+                    if mid != f && mid != v {
+                        out.push(mid);
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_shrink_float!(f32, f64);
+
+    impl ShrinkValue for bool {
+        fn origin() -> Self {
+            false
+        }
+        fn shrink_toward(&self, floor: &Self) -> Vec<Self> {
+            if *self && !*floor {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    impl<T: ShrinkValue + Clone> Strategy for std::ops::Range<T>
     where
         std::ops::Range<T>: SampleRange<T> + Clone,
     {
@@ -48,15 +136,21 @@ pub mod strategy {
         fn sample(&self, rng: &mut StdRng) -> T {
             rng.gen_range(self.clone())
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_toward(&self.start)
+        }
     }
 
-    impl<T> Strategy for std::ops::RangeInclusive<T>
+    impl<T: ShrinkValue + Clone> Strategy for std::ops::RangeInclusive<T>
     where
         std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
     {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             rng.gen_range(self.clone())
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_toward(self.start())
         }
     }
 
@@ -81,35 +175,67 @@ pub mod strategy {
         Any { _marker: std::marker::PhantomData }
     }
 
-    impl<T: Standard> Strategy for Any<T> {
+    impl<T: Standard + ShrinkValue> Strategy for Any<T> {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             rng.gen()
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_toward(&T::origin())
+        }
+    }
+
+    /// The empty composite (a `proptest!` body with no `in` bindings).
+    impl Strategy for () {
+        type Value = ();
+        fn sample(&self, _rng: &mut StdRng) -> Self::Value {}
     }
 
     macro_rules! impl_strategy_tuple {
         ($(($($name:ident : $idx:tt),+))*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 fn sample(&self, rng: &mut StdRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Component-wise: shrink one coordinate at a time,
+                    // holding the others fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for c in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = c;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     impl_strategy_tuple! {
+        (A: 0)
         (A: 0, B: 1)
         (A: 0, B: 1, C: 2)
         (A: 0, B: 1, C: 2, D: 3)
         (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
     }
 
     impl<T> Strategy for Box<dyn Strategy<Value = T>> {
         type Value = T;
         fn sample(&self, rng: &mut StdRng) -> T {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -182,11 +308,84 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.min..self.size.max);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length first — halve toward the minimum, then drop one.
+            let len = value.len();
+            if len > self.size.min {
+                let half = self.size.min + (len - self.size.min) / 2;
+                if half < len - 1 {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..len - 1].to_vec());
+            }
+            // Then each element in place.
+            for (i, v) in value.iter().enumerate() {
+                for c in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = c;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The shared property runner behind `proptest!`: samples `cases` values,
+/// and on the first failure performs the greedy halving descent — walk to
+/// the first still-failing shrink candidate until none fail (or the step
+/// budget runs out) — then panics with the minimized and original inputs.
+#[doc(hidden)]
+pub fn __run_property<S>(
+    name: &str,
+    cases: u32,
+    rng: &mut rand::rngs::StdRng,
+    strategy: &S,
+    check: impl Fn(&S::Value) -> Result<(), String>,
+    describe: impl Fn(&S::Value) -> String,
+) where
+    S: strategy::Strategy,
+    S::Value: Clone,
+{
+    for case_idx in 0..cases {
+        let values = strategy.sample(rng);
+        if let Err(msg) = check(&values) {
+            let original = values.clone();
+            let mut current = values;
+            let mut last_msg = msg;
+            let mut steps = 0usize;
+            'shrinking: while steps < 1000 {
+                for cand in strategy.shrink(&current) {
+                    steps += 1;
+                    if let Err(m) = check(&cand) {
+                        current = cand;
+                        last_msg = m;
+                        continue 'shrinking;
+                    }
+                    if steps >= 1000 {
+                        break 'shrinking;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "proptest `{}` case {} failed: {}\n  minimized inputs: {}\n  original inputs: {}",
+                name,
+                case_idx,
+                last_msg,
+                describe(&current),
+                describe(&original)
+            );
         }
     }
 }
@@ -229,34 +428,33 @@ macro_rules! __proptest_impl {
                         __h.finish(),
                     )
                 };
-                for __case_idx in 0..__cfg.cases {
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
-                    )*
-                    let mut __inputs = ::std::string::String::new();
-                    $(
-                        __inputs.push_str(&::std::format!(
-                            "{} = {:?}, ",
-                            ::std::stringify!($arg),
-                            &$arg
-                        ));
-                    )*
-                    let __result: ::std::result::Result<(), ::std::string::String> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(__msg) = __result {
-                        ::std::panic!(
-                            "proptest `{}` case {} failed: {}\n  inputs: {}",
-                            ::std::stringify!($name),
-                            __case_idx,
-                            __msg,
-                            __inputs
-                        );
-                    }
-                }
+                // One composite strategy over all bindings; the tuple
+                // samples components left-to-right, so the RNG stream is
+                // identical to sampling each strategy in turn.
+                let __strategy = ($( ($strat), )*);
+                $crate::__run_property(
+                    ::std::stringify!($name),
+                    __cfg.cases,
+                    &mut __rng,
+                    &__strategy,
+                    |__values| {
+                        let ( $($arg,)* ) = ::std::clone::Clone::clone(__values);
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                    |__values| {
+                        let ( $($arg,)* ) = ::std::clone::Clone::clone(__values);
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(&::std::format!(
+                                "{} = {:?}, ",
+                                ::std::stringify!($arg),
+                                &$arg
+                            ));
+                        )*
+                        __s
+                    },
+                );
             }
         )*
     };
@@ -349,6 +547,67 @@ macro_rules! prop_assume {
             return ::std::result::Result::Ok(());
         }
     };
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use crate::prelude::*;
+    use crate::strategy::ShrinkValue;
+
+    // Deliberately failing properties, invoked through `catch_unwind`
+    // below (no `#[test]` attribute, so the harness never runs them
+    // directly).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn fails_at_ten(x in 0usize..1000) {
+            prop_assert!(x < 10);
+        }
+
+        fn fails_on_long_vecs(v in collection::vec(0u8..100, 0..20)) {
+            prop_assert!(v.len() < 3);
+        }
+    }
+
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>().cloned().expect("panic carries a String")
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_the_boundary() {
+        // 0..1000 with `x < 10` required: sampling all but guarantees a
+        // failure far from 10, and the halving walk must land exactly on
+        // the smallest failing input.
+        let msg = panic_message(fails_at_ten);
+        assert!(msg.contains("minimized inputs: x = 10,"), "{msg}");
+        assert!(msg.contains("original inputs: x = "), "{msg}");
+        // The original really was shrunk, not just relabeled.
+        let original: usize = msg
+            .split("original inputs: x = ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("original input parses");
+        assert!(original > 10, "seeded original {original} should be far from the boundary");
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_minimal_length() {
+        let msg = panic_message(fails_on_long_vecs);
+        // Minimal counterexample: the shortest failing vector (len 3)
+        // with every element at the range floor.
+        assert!(msg.contains("minimized inputs: v = [0, 0, 0],"), "{msg}");
+    }
+
+    #[test]
+    fn int_shrink_candidates_halve_toward_the_floor() {
+        assert_eq!(100u32.shrink_toward(&0), vec![0, 50, 99]);
+        assert_eq!(11usize.shrink_toward(&10), vec![10]);
+        assert_eq!(10i32.shrink_toward(&10), Vec::<i32>::new());
+        assert_eq!((-100i64).shrink_toward(&0), vec![0, -50, -99]);
+        assert_eq!(i8::origin(), 0);
+    }
 }
 
 #[cfg(test)]
