@@ -50,8 +50,8 @@ fn bench_hybrid_pipeline(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("stride", stride), &stride, |b, &k| {
             let mut state =
                 MixedPrecisionState::new(vec![0.5; n], UpdateRule::adam(), 1e-3);
-            let cfg = PipelineConfig { stride: StridePolicy::Fixed(k), static_residents: 0 };
-            b.iter(|| hybrid_update(&mut state, &grads, &subgroups, cfg));
+            let cfg = PipelineConfig { stride: StridePolicy::Fixed(k), ..Default::default() };
+            b.iter(|| hybrid_update(&mut state, &grads, &subgroups, cfg).unwrap());
         });
     }
     g.finish();

@@ -63,7 +63,7 @@ fn time_per_iter<F: FnMut()>(mut f: F, iters: usize) -> f64 {
         }
         samples.push(start.elapsed().as_secs_f64() / iters as f64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples.sort_by(f64::total_cmp);
     samples[1]
 }
 
@@ -84,8 +84,10 @@ pub fn calibrate(elements: usize) -> CalibrationReport {
     // D_c: FP32 -> FP16 downscale.
     let src: Vec<f32> = (0..elements).map(|i| (i as f32).sin()).collect();
     let mut dst = vec![F16::ZERO; elements];
+    // src and dst are allocated with the same length, so the conversion
+    // cannot fail; the timing loop ignores the Ok.
     let downscale_secs =
-        time_per_iter(|| downscale_f32_chunked(&src, &mut dst, 1 << 14).expect("same length"), 4);
+        time_per_iter(|| drop(downscale_f32_chunked(&src, &mut dst, 1 << 14)), 4);
 
     // B proxy: large memcpy (what pinned-buffer staging costs on the host).
     let src_bytes: Vec<f32> = vec![1.0; elements];

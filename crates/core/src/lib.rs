@@ -35,6 +35,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code on the fault-tolerant update path must surface failures as
+// typed errors, never die on a stray unwrap; tests may assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod calibration;
 mod explain;
@@ -47,5 +50,8 @@ pub use calibration::{calibrate, CalibrationReport};
 pub use explain::{explain_schedule, ScheduleExplanation};
 pub use nvme::NvmeOffload;
 pub use perf_model::PerfModel;
-pub use pipeline::{hybrid_update, hybrid_update_traced, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    hybrid_update, hybrid_update_traced, DeviceFault, PipelineConfig, PipelineDegradation,
+    PipelineError, PipelineReport,
+};
 pub use schedulers::{DeepOptimizerStates, StridePolicy, TwinFlow, Zero3Offload};

@@ -24,6 +24,53 @@ const CPU_TRACK: &str = "cpu";
 /// Track name for the spawned device worker's spans.
 const DEVICE_TRACK: &str = "device-worker";
 
+/// Typed precondition failures of the hybrid pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// `grads.len()` does not match the optimizer state's flat length.
+    GradientLengthMismatch {
+        /// The state's flat parameter count.
+        expected: usize,
+        /// The gradient slice's length.
+        got: usize,
+    },
+    /// The subgroup list does not tile `0..state.len()` contiguously.
+    SubgroupTiling {
+        /// Human-readable description of the tiling violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::GradientLengthMismatch { expected, got } => {
+                write!(f, "gradient length mismatch: state holds {expected} params, got {got}")
+            }
+            PipelineError::SubgroupTiling { detail } => {
+                write!(f, "invalid subgroup tiling: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// An injected device-worker fault, for chaos campaigns. The fault fires
+/// after the worker has fully processed the given number of jobs, so the
+/// earlier subgroups' results are already on their way back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The worker thread panics (a crashed CUDA context). The panic is
+    /// contained by the pipeline and surfaces as a degradation, never as a
+    /// caller-visible panic.
+    PanicAfter(usize),
+    /// The worker returns silently, disconnecting both DMA channels (a hung
+    /// device that stops answering).
+    DisconnectAfter(usize),
+}
+
 /// Configuration of the functional hybrid pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -34,12 +81,25 @@ pub struct PipelineConfig {
     /// Number of trailing subgroups treated as static device residents
     /// (updated on the device without staging transfers).
     pub static_residents: usize,
+    /// Optional injected device fault (chaos testing). `None` in
+    /// production use.
+    pub fault_injection: Option<DeviceFault>,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { stride: StridePolicy::Auto, static_residents: 0 }
+        PipelineConfig { stride: StridePolicy::Auto, static_residents: 0, fault_injection: None }
     }
+}
+
+/// How a hybrid update degraded when the device worker was lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineDegradation {
+    /// What happened to the device worker (panic message or disconnect).
+    pub reason: String,
+    /// Subgroups that were shipped to the device but never came back, and
+    /// were re-run on the CPU from their still-unmodified host state.
+    pub lost_jobs_retried_on_cpu: usize,
 }
 
 /// Result of a hybrid update step.
@@ -50,8 +110,13 @@ pub struct PipelineReport {
     pub fp16_params: Vec<F16>,
     /// How many subgroups were updated on the device worker.
     pub device_subgroups: usize,
-    /// How many subgroups were updated on the calling (CPU) thread.
+    /// How many subgroups were updated on the calling (CPU) thread
+    /// (including any lost device jobs re-run there).
     pub cpu_subgroups: usize,
+    /// Set when the device worker was lost mid-step and the pipeline
+    /// degraded the remainder to the CPU-only path. The step's numerics are
+    /// unaffected: every subgroup is still updated exactly once.
+    pub degraded: Option<PipelineDegradation>,
 }
 
 /// One staged subgroup travelling to the device worker.
@@ -80,16 +145,24 @@ struct UpdatedSubgroup {
 /// bitwise, for any stride and resident set (verified by the crate's
 /// property tests) — but executed with the paper's interleaved concurrency.
 ///
-/// # Panics
+/// The pipeline is panic-safe: if the device worker dies mid-step (a real
+/// panic or a channel disconnect, injectable via
+/// [`PipelineConfig::fault_injection`]), the remaining subgroups degrade to
+/// the CPU-only path, any shipped-but-lost jobs are re-run on the CPU from
+/// their still-unmodified host state, and the step completes byte-exact
+/// with [`PipelineReport::degraded`] set.
 ///
-/// Panics if `grads.len() != state.len()`, if `subgroups` do not tile
-/// `0..state.len()` contiguously, or if a worker thread panics.
+/// # Errors
+///
+/// Returns [`PipelineError`] if `grads.len() != state.len()` or if
+/// `subgroups` do not tile `0..state.len()` contiguously. `state` is not
+/// modified on error.
 pub fn hybrid_update(
     state: &mut MixedPrecisionState,
     grads: &[f32],
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
-) -> PipelineReport {
+) -> Result<PipelineReport, PipelineError> {
     hybrid_update_inner(state, grads, subgroups, cfg, None)
 }
 
@@ -101,17 +174,28 @@ pub fn hybrid_update(
 /// registry. Numerics are identical to the untraced path (tracing only
 /// observes).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`hybrid_update`].
+/// Fails under the same conditions as [`hybrid_update`].
 pub fn hybrid_update_traced(
     state: &mut MixedPrecisionState,
     grads: &[f32],
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
     tracer: &Tracer,
-) -> PipelineReport {
+) -> Result<PipelineReport, PipelineError> {
     hybrid_update_inner(state, grads, subgroups, cfg, Some(tracer))
+}
+
+/// Renders the payload of a worker panic for the degradation report.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 fn hybrid_update_inner(
@@ -120,14 +204,34 @@ fn hybrid_update_inner(
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
     tracer: Option<&Tracer>,
-) -> PipelineReport {
-    assert_eq!(grads.len(), state.len(), "gradient length mismatch");
+) -> Result<PipelineReport, PipelineError> {
+    if grads.len() != state.len() {
+        return Err(PipelineError::GradientLengthMismatch {
+            expected: state.len(),
+            got: grads.len(),
+        });
+    }
     let mut cursor = 0;
     for sg in subgroups {
-        assert_eq!(sg.start, cursor, "subgroups must tile the space contiguously");
+        if sg.start != cursor {
+            return Err(PipelineError::SubgroupTiling {
+                detail: format!(
+                    "subgroups must tile the space contiguously: subgroup {} starts at {} but \
+                     the previous one ended at {cursor}",
+                    sg.id, sg.start
+                ),
+            });
+        }
         cursor = sg.end;
     }
-    assert_eq!(cursor, state.len(), "subgroups must cover the space");
+    if cursor != state.len() {
+        return Err(PipelineError::SubgroupTiling {
+            detail: format!(
+                "subgroups must cover the space: tiled 0..{cursor} but the state holds {} params",
+                state.len()
+            ),
+        });
+    }
 
     let stride = match cfg.stride {
         StridePolicy::Auto => Some(2),
@@ -150,13 +254,29 @@ fn hybrid_update_inner(
 
     let mut device_count = 0usize;
     let mut cpu_count = 0usize;
+    let mut lost_retried = 0usize;
+    // Shipped subgroups whose results have not been written back yet. If
+    // the worker dies, whatever is left here re-runs on the CPU: write-back
+    // never happened, so the host state for those ranges is untouched and a
+    // CPU update from it is byte-exact.
+    let mut pending: Vec<SubgroupSpec> = Vec::new();
+    let mut worker_lost: Option<String> = None;
     let mut fp16 = vec![F16::ZERO; state.len()];
+    let fault = cfg.fault_injection;
 
     std::thread::scope(|scope| {
         // The device worker: applies the same element-wise rule, then
         // produces the FP16 copy on-device (the D2D `.half()` of Alg. 1).
-        scope.spawn(|| {
+        let worker = scope.spawn(|| {
+            let mut processed = 0usize;
             while let Ok(mut job) = h2d_rx.recv() {
+                match fault {
+                    Some(DeviceFault::PanicAfter(n)) if processed == n => {
+                        panic!("injected device fault after {n} jobs")
+                    }
+                    Some(DeviceFault::DisconnectAfter(n)) if processed == n => return,
+                    _ => {}
+                }
                 let label = format!("update:sg{}", job.sg.id);
                 {
                     let mut guard =
@@ -169,9 +289,11 @@ fn hybrid_update_inner(
                 let flush = format!("flush:sg{}", job.sg.id);
                 let _guard = tracer.map(|t| t.span_on(DEVICE_TRACK, "gpu", &flush, "update"));
                 let p16 = job.p.iter().map(|&x| F16::from_f32(x)).collect();
-                d2h_tx
-                    .send(UpdatedSubgroup { sg: job.sg, p: job.p, m: job.m, v: job.v, p16 })
-                    .expect("main thread receives until disconnect");
+                let echo = UpdatedSubgroup { sg: job.sg, p: job.p, m: job.m, v: job.v, p16 };
+                if d2h_tx.send(echo).is_err() {
+                    return; // main thread is gone; nothing left to do
+                }
+                processed += 1;
             }
             drop(d2h_tx);
         });
@@ -199,15 +321,12 @@ fn hybrid_update_inner(
             }
         };
 
-        for (i, sg) in dynamic.iter().enumerate() {
-            let on_device = stride.is_some_and(|k| (i + 1) % k == 0);
-            if on_device {
-                h2d_tx.send(prefetch(state, sg)).expect("device worker alive");
-                device_count += 1;
-            } else {
+        // Local (CPU) update of one subgroup; also the degraded fallback
+        // path when the device worker is gone.
+        let cpu_apply =
+            |state: &mut MixedPrecisionState, fp16: &mut Vec<F16>, sg: &SubgroupSpec| {
                 let label = format!("update:sg{}", sg.id);
-                let mut guard =
-                    tracer.map(|t| t.span_on(CPU_TRACK, "cpu", &label, "update"));
+                let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "cpu", &label, "update"));
                 if let Some(g) = guard.as_mut() {
                     g.set_work(sg.len() as f64);
                 }
@@ -217,18 +336,59 @@ fn hybrid_update_inner(
                 {
                     *dst = src;
                 }
+            };
+
+        for (i, sg) in dynamic.iter().enumerate() {
+            let on_device =
+                worker_lost.is_none() && stride.is_some_and(|k| (i + 1) % k == 0);
+            if on_device {
+                match h2d_tx.send(prefetch(state, sg)) {
+                    Ok(()) => {
+                        pending.push(*sg);
+                        device_count += 1;
+                    }
+                    Err(_) => {
+                        // Worker hung up: this job never left the host.
+                        worker_lost = Some("device worker disconnected".to_string());
+                        cpu_apply(state, &mut fp16, sg);
+                        cpu_count += 1;
+                        lost_retried += 1;
+                    }
+                }
+            } else {
+                cpu_apply(state, &mut fp16, sg);
                 cpu_count += 1;
             }
         }
         // Static residents: updated on the device without staging; here the
-        // state is conceptually already device-resident, so ship them too.
+        // state is conceptually already device-resident, so ship them too —
+        // unless the device is gone, in which case they fall back to the
+        // CPU like everything else.
         for sg in residents {
-            h2d_tx.send(prefetch(state, sg)).expect("device worker alive");
-            device_count += 1;
+            if worker_lost.is_none() {
+                match h2d_tx.send(prefetch(state, sg)) {
+                    Ok(()) => {
+                        pending.push(*sg);
+                        device_count += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        worker_lost = Some("device worker disconnected".to_string());
+                        lost_retried += 1;
+                        cpu_apply(state, &mut fp16, sg);
+                        cpu_count += 1;
+                        continue;
+                    }
+                }
+            }
+            cpu_apply(state, &mut fp16, sg);
+            cpu_count += 1;
         }
         drop(h2d_tx); // signal the worker to finish
 
-        // Drain the D2H channel: write back out-of-order arrivals.
+        // Drain the D2H channel: write back out-of-order arrivals. Ends
+        // when the worker drops its sender — normal completion, early
+        // return, or unwinding alike.
         while let Ok(upd) = d2h_rx.recv() {
             let label = format!("flush:sg{}", upd.sg.id);
             let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "pcie.d2h", &label, "update"));
@@ -239,17 +399,44 @@ fn hybrid_update_inner(
             if let Some(t) = tracer {
                 t.metrics().inc_counter("pipeline.d2h.bytes", bytes as u64);
             }
+            pending.retain(|p| p.id != upd.sg.id);
             state.write_back_range(upd.sg.range(), &upd.p, &upd.m, &upd.v);
             fp16[upd.sg.range()].copy_from_slice(&upd.p16);
+        }
+
+        // Contain a worker panic instead of letting the scope re-raise it.
+        if let Err(payload) = worker.join() {
+            worker_lost = Some(format!("device worker panicked: {}", panic_message(payload)));
+        } else if !pending.is_empty() && worker_lost.is_none() {
+            worker_lost = Some("device worker disconnected".to_string());
+        }
+
+        // Re-run shipped-but-lost jobs on the CPU. Their host ranges were
+        // never written back, so the result is byte-identical to what the
+        // device would have produced.
+        for sg in std::mem::take(&mut pending) {
+            cpu_apply(state, &mut fp16, &sg);
+            device_count -= 1;
+            cpu_count += 1;
+            lost_retried += 1;
         }
     });
 
     if let Some(t) = tracer {
         t.metrics().inc_counter("pipeline.device_subgroups", device_count as u64);
         t.metrics().inc_counter("pipeline.cpu_subgroups", cpu_count as u64);
+        if worker_lost.is_some() {
+            t.metrics().inc_counter("pipeline.degraded_steps", 1);
+        }
     }
 
-    PipelineReport { fp16_params: fp16, device_subgroups: device_count, cpu_subgroups: cpu_count }
+    Ok(PipelineReport {
+        fp16_params: fp16,
+        device_subgroups: device_count,
+        cpu_subgroups: cpu_count,
+        degraded: worker_lost
+            .map(|reason| PipelineDegradation { reason, lost_jobs_retried_on_cpu: lost_retried }),
+    })
 }
 
 #[cfg(test)]
@@ -277,11 +464,12 @@ mod tests {
         let (expected_p, expected_16) = reference(n);
         let (mut state, grads) = setup(n);
         let sgs = partition_into_subgroups(n, 64);
-        let report = hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default());
+        let report = hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default()).unwrap();
         assert_eq!(state.params(), &expected_p[..]);
         assert_eq!(report.fp16_params, expected_16);
         assert!(report.device_subgroups > 0);
         assert!(report.cpu_subgroups > 0);
+        assert!(report.degraded.is_none());
     }
 
     #[test]
@@ -297,8 +485,8 @@ mod tests {
         ] {
             let (mut state, grads) = setup(n);
             let sgs = partition_into_subgroups(n, 33);
-            let cfg = PipelineConfig { stride, static_residents: 0 };
-            let report = hybrid_update(&mut state, &grads, &sgs, cfg);
+            let cfg = PipelineConfig { stride, ..PipelineConfig::default() };
+            let report = hybrid_update(&mut state, &grads, &sgs, cfg).unwrap();
             assert_eq!(state.params(), &expected_p[..], "stride {stride:?} diverged");
             if matches!(stride, StridePolicy::CpuOnly) {
                 assert_eq!(report.device_subgroups, 0);
@@ -315,8 +503,12 @@ mod tests {
         let (expected_p, _) = reference(n);
         let (mut state, grads) = setup(n);
         let sgs = partition_into_subgroups(n, 50);
-        let cfg = PipelineConfig { stride: StridePolicy::CpuOnly, static_residents: 2 };
-        let report = hybrid_update(&mut state, &grads, &sgs, cfg);
+        let cfg = PipelineConfig {
+            stride: StridePolicy::CpuOnly,
+            static_residents: 2,
+            ..PipelineConfig::default()
+        };
+        let report = hybrid_update(&mut state, &grads, &sgs, cfg).unwrap();
         assert_eq!(report.device_subgroups, 2);
         assert_eq!(report.cpu_subgroups, 4);
         assert_eq!(state.params(), &expected_p[..]);
@@ -331,7 +523,7 @@ mod tests {
         for step in 0..5 {
             let g: Vec<f32> = grads.iter().map(|x| x * (step as f32 + 1.0)).collect();
             seq.full_step(&g);
-            hybrid_update(&mut hyb, &g, &sgs, PipelineConfig::default());
+            hybrid_update(&mut hyb, &g, &sgs, PipelineConfig::default()).unwrap();
         }
         assert_eq!(seq.params(), hyb.params());
         assert_eq!(seq.momentum(), hyb.momentum());
@@ -345,7 +537,9 @@ mod tests {
         let (mut state, grads) = setup(n);
         let sgs = partition_into_subgroups(n, 64);
         let tracer = Tracer::new();
-        let report = hybrid_update_traced(&mut state, &grads, &sgs, PipelineConfig::default(), &tracer);
+        let report =
+            hybrid_update_traced(&mut state, &grads, &sgs, PipelineConfig::default(), &tracer)
+                .unwrap();
         assert_eq!(state.params(), &expected_p[..]);
         assert_eq!(report.fp16_params, expected_16);
 
@@ -373,10 +567,96 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cover the space")]
-    fn incomplete_subgroups_rejected() {
+    fn incomplete_subgroups_rejected_with_typed_error() {
         let (mut state, grads) = setup(100);
+        let before = state.params().to_vec();
         let sgs = partition_into_subgroups(90, 30);
-        hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default());
+        let err = hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default()).unwrap_err();
+        match &err {
+            PipelineError::SubgroupTiling { detail } => {
+                assert!(detail.contains("cover the space"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected SubgroupTiling, got {other:?}"),
+        }
+        // Failed preconditions leave the state untouched.
+        assert_eq!(state.params(), &before[..]);
+    }
+
+    #[test]
+    fn mismatched_gradients_rejected_with_typed_error() {
+        let (mut state, _) = setup(100);
+        let sgs = partition_into_subgroups(100, 25);
+        let short = vec![0.0f32; 60];
+        let err = hybrid_update(&mut state, &short, &sgs, PipelineConfig::default()).unwrap_err();
+        assert_eq!(err, PipelineError::GradientLengthMismatch { expected: 100, got: 60 });
+    }
+
+    /// Every kill point of both fault kinds must leave the step byte-exact
+    /// with the sequential reference and report the degradation honestly.
+    #[test]
+    fn worker_loss_degrades_to_cpu_byte_exact() {
+        let n = 600;
+        let (expected_p, expected_16) = reference(n);
+        let sgs = partition_into_subgroups(n, 40); // 15 subgroups, ~7 shipped
+        for kill_after in [0usize, 1, 3, 6] {
+            for fault in
+                [DeviceFault::PanicAfter(kill_after), DeviceFault::DisconnectAfter(kill_after)]
+            {
+                let (mut state, grads) = setup(n);
+                let cfg = PipelineConfig { fault_injection: Some(fault), ..Default::default() };
+                let report = hybrid_update(&mut state, &grads, &sgs, cfg).unwrap();
+                assert_eq!(state.params(), &expected_p[..], "{fault:?} diverged");
+                assert_eq!(report.fp16_params, expected_16, "{fault:?} fp16 diverged");
+                let deg = report.degraded.expect("worker loss must be reported");
+                assert!(deg.lost_jobs_retried_on_cpu > 0, "{fault:?} lost nothing?");
+                if matches!(fault, DeviceFault::PanicAfter(_)) {
+                    assert!(deg.reason.contains("panicked"), "reason: {}", deg.reason);
+                }
+                // Jobs completed before the kill point stay on the device
+                // side of the ledger; everything still sums to the tiling.
+                assert_eq!(report.device_subgroups, kill_after);
+                assert_eq!(report.device_subgroups + report.cpu_subgroups, sgs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn worker_loss_with_residents_still_matches_reference() {
+        let n = 400;
+        let (expected_p, _) = reference(n);
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 40);
+        let cfg = PipelineConfig {
+            stride: StridePolicy::Fixed(2),
+            static_residents: 3,
+            fault_injection: Some(DeviceFault::DisconnectAfter(1)),
+        };
+        let report = hybrid_update(&mut state, &grads, &sgs, cfg).unwrap();
+        assert_eq!(state.params(), &expected_p[..]);
+        assert!(report.degraded.is_some());
+        assert_eq!(report.device_subgroups + report.cpu_subgroups, sgs.len());
+    }
+
+    #[test]
+    fn degraded_traced_step_keeps_span_accounting_consistent() {
+        let n = 500;
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 50);
+        let tracer = Tracer::new();
+        let cfg = PipelineConfig {
+            fault_injection: Some(DeviceFault::PanicAfter(2)),
+            ..Default::default()
+        };
+        let report = hybrid_update_traced(&mut state, &grads, &sgs, cfg, &tracer).unwrap();
+        assert!(report.degraded.is_some());
+        let events = tracer.events();
+        let on = |track: &str, prefix: &str| {
+            events.iter().filter(|e| e.track == track && e.name.starts_with(prefix)).count()
+        };
+        // Write-backs happened only for jobs the worker finished; CPU
+        // updates cover the rest (locals + lost retries).
+        assert_eq!(on(super::CPU_TRACK, "flush:sg"), report.device_subgroups);
+        assert_eq!(on(super::CPU_TRACK, "update:sg"), report.cpu_subgroups);
+        assert_eq!(tracer.metrics().counter("pipeline.degraded_steps"), 1);
     }
 }

@@ -327,6 +327,46 @@ mod tests {
         assert_eq!(best.0, 2, "best stride {} at {:.2}s", best.0, best.1);
     }
 
+    /// How much link slack does the interleaved schedule have before
+    /// Eq. 1's k* stops being optimal? A mild PCIe H2D degradation is
+    /// absorbed (k* = 2 still wins, as in Figure 16); a severe one makes
+    /// GPU subgroups too expensive to feed and shifts the empirical
+    /// optimum toward sparser interleaving (larger k).
+    #[test]
+    fn k_star_shifts_only_under_severe_pcie_degradation() {
+        use dos_hal::{FaultPlan, SimTime};
+        use dos_sim::simulate_iteration_faulted;
+
+        let best_stride = |h2d_scale: f64| -> usize {
+            let mut best = (0usize, f64::INFINITY);
+            for k in 2..=5 {
+                let sched = DeepOptimizerStates {
+                    stride: StridePolicy::Fixed(k),
+                    ..Default::default()
+                };
+                let plan = FaultPlan::seeded(0).degrade(
+                    "pcie.h2d",
+                    SimTime::ZERO,
+                    SimTime::from_secs(1e9),
+                    h2d_scale,
+                );
+                let tracer = dos_telemetry::Tracer::new();
+                let r = simulate_iteration_faulted(&dos_cfg("20B"), &sched, Some(&plan), &tracer)
+                    .unwrap();
+                if r.update_secs < best.1 {
+                    best = (k, r.update_secs);
+                }
+            }
+            best.0
+        };
+        assert_eq!(best_stride(1.0), 2, "healthy link: Figure 16's optimum");
+        assert_eq!(best_stride(0.85), 2, "15% slower H2D sits inside the schedule's slack");
+        assert!(
+            best_stride(0.15) > 2,
+            "a severely degraded link must push the optimum to sparser interleaving"
+        );
+    }
+
     #[test]
     fn cpu_only_policy_matches_zero3_update_shape() {
         let sched = DeepOptimizerStates { stride: StridePolicy::CpuOnly, ..Default::default() };

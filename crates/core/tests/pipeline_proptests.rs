@@ -44,8 +44,9 @@ proptest! {
         let cfg = PipelineConfig {
             stride: StridePolicy::Fixed(stride),
             static_residents: residents.min(subgroups.len()),
+            ..PipelineConfig::default()
         };
-        let report = hybrid_update(&mut hybrid, &grads, &subgroups, cfg);
+        let report = hybrid_update(&mut hybrid, &grads, &subgroups, cfg).unwrap();
 
         prop_assert_eq!(reference.params(), hybrid.params());
         prop_assert_eq!(reference.momentum(), hybrid.momentum());
@@ -75,8 +76,9 @@ proptest! {
             let cfg = PipelineConfig {
                 stride: StridePolicy::Fixed(1 + (s % 4)),
                 static_residents: s % 3,
+                ..PipelineConfig::default()
             };
-            hybrid_update(&mut hyb, &grads, &subgroups, cfg);
+            hybrid_update(&mut hyb, &grads, &subgroups, cfg).unwrap();
         }
         prop_assert_eq!(seq.params(), hyb.params());
     }

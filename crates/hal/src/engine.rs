@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::time::SimTime;
 
 /// Identifies a resource registered with a [`Simulator`].
@@ -243,6 +244,15 @@ pub struct Simulator {
     ops: Vec<OpState>,
     trace: Vec<Interval>,
     default_stream: Option<StreamId>,
+    faults: Option<FaultPlan>,
+    /// Wasted occupancy from failed attempts. Kept separate from `trace`,
+    /// which must stay index-parallel to `ops` (critical paths index it by
+    /// `OpId`).
+    fault_trace: Vec<Interval>,
+    fault_events: Vec<FaultEvent>,
+    /// Per-resource count of ops seen while failure rules were installed,
+    /// so `FailureMode::Nth` can target the n-th op on a resource.
+    fault_match_counts: HashMap<usize, usize>,
 }
 
 impl Simulator {
@@ -351,12 +361,63 @@ impl Simulator {
                 None => tracer.instant_at(track, &iv.label, &iv.phase, iv.start.as_secs()),
             }
         }
+        // Injected-fault records: wasted attempts replay as spans on the
+        // stream that suffered them (their occupancy is real schedule time),
+        // and each failed attempt additionally lands as an instant on a
+        // dedicated `faults` track so the analyzer and trace viewers can
+        // attribute stalls without scanning span labels.
+        for iv in &self.fault_trace {
+            if let Some(r) = iv.resource {
+                tracer.record_span(
+                    self.stream_name(iv.stream),
+                    self.resource_name(r),
+                    &iv.label,
+                    &iv.phase,
+                    iv.start.as_secs(),
+                    iv.end.as_secs(),
+                    iv.work,
+                );
+            }
+        }
+        for ev in &self.fault_events {
+            tracer.instant_at(
+                "faults",
+                &format!("fault:{}:{}", ev.resource, ev.label),
+                &ev.phase,
+                ev.at.as_secs(),
+            );
+        }
     }
 
     /// Returns the effective rate (rate × scale) of a resource.
     pub fn resource_rate(&self, resource: ResourceId) -> f64 {
         let r = &self.resources[resource.0];
         r.rate * r.scale
+    }
+
+    /// Installs a [`FaultPlan`]; operations submitted afterwards are subject
+    /// to its degradation windows and failure rules. Replaces any previously
+    /// installed plan (match counters for `FailureMode::Nth` are reset).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_match_counts.clear();
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Every injected fault occurrence so far (failed attempts, whether or
+    /// not the op eventually recovered), in submission order.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Wasted-occupancy intervals from failed attempts. Kept separate from
+    /// [`Simulator::trace`] so that trace stays index-parallel to op ids.
+    pub fn fault_intervals(&self) -> &[Interval] {
+        &self.fault_trace
     }
 
     /// Submits an operation and returns its handle.
@@ -407,9 +468,12 @@ impl Simulator {
             }
         }
         let mut chosen_server = 0;
+        let mut fault_intervals: Vec<Interval> = Vec::new();
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let mut wasted = SimTime::ZERO;
         let duration = match spec.resource {
             Some(r) => {
-                let res = &mut self.resources[r.0];
+                let res = &self.resources[r.0];
                 // Earliest-available server of the pool serves this op.
                 let (idx, &(earliest, last)) = res
                     .servers
@@ -426,7 +490,81 @@ impl Simulator {
                     Some(d) => d,
                     None => SimTime::from_secs(spec.work / (res.rate * res.scale)),
                 };
-                base + spec.latency
+                let name = res.name.clone();
+                match &self.faults {
+                    None => base + spec.latency,
+                    Some(plan) if plan.is_empty() => base + spec.latency,
+                    Some(plan) => {
+                        // Fault-aware attempt loop. Each failed attempt wastes
+                        // `wasted_fraction` of its would-be duration on the
+                        // resource, then backs off before retrying; an attempt
+                        // starting inside a degradation window is stretched by
+                        // the window's throughput scale. The server is modeled
+                        // as reserved for the whole retry sequence, which is
+                        // conservative for queued peers but keeps greedy
+                        // submission-order scheduling deterministic.
+                        let op_index = self.ops.len();
+                        let targeted = plan.failures.iter().any(|f| f.resource == name);
+                        let match_index = if targeted {
+                            let c = self.fault_match_counts.entry(r.0).or_insert(0);
+                            let i = *c;
+                            *c += 1;
+                            i
+                        } else {
+                            0
+                        };
+                        let mut attempt_start = start;
+                        let mut attempt: u32 = 0;
+                        loop {
+                            let scale = plan.degradation_scale(&name, attempt_start);
+                            let dur = SimTime::from_secs(base.as_secs() / scale) + spec.latency;
+                            if !(targeted
+                                && plan.attempt_fails(&name, match_index, op_index, attempt))
+                            {
+                                start = attempt_start;
+                                break dur;
+                            }
+                            let lost =
+                                SimTime::from_secs(dur.as_secs() * plan.retry.wasted_fraction);
+                            let fail_at = attempt_start + lost;
+                            wasted += lost;
+                            fault_intervals.push(Interval {
+                                resource: Some(r),
+                                stream,
+                                start: attempt_start,
+                                end: fail_at,
+                                work: 0.0,
+                                label: format!("fault:{}", spec.label),
+                                phase: spec.phase.clone(),
+                            });
+                            fault_events.push(FaultEvent {
+                                resource: name.clone(),
+                                label: spec.label.clone(),
+                                phase: spec.phase.clone(),
+                                at: fail_at,
+                                attempt,
+                                recovered: true,
+                            });
+                            if attempt >= plan.retry.max_retries {
+                                for ev in &mut fault_events {
+                                    ev.recovered = false;
+                                }
+                                let attempts = attempt + 1;
+                                self.resources[r.0].busy += wasted;
+                                self.fault_trace.extend(fault_intervals);
+                                self.fault_events.extend(fault_events);
+                                return Err(SimError::TransferFault {
+                                    resource: name,
+                                    label: spec.label,
+                                    at: fail_at,
+                                    attempts,
+                                });
+                            }
+                            attempt_start = fail_at + plan.backoff_after(attempt);
+                            attempt += 1;
+                        }
+                    }
+                }
             }
             None => spec.fixed_duration.unwrap_or(SimTime::ZERO) + spec.latency,
         };
@@ -435,8 +573,10 @@ impl Simulator {
         if let Some(r) = spec.resource {
             let res = &mut self.resources[r.0];
             res.servers[chosen_server] = (finish, Some(this_id));
-            res.busy += duration;
+            res.busy += duration + wasted;
         }
+        self.fault_trace.extend(fault_intervals);
+        self.fault_events.extend(fault_events);
         let stream_state = &mut self.streams[stream.0];
         stream_state.ready_at = finish;
         stream_state.last_op = Some(this_id);
@@ -870,6 +1010,176 @@ mod occupy_tests {
         let b = s.submit(OpSpec::occupy(link, SimTime::from_secs(1.0), 1.0).on(s2)).unwrap();
         assert_eq!(s.finish_time(a).as_secs(), 1.0);
         assert_eq!(s.finish_time(b).as_secs(), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::RetryPolicy;
+
+    fn h2d_sim() -> (Simulator, ResourceId, StreamId) {
+        let mut s = Simulator::new();
+        let link = s.add_resource("pcie.h2d", ResourceKind::LinkH2D, 1.0);
+        let st = s.add_stream("h2d");
+        (s, link, st)
+    }
+
+    #[test]
+    fn degradation_window_stretches_ops_starting_inside_it() {
+        let (mut s, link, st) = h2d_sim();
+        s.install_fault_plan(FaultPlan::seeded(1).degrade(
+            "pcie.h2d",
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(10.0),
+            0.25,
+        ));
+        // Starts at t=0, outside the window: full speed.
+        let a = s.submit(OpSpec::transfer(link, 1.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 1.0);
+        // Starts at t=1, inside: quarter speed.
+        let b = s.submit(OpSpec::transfer(link, 1.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(b).as_secs(), 5.0);
+        // Degradation stretches fixed-duration occupancies too.
+        let c = s.submit(OpSpec::occupy(link, SimTime::from_secs(1.0), 7.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(c).as_secs(), 9.0);
+        // No fault events: degradation is silent slowdown, not failure.
+        assert!(s.fault_events().is_empty());
+    }
+
+    #[test]
+    fn degradation_ignores_other_resources() {
+        let mut s = Simulator::new();
+        let d2h = s.add_resource("pcie.d2h", ResourceKind::LinkD2H, 1.0);
+        let st = s.add_stream("d2h");
+        s.install_fault_plan(FaultPlan::seeded(1).degrade(
+            "pcie.h2d",
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+            0.1,
+        ));
+        let op = s.submit(OpSpec::transfer(d2h, 2.0).on(st)).unwrap();
+        assert_eq!(s.finish_time(op).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn nth_failure_retries_with_backoff_arithmetic() {
+        let (mut s, link, st) = h2d_sim();
+        s.install_fault_plan(
+            FaultPlan::seeded(0).fail_nth("pcie.h2d", 1, 2).with_retry(RetryPolicy {
+                max_retries: 3,
+                backoff: SimTime::from_secs(0.5),
+                backoff_multiplier: 2.0,
+                wasted_fraction: 0.5,
+            }),
+        );
+        let a = s.submit(OpSpec::transfer(link, 1.0).on(st).label("x0")).unwrap();
+        assert_eq!(s.finish_time(a).as_secs(), 1.0);
+        // Op 1: attempt 0 wastes 0.5s, backoff 0.5s; attempt 1 wastes 0.5s,
+        // backoff 1.0s; attempt 2 succeeds taking 1.0s.
+        // 1.0 + 0.5 + 0.5 + 0.5 + 1.0 + 1.0 = 4.5.
+        let b = s.submit(OpSpec::transfer(link, 1.0).on(st).label("x1")).unwrap();
+        assert_eq!(s.finish_time(b).as_secs(), 4.5);
+        let events = s.fault_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.recovered && e.label == "x1"));
+        assert_eq!(events[0].attempt, 0);
+        assert_eq!(events[1].attempt, 1);
+        // Wasted attempts are recorded as occupancy and counted busy.
+        assert_eq!(s.fault_intervals().len(), 2);
+        assert_eq!(s.busy_time(link).as_secs(), 1.0 + 0.5 + 0.5 + 1.0);
+        // The op trace itself stays index-parallel to op ids.
+        assert_eq!(s.trace().len(), s.op_count());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_transfer_fault() {
+        let (mut s, link, st) = h2d_sim();
+        s.install_fault_plan(
+            FaultPlan::seeded(0).fail_nth("pcie.h2d", 0, 99).with_retry(RetryPolicy {
+                max_retries: 2,
+                backoff: SimTime::from_secs(0.1),
+                backoff_multiplier: 1.0,
+                wasted_fraction: 1.0,
+            }),
+        );
+        let err = s.submit(OpSpec::transfer(link, 1.0).on(st).label("doomed")).unwrap_err();
+        match err {
+            SimError::TransferFault { resource, label, attempts, .. } => {
+                assert_eq!(resource, "pcie.h2d");
+                assert_eq!(label, "doomed");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected TransferFault, got {other}"),
+        }
+        // All three attempts are on record, marked unrecovered; the failed
+        // op itself was never admitted to the schedule.
+        assert_eq!(s.fault_events().len(), 3);
+        assert!(s.fault_events().iter().all(|e| !e.recovered));
+        assert_eq!(s.op_count(), 0);
+        assert_eq!(s.trace().len(), 0);
+    }
+
+    #[test]
+    fn random_failures_are_reproducible_across_runs() {
+        let run = |seed: u64| -> (Vec<f64>, usize) {
+            let (mut s, link, st) = h2d_sim();
+            s.install_fault_plan(FaultPlan::seeded(seed).fail_randomly("pcie.h2d", 0.4));
+            let finishes: Vec<f64> = (0..20)
+                .map(|i| {
+                    match s.submit(OpSpec::transfer(link, 1.0).on(st).label(format!("t{i}"))) {
+                        Ok(op) => s.finish_time(op).as_secs(),
+                        // Retry exhaustion is a legitimate outcome at p=0.4;
+                        // encode it distinctly so determinism still compares.
+                        Err(SimError::TransferFault { .. }) => -1.0,
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                })
+                .collect();
+            (finishes, s.fault_events().len())
+        };
+        let (f1, n1) = run(42);
+        let (f2, n2) = run(42);
+        assert_eq!(f1, f2, "same seed must give an identical schedule");
+        assert_eq!(n1, n2);
+        assert!(n1 > 0, "p=0.4 over 20 ops should inject at least one fault");
+        let (f3, _) = run(43);
+        assert_ne!(f1, f3, "different seed should perturb the schedule");
+    }
+
+    #[test]
+    fn record_into_exposes_fault_instants_and_wasted_spans() {
+        let (mut s, link, st) = h2d_sim();
+        s.install_fault_plan(FaultPlan::seeded(0).fail_nth("pcie.h2d", 0, 1));
+        s.submit(OpSpec::transfer(link, 1.0).on(st).label("h2d:sg0").phase("update")).unwrap();
+        let tracer = dos_telemetry::Tracer::new();
+        s.record_into(&tracer);
+        let evs = tracer.events();
+        let instant = evs
+            .iter()
+            .find(|e| e.kind == dos_telemetry::EventKind::Instant)
+            .expect("fault instant present");
+        assert_eq!(instant.track, "faults");
+        assert_eq!(instant.name, "fault:pcie.h2d:h2d:sg0");
+        assert_eq!(instant.phase, "update");
+        let wasted_span = evs
+            .iter()
+            .find(|e| e.kind == dos_telemetry::EventKind::Span && e.name.starts_with("fault:"))
+            .expect("wasted-attempt span present");
+        assert_eq!(wasted_span.track, "h2d");
+        assert_eq!(wasted_span.resource, "pcie.h2d");
+    }
+
+    #[test]
+    fn installing_a_plan_resets_nth_counters() {
+        let (mut s, link, st) = h2d_sim();
+        s.install_fault_plan(FaultPlan::seeded(0).fail_nth("pcie.h2d", 0, 1));
+        s.submit(OpSpec::transfer(link, 1.0).on(st)).unwrap();
+        assert_eq!(s.fault_events().len(), 1);
+        // Reinstall: the next op is once again "the 0th" and fails again.
+        s.install_fault_plan(FaultPlan::seeded(0).fail_nth("pcie.h2d", 0, 1));
+        s.submit(OpSpec::transfer(link, 1.0).on(st)).unwrap();
+        assert_eq!(s.fault_events().len(), 2);
     }
 }
 

@@ -48,6 +48,20 @@ pub enum SimError {
         /// Allocation tag whose balance went negative.
         tag: String,
     },
+    /// An injected transfer failure exhausted its retry budget.
+    ///
+    /// Produced by a [`crate::FaultPlan`] failure rule when every attempt
+    /// (initial plus retries) of an operation on the named resource died.
+    TransferFault {
+        /// Name of the resource the doomed operation occupied.
+        resource: String,
+        /// Label of the failing operation.
+        label: String,
+        /// Instant the final attempt died.
+        at: SimTime,
+        /// Total attempts made (initial attempt plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +78,10 @@ impl fmt::Display for SimError {
             SimError::UnbalancedFree { pool, tag } => {
                 write!(f, "unbalanced free in pool `{pool}` for tag `{tag}`")
             }
+            SimError::TransferFault { resource, label, at, attempts } => write!(
+                f,
+                "transfer fault on `{resource}`: op `{label}` failed all {attempts} attempts (last at {at})"
+            ),
         }
     }
 }

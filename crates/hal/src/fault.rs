@@ -1,0 +1,340 @@
+//! Deterministic fault injection for the discrete-event engine.
+//!
+//! The paper's schedule (Alg. 1) assumes PCIe links, DRAM, and device
+//! workers behave; production middleware cannot. A [`FaultPlan`] lets
+//! `dos-sim` scenarios quantify how much slack an interleaved schedule has
+//! before Equation 1's k* stops being optimal, by perturbing the engine
+//! with three fault classes:
+//!
+//! * **link degradation windows** — a resource's effective throughput drops
+//!   by a factor over a `[from, until)` window of simulated time (a flaky
+//!   PCIe lane, a neighbour saturating DRAM);
+//! * **op-level transfer failures** — a matching operation's attempt dies
+//!   after wasting part of its duration, surfacing as a typed
+//!   [`SimError::TransferFault`] once retries are exhausted;
+//! * **retry with backoff** — failed attempts are modeled as *extra
+//!   occupancy* on the same resource plus an exponential backoff gap, so
+//!   faults consume schedule slack exactly the way real DMA retries do.
+//!
+//! Everything is deterministic: random failures are a pure hash of
+//! `(plan seed, op index, attempt)`, so the same plan over the same
+//! submission sequence always produces the same schedule. Every failed
+//! attempt is recorded as a fault interval and a [`FaultEvent`];
+//! [`crate::Simulator::record_into`] replays both into the tracer
+//! (`fault:`-prefixed instants) so the overlap analyzer can attribute
+//! stalls to injected faults.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A transient throughput drop on one named resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationWindow {
+    /// Resource name as registered with the simulator (`"pcie.h2d"`, ...).
+    pub resource: String,
+    /// Window start (inclusive) on the simulated clock.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Throughput multiplier in (0, 1]; 0.25 = quarter speed. Applies to
+    /// the whole attempt of any operation *starting* inside the window
+    /// (fixed-duration occupancies are stretched by the same factor).
+    pub scale: f64,
+}
+
+/// How a failure rule decides which attempts die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Every attempt of every matching op fails independently with this
+    /// probability (hash of plan seed × op index × attempt).
+    Random {
+        /// Per-attempt failure probability in [0, 1].
+        probability: f64,
+    },
+    /// The `nth` (0-based) operation submitted against the resource fails
+    /// exactly `failures` consecutive attempts, then succeeds. Deterministic
+    /// targeting for tests and campaigns.
+    Nth {
+        /// Which matching operation to hit (0-based submission order).
+        nth: usize,
+        /// How many consecutive attempts fail before the op goes through.
+        failures: u32,
+    },
+}
+
+/// A failure rule bound to one named resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRule {
+    /// Resource name as registered with the simulator.
+    pub resource: String,
+    /// Which attempts die.
+    pub mode: FailureMode,
+}
+
+/// Retry/backoff semantics shared by every failure rule of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt; `attempts = max_retries + 1`.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff: SimTime,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+    /// Fraction of the attempt's nominal duration wasted (occupying the
+    /// resource) before the attempt dies, in [0, 1].
+    pub wasted_fraction: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: SimTime::from_millis(1.0),
+            backoff_multiplier: 2.0,
+            wasted_fraction: 0.5,
+        }
+    }
+}
+
+/// One injected fault occurrence (a failed attempt).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Name of the resource the attempt occupied.
+    pub resource: String,
+    /// Label of the op whose attempt failed.
+    pub label: String,
+    /// Phase tag of the op.
+    pub phase: String,
+    /// Instant the attempt died.
+    pub at: SimTime,
+    /// 0-based attempt number that failed.
+    pub attempt: u32,
+    /// Whether a later attempt of the same op eventually succeeded.
+    pub recovered: bool,
+}
+
+/// A deterministic, seedable fault campaign for one [`crate::Simulator`].
+///
+/// Build with [`FaultPlan::seeded`] and the chaining helpers, then install
+/// with [`crate::Simulator::install_fault_plan`]. Resources are referenced
+/// by registered name so a plan can be authored before the scenario builds
+/// its simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed feeding the per-attempt failure hash.
+    pub seed: u64,
+    /// Transient throughput drops.
+    pub degradations: Vec<DegradationWindow>,
+    /// Op-level failure rules.
+    pub failures: Vec<FailureRule>,
+    /// Retry/backoff semantics applied to every failure.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::seeded(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            degradations: Vec::new(),
+            failures: Vec::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Adds a degradation window: `resource` runs at `scale` (in (0, 1])
+    /// times its throughput for ops starting in `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in (0, 1] or the window is empty.
+    #[must_use]
+    pub fn degrade(
+        mut self,
+        resource: impl Into<String>,
+        from: SimTime,
+        until: SimTime,
+        scale: f64,
+    ) -> FaultPlan {
+        assert!(scale.is_finite() && scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        assert!(until > from, "degradation window must be non-empty");
+        self.degradations.push(DegradationWindow { resource: resource.into(), from, until, scale });
+        self
+    }
+
+    /// Adds a random per-attempt failure rule on `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in [0, 1].
+    #[must_use]
+    pub fn fail_randomly(mut self, resource: impl Into<String>, probability: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&probability), "probability must be in [0,1]");
+        self.failures.push(FailureRule {
+            resource: resource.into(),
+            mode: FailureMode::Random { probability },
+        });
+        self
+    }
+
+    /// Makes the `nth` op on `resource` fail `failures` consecutive
+    /// attempts before succeeding (exceeding the retry budget turns this
+    /// into a [`SimError::TransferFault`]).
+    ///
+    /// [`SimError::TransferFault`]: crate::SimError::TransferFault
+    #[must_use]
+    pub fn fail_nth(
+        mut self,
+        resource: impl Into<String>,
+        nth: usize,
+        failures: u32,
+    ) -> FaultPlan {
+        self.failures.push(FailureRule {
+            resource: resource.into(),
+            mode: FailureMode::Nth { nth, failures },
+        });
+        self
+    }
+
+    /// Overrides the retry/backoff policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> FaultPlan {
+        self.retry = retry;
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.degradations.is_empty() && self.failures.is_empty()
+    }
+
+    /// Combined throughput multiplier from every window of `resource`
+    /// containing instant `at` (1.0 when none apply).
+    pub fn degradation_scale(&self, resource: &str, at: SimTime) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|w| w.resource == resource && at >= w.from && at < w.until)
+            .map(|w| w.scale)
+            .product()
+    }
+
+    /// Whether attempt `attempt` of the `match_index`-th op on `resource`
+    /// (the op being the `op_index`-th submission overall) fails.
+    pub fn attempt_fails(
+        &self,
+        resource: &str,
+        match_index: usize,
+        op_index: usize,
+        attempt: u32,
+    ) -> bool {
+        self.failures.iter().filter(|r| r.resource == resource).any(|r| match r.mode {
+            FailureMode::Random { probability } => {
+                roll(self.seed, op_index, attempt) < probability
+            }
+            FailureMode::Nth { nth, failures } => nth == match_index && attempt < failures,
+        })
+    }
+
+    /// Backoff gap before the retry following failed attempt `attempt`.
+    pub fn backoff_after(&self, attempt: u32) -> SimTime {
+        let mult = self.retry.backoff_multiplier.powi(attempt as i32);
+        SimTime::from_secs(self.retry.backoff.as_secs() * mult)
+    }
+}
+
+/// Deterministic uniform draw in [0, 1) from (seed, op, attempt) via
+/// splitmix64 — no RNG state, so failure decisions are independent of
+/// call order and survive simulator cloning.
+fn roll(seed: u64, op_index: usize, attempt: u32) -> f64 {
+    let mut z = seed
+        ^ (op_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(attempt) + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_is_deterministic_and_uniform_ish() {
+        assert_eq!(roll(7, 3, 1), roll(7, 3, 1));
+        assert_ne!(roll(7, 3, 1), roll(8, 3, 1));
+        assert_ne!(roll(7, 3, 1), roll(7, 4, 1));
+        assert_ne!(roll(7, 3, 1), roll(7, 3, 2));
+        let n = 10_000;
+        let mean: f64 =
+            (0..n).map(|i| roll(42, i, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from uniform");
+        assert!((0..n).all(|i| (0.0..1.0).contains(&roll(42, i, 0))));
+    }
+
+    #[test]
+    fn degradation_scale_composes_windows() {
+        let plan = FaultPlan::seeded(1)
+            .degrade("pcie.h2d", SimTime::from_secs(1.0), SimTime::from_secs(2.0), 0.5)
+            .degrade("pcie.h2d", SimTime::from_secs(1.5), SimTime::from_secs(3.0), 0.5);
+        assert_eq!(plan.degradation_scale("pcie.h2d", SimTime::from_secs(0.5)), 1.0);
+        assert_eq!(plan.degradation_scale("pcie.h2d", SimTime::from_secs(1.2)), 0.5);
+        assert_eq!(plan.degradation_scale("pcie.h2d", SimTime::from_secs(1.7)), 0.25);
+        assert_eq!(plan.degradation_scale("pcie.h2d", SimTime::from_secs(2.5)), 0.5);
+        // Exclusive upper bound, other resources untouched.
+        assert_eq!(plan.degradation_scale("pcie.h2d", SimTime::from_secs(3.0)), 1.0);
+        assert_eq!(plan.degradation_scale("pcie.d2h", SimTime::from_secs(1.2)), 1.0);
+    }
+
+    #[test]
+    fn nth_rule_targets_exactly_one_op() {
+        let plan = FaultPlan::seeded(0).fail_nth("pcie.h2d", 2, 2);
+        assert!(!plan.attempt_fails("pcie.h2d", 0, 10, 0));
+        assert!(plan.attempt_fails("pcie.h2d", 2, 12, 0));
+        assert!(plan.attempt_fails("pcie.h2d", 2, 12, 1));
+        assert!(!plan.attempt_fails("pcie.h2d", 2, 12, 2));
+        assert!(!plan.attempt_fails("pcie.d2h", 2, 12, 0));
+    }
+
+    #[test]
+    fn random_rule_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(99).fail_randomly("pcie.h2d", 0.3);
+        let n = 5_000;
+        let hits =
+            (0..n).filter(|&i| plan.attempt_fails("pcie.h2d", i, i, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let plan = FaultPlan::seeded(0).with_retry(RetryPolicy {
+            max_retries: 3,
+            backoff: SimTime::from_secs(1.0),
+            backoff_multiplier: 2.0,
+            wasted_fraction: 0.5,
+        });
+        assert_eq!(plan.backoff_after(0).as_secs(), 1.0);
+        assert_eq!(plan.backoff_after(1).as_secs(), 2.0);
+        assert_eq!(plan.backoff_after(2).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn plan_serializes_round_trip() {
+        let plan = FaultPlan::seeded(7)
+            .degrade("pcie.h2d", SimTime::ZERO, SimTime::from_secs(1.0), 0.25)
+            .fail_randomly("pcie.h2d", 0.1)
+            .fail_nth("nvme", 0, 5);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, plan);
+    }
+}

@@ -63,6 +63,7 @@
 
 mod engine;
 mod error;
+mod fault;
 mod memory;
 mod node;
 mod profile;
@@ -70,6 +71,7 @@ mod time;
 
 pub use engine::{Interval, OpId, OpSpec, ResourceId, ResourceKind, Simulator, StreamId};
 pub use error::SimError;
+pub use fault::{DegradationWindow, FailureMode, FailureRule, FaultEvent, FaultPlan, RetryPolicy};
 pub use memory::{MemEvent, MemSample, MemoryPool};
 pub use node::{RankResources, RankSim, RankStreams};
 pub use profile::{ConversionTable, HardwareProfile, PerfModelInputs, GB, GIB};

@@ -116,14 +116,24 @@ pub fn run_case(case: &NumericsCase) -> NumericsCell {
     let mut seq = MixedPrecisionState::new(initial_params(case.params), case.rule, lr);
     let mut hyb = MixedPrecisionState::new(initial_params(case.params), case.rule, lr);
     let sgs = partition_into_subgroups(case.params, case.subgroup);
-    let cfg = PipelineConfig { stride: case.stride, static_residents: case.static_residents };
+    let cfg = PipelineConfig {
+        stride: case.stride,
+        static_residents: case.static_residents,
+        ..PipelineConfig::default()
+    };
 
     let mut mismatch = None;
     for step in 0..case.steps {
         let grads = gradients(case.params, step);
         seq.full_step(&grads);
         let expected_16: Vec<F16> = seq.downscale_range(0..case.params);
-        let report = hybrid_update(&mut hyb, &grads, &sgs, cfg);
+        let report = match hybrid_update(&mut hyb, &grads, &sgs, cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                mismatch = Some(format!("step {step}: pipeline error: {e}"));
+                break;
+            }
+        };
 
         mismatch = first_f32_mismatch("params", hyb.params(), seq.params())
             .or_else(|| first_f32_mismatch("momentum", hyb.momentum(), seq.momentum()))
@@ -247,8 +257,9 @@ mod tests {
             &mut hyb,
             &grads,
             &sgs,
-            PipelineConfig { stride: case.stride, static_residents: 0 },
-        );
+            PipelineConfig { stride: case.stride, ..PipelineConfig::default() },
+        )
+        .unwrap();
         let m = first_f32_mismatch("params", hyb.params(), seq.params());
         assert!(m.is_some(), "skewed step count must not be byte-exact");
         assert!(m.unwrap().starts_with("params[0]"));

@@ -5,6 +5,7 @@
 //! dos-cli <config.json> [--iterations N] [--compare] [--explain]
 //! dos-cli trace <config.json> [--out trace.json] [--analyze]
 //! dos-cli conformance [--quick] [--json] [--filter SUBSTR]
+//! dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
 //!   --compare        also run the ZeRO-3 and TwinFlow baselines
@@ -22,6 +23,15 @@
 //!   --json           emit the DivergenceReport as JSON instead of a table
 //!   --filter SUBSTR  only run cells whose coordinates contain SUBSTR,
 //!                    e.g. `20B/`, `zero3-offload`, `adamw/k=3`
+//!
+//! chaos: run a seeded fault-injection campaign (device-worker kills,
+//! torn checkpoints, PCIe degradation windows, transient transfer
+//! failures) and exit nonzero if any robustness invariant breaks.
+//!   --seed N         campaign seed (default: 0; same seed, same faults)
+//!   --faults SPEC    comma-separated subset of degrade, transfer-fail,
+//!                    worker-kill, ckpt-corrupt (default: all)
+//!   --trace-out FILE also export the faulted iteration's Chrome trace,
+//!                    fault instants included
 //! ```
 //!
 //! Example config:
@@ -32,7 +42,10 @@
 
 use std::process::ExitCode;
 
-use dos_runtime::{run_iteration, run_training, trace_iteration, RuntimeConfig};
+use dos_runtime::{
+    run_chaos, run_iteration, run_training, trace_iteration, ChaosOptions, FaultKind,
+    RuntimeConfig,
+};
 
 struct Args {
     config_path: String,
@@ -72,6 +85,39 @@ fn usage() {
     eprintln!("usage: dos-cli <config.json> [--iterations N] [--compare] [--explain]");
     eprintln!("       dos-cli trace <config.json> [--out trace.json] [--analyze]");
     eprintln!("       dos-cli conformance [--quick] [--json] [--filter SUBSTR]");
+    eprintln!("       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]");
+}
+
+/// Runs the seeded chaos campaign; `Ok(true)` means every invariant held.
+fn run_chaos_cmd(rest: &[String]) -> Result<bool, String> {
+    let mut config_path = None;
+    let mut opts = ChaosOptions::default();
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--faults" => {
+                let v = args.next().ok_or("--faults needs a spec")?;
+                opts.faults = FaultKind::parse_spec(v)?;
+            }
+            "--trace-out" => {
+                opts.trace_out =
+                    Some(args.next().ok_or("--trace-out needs a path")?.into());
+            }
+            other if config_path.is_none() => config_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let config_path = config_path.ok_or("missing config path")?;
+    let json = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let config = RuntimeConfig::from_json(&json).map_err(|e| e.to_string())?;
+    let report = run_chaos(&config, &opts).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    Ok(report.passed())
 }
 
 /// Runs the differential conformance matrix; `Ok(true)` means conformant.
@@ -150,7 +196,7 @@ fn run_trace(rest: &[String]) -> Result<bool, String> {
     println!("open in https://ui.perfetto.dev or chrome://tracing");
 
     if analyze {
-        let analysis = dos_telemetry::analyze(&tracer.to_timeline());
+        let analysis = dos_telemetry::analyze_tracer(&tracer);
         println!();
         print!("{}", analysis.render());
         let violations = analysis.validate();
@@ -229,6 +275,17 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("conformance") {
         return match run_conformance(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("chaos") {
+        return match run_chaos_cmd(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

@@ -197,7 +197,8 @@ impl RuntimeConfig {
 
     /// Serializes back to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        // The in-tree serializer is infallible for derived config types.
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
     /// Resolves into a simulator [`TrainConfig`].

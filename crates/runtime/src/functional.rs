@@ -9,12 +9,77 @@
 //! back. This is the paper's training loop in miniature — with real
 //! numerics instead of a timing model.
 
-use dos_collectives::Communicator;
-use dos_core::PipelineConfig;
+use dos_collectives::{CollectiveError, Communicator};
+use dos_core::{PipelineConfig, PipelineError};
 use dos_data::{DataLoader, TokenDataset};
 use dos_nn::{Gpt, GptConfig, VisitParams};
 use dos_optim::{clip_grad_norm, DynamicLossScaler, LrSchedule, MixedPrecisionState, UpdateRule};
 use dos_zero::{partition_into_subgroups, rank_range};
+
+use crate::checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
+
+/// Everything that can abort a functional training run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// Checkpoint persistence or restoration failed.
+    Checkpoint(CheckpointError),
+    /// The hybrid update pipeline rejected its inputs.
+    Pipeline(PipelineError),
+    /// Resuming from a checkpoint needs `world == 1` (the snapshot holds a
+    /// single rank's full optimizer state).
+    ResumeRequiresSingleRank {
+        /// The configured world size.
+        world: usize,
+    },
+    /// A collective operation failed (ranks out of lockstep).
+    Collective(CollectiveError),
+    /// A rank thread panicked.
+    RankPanicked,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
+            TrainError::ResumeRequiresSingleRank { world } => {
+                write!(f, "resume requires world == 1, configured world is {world}")
+            }
+            TrainError::Collective(e) => write!(f, "collective failure: {e}"),
+            TrainError::RankPanicked => write!(f, "a rank thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Pipeline(e) => Some(e),
+            TrainError::Collective(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl From<PipelineError> for TrainError {
+    fn from(e: PipelineError) -> Self {
+        TrainError::Pipeline(e)
+    }
+}
+
+impl From<CollectiveError> for TrainError {
+    fn from(e: CollectiveError) -> Self {
+        TrainError::Collective(e)
+    }
+}
 
 /// Configuration of a functional training run.
 #[derive(Debug, Clone)]
@@ -45,12 +110,21 @@ pub struct FunctionalConfig {
     /// Initial dynamic loss scale (mixed-precision recipe); `None` disables
     /// loss scaling.
     pub loss_scale: Option<f32>,
-    /// Checkpoint rank 0's model + optimizer shard to this path every
-    /// `checkpoint_every` iterations, written asynchronously while training
-    /// continues.
-    pub checkpoint_path: Option<std::path::PathBuf>,
-    /// Checkpoint interval in iterations (ignored without a path).
+    /// Checkpoint rank 0's model + optimizer shard into this retention
+    /// directory (`ckpt-<iteration>.dos` files) every `checkpoint_every`
+    /// iterations, written crash-consistently and asynchronously while
+    /// training continues.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// How many checkpoints the retention directory keeps (oldest pruned).
+    pub checkpoint_keep: usize,
+    /// Checkpoint interval in iterations (ignored without a directory).
     pub checkpoint_every: usize,
+    /// Resume training from this snapshot instead of a fresh init: the
+    /// model takes the snapshot's device parameters, the optimizer its
+    /// state, the data loader fast-forwards past the iterations already
+    /// done, and new checkpoints continue its iteration numbering.
+    /// Requires `world == 1`.
+    pub resume: Option<TrainingCheckpoint>,
     /// Wall-clock tracer shared by every rank thread. Each rank records
     /// phase spans onto its own `rank{r}` track, and the hybrid pipeline
     /// records prefetch/update/flush spans onto the shared `cpu` and
@@ -75,8 +149,10 @@ impl FunctionalConfig {
             grad_clip: None,
             activation_checkpointing: false,
             loss_scale: None,
-            checkpoint_path: None,
+            checkpoint_dir: None,
+            checkpoint_keep: 3,
             checkpoint_every: 10,
+            resume: None,
             tracer: None,
         }
     }
@@ -91,6 +167,10 @@ pub struct FunctionalReport {
     pub ranks_consistent: bool,
     /// Final parameters of rank 0 (FP16-rounded device copy).
     pub final_params: Vec<f32>,
+    /// Update steps (on rank 0) that degraded to the CPU-only path because
+    /// the device worker was lost. Nonzero only under fault injection or a
+    /// genuine worker crash; the numerics are unaffected either way.
+    pub degraded_steps: usize,
 }
 
 /// Mean cross-entropy loss and perplexity of a model over an entire
@@ -122,19 +202,27 @@ fn pad_to_multiple(mut v: Vec<f32>, world: usize) -> Vec<f32> {
 /// Trains `iterations` steps of data-parallel, ZeRO-sharded, interleaved
 /// hybrid training; returns per-iteration losses and a consistency check.
 ///
+/// # Errors
+///
+/// Returns [`TrainError`] on checkpoint, pipeline, or collective failures,
+/// when resuming with `world != 1`, or when a rank thread panics.
+///
 /// # Panics
 ///
-/// Panics if `cfg.world` is zero, the dataset cannot fill a micro-batch per
-/// rank, or a rank thread panics.
+/// Panics if `cfg.world` is zero or the dataset cannot fill a micro-batch
+/// per rank.
 pub fn train_functional(
     cfg: &FunctionalConfig,
     dataset: &TokenDataset,
     iterations: usize,
-) -> FunctionalReport {
+) -> Result<FunctionalReport, TrainError> {
     assert!(cfg.world > 0, "world must be positive");
+    if cfg.resume.is_some() && cfg.world != 1 {
+        return Err(TrainError::ResumeRequiresSingleRank { world: cfg.world });
+    }
     let comms = Communicator::world(cfg.world);
 
-    let results: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<f32>, Vec<f32>, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| {
@@ -143,13 +231,17 @@ pub fn train_functional(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| TrainError::RankPanicked).and_then(|r| r))
+            .collect::<Result<Vec<_>, TrainError>>()
+    })?;
 
     let losses = results[0].0.clone();
     let final_params = results[0].1.clone();
-    let ranks_consistent = results.iter().all(|(_, p)| *p == final_params);
-    FunctionalReport { losses, ranks_consistent, final_params }
+    let degraded_steps = results[0].2;
+    let ranks_consistent = results.iter().all(|(_, p, _)| *p == final_params);
+    Ok(FunctionalReport { losses, ranks_consistent, final_params, degraded_steps })
 }
 
 /// One rank's training loop.
@@ -158,7 +250,7 @@ fn run_rank(
     dataset: &TokenDataset,
     iterations: usize,
     comm: Communicator,
-) -> (Vec<f32>, Vec<f32>) {
+) -> Result<(Vec<f32>, Vec<f32>, usize), TrainError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -177,14 +269,39 @@ fn run_rank(
     let init = pad_to_multiple(model.gather_params(), world);
     let padded_n = init.len();
     let shard = rank_range(padded_n, rank, world);
-    let mut state =
-        MixedPrecisionState::new(init[shard.clone()].to_vec(), cfg.rule, cfg.lr);
+    let resume_at = cfg.resume.as_ref().map_or(0, |c| c.iteration);
+    let mut state = match &cfg.resume {
+        // `world == 1` (checked by the caller): the shard is the full space.
+        Some(ckpt) => {
+            let restored = ckpt.restore(&mut model)?;
+            if restored.len() != shard.len() {
+                return Err(CheckpointError::ShapeMismatch {
+                    expected: shard.len(),
+                    got: restored.len(),
+                }
+                .into());
+            }
+            // Fast-forward the data stream past the iterations already done
+            // so the resumed run sees the batches an uninterrupted one would.
+            for _ in 0..ckpt.iteration {
+                let _ = loader.next_batch(dataset);
+            }
+            restored
+        }
+        None => MixedPrecisionState::new(init[shard.clone()].to_vec(), cfg.rule, cfg.lr),
+    };
     let subgroups = partition_into_subgroups(shard.len(), cfg.subgroup_size);
 
+    let store = match &cfg.checkpoint_dir {
+        Some(dir) if rank == 0 => Some(CheckpointStore::open(dir, cfg.checkpoint_keep)?),
+        _ => None,
+    };
     let mut scaler = cfg.loss_scale.map(DynamicLossScaler::new);
-    let mut checkpointer = crate::checkpoint::AsyncCheckpointer::new();
+    let mut checkpointer = AsyncCheckpointer::new();
+    let mut degraded_steps = 0usize;
     let mut losses = Vec::with_capacity(iterations);
-    for it in 0..iterations {
+    for rel_it in 0..iterations {
+        let it = rel_it + resume_at;
         let batch = loader.next_batch(dataset);
         let fwd_span =
             cfg.tracer.as_ref().map(|t| t.span(&format!("fwd-bwd:it{it}"), "forward-backward"));
@@ -226,7 +343,7 @@ fn run_rank(
         // Global-norm clipping must see the *averaged full* gradient so all
         // ranks compute the same scale; do it before the scatter.
         if let Some(max_norm) = cfg.grad_clip {
-            comm.all_reduce_sum(&mut grads).expect("uniform gradient lengths");
+            comm.all_reduce_sum(&mut grads)?;
             for g in grads.iter_mut() {
                 *g *= inv;
             }
@@ -237,7 +354,7 @@ fn run_rank(
             let shard = rank_range(grads.len(), rank, world);
             grads[shard].to_vec()
         } else {
-            comm.reduce_scatter_sum(&grads).expect("uniform gradient lengths")
+            comm.reduce_scatter_sum(&grads)?
         };
         if cfg.grad_clip.is_none() {
             for g in shard_grads.iter_mut() {
@@ -257,14 +374,17 @@ fn run_rank(
                 dos_core::hybrid_update_traced(&mut state, &shard_grads, &subgroups, cfg.pipeline, t)
             }
             None => dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline),
-        };
+        }?;
+        if report.degraded.is_some() {
+            degraded_steps += 1;
+        }
 
         // All-gather the updated FP16 parameters (the device copies every
         // rank trains the next iteration with).
         let gather_span =
             cfg.tracer.as_ref().map(|t| t.span(&format!("all-gather:it{it}"), "communicate"));
         let shard_fp16: Vec<f32> = report.fp16_params.iter().map(|h| h.to_f32()).collect();
-        let mut full = comm.all_gather(&shard_fp16).expect("uniform shard lengths");
+        let mut full = comm.all_gather(&shard_fp16)?;
         full.truncate(model.num_params());
         model.scatter_params(&full);
         model.zero_grads();
@@ -274,24 +394,21 @@ fn run_rank(
         // the background (the DataStates-style asynchronous flush the
         // host-resident state enables, §2). The capture is an owned copy,
         // so training continues immediately.
-        if let Some(path) = &cfg.checkpoint_path {
-            if rank == 0 && (it + 1) % cfg.checkpoint_every.max(1) == 0 {
-                let snapshot =
-                    crate::checkpoint::TrainingCheckpoint::capture(&mut model, &state, it + 1);
-                checkpointer
-                    .save_async(snapshot, path.clone())
-                    .expect("previous checkpoint write failed");
+        if let Some(store) = &store {
+            if (it + 1).is_multiple_of(cfg.checkpoint_every.max(1)) {
+                let snapshot = TrainingCheckpoint::capture(&mut model, &state, it + 1);
+                checkpointer.save_async_in(snapshot, store)?;
             }
         }
 
         // Average the loss across ranks for reporting.
         let mut l = vec![loss];
-        comm.all_reduce_sum(&mut l).expect("scalar");
+        comm.all_reduce_sum(&mut l)?;
         losses.push(l[0] * inv);
     }
-    checkpointer.drain().expect("final checkpoint write failed");
+    checkpointer.drain()?;
     let finals = model.gather_params();
-    (losses, finals)
+    Ok((losses, finals, degraded_steps))
 }
 
 #[cfg(test)]
@@ -310,7 +427,7 @@ mod tests {
     fn loss_decreases_and_ranks_stay_consistent() {
         let cfg = FunctionalConfig::small();
         let ds = toy_dataset(8);
-        let report = train_functional(&cfg, &ds, 12);
+        let report = train_functional(&cfg, &ds, 12).unwrap();
         assert_eq!(report.losses.len(), 12);
         assert!(report.ranks_consistent, "ranks diverged");
         let first: f32 = report.losses[..3].iter().sum::<f32>() / 3.0;
@@ -325,8 +442,8 @@ mod tests {
         cpu_cfg.pipeline.stride = StridePolicy::CpuOnly;
         let mut hybrid_cfg = FunctionalConfig::small();
         hybrid_cfg.pipeline.stride = StridePolicy::Fixed(2);
-        let cpu = train_functional(&cpu_cfg, &ds, 6);
-        let hybrid = train_functional(&hybrid_cfg, &ds, 6);
+        let cpu = train_functional(&cpu_cfg, &ds, 6).unwrap();
+        let hybrid = train_functional(&hybrid_cfg, &ds, 6).unwrap();
         // The paper's consistency claim end-to-end: interleaved offloading
         // does not change training at all.
         assert_eq!(cpu.losses, hybrid.losses);
@@ -342,8 +459,8 @@ mod tests {
         for world in [1, 3] {
             let mut cfg = FunctionalConfig::small();
             cfg.world = world;
-            let a = train_functional(&cfg, &ds, 4);
-            let b = train_functional(&cfg, &ds, 4);
+            let a = train_functional(&cfg, &ds, 4).unwrap();
+            let b = train_functional(&cfg, &ds, 4).unwrap();
             assert_eq!(a.losses, b.losses, "world {world} not deterministic");
             assert!(a.ranks_consistent);
         }
@@ -352,7 +469,7 @@ mod tests {
     #[test]
     fn traced_training_is_observational_only() {
         let ds = toy_dataset(8);
-        let plain = train_functional(&FunctionalConfig::small(), &ds, 4);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 4).unwrap();
 
         let tracer = dos_telemetry::Tracer::new();
         let mut cfg = FunctionalConfig::small();
@@ -360,8 +477,8 @@ mod tests {
         cfg.tracer = Some(tracer.clone());
         let mut plain_cfg = FunctionalConfig::small();
         plain_cfg.pipeline.stride = StridePolicy::Fixed(2);
-        let reference = train_functional(&plain_cfg, &ds, 4);
-        let traced = train_functional(&cfg, &ds, 4);
+        let reference = train_functional(&plain_cfg, &ds, 4).unwrap();
+        let traced = train_functional(&cfg, &ds, 4).unwrap();
 
         // Tracing never perturbs the math (and interleaving matches plain
         // training, so the untraced default agrees too).
@@ -402,7 +519,7 @@ mod tests {
     fn final_params_are_fp16_representable() {
         let cfg = FunctionalConfig::small();
         let ds = toy_dataset(8);
-        let report = train_functional(&cfg, &ds, 3);
+        let report = train_functional(&cfg, &ds, 3).unwrap();
         for &p in report.final_params.iter().take(500) {
             assert_eq!(p, F16::from_f32(p).to_f32(), "param {p} not a device fp16 value");
         }
@@ -429,7 +546,7 @@ mod schedule_tests {
             min_factor: 0.1,
         });
         let ds = toy_dataset(8);
-        let r = train_functional(&cfg, &ds, 12);
+        let r = train_functional(&cfg, &ds, 12).unwrap();
         assert!(r.ranks_consistent);
         assert!(r.losses[11] < r.losses[0], "{:?}", r.losses);
     }
@@ -439,8 +556,8 @@ mod schedule_tests {
         let ds = toy_dataset(8);
         let mut clipped = FunctionalConfig::small();
         clipped.grad_clip = Some(0.5);
-        let plain = train_functional(&FunctionalConfig::small(), &ds, 8);
-        let capped = train_functional(&clipped, &ds, 8);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 8).unwrap();
+        let capped = train_functional(&clipped, &ds, 8).unwrap();
         assert!(capped.ranks_consistent);
         assert_ne!(plain.losses, capped.losses, "a 0.5 clip should bind early");
         assert!(capped.losses[7] < capped.losses[0]);
@@ -451,8 +568,8 @@ mod schedule_tests {
         let ds = toy_dataset(8);
         let mut ckpt = FunctionalConfig::small();
         ckpt.activation_checkpointing = true;
-        let plain = train_functional(&FunctionalConfig::small(), &ds, 5);
-        let recomputed = train_functional(&ckpt, &ds, 5);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 5).unwrap();
+        let recomputed = train_functional(&ckpt, &ds, 5).unwrap();
         assert_eq!(plain.losses, recomputed.losses);
         assert_eq!(plain.final_params, recomputed.final_params);
     }
@@ -472,10 +589,10 @@ mod loss_scaling_tests {
         // Power-of-two scales are exact in f32, so the trajectories agree
         // bitwise when nothing overflows.
         let ds = toy_dataset(8);
-        let plain = train_functional(&FunctionalConfig::small(), &ds, 8);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 8).unwrap();
         let mut cfg = FunctionalConfig::small();
         cfg.loss_scale = Some(1024.0);
-        let scaled = train_functional(&cfg, &ds, 8);
+        let scaled = train_functional(&cfg, &ds, 8).unwrap();
         assert_eq!(plain.losses, scaled.losses);
         assert_eq!(plain.final_params, scaled.final_params);
         assert!(scaled.ranks_consistent);
@@ -492,31 +609,126 @@ mod checkpoint_in_training_tests {
         TokenDataset::from_stream(&stream, seq)
     }
 
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dos-train-ckpt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn training_writes_restorable_checkpoints() {
-        let path = std::env::temp_dir()
-            .join(format!("dos-train-ckpt-{}.json", std::process::id()));
+        let dir = tmp_dir("write");
         let ds = toy_dataset(8);
         let mut cfg = FunctionalConfig::small();
         cfg.world = 1; // rank 0 owns the full state, so the snapshot is total
-        cfg.checkpoint_path = Some(path.clone());
+        cfg.checkpoint_dir = Some(dir.clone());
         cfg.checkpoint_every = 4;
-        let run = train_functional(&cfg, &ds, 8);
+        let run = train_functional(&cfg, &ds, 8).unwrap();
 
         // The last snapshot (iteration 8) restores to the final state.
-        let loaded = TrainingCheckpoint::load(&path).unwrap();
+        let store = CheckpointStore::open(&dir, cfg.checkpoint_keep).unwrap();
+        let (loaded, path) = store.latest_valid().unwrap();
         assert_eq!(loaded.iteration, 8);
+        assert_eq!(path, store.path_for(8));
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut model = dos_nn::Gpt::new(cfg.model.clone(), &mut rng);
-        let state = loaded.restore(&mut model);
+        let state = loaded.restore(&mut model).unwrap();
         // The restored optimizer master params, downscaled to the device
         // copy, match the run's final parameters.
         let device: Vec<f32> =
             state.downscale_range(0..state.len()).iter().map(|h| h.to_f32()).collect();
         assert_eq!(&device[..run.final_params.len()], &run.final_params[..]);
-        std::fs::remove_file(&path).ok();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The kill-and-resume invariant: interrupt training after a
+    /// checkpoint, resume from the newest valid snapshot, and the final
+    /// state is bitwise identical to the uninterrupted run's.
+    #[test]
+    fn resume_from_checkpoint_is_bitwise_identical() {
+        let dir = tmp_dir("resume");
+        let ds = toy_dataset(8);
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 1;
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.checkpoint_every = 2;
+
+        let uninterrupted = {
+            let mut c = cfg.clone();
+            c.checkpoint_dir = None;
+            train_functional(&c, &ds, 8).unwrap()
+        };
+
+        // "Crash" after 5 iterations (latest checkpoint is at iteration 4).
+        train_functional(&cfg, &ds, 5).unwrap();
+        let store = CheckpointStore::open(&dir, cfg.checkpoint_keep).unwrap();
+        let (ckpt, _) = store.latest_valid().unwrap();
+        assert_eq!(ckpt.iteration, 4);
+
+        // Resume and run the remaining 4 iterations (4 done + 4 = 8).
+        let mut resumed_cfg = cfg.clone();
+        resumed_cfg.resume = Some(ckpt);
+        let resumed = train_functional(&resumed_cfg, &ds, 4).unwrap();
+
+        assert_eq!(resumed.final_params, uninterrupted.final_params);
+        assert_eq!(
+            resumed.losses[..],
+            uninterrupted.losses[4..],
+            "resumed losses must continue the uninterrupted trajectory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_multiple_ranks_is_a_typed_error() {
+        let ds = toy_dataset(8);
+        let mut model_rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let mut model = dos_nn::Gpt::new(GptConfig::tiny(), &mut model_rng);
+        let state = MixedPrecisionState::new(model.gather_params(), UpdateRule::adam(), 1e-2);
+        let ckpt = TrainingCheckpoint::capture(&mut model, &state, 3);
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 2;
+        cfg.resume = Some(ckpt);
+        match train_functional(&cfg, &ds, 2) {
+            Err(TrainError::ResumeRequiresSingleRank { world: 2 }) => {}
+            other => panic!("expected ResumeRequiresSingleRank, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod degraded_training_tests {
+    use super::*;
+    use dos_core::DeviceFault;
+
+    fn toy_dataset(seq: usize) -> TokenDataset {
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 7 + 3) % 61).collect();
+        TokenDataset::from_stream(&stream, seq)
+    }
+
+    /// A device worker dying every single step still trains byte-for-byte
+    /// like a healthy run — the end-to-end §4.1 claim under faults.
+    #[test]
+    fn worker_faults_do_not_change_training() {
+        let ds = toy_dataset(8);
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 1;
+        cfg.subgroup_size = 512; // enough subgroups for the device path
+        let healthy = train_functional(&cfg, &ds, 5).unwrap();
+        assert_eq!(healthy.degraded_steps, 0);
+
+        for fault in [DeviceFault::PanicAfter(1), DeviceFault::DisconnectAfter(0)] {
+            let mut faulty = cfg.clone();
+            faulty.pipeline.fault_injection = Some(fault);
+            let run = train_functional(&faulty, &ds, 5).unwrap();
+            assert_eq!(run.losses, healthy.losses, "{fault:?} changed the losses");
+            assert_eq!(run.final_params, healthy.final_params, "{fault:?} changed the params");
+            assert_eq!(run.degraded_steps, 5, "{fault:?} should degrade every step");
+        }
     }
 }
 
@@ -536,7 +748,7 @@ mod evaluate_tests {
         let mut model = dos_nn::Gpt::new(cfg.model.clone(), &mut rng);
         let (_, ppl_before) = evaluate(&mut model, &valid);
 
-        let report = train_functional(&cfg, &train, 15);
+        let report = train_functional(&cfg, &train, 15).unwrap();
         model.scatter_params(&report.final_params);
         let (loss_after, ppl_after) = evaluate(&mut model, &valid);
         assert!(

@@ -22,13 +22,20 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code on the fault-tolerant update path must surface failures as
+// typed errors, never die on a stray unwrap; tests may assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod chaos;
 mod checkpoint;
 mod config;
 mod functional;
 mod sim_trainer;
 
-pub use checkpoint::{AsyncCheckpointer, TrainingCheckpoint};
+pub use checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
+pub use chaos::{run_chaos, ChaosCheck, ChaosOptions, ChaosReport, FaultKind};
 pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
-pub use functional::{evaluate, train_functional, FunctionalConfig, FunctionalReport};
+pub use functional::{
+    evaluate, train_functional, FunctionalConfig, FunctionalReport, TrainError,
+};
 pub use sim_trainer::{run_iteration, run_training, scheduler_for, trace_iteration};

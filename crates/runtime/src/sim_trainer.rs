@@ -99,7 +99,7 @@ mod tests {
         let plain = run_iteration(&cfg).unwrap();
         assert_eq!(report.total_secs, plain.total_secs, "tracing must not change the schedule");
 
-        let analysis = dos_telemetry::analyze(&tracer.to_timeline());
+        let analysis = dos_telemetry::analyze_tracer(&tracer);
         assert!(analysis.validate().is_empty(), "{:?}", analysis.validate());
         assert_eq!(
             analysis.phases.iter().map(|p| p.phase.as_str()).collect::<Vec<_>>(),

@@ -1,0 +1,88 @@
+//! Property tests of the checkpoint container: any captured state
+//! round-trips bitwise, and any truncation or single-bit corruption is a
+//! *typed* error — never silently wrong training state.
+
+use dos_optim::{MixedPrecisionState, UpdateRule};
+use dos_runtime::{CheckpointError, TrainingCheckpoint};
+use proptest::prelude::*;
+
+fn checkpoint_for(n: usize, seed: u32, steps: usize, iteration: usize) -> TrainingCheckpoint {
+    let init: Vec<f32> = (0..n)
+        .map(|i| ((i as u32).wrapping_mul(seed).wrapping_add(7) % 1000) as f32 / 1000.0 - 0.5)
+        .collect();
+    let mut optimizer = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+    for s in 0..steps {
+        let grads: Vec<f32> = (0..n).map(|i| ((i + s) as f32 * 0.37).sin() * 0.1).collect();
+        optimizer.full_step(&grads);
+    }
+    TrainingCheckpoint { params: optimizer.params().to_vec(), optimizer, iteration }
+}
+
+/// Every corruption must surface as one of the container's typed errors.
+fn is_typed_corruption(err: &CheckpointError) -> bool {
+    matches!(
+        err,
+        CheckpointError::BadMagic { .. }
+            | CheckpointError::UnsupportedVersion { .. }
+            | CheckpointError::Truncated { .. }
+            | CheckpointError::ChecksumMismatch { .. }
+            | CheckpointError::Corrupt { .. }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_capture_round_trips_bitwise(
+        n in 1usize..200,
+        seed in any::<u32>(),
+        steps in 0usize..4,
+        iteration in 0usize..100_000,
+    ) {
+        let ckpt = checkpoint_for(n, seed, steps, iteration);
+        let bytes = ckpt.to_bytes().unwrap();
+        let back = TrainingCheckpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.params, &ckpt.params);
+        prop_assert_eq!(back.iteration, ckpt.iteration);
+        prop_assert_eq!(back.optimizer.params(), ckpt.optimizer.params());
+        prop_assert_eq!(back.optimizer.momentum(), ckpt.optimizer.momentum());
+        prop_assert_eq!(back.optimizer.variance(), ckpt.optimizer.variance());
+    }
+
+    /// A crash can tear the file at *any* byte: every prefix must be
+    /// rejected with a typed error, never parsed into partial state.
+    #[test]
+    fn any_truncation_is_a_typed_error(
+        n in 1usize..120,
+        seed in any::<u32>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ckpt = checkpoint_for(n, seed, 1, 17);
+        let bytes = ckpt.to_bytes().unwrap();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        match TrainingCheckpoint::from_bytes(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "truncation at {cut}/{} parsed", bytes.len()),
+            Err(e) => prop_assert!(is_typed_corruption(&e), "untyped error: {e}"),
+        }
+    }
+
+    /// A single flipped bit anywhere — header or payload — must be caught
+    /// by the magic/version/length checks or the checksum.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        n in 1usize..120,
+        seed in any::<u32>(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let ckpt = checkpoint_for(n, seed, 1, 23);
+        let mut bytes = ckpt.to_bytes().unwrap();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        match TrainingCheckpoint::from_bytes(&bytes) {
+            Ok(_) => prop_assert!(false, "bit {bit} of byte {pos} flipped undetected"),
+            Err(e) => prop_assert!(is_typed_corruption(&e), "untyped error: {e}"),
+        }
+    }
+}

@@ -89,8 +89,11 @@ pub fn simulate_iteration(
 
 /// Like [`simulate_iteration`], additionally replaying the engine's full
 /// schedule into `tracer` on the simulated clock — one track per engine
-/// stream — before the scenario is consumed. The returned report is
-/// identical to the untraced run (tracing only observes).
+/// stream — before the scenario is consumed, and publishing explicit
+/// phase-boundary instants (`phase-begin:`/`phase-end:` on the
+/// [`dos_telemetry::PHASE_TRACK`] track) at the collective join points, so
+/// `analyze_tracer` segments interleaved phases correctly. The returned
+/// report is identical to the untraced run (tracing only observes).
 ///
 /// # Errors
 ///
@@ -100,7 +103,32 @@ pub fn simulate_iteration_traced(
     sched: &dyn UpdateScheduler,
     tracer: &dos_telemetry::Tracer,
 ) -> Result<IterationReport, SimError> {
+    simulate_iteration_faulted(cfg, sched, None, tracer)
+}
+
+/// Like [`simulate_iteration_traced`], additionally installing a
+/// [`dos_hal::FaultPlan`] on the rank's engine before any op is submitted:
+/// transfers hit degradation windows and failure/retry rules, injected
+/// fault occurrences replay into `tracer` as `fault:` instants on the
+/// `faults` track, and exhausted retries surface as
+/// [`SimError::TransferFault`]. `faults: None` is exactly the traced run.
+///
+/// # Errors
+///
+/// Propagates engine errors, including [`SimError::TransferFault`] when a
+/// transfer exhausts its retry budget. The fault events recorded up to the
+/// failure are lost with the scenario in that case; campaigns that need
+/// them should widen the retry budget instead.
+pub fn simulate_iteration_faulted(
+    cfg: &TrainConfig,
+    sched: &dyn UpdateScheduler,
+    faults: Option<&dos_hal::FaultPlan>,
+    tracer: &dos_telemetry::Tracer,
+) -> Result<IterationReport, SimError> {
     let mut scn = IterationScenario::new_for_rank(cfg.clone(), 0);
+    if let Some(plan) = faults {
+        scn.rank.sim.install_fault_plan(plan.clone());
+    }
     let fwd = scn.run_forward(None)?;
     let mut bwd = scn.run_backward(fwd)?;
     for _ in 1..cfg.grad_accumulation.max(1) {
@@ -109,6 +137,12 @@ pub fn simulate_iteration_traced(
     }
     let upd = sched.schedule_update(&mut scn, bwd)?;
     scn.record_into(tracer);
+    let t_fwd = scn.rank.sim.finish_time(fwd).as_secs();
+    let t_bwd = scn.rank.sim.finish_time(bwd).as_secs();
+    let t_upd = scn.rank.sim.finish_time(upd).as_secs();
+    tracer.phase_boundary("forward", 0.0, t_fwd);
+    tracer.phase_boundary("backward", t_fwd, t_bwd);
+    tracer.phase_boundary("update", t_bwd, t_upd);
     finalize_report(cfg, sched, scn, fwd, bwd, upd)
 }
 
@@ -430,6 +464,109 @@ mod tests {
         )
         .unwrap();
         assert!(large.total_secs > 2.0 * small.total_secs);
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use dos_hal::{FaultPlan, HardwareProfile, SimTime};
+    use dos_nn::ModelSpec;
+
+    struct NaiveCpu;
+    impl UpdateScheduler for NaiveCpu {
+        fn name(&self) -> &str {
+            "naive-cpu"
+        }
+        fn schedule_update(
+            &self,
+            scn: &mut IterationScenario,
+            grads_ready: OpId,
+        ) -> Result<OpId, SimError> {
+            let sgs = scn.subgroups().to_vec();
+            let mut last = grads_ready;
+            for sg in &sgs {
+                let u = scn.cpu_update(sg, &[last])?;
+                let d = scn.cpu_downscale(sg, &[u])?;
+                last = scn.h2d_updated_params(sg, &[d])?;
+            }
+            Ok(last)
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig::baseline(ModelSpec::by_name("7B").unwrap(), HardwareProfile::jlse_h100())
+    }
+
+    #[test]
+    fn no_faults_matches_traced_run_exactly() {
+        let tracer = dos_telemetry::Tracer::new();
+        let traced = simulate_iteration_traced(&cfg(), &NaiveCpu, &tracer).unwrap();
+        let t2 = dos_telemetry::Tracer::new();
+        let faulted = simulate_iteration_faulted(&cfg(), &NaiveCpu, None, &t2).unwrap();
+        assert_eq!(faulted.total_secs, traced.total_secs);
+        assert_eq!(faulted.timeline, traced.timeline);
+    }
+
+    #[test]
+    fn traced_run_emits_phase_boundaries_for_the_analyzer() {
+        let tracer = dos_telemetry::Tracer::new();
+        let r = simulate_iteration_traced(&cfg(), &NaiveCpu, &tracer).unwrap();
+        let bounds = tracer.phase_boundaries();
+        let names: Vec<&str> = bounds.iter().map(|b| b.phase.as_str()).collect();
+        assert_eq!(names, ["forward", "backward", "update"]);
+        assert_eq!(bounds[0].start, 0.0);
+        assert!((bounds[2].end - r.total_secs).abs() < 1e-9);
+        // Windows chain: each phase begins where the previous one ends.
+        assert_eq!(bounds[0].end, bounds[1].start);
+        assert_eq!(bounds[1].end, bounds[2].start);
+        let a = dos_telemetry::analyze_tracer(&tracer);
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+        let phases: Vec<&str> = a.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(phases, ["forward", "backward", "update"]);
+    }
+
+    #[test]
+    fn degradation_window_during_update_stretches_the_phase() {
+        let baseline = simulate_iteration(&cfg(), &NaiveCpu).unwrap();
+        // Quarter-speed H2D over the whole update phase.
+        let plan = FaultPlan::seeded(7).degrade(
+            "pcie.h2d",
+            SimTime::from_secs(baseline.backward_secs + baseline.forward_secs),
+            SimTime::from_secs(baseline.total_secs * 10.0),
+            0.25,
+        );
+        let tracer = dos_telemetry::Tracer::new();
+        let degraded =
+            simulate_iteration_faulted(&cfg(), &NaiveCpu, Some(&plan), &tracer).unwrap();
+        assert!(
+            degraded.update_secs > baseline.update_secs * 1.5,
+            "update {} should stretch past {} under 4x slower H2D",
+            degraded.update_secs,
+            baseline.update_secs
+        );
+        // Forward/backward (outside the window) are untouched.
+        assert!((degraded.forward_secs - baseline.forward_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_failures_surface_as_fault_instants_in_the_trace() {
+        let plan = FaultPlan::seeded(3).fail_nth("pcie.h2d", 0, 2);
+        let tracer = dos_telemetry::Tracer::new();
+        let clean = simulate_iteration(&cfg(), &NaiveCpu).unwrap();
+        let faulted =
+            simulate_iteration_faulted(&cfg(), &NaiveCpu, Some(&plan), &tracer).unwrap();
+        assert!(faulted.total_secs >= clean.total_secs, "retries cannot speed things up");
+        let fault_instants: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| {
+                e.kind == dos_telemetry::EventKind::Instant && e.name.starts_with("fault:")
+            })
+            .collect();
+        assert_eq!(fault_instants.len(), 2, "two failed attempts recorded");
+        assert!(fault_instants.iter().all(|e| e.track == "faults"));
+        assert!(fault_instants.iter().all(|e| e.name.contains("pcie.h2d")));
     }
 }
 

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::Histogram;
 use crate::timeline::Timeline;
+use crate::tracer::{PhaseBoundary, Tracer};
 
 /// Idle-gap histogram bucket bounds, in seconds (1µs .. 1s, then overflow).
 pub const IDLE_GAP_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
@@ -163,9 +164,35 @@ fn fill_drain(busy_sets: &[(String, Vec<(f64, f64)>)], start: f64, end: f64) -> 
     }
 }
 
-/// Analyzes a timeline into per-phase busy/overlap/stall statistics.
+/// Analyzes a timeline into per-phase busy/overlap/stall statistics,
+/// deriving every phase window from span extents (earliest span start,
+/// latest span end). Equivalent to [`analyze_with_boundaries`] with no
+/// boundaries; prefer that (or [`analyze_tracer`]) when the emitter
+/// publishes explicit phase edges, since span-derived windows mis-segment
+/// interleaved phases.
 pub fn analyze(tl: &Timeline) -> TraceAnalysis {
-    // Phases ordered by first span start.
+    analyze_with_boundaries(tl, &[])
+}
+
+/// Analyzes a tracer's events using its recorded phase-boundary instants:
+/// `analyze_with_boundaries(&tracer.to_timeline(), &tracer.phase_boundaries())`.
+pub fn analyze_tracer(tracer: &Tracer) -> TraceAnalysis {
+    analyze_with_boundaries(&tracer.to_timeline(), &tracer.phase_boundaries())
+}
+
+/// Analyzes a timeline into per-phase busy/overlap/stall statistics.
+///
+/// A phase with a matching [`PhaseBoundary`] uses the boundary's `start` as
+/// its authoritative opening edge — span time before it (an update-phase
+/// prefetch overlapped into backward) is clipped out of the phase's busy
+/// accounting — and closes at the later of the boundary's `end` and the
+/// phase's latest span end (asynchronous flushes may spill past the
+/// declared edge). Phases without a boundary fall back to span-derived
+/// windows; boundaries whose phase has no spans still produce an (empty)
+/// phase entry, so fully-degraded phases stay visible.
+pub fn analyze_with_boundaries(tl: &Timeline, boundaries: &[PhaseBoundary]) -> TraceAnalysis {
+    // Phases ordered by window start: the boundary's start where declared,
+    // otherwise the first span start.
     let mut phase_names: Vec<(f64, String)> = Vec::new();
     for span in tl.spans() {
         match phase_names.iter_mut().find(|(_, p)| *p == span.phase) {
@@ -173,13 +200,24 @@ pub fn analyze(tl: &Timeline) -> TraceAnalysis {
             None => phase_names.push((span.start, span.phase.clone())),
         }
     }
+    for b in boundaries {
+        match phase_names.iter_mut().find(|(_, p)| *p == b.phase) {
+            Some(entry) => entry.0 = b.start,
+            None => phase_names.push((b.start, b.phase.clone())),
+        }
+    }
     phase_names.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
 
     let mut phases = Vec::with_capacity(phase_names.len());
     for (_, phase) in &phase_names {
         let spans: Vec<_> = tl.for_phase(phase).collect();
-        let start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
-        let end = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        let boundary = boundaries.iter().find(|b| &b.phase == phase);
+        let span_start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let span_end = spans.iter().map(|s| s.end).fold(f64::NEG_INFINITY, f64::max);
+        let (start, end) = match boundary {
+            Some(b) => (b.start, if span_end.is_finite() { b.end.max(span_end) } else { b.end }),
+            None => (span_start, span_end.max(span_start)),
+        };
         let duration = end - start;
 
         let mut resources: Vec<String> = spans.iter().map(|s| s.resource.clone()).collect();
@@ -189,10 +227,13 @@ pub fn analyze(tl: &Timeline) -> TraceAnalysis {
         let mut stats = Vec::with_capacity(resources.len());
         let mut busy_sets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         for res in &resources {
+            // Clip to the phase window's opening edge: a span straddling an
+            // authoritative boundary contributes only its in-window part.
             let raw: Vec<(f64, f64)> = spans
                 .iter()
                 .filter(|s| &s.resource == res)
-                .map(|s| (s.start, s.end))
+                .map(|s| (s.start.max(start), s.end))
+                .filter(|(a, b)| b > a)
                 .collect();
             let span_count = raw.len() as u64;
             let merged = merge(raw);
@@ -241,7 +282,9 @@ pub fn analyze(tl: &Timeline) -> TraceAnalysis {
         });
     }
 
-    TraceAnalysis { total_secs: tl.end_time(), phases }
+    let total_secs =
+        boundaries.iter().map(|b| b.end).fold(tl.end_time(), f64::max);
+    TraceAnalysis { total_secs, phases }
 }
 
 impl TraceAnalysis {
@@ -476,6 +519,85 @@ mod tests {
         let json = serde_json::to_string_pretty(&a).expect("serialize");
         let back: TraceAnalysis = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn boundaries_segment_interleaved_phases() {
+        // An update-phase prefetch starts during backward: span-derived
+        // segmentation drags the update window back to t=8; explicit
+        // boundaries keep the phases disjoint.
+        let mut tl = Timeline::new();
+        tl.record("gpu", "bwd", "backward", 0.0, 10.0, 1.0);
+        tl.record("pcie.h2d", "prefetch:sg0", "update", 8.0, 12.0, 1.0);
+        tl.record("gpu", "gpu-update:sg0", "update", 10.0, 14.0, 1.0);
+
+        let plain = analyze(&tl);
+        assert_eq!(plain.phase("update").unwrap().start, 8.0);
+
+        let bounds = [
+            PhaseBoundary { phase: "backward".into(), start: 0.0, end: 10.0 },
+            PhaseBoundary { phase: "update".into(), start: 10.0, end: 14.0 },
+        ];
+        let a = analyze_with_boundaries(&tl, &bounds);
+        let upd = a.phase("update").unwrap();
+        assert_eq!(upd.start, 10.0);
+        assert_eq!(upd.end, 14.0);
+        // The prefetch contributes only its in-window half [10, 12].
+        let h2d = upd.resources.iter().find(|r| r.resource == "pcie.h2d").unwrap();
+        assert!((h2d.busy_secs - 2.0).abs() < 1e-12);
+        assert!((a.busy_fraction("update", "pcie.h2d") - 0.5).abs() < 1e-12);
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    #[test]
+    fn spans_spilling_past_a_boundary_widen_the_phase() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "upd", "update", 0.0, 5.0, 1.0);
+        tl.record("nvme", "async-flush", "update", 4.0, 9.0, 1.0);
+        let bounds = [PhaseBoundary { phase: "update".into(), start: 0.0, end: 5.0 }];
+        let a = analyze_with_boundaries(&tl, &bounds);
+        let upd = a.phase("update").unwrap();
+        assert_eq!(upd.start, 0.0);
+        assert_eq!(upd.end, 9.0, "trailing async span widens the window");
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    #[test]
+    fn boundary_only_phase_stays_visible() {
+        // A fully-degraded phase may emit no spans at all; its declared
+        // window still shows up (with no resources) so campaigns can see it.
+        let mut tl = Timeline::new();
+        tl.record("cpu", "upd", "update", 2.0, 4.0, 1.0);
+        let bounds = [
+            PhaseBoundary { phase: "forward".into(), start: 0.0, end: 2.0 },
+            PhaseBoundary { phase: "update".into(), start: 2.0, end: 4.0 },
+        ];
+        let a = analyze_with_boundaries(&tl, &bounds);
+        assert_eq!(a.phases.len(), 2);
+        let fwd = a.phase("forward").unwrap();
+        assert_eq!((fwd.start, fwd.end), (0.0, 2.0));
+        assert!(fwd.resources.is_empty());
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    #[test]
+    fn no_boundaries_matches_legacy_analyze() {
+        let tl = sample();
+        assert_eq!(analyze_with_boundaries(&tl, &[]), analyze(&tl));
+    }
+
+    #[test]
+    fn analyze_tracer_uses_recorded_boundaries() {
+        let tr = Tracer::new();
+        tr.record_span("stream", "gpu", "bwd", "backward", 0.0, 10.0, 1.0);
+        tr.record_span("stream", "pcie.h2d", "prefetch", "update", 8.0, 12.0, 1.0);
+        tr.record_span("stream", "gpu", "upd", "update", 10.0, 14.0, 1.0);
+        tr.phase_boundary("backward", 0.0, 10.0);
+        tr.phase_boundary("update", 10.0, 14.0);
+        let a = analyze_tracer(&tr);
+        assert_eq!(a.phase("update").unwrap().start, 10.0);
+        assert_eq!(a.phase("backward").unwrap().end, 10.0);
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
     }
 
     #[test]

@@ -30,7 +30,8 @@ mod timeline;
 mod tracer;
 
 pub use analyze::{
-    analyze, OverlapStat, PhaseAnalysis, ResourceStats, TraceAnalysis, IDLE_GAP_BOUNDS,
+    analyze, analyze_tracer, analyze_with_boundaries, OverlapStat, PhaseAnalysis, ResourceStats,
+    TraceAnalysis, IDLE_GAP_BOUNDS,
 };
 pub use chrome::{chrome_trace, chrome_trace_from_timeline, ChromeArgs, ChromeEvent, ChromeTrace};
 pub use gantt::{render_gantt, render_legend};
@@ -38,4 +39,4 @@ pub use metrics::{
     CounterSample, GaugeSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
 };
 pub use timeline::{Sample, Span, Timeline};
-pub use tracer::{EventKind, SpanGuard, TraceEvent, Tracer};
+pub use tracer::{EventKind, PhaseBoundary, SpanGuard, TraceEvent, Tracer, PHASE_TRACK};

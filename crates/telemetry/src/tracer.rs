@@ -26,6 +26,31 @@ use parking_lot::Mutex;
 use crate::metrics::MetricsRegistry;
 use crate::timeline::Timeline;
 
+/// Track name carrying `phase-begin:`/`phase-end:` boundary instants
+/// (emitted by [`Tracer::phase_boundary`], consumed by
+/// [`Tracer::phase_boundaries`] and `analyze_with_boundaries`).
+pub const PHASE_TRACK: &str = "phases";
+
+/// An explicit phase window, reconstructed from paired
+/// `phase-begin:<phase>` / `phase-end:<phase>` instants on the
+/// [`PHASE_TRACK`] track.
+///
+/// Span-derived phase segmentation breaks down once phases interleave (an
+/// update-phase prefetch issued during backward drags the update window
+/// backwards); emitters that know their true phase edges publish them as
+/// boundary instants instead, and the analyzer treats those as
+/// authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBoundary {
+    /// Phase name (`"forward"`, `"update"`, ...).
+    pub phase: String,
+    /// Authoritative phase start, seconds.
+    pub start: f64,
+    /// Declared phase end, seconds. Spans may legitimately spill past it
+    /// (asynchronous flushes); consumers widen as needed.
+    pub end: f64,
+}
+
 /// What kind of event a [`TraceEvent`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -189,6 +214,52 @@ impl Tracer {
             depth: 0,
             kind: EventKind::Span,
         });
+    }
+
+    /// Publishes an explicit phase window as a pair of boundary instants
+    /// (`phase-begin:<phase>` at `start`, `phase-end:<phase>` at `end`) on
+    /// the [`PHASE_TRACK`] track. Emit one per phase per run; repeated
+    /// emissions for the same phase widen the reconstructed window.
+    pub fn phase_boundary(&self, phase: &str, start: f64, end: f64) {
+        self.instant_at(PHASE_TRACK, &format!("phase-begin:{phase}"), phase, start);
+        self.instant_at(PHASE_TRACK, &format!("phase-end:{phase}"), phase, end);
+    }
+
+    /// Reconstructs [`PhaseBoundary`] windows from the boundary instants
+    /// recorded via [`Tracer::phase_boundary`], ordered by start. Phases
+    /// with a begin but no end (or vice versa) are skipped; duplicate
+    /// emissions widen the window (earliest begin, latest end).
+    pub fn phase_boundaries(&self) -> Vec<PhaseBoundary> {
+        let mut begins: Vec<(String, f64)> = Vec::new();
+        let mut ends: Vec<(String, f64)> = Vec::new();
+        for ev in self.events() {
+            if ev.kind != EventKind::Instant || ev.track != PHASE_TRACK {
+                continue;
+            }
+            if let Some(p) = ev.name.strip_prefix("phase-begin:") {
+                match begins.iter_mut().find(|(n, _)| n == p) {
+                    Some(e) => e.1 = e.1.min(ev.start),
+                    None => begins.push((p.to_string(), ev.start)),
+                }
+            } else if let Some(p) = ev.name.strip_prefix("phase-end:") {
+                match ends.iter_mut().find(|(n, _)| n == p) {
+                    Some(e) => e.1 = e.1.max(ev.start),
+                    None => ends.push((p.to_string(), ev.start)),
+                }
+            }
+        }
+        let mut out: Vec<PhaseBoundary> = begins
+            .into_iter()
+            .filter_map(|(phase, start)| {
+                ends.iter().find(|(n, _)| *n == phase).map(|&(_, end)| PhaseBoundary {
+                    phase,
+                    start,
+                    end: end.max(start),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        out
     }
 
     /// Records an instant event at an explicit time on an explicit track.
@@ -380,6 +451,32 @@ mod tests {
         let evs = tr.events();
         assert_eq!(evs[0].kind, EventKind::Instant);
         assert_eq!(evs[0].dur, 0.0);
+    }
+
+    #[test]
+    fn phase_boundaries_round_trip_ordered() {
+        let tr = Tracer::new();
+        tr.phase_boundary("update", 10.0, 14.0);
+        tr.phase_boundary("forward", 0.0, 4.0);
+        tr.phase_boundary("backward", 4.0, 10.0);
+        let bs = tr.phase_boundaries();
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[0], PhaseBoundary { phase: "forward".into(), start: 0.0, end: 4.0 });
+        assert_eq!(bs[1].phase, "backward");
+        assert_eq!(bs[2], PhaseBoundary { phase: "update".into(), start: 10.0, end: 14.0 });
+    }
+
+    #[test]
+    fn repeated_boundaries_widen_and_incomplete_pairs_are_skipped() {
+        let tr = Tracer::new();
+        tr.phase_boundary("update", 5.0, 8.0);
+        tr.phase_boundary("update", 4.0, 9.0);
+        tr.instant_at(PHASE_TRACK, "phase-begin:orphan", "orphan", 1.0);
+        // Unrelated instants on other tracks are ignored.
+        tr.instant_at("cpu", "phase-begin:bogus", "update", 0.0);
+        let bs = tr.phase_boundaries();
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0], PhaseBoundary { phase: "update".into(), start: 4.0, end: 9.0 });
     }
 
     #[test]

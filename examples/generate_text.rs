@@ -48,7 +48,7 @@ fn main() {
 
     const ITERS: usize = 60;
     println!("training {ITERS} iterations on {} ranks with stride-2 interleaving...", cfg.world);
-    let report = train_functional(&cfg, &dataset, ITERS);
+    let report = train_functional(&cfg, &dataset, ITERS).expect("training failed");
     println!(
         "loss: {:.3} -> {:.3} (ranks consistent: {})\n",
         report.losses[0],

@@ -48,13 +48,14 @@ fn main() {
     // Reference: everything on the "CPU".
     let mut cpu_cfg = base.clone();
     cpu_cfg.pipeline.stride = StridePolicy::CpuOnly;
-    let cpu = train_functional(&cpu_cfg, &dataset, ITERS);
+    let cpu = train_functional(&cpu_cfg, &dataset, ITERS).expect("cpu-only training failed");
 
     // Interleaved: every second subgroup goes through the device worker,
     // travelling over the DMA channels — Algorithm 1 with real numerics.
     let mut hybrid_cfg = base;
     hybrid_cfg.pipeline.stride = StridePolicy::Fixed(2);
-    let hybrid = train_functional(&hybrid_cfg, &dataset, ITERS);
+    let hybrid =
+        train_functional(&hybrid_cfg, &dataset, ITERS).expect("interleaved training failed");
 
     println!("iter   cpu-only loss   interleaved loss");
     for i in (0..ITERS).step_by(5) {

@@ -1,7 +1,7 @@
 //! Offline shim for `serde_json`: a hand-rolled JSON parser and printer
 //! over the `serde` shim's [`Value`] tree. Covers the API surface the
-//! workspace uses: `to_string`, `to_string_pretty`, `to_writer`,
-//! `from_str`, `from_reader`, and `Error`.
+//! workspace uses: `to_string`, `to_string_pretty`, `to_vec`, `to_writer`,
+//! `from_str`, `from_slice`, `from_reader`, and `Error`.
 
 use std::io::{Read, Write};
 
@@ -78,6 +78,20 @@ pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
     let text = to_string_pretty(value)?;
     writer.write_all(text.as_bytes())?;
     Ok(())
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from JSON bytes (must be valid UTF-8).
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::Syntax {
+        msg: format!("invalid UTF-8 in JSON input: {e}"),
+        offset: e.valid_up_to(),
+    })?;
+    from_str(text)
 }
 
 /// Deserializes a `T` from JSON text.

@@ -1,0 +1,62 @@
+//! End-to-end chaos campaign over the full middleware: device-worker
+//! kills mid-update, a torn checkpoint at recovery time, and a simulated
+//! PCIe degradation window with transient transfer faults — the same
+//! battery `dos-cli chaos` runs in CI.
+
+use dos_runtime::{run_chaos, ChaosOptions, FaultKind, RuntimeConfig};
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig::from_json(
+        r#"{ "model": "7B", "deep_optimizer_states": { "enabled": true } }"#,
+    )
+    .unwrap()
+}
+
+/// The full seeded campaign holds every robustness invariant: degraded
+/// updates stay byte-exact, recovery falls back past the torn checkpoint
+/// to a bitwise-identical resume, and simulated faults delay — never
+/// drop — scheduled work.
+#[test]
+fn seeded_campaign_upholds_every_invariant() {
+    let report =
+        run_chaos(&config(), &ChaosOptions { seed: 2026, ..Default::default() }).unwrap();
+    assert!(report.passed(), "{}", report.render());
+    let names: Vec<&str> = report.checks.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "pipeline-degradation-byte-exact",
+            "degraded-training-matches-healthy",
+            "checkpoint-recovery-bitwise",
+            "sim-faults-traced-not-dropped",
+        ],
+        "{}",
+        report.render()
+    );
+}
+
+/// `--faults` narrows the campaign to the selected fault kinds.
+#[test]
+fn fault_subset_runs_only_selected_checks() {
+    let opts = ChaosOptions { seed: 1, faults: vec![FaultKind::CkptCorrupt], trace_out: None };
+    let report = run_chaos(&config(), &opts).unwrap();
+    assert_eq!(report.checks.len(), 1, "{}", report.render());
+    assert_eq!(report.checks[0].name, "checkpoint-recovery-bitwise");
+    assert!(report.passed(), "{}", report.render());
+}
+
+/// Different seeds inject different worker-kill points, and each campaign
+/// reports what it injected.
+#[test]
+fn campaigns_vary_with_the_seed_but_always_hold() {
+    for seed in [0u64, 7, 99] {
+        let opts =
+            ChaosOptions { seed, faults: vec![FaultKind::WorkerKill], trace_out: None };
+        let report = run_chaos(&config(), &opts).unwrap();
+        assert!(report.passed(), "seed {seed}:\n{}", report.render());
+        assert!(
+            report.checks.iter().all(|c| !c.detail.is_empty()),
+            "seed {seed} produced an unexplained check"
+        );
+    }
+}

@@ -36,7 +36,7 @@ fn corpus_to_convergence() {
         micro_batch: 2,
         ..FunctionalConfig::small()
     };
-    let r = train_functional(&cfg, &dataset, 15);
+    let r = train_functional(&cfg, &dataset, 15).unwrap();
     assert!(r.ranks_consistent);
     let early: f32 = r.losses[..3].iter().sum::<f32>() / 3.0;
     let late: f32 = r.losses[12..].iter().sum::<f32>() / 3.0;
@@ -67,7 +67,11 @@ fn pipeline_matches_reference_optimizer() {
     let n = pipe_model.num_params();
     let mut state = MixedPrecisionState::new(pipe_model.gather_params(), UpdateRule::adam(), 5e-3);
     let subgroups = partition_into_subgroups(n, 1000);
-    let pipe_cfg = PipelineConfig { stride: StridePolicy::Fixed(3), static_residents: 1 };
+    let pipe_cfg = PipelineConfig {
+        stride: StridePolicy::Fixed(3),
+        static_residents: 1,
+        ..PipelineConfig::default()
+    };
 
     let mut loader = dos::data::DataLoader::new(0, 1, 2, 5);
     for _ in 0..4 {
@@ -79,7 +83,7 @@ fn pipeline_matches_reference_optimizer() {
         ref_opt.step(&mut ref_model);
 
         let grads = pipe_model.gather_grads();
-        let report = hybrid_update(&mut state, &grads, &subgroups, pipe_cfg);
+        let report = hybrid_update(&mut state, &grads, &subgroups, pipe_cfg).unwrap();
         let fp16: Vec<f32> = report.fp16_params.iter().map(|h| h.to_f32()).collect();
         pipe_model.scatter_params(&fp16);
         pipe_model.zero_grads();
@@ -109,8 +113,8 @@ fn pipeline_configurations_agree_at_scale() {
         (StridePolicy::CpuOnly, 4),
     ] {
         let mut state = MixedPrecisionState::new(init.clone(), UpdateRule::adamw(0.01), 0.01);
-        let cfg = PipelineConfig { stride, static_residents: residents };
-        hybrid_update(&mut state, &grads, &subgroups, cfg);
+        let cfg = PipelineConfig { stride, static_residents: residents, ..Default::default() };
+        hybrid_update(&mut state, &grads, &subgroups, cfg).unwrap();
         assert_eq!(
             reference.params(),
             state.params(),
