@@ -1,0 +1,84 @@
+//! Extension experiment: the adaptive control plane racing the static
+//! Equation 1 configuration, fault-free and through a pinned PCIe
+//! degradation window.
+
+use dos::control::{race_adaptive_vs_static, ControllerConfig, DegradationSpec};
+use dos::hal::HardwareProfile;
+use dos::nn::ModelSpec;
+use dos::sim::TrainConfig;
+
+use crate::support::{secs, TextTable};
+
+/// Extension: adaptive stride control vs the paper's once-solved stride.
+///
+/// Fault-free, the controller must be a no-op (it seeds at the same k* and
+/// the hysteresis band keeps it there); under a degraded PCIe link, the
+/// static arm keeps paying for transfers that no longer overlap while the
+/// controller descends the ladder and recovers when the window closes.
+pub fn extension_adaptive_control() -> String {
+    let profile = HardwareProfile::jlse_h100();
+    let spec = ModelSpec::by_name("20B").unwrap();
+    let train = TrainConfig::deep_optimizer_states(spec, profile);
+    const ITERS: usize = 12;
+    const SEED: u64 = 7;
+
+    let clean = race_adaptive_vs_static(&train, ControllerConfig::default(), &[], ITERS, SEED, None)
+        .unwrap();
+    let window = vec![DegradationSpec::parse("pcie.h2d:3..8@0.15").unwrap()];
+    let faulted =
+        race_adaptive_vs_static(&train, ControllerConfig::default(), &window, ITERS, SEED, None)
+            .unwrap();
+
+    let mut t = TextTable::new([
+        "scenario",
+        "adaptive (s)",
+        "static (s)",
+        "speedup",
+        "retunes",
+        "final stride",
+    ]);
+    for (name, r) in [("fault-free", &clean), ("pcie.h2d:3..8@0.15", &faulted)] {
+        t.row([
+            name.to_string(),
+            secs(r.adaptive_total),
+            secs(r.static_total),
+            format!("{:.2}x", r.speedup()),
+            r.retunes.to_string(),
+            r.final_stride.clone(),
+        ]);
+    }
+
+    let ladder: Vec<String> = faulted
+        .decisions
+        .iter()
+        .map(|d| format!("  it{:>2}: {}", d.iteration, d.detail))
+        .collect();
+    format!(
+        "== Extension: adaptive control plane vs static Equation 1 ({} on {}) ==\n{}\
+         Fault-free the two arms are within noise of each other — the\n\
+         controller seeds at the static k* and the 5% hysteresis band holds.\n\
+         Under the degradation window the controller's decisions were:\n{}\n\
+         It parks on the GPU residents while Eq. 1 has no solution, probes\n\
+         the link periodically, and climbs back toward k* = {} as the EWMA\n\
+         forgets the degraded window.\n",
+        faulted.model,
+        faulted.profile,
+        t.render(),
+        ladder.join("\n"),
+        clean.static_stride.map_or_else(|| "-".to_string(), |k| k.to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_extension_reports_both_scenarios() {
+        let out = extension_adaptive_control();
+        assert!(out.contains("fault-free"));
+        assert!(out.contains("pcie.h2d:3..8@0.15"));
+        assert!(out.contains("speedup"));
+        assert!(out.contains("descend"), "the ladder descent must appear:\n{out}");
+    }
+}

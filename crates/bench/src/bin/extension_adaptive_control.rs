@@ -1,0 +1,5 @@
+//! Regenerates the `extension_adaptive_control` extension experiment; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::adaptive::extension_adaptive_control());
+}

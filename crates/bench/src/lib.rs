@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod adaptive;
 pub mod comparisons;
 pub mod contention;
 pub mod extensions;
@@ -56,5 +57,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("extension_grad_accumulation", extensions::extension_grad_accumulation),
         ("extension_zero_stages", extensions::extension_zero_stages),
         ("extension_numa_contention", contention::extension_numa_contention),
+        ("extension_adaptive_control", adaptive::extension_adaptive_control),
     ]
 }

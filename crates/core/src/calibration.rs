@@ -21,6 +21,27 @@ use dos_tensor::F16;
 
 use crate::perf_model::PerfModel;
 
+/// Relative spread of the timed rounds behind each median: `(max − min) /
+/// median` of the per-round durations. Large values mean the machine was
+/// noisy while calibrating and the solved stride deserves less trust —
+/// `dos-cli calibrate` prints these next to each input.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CalibrationSpread {
+    /// Spread of the `U_c` (CPU Adam update) rounds.
+    pub cpu_update: f64,
+    /// Spread of the `D_c` (FP32→FP16 downscale) rounds.
+    pub cpu_downscale: f64,
+    /// Spread of the `B`-proxy (host memcpy) rounds.
+    pub staging: f64,
+}
+
+impl CalibrationSpread {
+    /// The worst (largest) spread across the three measured inputs.
+    pub fn max(&self) -> f64 {
+        self.cpu_update.max(self.cpu_downscale).max(self.staging)
+    }
+}
+
 /// Raw measurements from one calibration run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationReport {
@@ -33,6 +54,10 @@ pub struct CalibrationReport {
     pub staging_pps: f64,
     /// Elements used per measurement.
     pub elements: usize,
+    /// Timed rounds behind each median.
+    pub rounds: usize,
+    /// Relative round-to-round spread behind each median.
+    pub spread: CalibrationSpread,
 }
 
 impl CalibrationReport {
@@ -52,11 +77,12 @@ impl CalibrationReport {
     }
 }
 
-fn time_per_iter<F: FnMut()>(mut f: F, iters: usize) -> f64 {
-    // One warmup round, then the median of three timed rounds.
+/// One warmup round, then the median and relative spread of `rounds`
+/// timed rounds of `iters` invocations each.
+fn time_per_iter<F: FnMut()>(mut f: F, iters: usize, rounds: usize) -> (f64, f64) {
     f();
-    let mut samples = Vec::with_capacity(3);
-    for _ in 0..3 {
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
         let start = Instant::now();
         for _ in 0..iters {
             f();
@@ -64,37 +90,52 @@ fn time_per_iter<F: FnMut()>(mut f: F, iters: usize) -> f64 {
         samples.push(start.elapsed().as_secs_f64() / iters as f64);
     }
     samples.sort_by(f64::total_cmp);
-    samples[1]
+    let median = samples[rounds / 2];
+    let spread = if median > 0.0 { (samples[rounds - 1] - samples[0]) / median } else { 0.0 };
+    (median, spread)
 }
 
 /// Measures this machine's Equation-1 CPU-side inputs using `elements`
-/// parameters per kernel invocation.
+/// parameters per kernel invocation and the default three timed rounds
+/// per input.
 ///
 /// # Panics
 ///
 /// Panics if `elements` is zero.
 pub fn calibrate(elements: usize) -> CalibrationReport {
+    calibrate_with(elements, 3)
+}
+
+/// [`calibrate`], but with `rounds` timed rounds behind each median —
+/// more rounds trade calibration time for a tighter spread estimate.
+///
+/// # Panics
+///
+/// Panics if `elements` or `rounds` is zero.
+pub fn calibrate_with(elements: usize, rounds: usize) -> CalibrationReport {
     assert!(elements > 0, "elements must be positive");
+    assert!(rounds > 0, "rounds must be positive");
 
     // U_c: real Adam steps over a realistic state size.
     let grads: Vec<f32> = (0..elements).map(|i| ((i % 101) as f32 / 101.0) - 0.5).collect();
     let mut state = MixedPrecisionState::new(vec![0.5; elements], UpdateRule::adam(), 1e-3);
-    let update_secs = time_per_iter(|| state.full_step(&grads), 2);
+    let (update_secs, update_spread) = time_per_iter(|| state.full_step(&grads), 2, rounds);
 
     // D_c: FP32 -> FP16 downscale.
     let src: Vec<f32> = (0..elements).map(|i| (i as f32).sin()).collect();
     let mut dst = vec![F16::ZERO; elements];
     // src and dst are allocated with the same length, so the conversion
     // cannot fail; the timing loop ignores the Ok.
-    let downscale_secs =
-        time_per_iter(|| drop(downscale_f32_chunked(&src, &mut dst, 1 << 14)), 4);
+    let (downscale_secs, downscale_spread) =
+        time_per_iter(|| drop(downscale_f32_chunked(&src, &mut dst, 1 << 14)), 4, rounds);
 
     // B proxy: large memcpy (what pinned-buffer staging costs on the host).
     let src_bytes: Vec<f32> = vec![1.0; elements];
     let mut dst_bytes = vec![0.0f32; elements];
-    let copy_secs = time_per_iter(
+    let (copy_secs, copy_spread) = time_per_iter(
         || dst_bytes.copy_from_slice(std::hint::black_box(&src_bytes)),
         8,
+        rounds,
     );
 
     CalibrationReport {
@@ -102,12 +143,34 @@ pub fn calibrate(elements: usize) -> CalibrationReport {
         cpu_downscale_pps: elements as f64 / downscale_secs,
         staging_pps: elements as f64 / copy_secs,
         elements,
+        rounds,
+        spread: CalibrationSpread {
+            cpu_update: update_spread,
+            cpu_downscale: downscale_spread,
+            staging: copy_spread,
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_of_n_reports_a_finite_spread() {
+        let report = calibrate_with(1 << 14, 5);
+        assert_eq!(report.rounds, 5);
+        for s in [report.spread.cpu_update, report.spread.cpu_downscale, report.spread.staging] {
+            assert!(s.is_finite() && s >= 0.0, "spread {s}");
+        }
+        assert!(report.spread.max() >= report.spread.cpu_update);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be positive")]
+    fn zero_rounds_rejected() {
+        let _ = calibrate_with(1 << 10, 0);
+    }
 
     #[test]
     fn calibration_produces_usable_inputs() {

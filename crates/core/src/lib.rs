@@ -46,7 +46,7 @@ mod perf_model;
 mod pipeline;
 mod schedulers;
 
-pub use calibration::{calibrate, CalibrationReport};
+pub use calibration::{calibrate, calibrate_with, CalibrationReport, CalibrationSpread};
 pub use explain::{explain_schedule, ScheduleExplanation};
 pub use nvme::NvmeOffload;
 pub use perf_model::PerfModel;

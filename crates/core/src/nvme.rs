@@ -42,7 +42,7 @@ impl NvmeOffload {
             return None;
         }
         match self.stride {
-            StridePolicy::Auto => {
+            StridePolicy::Auto | StridePolicy::Adaptive => {
                 // On the NVMe tier the effective staging rate `B` of
                 // Equation 1 is bounded by the drive, not PCIe: streaming a
                 // subgroup's 12-byte-per-parameter state through NVMe caps

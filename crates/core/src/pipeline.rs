@@ -234,7 +234,10 @@ fn hybrid_update_inner(
     }
 
     let stride = match cfg.stride {
-        StridePolicy::Auto => Some(2),
+        // The controller-driven trainer rewrites `Adaptive` to `Fixed(k)`
+        // every iteration; reaching the pipeline unresolved, it falls back
+        // to the same paper-default seed as `Auto`.
+        StridePolicy::Auto | StridePolicy::Adaptive => Some(2),
         StridePolicy::Fixed(k) => Some(k.max(1)),
         StridePolicy::CpuOnly => None,
     };

@@ -20,6 +20,12 @@ pub enum StridePolicy {
     Fixed(usize),
     /// Never schedule dynamic subgroups on the GPU.
     CpuOnly,
+    /// Let the `dos-control` feedback controller retune the stride online
+    /// from observed throughputs. Standalone (no controller attached, e.g.
+    /// a single-shot `simulate_iteration`) this seeds itself exactly like
+    /// [`StridePolicy::Auto`]; controller-driven loops re-resolve it every
+    /// iteration through a hysteresis band.
+    Adaptive,
 }
 
 /// DeepSpeed ZeRO-3 with the optimizer fully offloaded to the CPU: every
@@ -62,7 +68,7 @@ impl DeepOptimizerStates {
     /// Resolves the stride for a scenario.
     pub fn resolve_stride(&self, scn: &IterationScenario) -> Option<usize> {
         match self.stride {
-            StridePolicy::Auto => {
+            StridePolicy::Auto | StridePolicy::Adaptive => {
                 PerfModel::new(scn.cfg.profile.perf_model_inputs()).optimal_stride()
             }
             StridePolicy::Fixed(k) => Some(k.max(1)),

@@ -14,6 +14,7 @@
 //! | [`zero`] | `dos-zero` | ZeRO stages, subgroups, memory estimation |
 //! | [`sim`] | `dos-sim` | training-iteration simulator |
 //! | [`core`] | `dos-core` | **the paper**: Eq. 1 perf model, Algorithm 1 schedulers, functional pipeline |
+//! | [`control`] | `dos-control` | adaptive control plane: online Eq. 1 re-solving, resident sizing, degradation ladder |
 //! | [`telemetry`] | `dos-telemetry` | tracer + metrics, timelines, Chrome/Perfetto export, overlap/stall analyzer, Gantt |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
 //! | [`oracle`] | `dos-oracle` | differential conformance harness (Eq. 1 vs simulator vs pipeline) |
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub use dos_collectives as collectives;
+pub use dos_control as control;
 pub use dos_core as core;
 pub use dos_data as data;
 pub use dos_hal as hal;

@@ -83,6 +83,7 @@ fn rule_name(rule: UpdateRule) -> &'static str {
 fn stride_name(stride: StridePolicy) -> String {
     match stride {
         StridePolicy::Auto => "auto".to_string(),
+        StridePolicy::Adaptive => "adaptive".to_string(),
         StridePolicy::CpuOnly => "cpu-only".to_string(),
         StridePolicy::Fixed(k) => format!("k={k}"),
     }

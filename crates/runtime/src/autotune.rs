@@ -1,0 +1,155 @@
+//! `dos-cli autotune`: race the adaptive control plane against the static
+//! Equation 1 arm on a JSON-configured simulation.
+//!
+//! A thin façade over [`dos_control::race_adaptive_vs_static`]: it resolves
+//! the [`RuntimeConfig`] onto the calibrated simulator, runs both arms
+//! under the same pinned fault plan, grades the outcome (fault-free the
+//! controller must match the static arm within tolerance; under faults it
+//! must not lose), and optionally exports a Chrome trace of one adaptive
+//! iteration with the `control:*` decision instants on their own track.
+
+use std::path::PathBuf;
+
+use dos_control::{race_adaptive_vs_static, ControllerConfig, DegradationSpec, RaceReport};
+use dos_telemetry::Tracer;
+use serde::{Deserialize, Serialize};
+
+use crate::config::RuntimeConfig;
+
+/// Fault-free runs pass when the adaptive and static totals agree within
+/// this relative tolerance (the convergence half of the headline
+/// invariant); faulted runs pass when adaptive does not lose outright.
+pub const AUTOTUNE_PARITY_TOLERANCE: f64 = 0.05;
+
+/// Options of one `autotune` run.
+#[derive(Debug, Clone)]
+pub struct AutotuneOptions {
+    /// Iterations to race (both arms).
+    pub iterations: usize,
+    /// Seed pinning the fault plan.
+    pub seed: u64,
+    /// Degradation windows applied identically to both arms.
+    pub faults: Vec<DegradationSpec>,
+    /// Export a Chrome trace of one adaptive iteration here (the first
+    /// faulted iteration when faults are given, iteration 0 otherwise),
+    /// control instants included.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl Default for AutotuneOptions {
+    fn default() -> Self {
+        AutotuneOptions { iterations: 12, seed: 0, faults: Vec::new(), trace_out: None }
+    }
+}
+
+/// Outcome of one `autotune` run: the race report plus the graded verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutotuneOutcome {
+    /// The side-by-side race results.
+    pub report: RaceReport,
+    /// Whether the run met its acceptance bar (see
+    /// [`AUTOTUNE_PARITY_TOLERANCE`]).
+    pub passed: bool,
+    /// `control:*` decision instants recorded on the control track.
+    pub control_instants: usize,
+}
+
+/// Runs the adaptive-vs-static race described by `config` and `opts`.
+///
+/// # Errors
+///
+/// Returns a rendered error string when the config does not resolve, the
+/// simulation fails, or the trace cannot be exported.
+pub fn run_autotune(
+    config: &RuntimeConfig,
+    opts: &AutotuneOptions,
+) -> Result<AutotuneOutcome, String> {
+    if opts.iterations == 0 {
+        return Err("autotune needs at least one iteration".to_string());
+    }
+    let train = config.resolve().map_err(|e| e.to_string())?;
+    let tracer = Tracer::new();
+    // Replay the most interesting iteration into the trace: the first one
+    // a fault covers, or the seeding iteration on a clean run.
+    let replay = opts
+        .faults
+        .iter()
+        .map(|s| s.from_iter)
+        .min()
+        .unwrap_or(0)
+        .min(opts.iterations - 1);
+    let report = race_adaptive_vs_static(
+        &train,
+        ControllerConfig::default(),
+        &opts.faults,
+        opts.iterations,
+        opts.seed,
+        Some((&tracer, replay)),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let passed = if opts.faults.is_empty() {
+        let rel = (report.adaptive_total - report.static_total).abs() / report.static_total;
+        rel <= AUTOTUNE_PARITY_TOLERANCE
+    } else {
+        report.adaptive_total <= report.static_total
+    };
+    let control_instants = tracer.control_instants().len();
+
+    if let Some(path) = &opts.trace_out {
+        let trace = dos_telemetry::chrome_trace(&tracer);
+        let rendered = serde_json::to_string_pretty(&trace)
+            .map_err(|e| format!("cannot serialize trace: {e}"))?;
+        std::fs::write(path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    Ok(AutotuneOutcome { report, passed, control_instants })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h100_config() -> RuntimeConfig {
+        RuntimeConfig::from_json(
+            r#"{ "model": "20B", "deep_optimizer_states": { "enabled": true } }"#,
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn fault_free_autotune_passes_and_converges() {
+        let opts = AutotuneOptions { iterations: 6, ..AutotuneOptions::default() };
+        let out = run_autotune(&h100_config(), &opts).expect("runs");
+        assert!(out.passed, "fault-free parity: {:#?}", out.report);
+        assert_eq!(out.report.final_stride, "fixed(2)");
+        assert!(out.control_instants >= 1, "at least the seed decision is traced");
+    }
+
+    #[test]
+    fn faulted_autotune_wins_and_exports_control_instants() {
+        let dir = std::env::temp_dir().join("dos-autotune-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace_path = dir.join("autotune-trace.json");
+        let opts = AutotuneOptions {
+            iterations: 12,
+            seed: 7,
+            faults: vec![DegradationSpec::parse("pcie.h2d:3..8@0.15").expect("valid")],
+            trace_out: Some(trace_path.clone()),
+        };
+        let out = run_autotune(&h100_config(), &opts).expect("runs");
+        assert!(out.passed, "adaptive must not lose under degradation: {:#?}", out.report);
+        assert!(out.report.speedup() > 1.0);
+        assert!(out.control_instants >= 1);
+        let exported = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(exported.contains("control:"), "exported trace carries control instants");
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let opts = AutotuneOptions { iterations: 0, ..AutotuneOptions::default() };
+        assert!(run_autotune(&h100_config(), &opts).is_err());
+    }
+}

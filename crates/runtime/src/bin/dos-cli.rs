@@ -6,6 +6,9 @@
 //! dos-cli trace <config.json> [--out trace.json] [--analyze]
 //! dos-cli conformance [--quick] [--json] [--filter SUBSTR]
 //! dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]
+//! dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC]
+//!                  [--trace-out FILE] [--json]
+//! dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
 //!   --compare        also run the ZeRO-3 and TwinFlow baselines
@@ -32,6 +35,26 @@
 //!                    worker-kill, ckpt-corrupt (default: all)
 //!   --trace-out FILE also export the faulted iteration's Chrome trace,
 //!                    fault instants included
+//!
+//! autotune: race the adaptive control plane against the static Equation 1
+//! arm under a pinned fault plan; exit nonzero if the controller fails its
+//! acceptance bar (fault-free: parity with static within 5%; faulted: it
+//! must not lose).
+//!   --iterations N   iterations to race (default: 12)
+//!   --seed N         fault-plan seed (default: 0)
+//!   --faults SPEC    comma-separated degradation windows, each
+//!                    resource:FROM..UNTIL@SCALE, e.g. pcie.h2d:3..8@0.15
+//!   --trace-out FILE export one adaptive iteration's Chrome trace with
+//!                    the control:* decision instants on their own track
+//!   --json           emit the outcome as JSON instead of a table
+//!
+//! calibrate: measure Equation 1's CPU-side inputs on this machine with
+//! the reproduction's own kernels and solve for the update stride.
+//!   --elements N     parameters per kernel invocation (default: 1 << 22)
+//!   --rounds N       timed rounds behind each median (default: 5)
+//!   --ug PPS         GPU update rate to assume, params/s (default: 25e9,
+//!                    the H100 profile's nominal)
+//!   --json           emit the measurements as JSON instead of a table
 //! ```
 //!
 //! Example config:
@@ -43,8 +66,8 @@
 use std::process::ExitCode;
 
 use dos_runtime::{
-    run_chaos, run_iteration, run_training, trace_iteration, ChaosOptions, FaultKind,
-    RuntimeConfig,
+    run_autotune, run_chaos, run_iteration, run_training, trace_iteration, AutotuneOptions,
+    ChaosOptions, FaultKind, RuntimeConfig,
 };
 
 struct Args {
@@ -86,6 +109,167 @@ fn usage() {
     eprintln!("       dos-cli trace <config.json> [--out trace.json] [--analyze]");
     eprintln!("       dos-cli conformance [--quick] [--json] [--filter SUBSTR]");
     eprintln!("       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]");
+    eprintln!(
+        "       dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC] [--trace-out FILE] [--json]"
+    );
+    eprintln!("       dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]");
+}
+
+/// Races the adaptive controller against the static arm; `Ok(true)` means
+/// the controller met its acceptance bar.
+fn run_autotune_cmd(rest: &[String]) -> Result<bool, String> {
+    let mut config_path = None;
+    let mut opts = AutotuneOptions::default();
+    let mut json = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iterations" => {
+                let v = args.next().ok_or("--iterations needs a value")?;
+                opts.iterations = v.parse().map_err(|_| format!("bad iteration count `{v}`"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--faults" => {
+                let v = args.next().ok_or("--faults needs a spec")?;
+                opts.faults = v
+                    .split(',')
+                    .map(|s| dos_control::DegradationSpec::parse(s.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?.into());
+            }
+            "--json" => json = true,
+            other if config_path.is_none() => config_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let config_path = config_path.ok_or("missing config path")?;
+    let cfg_json = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let config = RuntimeConfig::from_json(&cfg_json).map_err(|e| e.to_string())?;
+    let outcome = run_autotune(&config, &opts)?;
+    if json {
+        let rendered = serde_json::to_string_pretty(&outcome)
+            .map_err(|e| format!("cannot serialize outcome: {e}"))?;
+        println!("{rendered}");
+    } else {
+        print!("{}", outcome.report.render_table());
+        println!(
+            "{} control instants traced; verdict: {}",
+            outcome.control_instants,
+            if outcome.passed { "PASS" } else { "FAIL" },
+        );
+    }
+    Ok(outcome.passed)
+}
+
+/// Measures Equation 1's CPU-side inputs on this machine; `Ok(true)`
+/// unless the measurements are unusable.
+fn run_calibrate(rest: &[String]) -> Result<bool, String> {
+    let mut elements: usize = 1 << 22;
+    let mut rounds: usize = 5;
+    let mut ug: f64 = 25.0e9;
+    let mut json = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--elements" => {
+                let v = args.next().ok_or("--elements needs a value")?;
+                elements = v.parse().map_err(|_| format!("bad element count `{v}`"))?;
+            }
+            "--rounds" => {
+                let v = args.next().ok_or("--rounds needs a value")?;
+                rounds = v.parse().map_err(|_| format!("bad round count `{v}`"))?;
+            }
+            "--ug" => {
+                let v = args.next().ok_or("--ug needs a value")?;
+                ug = v.parse().map_err(|_| format!("bad GPU rate `{v}`"))?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if elements == 0 || rounds == 0 {
+        return Err("--elements and --rounds must be positive".to_string());
+    }
+    if !(ug.is_finite() && ug > 0.0) {
+        return Err("--ug must be a positive rate".to_string());
+    }
+    let report = dos_core::calibrate_with(elements, rounds);
+    let model = report.perf_model(ug);
+    let stride = model.optimal_stride();
+    if json {
+        #[derive(serde::Serialize)]
+        struct SpreadOut {
+            cpu_update: f64,
+            cpu_downscale: f64,
+            staging: f64,
+        }
+        #[derive(serde::Serialize)]
+        struct CalibrateOut {
+            elements: usize,
+            rounds: usize,
+            cpu_update_pps: f64,
+            cpu_downscale_pps: f64,
+            staging_pps: f64,
+            gpu_update_pps: f64,
+            spread: SpreadOut,
+            optimal_stride: Option<usize>,
+        }
+        let rendered = serde_json::to_string_pretty(&CalibrateOut {
+            elements: report.elements,
+            rounds: report.rounds,
+            cpu_update_pps: report.cpu_update_pps,
+            cpu_downscale_pps: report.cpu_downscale_pps,
+            staging_pps: report.staging_pps,
+            gpu_update_pps: ug,
+            spread: SpreadOut {
+                cpu_update: report.spread.cpu_update,
+                cpu_downscale: report.spread.cpu_downscale,
+                staging: report.spread.staging,
+            },
+            optimal_stride: stride,
+        })
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{rendered}");
+    } else {
+        println!(
+            "calibrated over {} elements, median of {} rounds (spread = (max-min)/median):",
+            report.elements, report.rounds,
+        );
+        println!(
+            "  U_c (CPU Adam update) {:>10.3e} params/s  spread {:>5.1}%",
+            report.cpu_update_pps,
+            report.spread.cpu_update * 100.0,
+        );
+        println!(
+            "  D_c (FP32->FP16)      {:>10.3e} params/s  spread {:>5.1}%",
+            report.cpu_downscale_pps,
+            report.spread.cpu_downscale * 100.0,
+        );
+        println!(
+            "  B   (staging proxy)   {:>10.3e} params/s  spread {:>5.1}%",
+            report.staging_pps,
+            report.spread.staging * 100.0,
+        );
+        println!("  U_g (assumed)         {ug:>10.3e} params/s");
+        match stride {
+            Some(k) => println!("Equation 1 update stride: k = {k}"),
+            None => println!(
+                "Equation 1 update stride: none (this CPU is fast enough that interleaving never pays)"
+            ),
+        }
+        if report.spread.max() > 0.25 {
+            println!(
+                "warning: round spread above 25% — the machine was noisy; rerun with more --rounds"
+            );
+        }
+    }
+    Ok(true)
 }
 
 /// Runs the seeded chaos campaign; `Ok(true)` means every invariant held.
@@ -286,6 +470,28 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("chaos") {
         return match run_chaos_cmd(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("autotune") {
+        return match run_autotune_cmd(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("calibrate") {
+        return match run_calibrate(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

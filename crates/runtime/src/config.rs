@@ -65,7 +65,8 @@ impl From<serde_json::Error> for ConfigError {
 pub struct DosEntry {
     /// Master switch; `false` leaves the baseline scheduler in place.
     pub enabled: bool,
-    /// `"auto"` (solve Equation 1), `"cpu_only"`, or an integer stride.
+    /// `"auto"` (solve Equation 1), `"cpu_only"`, `"adaptive"` (online
+    /// controller retuning), or an integer stride.
     pub update_stride: StrideEntry,
     /// FP32-on-GPU gradient conversion path (Figure 6 bottom).
     pub fp32_gradient_path: bool,
@@ -102,6 +103,8 @@ pub enum NamedStride {
     Auto,
     /// Keep every dynamic subgroup on the CPU.
     CpuOnly,
+    /// Online retuning by the `dos-control` feedback controller.
+    Adaptive,
 }
 
 impl StrideEntry {
@@ -115,6 +118,7 @@ impl StrideEntry {
             StrideEntry::Fixed(k) => StridePolicy::Fixed(k),
             StrideEntry::Named(NamedStride::Auto) => StridePolicy::Auto,
             StrideEntry::Named(NamedStride::CpuOnly) => StridePolicy::CpuOnly,
+            StrideEntry::Named(NamedStride::Adaptive) => StridePolicy::Adaptive,
         }
     }
 }
@@ -288,6 +292,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cfg.deep_optimizer_states.update_stride.to_policy(), StridePolicy::CpuOnly);
+        let cfg = RuntimeConfig::from_json(
+            r#"{ "model": "7B", "deep_optimizer_states": { "update_stride": "adaptive" } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deep_optimizer_states.update_stride.to_policy(), StridePolicy::Adaptive);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! numerics instead of a timing model.
 
 use dos_collectives::{CollectiveError, Communicator};
-use dos_core::{PipelineConfig, PipelineError};
+use dos_control::{WallClockTuner, WallClockTunerConfig};
+use dos_core::{PipelineConfig, PipelineError, StridePolicy};
 use dos_data::{DataLoader, TokenDataset};
 use dos_nn::{Gpt, GptConfig, VisitParams};
 use dos_optim::{clip_grad_norm, DynamicLossScaler, LrSchedule, MixedPrecisionState, UpdateRule};
@@ -292,6 +293,17 @@ fn run_rank(
     };
     let subgroups = partition_into_subgroups(shard.len(), cfg.subgroup_size);
 
+    // Adaptive stride: each rank runs a wall-clock tuner that re-solves
+    // Equation 1 from the pipeline's own spans every iteration. Stride
+    // changes never affect the numerics (§4.1), so ranks may retune
+    // independently without breaking cross-rank consistency. The tuner
+    // reads spans from the shared tracer when one is configured,
+    // otherwise from a private per-rank tracer.
+    let mut tuner = (cfg.pipeline.stride == StridePolicy::Adaptive).then(|| {
+        let t = cfg.tracer.clone().unwrap_or_default();
+        (WallClockTuner::new(WallClockTunerConfig::default(), shard.len(), cfg.subgroup_size), t)
+    });
+
     let store = match &cfg.checkpoint_dir {
         Some(dir) if rank == 0 => Some(CheckpointStore::open(dir, cfg.checkpoint_keep)?),
         _ => None,
@@ -368,13 +380,45 @@ fn run_rank(
 
         // Interleaved hybrid update of this rank's shard (real threads,
         // Algorithm 1's structure).
-        let report = match &cfg.tracer {
-            Some(t) => {
-                let _sp = t.span(&format!("hybrid-update:it{it}"), "update");
-                dos_core::hybrid_update_traced(&mut state, &shard_grads, &subgroups, cfg.pipeline, t)
+        let report = match &mut tuner {
+            Some((tun, tt)) => {
+                let mut pipeline = cfg.pipeline;
+                pipeline.stride = tun.stride_policy();
+                let mark = tt.now();
+                let report = {
+                    let _sp = tt.span(&format!("hybrid-update:it{it}"), "update");
+                    dos_core::hybrid_update_traced(&mut state, &shard_grads, &subgroups, pipeline, tt)
+                }?;
+                // Feed only this iteration's spans back; under a shared
+                // tracer, concurrent ranks' spans in the same window are
+                // equally valid samples of the contended machine.
+                let fresh: Vec<_> =
+                    tt.events().into_iter().filter(|ev| ev.start >= mark).collect();
+                let before = tun.decisions().len();
+                tun.observe(&fresh);
+                if rank == 0 && cfg.tracer.is_some() {
+                    for d in &tun.decisions()[before..] {
+                        tt.control_decision(&d.detail, tt.now());
+                    }
+                }
+                report
             }
-            None => dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline),
-        }?;
+            None => match &cfg.tracer {
+                Some(t) => {
+                    let _sp = t.span(&format!("hybrid-update:it{it}"), "update");
+                    dos_core::hybrid_update_traced(
+                        &mut state,
+                        &shard_grads,
+                        &subgroups,
+                        cfg.pipeline,
+                        t,
+                    )?
+                }
+                None => {
+                    dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline)?
+                }
+            },
+        };
         if report.degraded.is_some() {
             degraded_steps += 1;
         }
@@ -513,6 +557,41 @@ mod tests {
         assert!(events.iter().all(|e| e.dur >= 0.0));
         let tl = tracer.to_timeline();
         assert!(tl.end_time() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_stride_trains_identically_to_fixed() {
+        let ds = toy_dataset(8);
+        let mut fixed_cfg = FunctionalConfig::small();
+        fixed_cfg.pipeline.stride = StridePolicy::Fixed(2);
+        let mut adaptive_cfg = FunctionalConfig::small();
+        adaptive_cfg.pipeline.stride = StridePolicy::Adaptive;
+        let fixed = train_functional(&fixed_cfg, &ds, 6).unwrap();
+        let adaptive = train_functional(&adaptive_cfg, &ds, 6).unwrap();
+        // The tuner may move the stride mid-run; §4.1 says the numerics
+        // never notice, so adaptive training is bitwise identical to any
+        // fixed stride (the tuner seeds at k = 2 and changes only the
+        // schedule, never the math).
+        assert_eq!(fixed.losses, adaptive.losses);
+        assert_eq!(fixed.final_params, adaptive.final_params);
+        assert!(adaptive.ranks_consistent);
+    }
+
+    #[test]
+    fn adaptive_stride_with_shared_tracer_records_pipeline_spans() {
+        let ds = toy_dataset(8);
+        let tracer = dos_telemetry::Tracer::new();
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 1;
+        cfg.pipeline.stride = StridePolicy::Adaptive;
+        cfg.tracer = Some(tracer.clone());
+        let report = train_functional(&cfg, &ds, 4).unwrap();
+        assert_eq!(report.losses.len(), 4);
+        // The tuner reads the same spans any traced run records; they must
+        // still be present (observation does not consume them).
+        let events = tracer.events();
+        assert!(events.iter().any(|e| e.name.starts_with("update:sg")));
+        assert!(events.iter().any(|e| e.name.starts_with("hybrid-update:it")));
     }
 
     #[test]

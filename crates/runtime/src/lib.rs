@@ -26,12 +26,16 @@
 // typed errors, never die on a stray unwrap; tests may assert freely.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod autotune;
 mod chaos;
 mod checkpoint;
 mod config;
 mod functional;
 mod sim_trainer;
 
+pub use autotune::{
+    run_autotune, AutotuneOptions, AutotuneOutcome, AUTOTUNE_PARITY_TOLERANCE,
+};
 pub use checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
 pub use chaos::{run_chaos, ChaosCheck, ChaosOptions, ChaosReport, FaultKind};
 pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};

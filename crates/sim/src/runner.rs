@@ -219,6 +219,88 @@ pub fn simulate_training(
     })
 }
 
+/// One iteration's plan, produced by an [`IterationController`] before the
+/// iteration is submitted to the engine.
+pub struct ControlledIteration {
+    /// The update scheduler to run this iteration under.
+    pub scheduler: Box<dyn UpdateScheduler>,
+    /// Optional per-iteration override of the offload configuration (the
+    /// control plane resizes the GPU-resident tail against observed
+    /// `MemoryPool` headroom).
+    pub offload: Option<dos_zero::OffloadConfig>,
+    /// Optional fault plan to install on the iteration's engine (pinned
+    /// degradation windows expressed per iteration).
+    pub faults: Option<dos_hal::FaultPlan>,
+}
+
+/// The feedback hook `dos-control` implements: called around every
+/// iteration of [`simulate_training_controlled`], it closes the loop
+/// between observed update-phase timings and the next iteration's
+/// schedule (stride, resident set, degradation-ladder rung).
+pub trait IterationController {
+    /// Plans iteration `iteration` (0-based) given the run configuration.
+    fn plan_iteration(&mut self, iteration: usize, cfg: &TrainConfig) -> ControlledIteration;
+
+    /// Observes the finished iteration's report (timeline included), so
+    /// estimators can update before the next [`Self::plan_iteration`].
+    fn observe_iteration(&mut self, iteration: usize, report: &IterationReport);
+}
+
+/// Runs `iterations` iterations, each planned by `controller` and simulated
+/// on a fresh engine (so per-iteration fault plans and offload overrides
+/// apply cleanly; trailing flushes are contained within their iteration,
+/// unlike [`simulate_training`]'s shared engine).
+///
+/// If `trace` is given as `(tracer, index)`, iteration `index`'s full
+/// engine schedule (fault instants included) and phase boundaries are
+/// replayed into the tracer — the controller can add its own `control:*`
+/// instants on top.
+///
+/// # Errors
+///
+/// Propagates engine errors from any iteration.
+pub fn simulate_training_controlled(
+    cfg: &TrainConfig,
+    controller: &mut dyn IterationController,
+    iterations: usize,
+    trace: Option<(&dos_telemetry::Tracer, usize)>,
+) -> Result<Vec<IterationReport>, SimError> {
+    let mut reports = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let plan = controller.plan_iteration(i, cfg);
+        let mut it_cfg = cfg.clone();
+        if let Some(offload) = plan.offload {
+            it_cfg.offload = offload;
+        }
+        let mut scn = IterationScenario::new_for_rank(it_cfg.clone(), 0);
+        if let Some(faults) = &plan.faults {
+            scn.rank.sim.install_fault_plan(faults.clone());
+        }
+        let fwd = scn.run_forward(None)?;
+        let mut bwd = scn.run_backward(fwd)?;
+        for _ in 1..it_cfg.grad_accumulation.max(1) {
+            let f = scn.run_forward(Some(bwd))?;
+            bwd = scn.run_backward(f)?;
+        }
+        let upd = plan.scheduler.schedule_update(&mut scn, bwd)?;
+        if let Some((tracer, index)) = trace {
+            if index == i {
+                scn.record_into(tracer);
+                let t_fwd = scn.rank.sim.finish_time(fwd).as_secs();
+                let t_bwd = scn.rank.sim.finish_time(bwd).as_secs();
+                let t_upd = scn.rank.sim.finish_time(upd).as_secs();
+                tracer.phase_boundary("forward", 0.0, t_fwd);
+                tracer.phase_boundary("backward", t_fwd, t_bwd);
+                tracer.phase_boundary("update", t_bwd, t_upd);
+            }
+        }
+        let report = finalize_report(&it_cfg, plan.scheduler.as_ref(), scn, fwd, bwd, upd)?;
+        controller.observe_iteration(i, &report);
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
 /// When and how to checkpoint during a simulated run.
 ///
 /// Offloaded optimizer state accelerates checkpointing because the large

@@ -39,4 +39,6 @@ pub use metrics::{
     CounterSample, GaugeSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
 };
 pub use timeline::{Sample, Span, Timeline};
-pub use tracer::{EventKind, PhaseBoundary, SpanGuard, TraceEvent, Tracer, PHASE_TRACK};
+pub use tracer::{
+    EventKind, PhaseBoundary, SpanGuard, TraceEvent, Tracer, CONTROL_TRACK, PHASE_TRACK,
+};

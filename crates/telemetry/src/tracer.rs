@@ -31,6 +31,12 @@ use crate::timeline::Timeline;
 /// [`Tracer::phase_boundaries`] and `analyze_with_boundaries`).
 pub const PHASE_TRACK: &str = "phases";
 
+/// Track name carrying `control:*` decision instants emitted by the
+/// adaptive control plane (`dos-control`): retunes, ladder transitions,
+/// resident resizes, and recoveries. Consumed by
+/// [`Tracer::control_instants`] and rendered as its own Perfetto row.
+pub const CONTROL_TRACK: &str = "control";
+
 /// An explicit phase window, reconstructed from paired
 /// `phase-begin:<phase>` / `phase-end:<phase>` instants on the
 /// [`PHASE_TRACK`] track.
@@ -262,6 +268,27 @@ impl Tracer {
         out
     }
 
+    /// Records a control-plane decision instant (`control:<what>`) at an
+    /// explicit time on the [`CONTROL_TRACK`] track. `what` names the
+    /// decision, e.g. `retune:k=3`, `ladder:dos->residents-only`,
+    /// `residents:4`, `recover:k=2`.
+    pub fn control_decision(&self, what: &str, at: f64) {
+        self.instant_at(CONTROL_TRACK, &format!("control:{what}"), "control", at);
+    }
+
+    /// All `control:*` decision instants recorded on the
+    /// [`CONTROL_TRACK`] track, ordered by time.
+    pub fn control_instants(&self) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|ev| {
+                ev.kind == EventKind::Instant
+                    && ev.track == CONTROL_TRACK
+                    && ev.name.starts_with("control:")
+            })
+            .collect()
+    }
+
     /// Records an instant event at an explicit time on an explicit track.
     pub fn instant_at(&self, track: &str, name: &str, phase: &str, at: f64) {
         self.push(TraceEvent {
@@ -477,6 +504,20 @@ mod tests {
         let bs = tr.phase_boundaries();
         assert_eq!(bs.len(), 1);
         assert_eq!(bs[0], PhaseBoundary { phase: "update".into(), start: 4.0, end: 9.0 });
+    }
+
+    #[test]
+    fn control_instants_filter_their_track() {
+        let tr = Tracer::new();
+        tr.control_decision("retune:k=3", 1.5);
+        tr.control_decision("ladder:dos->residents-only", 2.0);
+        tr.instant_at("cpu", "control:bogus", "update", 0.5);
+        tr.instant_at(CONTROL_TRACK, "unrelated", "control", 0.7);
+        let evs = tr.control_instants();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "control:retune:k=3");
+        assert_eq!(evs[0].start, 1.5);
+        assert_eq!(evs[1].name, "control:ladder:dos->residents-only");
     }
 
     #[test]
