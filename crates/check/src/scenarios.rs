@@ -1,0 +1,428 @@
+//! Check scenarios: concrete, deterministic pipeline instances whose
+//! every terminal schedule must match the sequential oracle bitwise.
+//!
+//! A scenario fixes the body completely — parameter count, subgroup size,
+//! stride, residents, fault plan, and the deterministic init/gradient
+//! formulas — so a schedule token (`scenario` + decision sequence) is a
+//! full reproduction recipe. Two scenario kinds exist:
+//!
+//! * [`ScenarioKind::Pipeline`] — the real [`dos_core::hybrid_update`].
+//!   Expected to pass under *every* schedule; any divergence, deadlock, or
+//!   panic is a pipeline bug.
+//! * [`ScenarioKind::BuggyLostSend`] — a deliberately seeded ordering bug
+//!   (see [`buggy_lost_send_update`]): when an H2D send fails because the
+//!   worker already disconnected, the job is dropped instead of re-run on
+//!   the CPU. The OS-default-like schedule (main thread runs until it
+//!   blocks) never fails a send — all sends complete before the worker
+//!   first runs — so only genuine schedule exploration exposes it. Used
+//!   by tests and `--replay` demos to prove the checker catches, shrinks,
+//!   and replays real ordering bugs; never part of the default suite.
+
+use dos_core::sync;
+use dos_core::{hybrid_update, DeviceFault, PipelineConfig, StridePolicy};
+use dos_optim::{MixedPrecisionState, UpdateRule};
+use dos_tensor::F16;
+use dos_zero::{partition_into_subgroups, SubgroupSpec};
+
+/// Which body a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The real hybrid pipeline (must pass under every schedule).
+    Pipeline,
+    /// The seeded lost-send bug fixture (fails under some schedules).
+    BuggyLostSend,
+}
+
+/// A scenario's injected fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Healthy worker.
+    None,
+    /// Worker panics after fully processing N jobs.
+    Panic(usize),
+    /// Worker returns silently after fully processing N jobs.
+    Disconnect(usize),
+}
+
+impl FaultPlan {
+    fn to_device_fault(self) -> Option<DeviceFault> {
+        match self {
+            FaultPlan::None => None,
+            FaultPlan::Panic(n) => Some(DeviceFault::PanicAfter(n)),
+            FaultPlan::Disconnect(n) => Some(DeviceFault::DisconnectAfter(n)),
+        }
+    }
+}
+
+/// One fully pinned check scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckScenario {
+    /// Body selector.
+    pub kind: ScenarioKind,
+    /// Flat parameter count.
+    pub params: usize,
+    /// Subgroup size (`partition_into_subgroups(params, subgroup)`).
+    pub subgroup: usize,
+    /// Update stride k (every k-th dynamic subgroup ships to the device).
+    pub stride: usize,
+    /// Trailing static device residents.
+    pub residents: usize,
+    /// Injected worker fault.
+    pub fault: FaultPlan,
+}
+
+/// Everything a terminal schedule must pin bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed {
+    /// Updated master parameters.
+    pub params: Vec<f32>,
+    /// First-moment state.
+    pub momentum: Vec<f32>,
+    /// Second-moment state.
+    pub variance: Vec<f32>,
+    /// Downscaled FP16 parameters.
+    pub fp16: Vec<F16>,
+}
+
+fn deterministic_init(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0).collect();
+    let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
+    (init, grads)
+}
+
+fn first_mismatch_f32(name: &str, got: &[f32], want: &[f32]) -> Option<String> {
+    if got.len() != want.len() {
+        return Some(format!("{name}: length {} != {}", got.len(), want.len()));
+    }
+    got.iter().zip(want).position(|(a, b)| a.to_bits() != b.to_bits()).map(|i| {
+        format!("{name}[{i}]: got {:?} (0x{:08x}), want {:?} (0x{:08x})", got[i], got[i].to_bits(), want[i], want[i].to_bits())
+    })
+}
+
+impl CheckScenario {
+    /// Encodes the scenario as a token coordinate, e.g.
+    /// `pl-p48-g8-k2-r0-fn`, `pl-p48-g8-k2-r1-fp1`, `bug-p64-g8-k2-r0-fd1`.
+    pub fn encode(&self) -> String {
+        let kind = match self.kind {
+            ScenarioKind::Pipeline => "pl",
+            ScenarioKind::BuggyLostSend => "bug",
+        };
+        let fault = match self.fault {
+            FaultPlan::None => "fn".to_string(),
+            FaultPlan::Panic(n) => format!("fp{n}"),
+            FaultPlan::Disconnect(n) => format!("fd{n}"),
+        };
+        format!(
+            "{kind}-p{}-g{}-k{}-r{}-{fault}",
+            self.params, self.subgroup, self.stride, self.residents
+        )
+    }
+
+    /// Parses a coordinate produced by [`CheckScenario::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn decode(s: &str) -> Result<CheckScenario, String> {
+        let fields: Vec<&str> = s.split('-').collect();
+        if fields.len() != 6 {
+            return Err(format!("scenario {s:?}: want 6 '-'-separated fields, got {}", fields.len()));
+        }
+        let kind = match fields[0] {
+            "pl" => ScenarioKind::Pipeline,
+            "bug" => ScenarioKind::BuggyLostSend,
+            other => return Err(format!("unknown scenario kind {other:?}")),
+        };
+        let num = |f: &str, tag: &str| -> Result<usize, String> {
+            f.strip_prefix(tag)
+                .ok_or_else(|| format!("field {f:?}: want prefix {tag:?}"))?
+                .parse::<usize>()
+                .map_err(|e| format!("field {f:?}: {e}"))
+        };
+        let fault = match fields[5] {
+            "fn" => FaultPlan::None,
+            f if f.starts_with("fp") => FaultPlan::Panic(num(f, "fp")?),
+            f if f.starts_with("fd") => FaultPlan::Disconnect(num(f, "fd")?),
+            other => return Err(format!("unknown fault field {other:?}")),
+        };
+        Ok(CheckScenario {
+            kind,
+            params: num(fields[1], "p")?,
+            subgroup: num(fields[2], "g")?,
+            stride: num(fields[3], "k")?,
+            residents: num(fields[4], "r")?,
+            fault,
+        })
+    }
+
+    fn fresh_state(&self) -> (MixedPrecisionState, Vec<f32>, Vec<SubgroupSpec>) {
+        let (init, grads) = deterministic_init(self.params);
+        let state = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+        let sgs = partition_into_subgroups(self.params, self.subgroup);
+        (state, grads, sgs)
+    }
+
+    /// The sequential oracle: `full_step` + full downscale on one thread.
+    pub fn expected(&self) -> Observed {
+        let (mut state, grads, _) = self.fresh_state();
+        state.full_step(&grads);
+        let fp16 = state.downscale_range(0..self.params);
+        Observed {
+            params: state.params().to_vec(),
+            momentum: state.momentum().to_vec(),
+            variance: state.variance().to_vec(),
+            fp16,
+        }
+    }
+
+    /// Runs the scenario body once (under whatever scheduler context is
+    /// installed) and returns the terminal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pipeline precondition errors — scenarios are constructed
+    /// to satisfy them, so a failure here is a scenario-definition bug.
+    pub fn observed(&self) -> Observed {
+        let (mut state, grads, sgs) = self.fresh_state();
+        match self.kind {
+            ScenarioKind::Pipeline => {
+                let cfg = PipelineConfig {
+                    stride: StridePolicy::Fixed(self.stride.max(1)),
+                    static_residents: self.residents,
+                    fault_injection: self.fault.to_device_fault(),
+                };
+                let report = match hybrid_update(&mut state, &grads, &sgs, cfg) {
+                    Ok(r) => r,
+                    Err(e) => panic!("scenario {} precondition failure: {e}", self.encode()),
+                };
+                Observed {
+                    params: state.params().to_vec(),
+                    momentum: state.momentum().to_vec(),
+                    variance: state.variance().to_vec(),
+                    fp16: report.fp16_params,
+                }
+            }
+            ScenarioKind::BuggyLostSend => {
+                let kill_after = match self.fault {
+                    FaultPlan::Disconnect(n) => n,
+                    _ => 1,
+                };
+                let fp16 = buggy_lost_send_update(
+                    &mut state,
+                    &grads,
+                    &sgs,
+                    self.stride.max(1),
+                    kill_after,
+                );
+                Observed {
+                    params: state.params().to_vec(),
+                    momentum: state.momentum().to_vec(),
+                    variance: state.variance().to_vec(),
+                    fp16,
+                }
+            }
+        }
+    }
+
+    /// Bitwise comparison against the sequential oracle; `Some` describes
+    /// the first mismatch.
+    pub fn verify(&self, obs: &Observed) -> Option<String> {
+        let want = self.expected();
+        first_mismatch_f32("params", &obs.params, &want.params)
+            .or_else(|| first_mismatch_f32("momentum", &obs.momentum, &want.momentum))
+            .or_else(|| first_mismatch_f32("variance", &obs.variance, &want.variance))
+            .or_else(|| {
+                if obs.fp16 != want.fp16 {
+                    let i = obs
+                        .fp16
+                        .iter()
+                        .zip(&want.fp16)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(usize::MAX);
+                    Some(format!("fp16[{i}] diverged"))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The default suite `dos-cli check` explores: the real pipeline
+    /// across strides, residents, and both fault-recovery paths.
+    pub fn default_suite() -> Vec<CheckScenario> {
+        let pl = |params, subgroup, stride, residents, fault| CheckScenario {
+            kind: ScenarioKind::Pipeline,
+            params,
+            subgroup,
+            stride,
+            residents,
+            fault,
+        };
+        vec![
+            // Healthy pipeline: stride sweep + residents.
+            pl(48, 8, 2, 0, FaultPlan::None),
+            pl(48, 8, 1, 0, FaultPlan::None),
+            pl(48, 8, 3, 1, FaultPlan::None),
+            pl(64, 8, 2, 2, FaultPlan::None),
+            // PanicAfter recovery path (worker dies mid-step).
+            pl(48, 8, 2, 0, FaultPlan::Panic(0)),
+            pl(48, 8, 2, 0, FaultPlan::Panic(1)),
+            pl(64, 8, 1, 1, FaultPlan::Panic(2)),
+            // DisconnectAfter recovery path (worker hangs up mid-step).
+            pl(48, 8, 2, 0, FaultPlan::Disconnect(0)),
+            pl(48, 8, 2, 0, FaultPlan::Disconnect(1)),
+            pl(64, 8, 1, 1, FaultPlan::Disconnect(2)),
+        ]
+    }
+
+    /// The canonical seeded-bug demo scenario: stride 1 ships every
+    /// subgroup, the worker disconnects after one job, and the buggy
+    /// fallback drops any job whose send fails.
+    pub fn seeded_bug() -> CheckScenario {
+        CheckScenario {
+            kind: ScenarioKind::BuggyLostSend,
+            params: 64,
+            subgroup: 8,
+            stride: 1,
+            residents: 0,
+            fault: FaultPlan::Disconnect(1),
+        }
+    }
+}
+
+/// The deliberately seeded ordering bug: a copy of the hybrid pipeline's
+/// structure whose send-failure fallback *drops the job* instead of
+/// re-running it on the CPU.
+///
+/// Under the default "main runs until it blocks" schedule every H2D send
+/// is enqueued before the worker first runs, so no send ever fails and the
+/// consumed-but-unreturned jobs are correctly retried via the pending
+/// list — the bug stays invisible. Only a schedule that lets the worker
+/// consume its kill quota and disconnect *while the main thread still has
+/// sends outstanding* makes a send fail and exposes the dropped update.
+///
+/// Returns the FP16 downscale the (buggy) step produced.
+pub fn buggy_lost_send_update(
+    state: &mut MixedPrecisionState,
+    grads: &[f32],
+    subgroups: &[SubgroupSpec],
+    stride: usize,
+    kill_after: usize,
+) -> Vec<F16> {
+    state.begin_step();
+    let step = state.step_count();
+    let rule = state.rule();
+    let lr = state.lr();
+
+    let (h2d_tx, h2d_rx) = sync::unbounded::<(SubgroupSpec, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>();
+    let (d2h_tx, d2h_rx) = sync::unbounded::<(SubgroupSpec, Vec<f32>, Vec<f32>, Vec<f32>, Vec<F16>)>();
+
+    let mut fp16 = vec![F16::ZERO; state.len()];
+    let mut pending: Vec<SubgroupSpec> = Vec::new();
+    let mut worker_lost = false;
+
+    sync::scope(|scope| {
+        let worker = scope.spawn(move || {
+            let mut processed = 0usize;
+            while let Ok((sg, mut p, mut m, mut v, g)) = h2d_rx.recv() {
+                if processed == kill_after {
+                    return; // injected disconnect: drops both endpoints
+                }
+                rule.apply(step, lr, &mut p, &g, &mut m, &mut v);
+                let p16 = p.iter().map(|&x| F16::from_f32(x)).collect();
+                if d2h_tx.send((sg, p, m, v, p16)).is_err() {
+                    return;
+                }
+                processed += 1;
+            }
+        });
+
+        let cpu_apply = |state: &mut MixedPrecisionState, fp16: &mut Vec<F16>, sg: &SubgroupSpec| {
+            state.update_range(sg.range(), &grads[sg.range()]);
+            for (dst, src) in fp16[sg.range()].iter_mut().zip(state.downscale_range(sg.range())) {
+                *dst = src;
+            }
+        };
+
+        for (i, sg) in subgroups.iter().enumerate() {
+            let on_device = !worker_lost && (i + 1) % stride.max(1) == 0;
+            if on_device {
+                let (p, m, v) = state.snapshot_range(sg.range());
+                let job = (*sg, p.to_vec(), m.to_vec(), v.to_vec(), grads[sg.range()].to_vec());
+                match h2d_tx.send(job) {
+                    Ok(()) => pending.push(*sg),
+                    Err(_) => {
+                        // BUG: the job never left the host, but nothing
+                        // re-runs it — its subgroup silently keeps the
+                        // pre-update state.
+                        worker_lost = true;
+                    }
+                }
+            } else {
+                cpu_apply(state, &mut fp16, sg);
+            }
+        }
+        drop(h2d_tx);
+
+        while let Ok((sg, p, m, v, p16)) = d2h_rx.recv() {
+            pending.retain(|q| q.id != sg.id);
+            state.write_back_range(sg.range(), &p, &m, &v);
+            fp16[sg.range()].copy_from_slice(&p16);
+        }
+
+        let _ = worker.join();
+
+        // The pending-retry path itself is correct (same as the real
+        // pipeline): consumed-but-unreturned jobs re-run on the CPU.
+        for sg in std::mem::take(&mut pending) {
+            cpu_apply(state, &mut fp16, &sg);
+        }
+    });
+
+    fp16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_round_trip() {
+        for sc in CheckScenario::default_suite().into_iter().chain([CheckScenario::seeded_bug()]) {
+            assert_eq!(CheckScenario::decode(&sc.encode()), Ok(sc), "{}", sc.encode());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CheckScenario::decode("pl-p48-g8-k2-r0").is_err());
+        assert!(CheckScenario::decode("xx-p48-g8-k2-r0-fn").is_err());
+        assert!(CheckScenario::decode("pl-q48-g8-k2-r0-fn").is_err());
+        assert!(CheckScenario::decode("pl-p48-g8-k2-r0-fz9").is_err());
+    }
+
+    #[test]
+    fn pipeline_scenarios_pass_outside_a_checked_run() {
+        // Sanity: the bodies themselves are sound under the OS scheduler.
+        for sc in CheckScenario::default_suite() {
+            let obs = sc.observed();
+            assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
+        }
+    }
+
+    #[test]
+    fn buggy_fixture_is_clean_under_the_default_schedule() {
+        // The seeded bug must be invisible under the deterministic default
+        // schedule (main thread runs until it blocks): every send is
+        // enqueued before the worker first runs, so no send fails. This is
+        // what makes it a fair "only schedule exploration finds this"
+        // fixture.
+        let sc = CheckScenario::seeded_bug();
+        let failure = crate::explore::replay(
+            &[],
+            &|| sc.observed(),
+            &|obs| sc.verify(obs),
+            20_000,
+        );
+        assert!(failure.is_none(), "seeded bug fired under the default schedule: {failure:?}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Greedy schedule shrinking.
+//!
+//! A failing schedule found by DFS or a random walk is often long and
+//! mostly incidental. The shrinker minimizes it against a `still_fails`
+//! predicate (which replays a candidate prefix and default-extends it):
+//!
+//! 1. **Prefix search** — try increasingly long prefixes (0, 1, 2, 4, …)
+//!    and keep the shortest one that still fails. Dropping the suffix is
+//!    almost always possible because the default policy extension
+//!    deterministically completes the run.
+//! 2. **Element removal** — repeatedly try deleting each decision; a
+//!    deleted decision that leaves the failure intact was incidental.
+//!    Candidates whose replay diverges (the forced tid is not enabled)
+//!    simply don't fail and are rejected by the predicate.
+//!
+//! Both passes are capped by a trial budget so shrinking stays inside the
+//! tier-1 time envelope even for pathological schedules.
+
+use dos_core::sync::sched::Tid;
+
+/// Outcome of shrinking: the minimized schedule and how many replay
+/// trials it took.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized failing schedule.
+    pub schedule: Vec<Tid>,
+    /// Replay trials spent.
+    pub trials: usize,
+}
+
+/// Minimizes `schedule` while `still_fails` holds, spending at most
+/// `max_trials` replays.
+pub fn shrink_schedule<F>(schedule: &[Tid], mut still_fails: F, max_trials: usize) -> Shrunk
+where
+    F: FnMut(&[Tid]) -> bool,
+{
+    let mut trials = 0usize;
+    let mut cur: Vec<Tid> = schedule.to_vec();
+
+    // Pass 1: shortest failing prefix, probing lengths 0, 1, 2, 4, 8, …
+    let mut len = 0usize;
+    loop {
+        if trials >= max_trials {
+            return Shrunk { schedule: cur, trials };
+        }
+        if len >= cur.len() {
+            break;
+        }
+        trials += 1;
+        if still_fails(&cur[..len]) {
+            cur.truncate(len);
+            break;
+        }
+        len = if len == 0 { 1 } else { len * 2 };
+    }
+
+    // Pass 2: greedy element removal to a fixpoint.
+    let mut improved = true;
+    while improved && trials < max_trials {
+        improved = false;
+        let mut i = 0;
+        while i < cur.len() && trials < max_trials {
+            let mut candidate = cur.clone();
+            candidate.remove(i);
+            trials += 1;
+            if still_fails(&candidate) {
+                cur = candidate;
+                improved = true;
+                // Don't advance: position i now holds the next element.
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    Shrunk { schedule: cur, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_load_bearing_decisions() {
+        // Failure iff the schedule contains a 2 somewhere before a 3.
+        let fails = |s: &[Tid]| {
+            let two = s.iter().position(|&t| t == 2);
+            let three = s.iter().position(|&t| t == 3);
+            matches!((two, three), (Some(a), Some(b)) if a < b)
+        };
+        let noisy = vec![0, 1, 1, 2, 0, 1, 3, 0, 0, 1];
+        assert!(fails(&noisy));
+        let out = shrink_schedule(&noisy, fails, 500);
+        assert_eq!(out.schedule, vec![2, 3]);
+    }
+
+    #[test]
+    fn prefix_pass_drops_default_extendable_suffix() {
+        // Failure iff the first decision is 1 (everything after is noise
+        // when replay default-extends).
+        let fails = |s: &[Tid]| s.first() == Some(&1);
+        let out = shrink_schedule(&[1, 0, 0, 0, 0, 0, 0, 0], fails, 100);
+        assert_eq!(out.schedule, vec![1]);
+    }
+
+    #[test]
+    fn respects_trial_budget() {
+        let out = shrink_schedule(&[0; 64], |_| false, 5);
+        assert!(out.trials <= 6);
+        assert_eq!(out.schedule.len(), 64);
+    }
+}

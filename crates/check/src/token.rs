@@ -1,0 +1,135 @@
+//! Replayable schedule tokens.
+//!
+//! A token pins everything needed to reproduce one failing schedule:
+//! the scenario (which fixes the body and its inputs bit for bit) and the
+//! decision sequence (which fixes the interleaving). Format:
+//!
+//! ```text
+//! dc1:<scenario>:<schedule>
+//! ```
+//!
+//! where `<scenario>` is [`crate::scenarios::CheckScenario::encode`]'s
+//! string and `<schedule>` is the chosen tid per decision point, one
+//! base-36 digit each (virtual thread ids never reach double digits in
+//! practice; the format caps them at 35).
+
+use dos_core::sync::sched::Tid;
+
+/// Token format version prefix.
+const PREFIX: &str = "dc1";
+
+/// A parsed schedule token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleToken {
+    /// Encoded scenario coordinate (see
+    /// [`crate::scenarios::CheckScenario::encode`]).
+    pub scenario: String,
+    /// Chosen tid per decision point.
+    pub schedule: Vec<Tid>,
+}
+
+/// Why a token failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// The token does not have the `dc1:<scenario>:<schedule>` shape.
+    Malformed(String),
+    /// A schedule character is not a base-36 digit.
+    BadDigit(char),
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenError::Malformed(d) => write!(f, "malformed schedule token: {d}"),
+            TokenError::BadDigit(c) => write!(f, "bad schedule digit {c:?} (want base-36)"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+impl ScheduleToken {
+    /// Builds a token from a scenario coordinate and a decision sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tid exceeds 35 (unencodable in one base-36 digit) or
+    /// the scenario string contains `:`.
+    pub fn new(scenario: &str, schedule: &[Tid]) -> ScheduleToken {
+        assert!(!scenario.contains(':'), "scenario coordinates must not contain ':'");
+        assert!(schedule.iter().all(|&t| t < 36), "tid out of base-36 range");
+        ScheduleToken { scenario: scenario.to_string(), schedule: schedule.to_vec() }
+    }
+
+    /// Renders the `dc1:<scenario>:<schedule>` string.
+    pub fn render(&self) -> String {
+        let digits: String = self
+            .schedule
+            .iter()
+            .map(|&t| char::from_digit(t as u32, 36).unwrap_or('?'))
+            .collect();
+        format!("{PREFIX}:{}:{digits}", self.scenario)
+    }
+
+    /// Parses a rendered token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError`] when the prefix, shape, or schedule digits
+    /// are invalid. The scenario coordinate is *not* validated here — see
+    /// [`crate::scenarios::CheckScenario::decode`].
+    pub fn parse(s: &str) -> Result<ScheduleToken, TokenError> {
+        let mut parts = s.splitn(3, ':');
+        let (prefix, scenario, digits) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(sc), Some(d)) => (p, sc, d),
+            _ => {
+                return Err(TokenError::Malformed(format!(
+                    "expected 3 ':'-separated fields, got {:?}",
+                    s
+                )))
+            }
+        };
+        if prefix != PREFIX {
+            return Err(TokenError::Malformed(format!(
+                "unknown version prefix {prefix:?} (want {PREFIX:?})"
+            )));
+        }
+        if scenario.is_empty() {
+            return Err(TokenError::Malformed("empty scenario coordinate".to_string()));
+        }
+        let mut schedule = Vec::with_capacity(digits.len());
+        for c in digits.chars() {
+            match c.to_digit(36) {
+                Some(d) => schedule.push(d as Tid),
+                None => return Err(TokenError::BadDigit(c)),
+            }
+        }
+        Ok(ScheduleToken { scenario: scenario.to_string(), schedule })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let t = ScheduleToken::new("pl-p48-g8-k2-r0-fn", &[0, 0, 1, 2, 35, 1]);
+        let s = t.render();
+        assert_eq!(ScheduleToken::parse(&s), Ok(t));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ScheduleToken::parse("dc1:only-two-fields").is_err());
+        assert!(ScheduleToken::parse("dc9:x:01").is_err());
+        assert!(ScheduleToken::parse("dc1::01").is_err());
+        assert!(matches!(ScheduleToken::parse("dc1:x:0!"), Err(TokenError::BadDigit('!'))));
+    }
+
+    #[test]
+    fn empty_schedule_is_valid() {
+        let t = ScheduleToken::parse("dc1:x:").unwrap();
+        assert!(t.schedule.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Acceptance tests for the checker itself.
+//!
+//! * The full check run explores ≥ 1,000 distinct schedules of
+//!   `hybrid_update` — including both `PanicAfter` and `DisconnectAfter`
+//!   recovery paths — with bitwise parity at every terminal state.
+//! * The deliberately seeded lost-send ordering bug is caught by
+//!   exploration, greedily shrunk, and reproduced from its schedule token.
+
+use std::collections::HashSet;
+
+use dos_check::explore::ExploreConfig;
+use dos_check::scenarios::{CheckScenario, FaultPlan};
+use dos_check::token::ScheduleToken;
+use dos_check::{check_scenario, replay_token, run_check, CheckOptions, DEFAULT_MAX_STEPS};
+
+#[test]
+fn full_check_run_clears_a_thousand_distinct_schedules() {
+    let opts = CheckOptions { schedules: 1_000, fuzz: 8, seed: 7, corpus_dir: None };
+    let report = run_check(&opts).unwrap();
+    assert!(report.passed, "check failed:\n{}", report.render_human());
+    assert!(
+        report.distinct_total >= 1_000,
+        "only {} distinct schedules explored",
+        report.distinct_total
+    );
+
+    // Both fault-recovery paths contributed schedules of their own.
+    let suite = CheckScenario::default_suite();
+    let fault_covered = |pred: fn(FaultPlan) -> bool| {
+        report
+            .scenarios
+            .iter()
+            .zip(&suite)
+            .filter(|(_, sc)| pred(sc.fault))
+            .map(|(r, _)| r.completed)
+            .sum::<usize>()
+    };
+    assert!(fault_covered(|f| matches!(f, FaultPlan::Panic(_))) > 0, "no PanicAfter coverage");
+    assert!(
+        fault_covered(|f| matches!(f, FaultPlan::Disconnect(_))) > 0,
+        "no DisconnectAfter coverage"
+    );
+    assert!(report.fuzz.failures.is_empty(), "fuzz arm diverged");
+}
+
+#[test]
+fn seeded_ordering_bug_is_caught_shrunk_and_replayed_by_token() {
+    let sc = CheckScenario::seeded_bug();
+    let cfg = ExploreConfig {
+        dfs_budget: 2_000,
+        random_walks: 200,
+        seed: 1,
+        max_steps: DEFAULT_MAX_STEPS,
+    };
+    let mut seen = HashSet::new();
+    let report = check_scenario(&sc, &cfg, 0xb06, &mut seen);
+    let failure = report.failure.expect("exploration missed the seeded lost-send bug");
+    assert!(
+        failure.message.contains("divergence"),
+        "expected a divergence, got: {}",
+        failure.message
+    );
+
+    // The shrunk schedule is strictly shorter than trivial noise and still
+    // reproduces via its token alone.
+    let shrunk = ScheduleToken::parse(&failure.shrunk_token).unwrap();
+    let found = ScheduleToken::parse(&failure.token).unwrap();
+    assert!(shrunk.schedule.len() <= found.schedule.len());
+    let reproduced = replay_token(&failure.shrunk_token)
+        .expect("shrunk token failed to parse")
+        .expect("shrunk token did not reproduce the failure");
+    assert!(reproduced.contains("divergence"), "unexpected reproduction: {reproduced}");
+
+    // And the original (unshrunk) token reproduces too.
+    assert!(replay_token(&failure.token).unwrap().is_some());
+}
+
+#[test]
+fn replay_token_rejects_garbage() {
+    assert!(replay_token("not-a-token").is_err());
+    assert!(replay_token("dc1:pl-p48-g8-k2-r0:00").is_err()); // 5-field scenario
+    assert!(replay_token("dc1:zz-p48-g8-k2-r0-fn:00").is_err()); // unknown kind
+}
+
+#[test]
+fn healthy_token_replays_clean() {
+    let sc = CheckScenario::default_suite()[0];
+    let token = ScheduleToken::new(&sc.encode(), &[]).render();
+    assert_eq!(replay_token(&token).unwrap(), None);
+}

@@ -3,6 +3,7 @@
 
 use crate::driver::{fault_plan_for, DegradationSpec};
 use crate::estimator::InputEstimators;
+use crate::gate::SweepGate;
 use dos_core::{DeepOptimizerStates, PerfModel, StridePolicy};
 use dos_hal::PerfModelInputs;
 use dos_sim::{ControlledIteration, IterationController, IterationReport, TrainConfig};
@@ -273,21 +274,24 @@ impl Controller {
         self.decisions.push(ControlDecision { iteration, at_secs: self.clock, kind, detail });
     }
 
+    /// The shared sweep + hysteresis gate, parameterized by this
+    /// controller's tunables.
+    fn gate(&self) -> SweepGate {
+        SweepGate {
+            hysteresis_gain: self.cfg.hysteresis_gain,
+            min_iters_between_retunes: self.cfg.min_iters_between_retunes,
+            max_stride: self.cfg.max_stride,
+        }
+    }
+
     /// Candidate sweep: best of {CPU-only, k = 1..=max_stride} on the
     /// current estimates, with the calibrated DRAM-contention factor
     /// applied to interleaved candidates (mirrors the scheduler's engine
     /// behaviour). Returns `(best_k, best_secs, cpu_only_secs)`.
     fn sweep(&self, inputs: PerfModelInputs) -> (Option<usize>, f64, f64) {
         let pm = PerfModel::new(inputs).with_contention(self.contention);
-        let cpu = pm.predicted_update_secs(self.params, self.subgroup, None);
-        let mut best = (None, cpu);
-        for k in 1..=self.cfg.max_stride.max(1) {
-            let t = pm.predicted_update_secs(self.params, self.subgroup, Some(k));
-            if t < best.1 {
-                best = (Some(k), t);
-            }
-        }
-        (best.0, best.1, cpu)
+        let out = self.gate().sweep(&pm, self.params, self.subgroup);
+        (out.best_k, out.best_secs, out.cpu_secs)
     }
 
     /// One step of the rung/stride state machine, taken at plan time on
@@ -318,11 +322,7 @@ impl Controller {
                 }
                 let pm = PerfModel::new(inputs).with_contention(self.contention);
                 let cur = pm.predicted_update_secs(self.params, self.subgroup, Some(self.stride));
-                let gain = (cur - best_secs) / cur;
-                let cooled = self
-                    .last_retune
-                    .is_none_or(|l| i.saturating_sub(l) >= self.cfg.min_iters_between_retunes);
-                if cooled && gain > self.cfg.hysteresis_gain {
+                if let Some(gain) = self.gate().approve(i, self.last_retune, cur, best_secs) {
                     let old = self.stride;
                     self.stride = k;
                     self.retunes += 1;
@@ -336,7 +336,10 @@ impl Controller {
             }
             LadderRung::ResidentsOnly => {
                 self.iters_in_residents += 1;
-                let gain = (cpu_secs - best_secs) / cpu_secs;
+                // Recovery applies the hysteresis band but not the retune
+                // cooldown: climbing out of a degraded rung should not wait
+                // on the descent's own cooldown.
+                let gain = SweepGate::gain(cpu_secs, best_secs);
                 if raw.is_some() && best_k.is_some() && gain > self.cfg.hysteresis_gain {
                     // The estimates say interleaving pays again, by more
                     // than the hysteresis margin: climb back up to the
@@ -566,6 +569,17 @@ impl WallClockTuner {
         });
     }
 
+    /// The shared sweep + hysteresis gate, parameterized by this tuner's
+    /// tunables (no contention factor: wall spans measure the contended
+    /// machine directly).
+    fn gate(&self) -> SweepGate {
+        SweepGate {
+            hysteresis_gain: self.cfg.hysteresis_gain,
+            min_iters_between_retunes: self.cfg.min_iters_between_retunes,
+            max_stride: self.cfg.max_stride,
+        }
+    }
+
     /// Feeds one finished iteration's wall-clock trace events and re-runs
     /// the sweep + hysteresis gate.
     pub fn observe(&mut self, events: &[TraceEvent]) {
@@ -573,29 +587,18 @@ impl WallClockTuner {
         self.iter += 1;
         let Some(inputs) = self.est.inputs() else { return };
         let pm = PerfModel::new(inputs);
-        let cpu = pm.predicted_update_secs(self.params, self.subgroup, None);
-        let mut best = (None, cpu);
-        for k in 1..=self.cfg.max_stride.max(1) {
-            let t = pm.predicted_update_secs(self.params, self.subgroup, Some(k));
-            if t < best.1 {
-                best = (Some(k), t);
-            }
-        }
+        let best = self.gate().sweep(&pm, self.params, self.subgroup);
         let i = self.iter;
-        let cooled = self
-            .last_retune
-            .is_none_or(|l| i.saturating_sub(l) >= self.cfg.min_iters_between_retunes);
         let cur_secs = if self.cpu_only {
-            cpu
+            best.cpu_secs
         } else {
             pm.predicted_update_secs(self.params, self.subgroup, Some(self.stride))
         };
-        let gain = (cur_secs - best.1) / cur_secs;
         // All three moves share the same hysteresis + cooldown gate.
-        if !cooled || gain <= self.cfg.hysteresis_gain {
+        let Some(gain) = self.gate().approve(i, self.last_retune, cur_secs, best.best_secs) else {
             return;
-        }
-        match best.0 {
+        };
+        match best.best_k {
             None if !self.cpu_only => {
                 self.cpu_only = true;
                 self.retunes += 1;

@@ -1,0 +1,118 @@
+//! The shared sweep + hysteresis gate.
+//!
+//! Both control-plane callers — the simulated-engine [`Controller`] and
+//! the functional-trainer [`WallClockTuner`] — make stride decisions the
+//! same way: sweep every candidate (CPU-only and `k = 1..=max_stride`)
+//! through the Equation 1 perf model, then move only when the predicted
+//! fractional gain clears a hysteresis band *and* the retune cooldown has
+//! elapsed. This module is that logic, extracted once, so a threshold or
+//! sweep change cannot silently apply to one caller and not the other.
+//!
+//! The callers differ only in what they feed in: the [`Controller`]
+//! applies its calibrated DRAM-contention factor to the [`PerfModel`]
+//! first, the [`WallClockTuner`] does not (its wall-clock samples already
+//! measure the contended machine).
+//!
+//! [`Controller`]: crate::Controller
+//! [`WallClockTuner`]: crate::WallClockTuner
+
+use dos_core::PerfModel;
+
+/// The sweep + hysteresis tunables shared by both callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepGate {
+    /// Hysteresis band: a move needs a predicted fractional gain strictly
+    /// above this to be approved.
+    pub hysteresis_gain: f64,
+    /// Cooldown iterations between approved moves.
+    pub min_iters_between_retunes: usize,
+    /// Largest stride the candidate sweep considers.
+    pub max_stride: usize,
+}
+
+/// Result of one candidate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOutcome {
+    /// Best interleaved stride, or `None` when CPU-only wins the sweep.
+    pub best_k: Option<usize>,
+    /// Predicted update seconds of the winning candidate.
+    pub best_secs: f64,
+    /// Predicted update seconds of the CPU-only candidate.
+    pub cpu_secs: f64,
+}
+
+impl SweepGate {
+    /// Sweeps {CPU-only, k = 1..=max_stride} through `pm` and returns the
+    /// winner. Ties go to the earlier candidate (CPU-only first), exactly
+    /// as both callers historically resolved them.
+    pub fn sweep(&self, pm: &PerfModel, params: f64, subgroup: f64) -> SweepOutcome {
+        let cpu = pm.predicted_update_secs(params, subgroup, None);
+        let mut best = (None, cpu);
+        for k in 1..=self.max_stride.max(1) {
+            let t = pm.predicted_update_secs(params, subgroup, Some(k));
+            if t < best.1 {
+                best = (Some(k), t);
+            }
+        }
+        SweepOutcome { best_k: best.0, best_secs: best.1, cpu_secs: cpu }
+    }
+
+    /// The fractional predicted gain of moving from `cur_secs` to
+    /// `best_secs`.
+    pub fn gain(cur_secs: f64, best_secs: f64) -> f64 {
+        (cur_secs - best_secs) / cur_secs
+    }
+
+    /// Whether the retune cooldown has elapsed at `iteration`.
+    pub fn cooled(&self, iteration: usize, last_retune: Option<usize>) -> bool {
+        last_retune.is_none_or(|l| iteration.saturating_sub(l) >= self.min_iters_between_retunes)
+    }
+
+    /// The full gate: returns the predicted gain iff both the cooldown and
+    /// the hysteresis band pass.
+    pub fn approve(
+        &self,
+        iteration: usize,
+        last_retune: Option<usize>,
+        cur_secs: f64,
+        best_secs: f64,
+    ) -> Option<f64> {
+        let gain = Self::gain(cur_secs, best_secs);
+        (self.cooled(iteration, last_retune) && gain > self.hysteresis_gain).then_some(gain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> SweepGate {
+        SweepGate { hysteresis_gain: 0.05, min_iters_between_retunes: 2, max_stride: 8 }
+    }
+
+    #[test]
+    fn approves_only_past_both_bars() {
+        let g = gate();
+        // Gain below the band: rejected even when cooled.
+        assert_eq!(g.approve(10, None, 1.0, 0.96), None);
+        // Gain above the band but inside the cooldown: rejected.
+        assert_eq!(g.approve(10, Some(9), 1.0, 0.5), None);
+        // Both pass: the gain comes back.
+        let gain = g.approve(10, Some(8), 1.0, 0.5);
+        assert_eq!(gain, Some(0.5));
+    }
+
+    #[test]
+    fn cooldown_is_inclusive_of_the_boundary() {
+        let g = gate();
+        assert!(!g.cooled(5, Some(4)));
+        assert!(g.cooled(6, Some(4)));
+        assert!(g.cooled(0, None));
+    }
+
+    #[test]
+    fn gain_is_fractional_improvement() {
+        assert_eq!(SweepGate::gain(2.0, 1.0), 0.5);
+        assert!(SweepGate::gain(1.0, 1.2) < 0.0);
+    }
+}

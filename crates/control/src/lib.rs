@@ -47,6 +47,7 @@
 mod controller;
 mod driver;
 mod estimator;
+mod gate;
 
 pub use controller::{
     ControlDecision, Controller, ControllerConfig, DecisionKind, LadderRung, ResidentPolicy,
@@ -54,3 +55,4 @@ pub use controller::{
 };
 pub use driver::{fault_plan_for, race_adaptive_vs_static, DegradationSpec, RaceReport};
 pub use estimator::{Ewma, InputEstimators};
+pub use gate::{SweepGate, SweepOutcome};

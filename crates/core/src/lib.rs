@@ -45,6 +45,7 @@ mod nvme;
 mod perf_model;
 mod pipeline;
 mod schedulers;
+pub mod sync;
 
 pub use calibration::{calibrate, calibrate_with, CalibrationReport, CalibrationSpread};
 pub use explain::{explain_schedule, ScheduleExplanation};

@@ -9,8 +9,11 @@
 //!
 //! Buffers move through `crossbeam` channels by value, mirroring the fact
 //! that a subgroup's (p, m, v) is staged on exactly one device at a time.
+//! Channels and threads come from the [`crate::sync`] facade: real
+//! crossbeam/std primitives in production, schedule-controlled twins under
+//! `dos-check`'s deterministic exploration.
 
-use crossbeam::channel;
+use crate::sync;
 
 use dos_optim::MixedPrecisionState;
 use dos_telemetry::Tracer;
@@ -252,8 +255,8 @@ fn hybrid_update_inner(
     let lr = state.lr();
 
     // DMA channels: H2D staging in, D2H updated state out.
-    let (h2d_tx, h2d_rx) = channel::unbounded::<StagedSubgroup>();
-    let (d2h_tx, d2h_rx) = channel::unbounded::<UpdatedSubgroup>();
+    let (h2d_tx, h2d_rx) = sync::unbounded::<StagedSubgroup>();
+    let (d2h_tx, d2h_rx) = sync::unbounded::<UpdatedSubgroup>();
 
     let mut device_count = 0usize;
     let mut cpu_count = 0usize;
@@ -267,7 +270,7 @@ fn hybrid_update_inner(
     let mut fp16 = vec![F16::ZERO; state.len()];
     let fault = cfg.fault_injection;
 
-    std::thread::scope(|scope| {
+    sync::scope(|scope| {
         // The device worker: applies the same element-wise rule, then
         // produces the FP16 copy on-device (the D2D `.half()` of Alg. 1).
         let worker = scope.spawn(|| {

@@ -14,6 +14,7 @@
 //! | [`zero`] | `dos-zero` | ZeRO stages, subgroups, memory estimation |
 //! | [`sim`] | `dos-sim` | training-iteration simulator |
 //! | [`core`] | `dos-core` | **the paper**: Eq. 1 perf model, Algorithm 1 schedulers, functional pipeline |
+//! | [`check`] | `dos-check` | deterministic schedule exploration + differential fuzzing for the pipeline |
 //! | [`control`] | `dos-control` | adaptive control plane: online Eq. 1 re-solving, resident sizing, degradation ladder |
 //! | [`telemetry`] | `dos-telemetry` | tracer + metrics, timelines, Chrome/Perfetto export, overlap/stall analyzer, Gantt |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use dos_check as check;
 pub use dos_collectives as collectives;
 pub use dos_control as control;
 pub use dos_core as core;

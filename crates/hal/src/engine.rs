@@ -474,13 +474,16 @@ impl Simulator {
         let duration = match spec.resource {
             Some(r) => {
                 let res = &self.resources[r.0];
-                // Earliest-available server of the pool serves this op.
-                let (idx, &(earliest, last)) = res
+                // Earliest-available server of the pool serves this op
+                // (`add_resource` rejects empty pools, so the fallback arm
+                // is unreachable).
+                let (idx, (earliest, last)) = res
                     .servers
                     .iter()
+                    .copied()
                     .enumerate()
-                    .min_by_key(|(_, (t, _))| *t)
-                    .expect("pools have at least one server");
+                    .min_by_key(|&(_, (t, _))| t)
+                    .unwrap_or((0, (SimTime::ZERO, None)));
                 chosen_server = idx;
                 if earliest > start {
                     start = earliest;
@@ -705,7 +708,7 @@ impl Simulator {
             *by_resource.entry(name).or_insert(0.0) += iv.duration().as_secs();
         }
         let mut out: Vec<(String, f64)> = by_resource.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite durations"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 }

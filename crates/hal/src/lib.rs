@@ -60,6 +60,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The simulated hardware sits under every other crate: failures must
+// surface as typed errors, not panics; tests may assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod engine;
 mod error;

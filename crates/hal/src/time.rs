@@ -98,8 +98,9 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Constructors reject NaN, so a total order exists.
-        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+        // Constructors reject NaN, so `total_cmp` agrees with the derived
+        // `PartialOrd` on every representable value.
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -9,6 +9,8 @@
 //! dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC]
 //!                  [--trace-out FILE] [--json]
 //! dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]
+//! dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json]
+//!               [--corpus DIR] [--replay TOKEN]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
 //!   --compare        also run the ZeRO-3 and TwinFlow baselines
@@ -55,6 +57,21 @@
 //!   --ug PPS         GPU update rate to assume, params/s (default: 25e9,
 //!                    the H100 profile's nominal)
 //!   --json           emit the measurements as JSON instead of a table
+//!
+//! check: deterministic schedule exploration of the hybrid update pipeline
+//! (cooperative scheduler, sleep-set-pruned DFS + seeded random walks,
+//! bitwise parity with the sequential oracle at every terminal schedule)
+//! plus differential fuzzing through the tri-oracle; exit nonzero on any
+//! divergence, deadlock, or panic.
+//!   --schedules N    target distinct schedules across the suite
+//!                    (default: 1200)
+//!   --fuzz N         sampled fuzz cases (default: 24)
+//!   --seed S         seed for random walks and fuzz sampling (default: 0)
+//!   --corpus DIR     regression corpus to replay (default: tests/corpus
+//!                    when it exists; pass --corpus '' to skip)
+//!   --json           emit the CheckReport as JSON instead of a summary
+//!   --replay TOKEN   replay one failing schedule token (dc1:…) and exit
+//!                    nonzero iff it still reproduces
 //! ```
 //!
 //! Example config:
@@ -113,6 +130,90 @@ fn usage() {
         "       dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC] [--trace-out FILE] [--json]"
     );
     eprintln!("       dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]");
+    eprintln!(
+        "       dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json] [--corpus DIR] [--replay TOKEN]"
+    );
+}
+
+/// Runs schedule exploration + differential fuzzing (or replays one
+/// token); `Ok(true)` means no divergence.
+fn run_check_cmd(rest: &[String]) -> Result<bool, String> {
+    let mut opts = dos_check::CheckOptions::default();
+    let mut json = false;
+    let mut replay: Option<String> = None;
+    let mut corpus: Option<String> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schedules" => {
+                let v = args.next().ok_or("--schedules needs a value")?;
+                opts.schedules = v.parse().map_err(|_| format!("bad schedule count `{v}`"))?;
+            }
+            "--fuzz" => {
+                let v = args.next().ok_or("--fuzz needs a value")?;
+                opts.fuzz = v.parse().map_err(|_| format!("bad fuzz count `{v}`"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--json" => json = true,
+            "--replay" => {
+                replay = Some(args.next().ok_or("--replay needs a token")?.to_string());
+            }
+            "--corpus" => {
+                corpus = Some(args.next().ok_or("--corpus needs a directory")?.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    // Fault scenarios intentionally panic the virtual device worker
+    // ("injected device fault …"); the pipeline contains and recovers from
+    // those, so silence their default-hook noise — anything else still
+    // prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
+        if msg.is_some_and(|m| m.contains("injected device fault")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    if let Some(token) = replay {
+        return match dos_check::replay_token(&token)? {
+            Some(failure) => {
+                println!("token reproduces: {failure}");
+                Ok(false)
+            }
+            None => {
+                println!("schedule replayed clean (terminal state matches the oracle)");
+                Ok(true)
+            }
+        };
+    }
+
+    opts.corpus_dir = match corpus {
+        Some(dir) if dir.is_empty() => None,
+        Some(dir) => Some(dir.into()),
+        // Default: the committed corpus, when running from the repo root.
+        None => {
+            let default = std::path::PathBuf::from("tests/corpus");
+            default.is_dir().then_some(default)
+        }
+    };
+    let report = dos_check::run_check(&opts)?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.passed)
 }
 
 /// Races the adaptive controller against the static arm; `Ok(true)` means
@@ -492,6 +593,17 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("calibrate") {
         return match run_calibrate(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("check") {
+        return match run_check_cmd(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

@@ -24,7 +24,8 @@
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::thread::JoinHandle;
+
+use dos_core::sync::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
@@ -448,7 +449,7 @@ impl AsyncCheckpointer {
         self.drain()?;
         let path = path.into();
         let thread_path = path.clone();
-        let handle = std::thread::spawn(move || checkpoint.save(&thread_path));
+        let handle = dos_core::sync::spawn(move || checkpoint.save(&thread_path));
         self.in_flight = Some((path, handle));
         Ok(())
     }
@@ -467,7 +468,7 @@ impl AsyncCheckpointer {
         self.drain()?;
         let path = store.path_for(checkpoint.iteration);
         let store = store.clone();
-        let handle = std::thread::spawn(move || store.save(&checkpoint).map(|_| ()));
+        let handle = dos_core::sync::spawn(move || store.save(&checkpoint).map(|_| ()));
         self.in_flight = Some((path, handle));
         Ok(())
     }

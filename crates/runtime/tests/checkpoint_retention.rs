@@ -1,0 +1,159 @@
+//! Kill-and-resume matrix over checkpoint retention.
+//!
+//! For every retention depth N ∈ {1, 2, 5}, simulate a training run that
+//! saved more checkpoints than the store retains, then crash it with:
+//!
+//! * **torn newest** — the most recent checkpoint is truncated mid-write:
+//!   recovery must fall back to the newest *valid* checkpoint and restore
+//!   it bitwise (impossible at N = 1, where the tear must be a typed
+//!   error);
+//! * **torn all** — every retained checkpoint is damaged: recovery must
+//!   fail with the typed [`CheckpointError::NoValidCheckpoint`], counting
+//!   each rejected candidate — never a silent fallback to garbage state.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dos_optim::{MixedPrecisionState, UpdateRule};
+use dos_runtime::{CheckpointError, CheckpointStore, TrainingCheckpoint};
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_store(keep: usize) -> (CheckpointStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "dos-ckpt-retention-{}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = CheckpointStore::open(&dir, keep).unwrap();
+    (store, dir)
+}
+
+fn checkpoint_for(iteration: usize) -> TrainingCheckpoint {
+    let n = 32;
+    let init: Vec<f32> = (0..n).map(|i| ((i * 11 + 2) % 27) as f32 / 27.0).collect();
+    let mut optimizer = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+    let grads: Vec<f32> = (0..n).map(|i| ((i * 3 + 4) % 17) as f32 / 17.0 - 0.5).collect();
+    for _ in 0..iteration {
+        optimizer.full_step(&grads);
+    }
+    TrainingCheckpoint { params: optimizer.params().to_vec(), optimizer, iteration }
+}
+
+/// Tears a checkpoint file the way a crash mid-write would: keeps only a
+/// prefix of its bytes.
+fn tear(path: &Path) {
+    let bytes = std::fs::read(path).unwrap();
+    assert!(bytes.len() > 8, "checkpoint unexpectedly tiny");
+    std::fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+}
+
+fn assert_restores_bitwise(got: &TrainingCheckpoint, want_iteration: usize) {
+    let want = checkpoint_for(want_iteration);
+    assert_eq!(got.iteration, want_iteration);
+    let pairs = [
+        (got.optimizer.params(), want.optimizer.params(), "params"),
+        (got.optimizer.momentum(), want.optimizer.momentum(), "momentum"),
+        (got.optimizer.variance(), want.optimizer.variance(), "variance"),
+    ];
+    for (g, w, name) in pairs {
+        assert_eq!(g.len(), w.len());
+        for (i, (a, b)) in g.iter().zip(w).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}[{i}] not bitwise after resume");
+        }
+    }
+}
+
+const SAVES: usize = 6;
+
+#[test]
+fn retention_prunes_to_exactly_n() {
+    for keep in [1usize, 2, 5] {
+        let (store, dir) = fresh_store(keep);
+        for it in 1..=SAVES {
+            store.save(&checkpoint_for(it)).unwrap();
+        }
+        let files = store.list();
+        assert_eq!(files.len(), keep, "keep={keep}: retained {files:?}");
+        // The retained files are the *newest* N.
+        let (restored, _) = store.latest_valid().unwrap();
+        assert_restores_bitwise(&restored, SAVES);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_newest_falls_back_one_or_errors_at_depth_one() {
+    for keep in [1usize, 2, 5] {
+        let (store, dir) = fresh_store(keep);
+        for it in 1..=SAVES {
+            store.save(&checkpoint_for(it)).unwrap();
+        }
+        let files = store.list();
+        tear(files.last().unwrap());
+        match store.latest_valid() {
+            Ok((restored, path)) => {
+                assert!(keep > 1, "keep=1 must not recover from a torn-only store");
+                // Fallback lands on the second-newest, bitwise.
+                assert_eq!(path, files[files.len() - 2]);
+                assert_restores_bitwise(&restored, SAVES - 1);
+            }
+            Err(CheckpointError::NoValidCheckpoint { rejected, .. }) => {
+                assert_eq!(keep, 1, "keep={keep} had valid fallbacks but errored");
+                assert_eq!(rejected, 1);
+            }
+            Err(other) => panic!("keep={keep}: unexpected error {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_all_is_a_typed_error_never_garbage() {
+    for keep in [1usize, 2, 5] {
+        let (store, dir) = fresh_store(keep);
+        for it in 1..=SAVES {
+            store.save(&checkpoint_for(it)).unwrap();
+        }
+        for file in store.list() {
+            tear(&file);
+        }
+        match store.latest_valid() {
+            Err(CheckpointError::NoValidCheckpoint { rejected, dir: reported }) => {
+                assert_eq!(rejected, keep, "every retained candidate must be counted");
+                assert_eq!(reported, dir);
+            }
+            Ok((ckpt, path)) => panic!(
+                "keep={keep}: torn store silently produced iteration {} from {}",
+                ckpt.iteration,
+                path.display()
+            ),
+            Err(other) => panic!("keep={keep}: wrong error type {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn kill_and_resume_continues_training_identically() {
+    // Full kill-and-resume: crash after SAVES iterations with a torn
+    // newest, resume from the fallback, re-run the lost iteration, and
+    // land bitwise where an uninterrupted run lands.
+    let (store, dir) = fresh_store(2);
+    for it in 1..=SAVES {
+        store.save(&checkpoint_for(it)).unwrap();
+    }
+    tear(store.list().last().unwrap());
+    let (restored, _) = store.latest_valid().unwrap();
+    assert_eq!(restored.iteration, SAVES - 1);
+
+    let mut resumed = restored.optimizer;
+    let n = resumed.len();
+    let grads: Vec<f32> = (0..n).map(|i| ((i * 3 + 4) % 17) as f32 / 17.0 - 0.5).collect();
+    resumed.full_step(&grads);
+    let uninterrupted = checkpoint_for(SAVES);
+    for (i, (a, b)) in resumed.params().iter().zip(uninterrupted.optimizer.params()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "resumed params[{i}] diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

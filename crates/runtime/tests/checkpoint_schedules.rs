@@ -1,0 +1,122 @@
+//! Schedule exploration of the async checkpoint write/rotate path.
+//!
+//! [`AsyncCheckpointer`] runs on `dos-core`'s sync facade, so a checked
+//! run virtualizes its background writer: every interleaving of
+//! train-thread progress (request → poll → drain) against the writer's
+//! completion is explored, and at every terminal schedule the store must
+//! hold exactly the retained files and `latest_valid` must restore the
+//! newest checkpoint bitwise.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dos_check::explore::{explore, ExploreConfig};
+use dos_optim::{MixedPrecisionState, UpdateRule};
+use dos_runtime::{AsyncCheckpointer, CheckpointStore, TrainingCheckpoint};
+
+fn checkpoint_for(n: usize, iteration: usize) -> TrainingCheckpoint {
+    let init: Vec<f32> = (0..n).map(|i| ((i * 17 + 3) % 23) as f32 / 23.0).collect();
+    let mut optimizer = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+    let grads: Vec<f32> = (0..n).map(|i| ((i * 5 + 1) % 19) as f32 / 19.0 - 0.5).collect();
+    for _ in 0..iteration {
+        optimizer.full_step(&grads);
+    }
+    TrainingCheckpoint { params: optimizer.params().to_vec(), optimizer, iteration }
+}
+
+fn fresh_dir(tag: &str, counter: &AtomicUsize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dos-ckpt-sched-{tag}-{}-{}",
+        std::process::id(),
+        counter.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// What one write/rotate run must pin at its terminal state.
+#[derive(Debug)]
+struct Terminal {
+    files: usize,
+    restored_iteration: usize,
+    restored_params: Vec<f32>,
+}
+
+#[test]
+fn write_rotate_path_matches_oracle_under_every_schedule() {
+    let counter = AtomicUsize::new(0);
+    let want = checkpoint_for(24, 2);
+
+    let body = || {
+        let dir = fresh_dir("rotate", &counter);
+        let store = CheckpointStore::open(&dir, 1).unwrap();
+        let mut writer = AsyncCheckpointer::new();
+        // Two overlapping async saves: the second request must drain the
+        // first (at most one write in flight), then rotation keeps only
+        // the newest.
+        writer.save_async_in(checkpoint_for(24, 1), &store).unwrap();
+        writer.save_async_in(checkpoint_for(24, 2), &store).unwrap();
+        // Observing completion is itself a scheduling decision.
+        let _ = writer.is_writing();
+        writer.drain().unwrap();
+        let files = store.list().len();
+        let (restored, _) = store.latest_valid().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        Terminal {
+            files,
+            restored_iteration: restored.iteration,
+            restored_params: restored.optimizer.params().to_vec(),
+        }
+    };
+    let verify = |t: &Terminal| {
+        if t.files != 1 {
+            return Some(format!("retention kept {} files, want 1", t.files));
+        }
+        if t.restored_iteration != 2 {
+            return Some(format!("restored iteration {}, want 2", t.restored_iteration));
+        }
+        let got = &t.restored_params;
+        let expect = want.optimizer.params();
+        got.iter().zip(expect).position(|(a, b)| a.to_bits() != b.to_bits()).map(|i| {
+            format!("restored params[{i}]: got {:?}, want {:?}", got[i], expect[i])
+        })
+    };
+
+    let cfg = ExploreConfig { dfs_budget: 128, random_walks: 32, seed: 3, max_steps: 20_000 };
+    let mut seen = HashSet::new();
+    let ex = explore(&cfg, 0xc47, body, verify, &mut seen);
+    assert!(ex.failure.is_none(), "write/rotate diverged: {:?}", ex.failure);
+    assert!(ex.stats.completed > 0, "no terminal schedules explored");
+    assert!(
+        ex.stats.distinct > 1,
+        "expected multiple distinct writer/trainer interleavings, got {}",
+        ex.stats.distinct
+    );
+    assert!(ex.stats.exhausted, "schedule space unexpectedly large for this body");
+}
+
+#[test]
+fn plain_save_async_interleavings_all_land_the_file() {
+    let counter = AtomicUsize::new(0);
+    let body = || {
+        let dir = fresh_dir("plain", &counter);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("solo.dos");
+        let mut writer = AsyncCheckpointer::new();
+        writer.save_async(checkpoint_for(16, 1), &path).unwrap();
+        let done = writer.is_writing();
+        writer.drain().unwrap();
+        let loaded = TrainingCheckpoint::load(&path).map(|c| c.iteration);
+        let _ = std::fs::remove_dir_all(&dir);
+        (done, loaded)
+    };
+    let verify = |(_, loaded): &(bool, Result<usize, _>)| match loaded {
+        Ok(1) => None,
+        other => Some(format!("reload after drain: {other:?}")),
+    };
+
+    let cfg = ExploreConfig { dfs_budget: 64, random_walks: 16, seed: 5, max_steps: 20_000 };
+    let mut seen = HashSet::new();
+    let ex = explore(&cfg, 0x50f0, body, verify, &mut seen);
+    assert!(ex.failure.is_none(), "solo async save diverged: {:?}", ex.failure);
+    assert!(ex.stats.exhausted && ex.stats.completed > 0);
+}

@@ -97,7 +97,7 @@ pub struct TraceAnalysis {
 /// Merges possibly-overlapping `[start, end]` intervals into a disjoint,
 /// sorted list.
 fn merge(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
-    iv.sort_by(|x, y| x.partial_cmp(y).expect("finite interval bounds"));
+    iv.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
     for (s, e) in iv {
         match out.last_mut() {
@@ -144,7 +144,7 @@ fn fill_drain(busy_sets: &[(String, Vec<(f64, f64)>)], start: f64, end: f64) -> 
         }
     }
     // Opens before closes at equal times, so a zero-length touch counts.
-    edges.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(y.1.cmp(&x.1)));
+    edges.sort_by(|x, y| x.0.total_cmp(&y.0).then(y.1.cmp(&x.1)));
     let mut depth = 0;
     let mut first2: Option<f64> = None;
     let mut last2: Option<f64> = None;
@@ -206,7 +206,7 @@ pub fn analyze_with_boundaries(tl: &Timeline, boundaries: &[PhaseBoundary]) -> T
             None => phase_names.push((b.start, b.phase.clone())),
         }
     }
-    phase_names.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+    phase_names.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
 
     let mut phases = Vec::with_capacity(phase_names.len());
     for (_, phase) in &phase_names {

@@ -32,7 +32,9 @@ pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
             // (instants, sub-cell transfers) stay visible.
             let a = (((span.start / end) * width as f64).floor() as usize).min(width - 1);
             let b = (((span.end / end) * width as f64).ceil() as usize).clamp(a + 1, width);
-            let glyph = span.label.bytes().next().unwrap_or(b'#');
+            // Non-ASCII first bytes would tear the row's UTF-8; fall back
+            // to the generic glyph instead.
+            let glyph = span.label.bytes().next().filter(u8::is_ascii).unwrap_or(b'#');
             for cell in row.iter_mut().take(b).skip(a) {
                 *cell = glyph;
             }
@@ -40,7 +42,7 @@ pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
         out.push_str(&format!(
             "{:>name_w$} |{}|\n",
             res,
-            String::from_utf8(row).expect("ascii glyphs"),
+            String::from_utf8_lossy(&row),
         ));
     }
     // Scale line.

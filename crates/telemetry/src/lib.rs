@@ -21,6 +21,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Telemetry must never take the training loop down: failures surface as
+// values, not panics; tests may assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod analyze;
 mod chrome;

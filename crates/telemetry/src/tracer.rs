@@ -264,7 +264,7 @@ impl Tracer {
                 })
             })
             .collect();
-        out.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        out.sort_by(|a, b| a.start.total_cmp(&b.start));
         out
     }
 
@@ -316,7 +316,7 @@ impl Tracer {
     /// A snapshot of all recorded events, sorted by start time.
     pub fn events(&self) -> Vec<TraceEvent> {
         let mut evs = self.inner.events.lock().clone();
-        evs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        evs.sort_by(|a, b| a.start.total_cmp(&b.start));
         evs
     }
 

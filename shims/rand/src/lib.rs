@@ -281,3 +281,53 @@ mod tests {
         assert_ne!(v, (0..50).collect::<Vec<_>>());
     }
 }
+
+#[cfg(test)]
+mod goldens {
+    //! Golden pins of the shim's xoshiro256** stream: the seed tests and
+    //! check corpus rely on these exact values never changing. The seed-0
+    //! pair matches the reference `rand_xoshiro` test vectors (SplitMix64
+    //! seeding), so a drift here means the generator itself changed.
+
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn xoshiro256starstar_stream_is_pinned() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let want: [u64; 8] = [
+            0xef33f17055244b74,
+            0xe1f591112fb5051b,
+            0xd8ab05640214863a,
+            0xf985e1f2fb897b03,
+            0xaf87a5f7e6ce1408,
+            0x86f28e3a0746ff9e,
+            0x4e1acb1dbe288cac,
+            0x6c13fd25a3155716,
+        ];
+        for (i, w) in want.into_iter().enumerate() {
+            assert_eq!(rng.gen::<u64>(), w, "u64 stream drifted at index {i}");
+        }
+    }
+
+    #[test]
+    fn seed_zero_matches_reference_vectors() {
+        // First two outputs of xoshiro256** seeded with SplitMix64(0),
+        // as published by the rand_xoshiro crate's test suite.
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rng.gen::<u64>(), 0x99ec5f36cb75f2b4);
+        assert_eq!(rng.gen::<u64>(), 0xbf6e1f784956452a);
+    }
+
+    #[test]
+    fn derived_draws_are_pinned() {
+        // Floats and ranges derive from the same stream; pin one of each
+        // so a change to the derivation (not just the core) is caught.
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let f: f64 = rng.gen();
+        assert_eq!(f.to_bits(), 0.9343863391160464f64.to_bits());
+        let g: f32 = rng.gen();
+        assert_eq!(g.to_bits(), 0.8826533f32.to_bits());
+        assert_eq!(rng.gen_range(0usize..1000), 819);
+    }
+}
