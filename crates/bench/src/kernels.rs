@@ -1,0 +1,297 @@
+//! Measured kernel and pipeline throughput — the numbers behind
+//! `BENCH_6.json`.
+//!
+//! Unlike the simulator-driven figures, everything here is wall-clock
+//! measured on the host running the benchmark: the scalar oracle loops
+//! versus the chunked autovectorizable kernels for the Adam update
+//! (`U_c`) and the FP32↔FP16 conversions (`D_c`), plus the end-to-end
+//! [`hybrid_update_pooled`] pipeline with its staging arena. The JSON
+//! schema is documented in `DESIGN.md` §11; `kernel_bench --baseline`
+//! gates CI on the end-to-end number.
+
+use std::time::Instant;
+
+use dos::core::{hybrid_update_pooled, ArenaPool, PipelineConfig, StridePolicy};
+use dos::optim::{kernels as optim_kernels, MixedPrecisionState, UpdateRule};
+use dos::tensor::{kernels as tensor_kernels, F16};
+use dos::zero::partition_into_subgroups;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag committed alongside the numbers so a reader (or the CI
+/// gate) can tell at a glance which generation of the document it holds.
+pub const SCHEMA: &str = "dos-bench/kernels-v1";
+
+/// Relative end-to-end throughput loss the regression gate tolerates.
+pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// One scalar-versus-vectorized measurement, params/s.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelPair {
+    /// Scalar oracle loop throughput.
+    pub scalar_pps: f64,
+    /// Chunked autovectorizable kernel throughput.
+    pub vectorized_pps: f64,
+    /// `vectorized_pps / scalar_pps`.
+    pub speedup: f64,
+}
+
+impl KernelPair {
+    fn new(scalar_pps: f64, vectorized_pps: f64) -> KernelPair {
+        KernelPair { scalar_pps, vectorized_pps, speedup: vectorized_pps / scalar_pps }
+    }
+}
+
+/// Arena-pool counters observed over the end-to-end run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArenaStats {
+    /// Peak concurrently-leased logical bytes.
+    pub high_water_bytes: u64,
+    /// Leases served from the freelists.
+    pub reuse_hits: u64,
+    /// Leases that had to allocate.
+    pub allocation_misses: u64,
+}
+
+/// End-to-end pooled pipeline throughput.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EndToEnd {
+    /// Flat parameter count per step.
+    pub params: usize,
+    /// Subgroup size of the partition.
+    pub subgroup: usize,
+    /// Fixed update stride.
+    pub stride: usize,
+    /// Steps per timed round.
+    pub iters: usize,
+    /// Median throughput, params/s.
+    pub pps: f64,
+    /// Arena counters after the run.
+    pub arena: ArenaStats,
+}
+
+/// The whole `BENCH_6.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelBenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Elements per kernel invocation.
+    pub elements: usize,
+    /// Timed rounds behind each median.
+    pub rounds: usize,
+    /// Adam update: scalar oracle vs [`optim_kernels::apply`] (`U_c`).
+    pub u_c: KernelPair,
+    /// FP32→FP16 downscale: scalar vs [`tensor_kernels::downscale`] (`D_c`).
+    pub d_c: KernelPair,
+    /// FP16→FP32 upscale: scalar vs [`tensor_kernels::upscale`].
+    pub upscale: KernelPair,
+    /// End-to-end [`hybrid_update_pooled`] throughput.
+    pub hybrid_update: EndToEnd,
+}
+
+/// One warmup invocation, then the median of `rounds` timed rounds of
+/// `iters` invocations each, in seconds per invocation.
+fn median_secs<F: FnMut()>(mut f: F, iters: usize, rounds: usize) -> f64 {
+    f();
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[rounds / 2]
+}
+
+/// Runs the whole suite.
+///
+/// # Panics
+///
+/// Panics if `elements`, `rounds`, or `iters` is zero.
+pub fn run_kernel_bench(elements: usize, rounds: usize, iters: usize) -> KernelBenchReport {
+    assert!(elements > 0 && rounds > 0 && iters > 0, "bench shape must be positive");
+    let pps = |secs: f64| elements as f64 / secs;
+
+    // U_c — one Adam step over the flat element range, both loops primed
+    // with identical state so they do identical arithmetic.
+    let grads: Vec<f32> = (0..elements).map(|i| ((i % 101) as f32 / 101.0) - 0.5).collect();
+    let rule = UpdateRule::adam();
+    let mut p = vec![0.5f32; elements];
+    let mut m = vec![0.0f32; elements];
+    let mut v = vec![0.0f32; elements];
+    let scalar = median_secs(
+        || optim_kernels::apply_reference(&rule, 1, 1e-3, &mut p, &grads, &mut m, &mut v),
+        2,
+        rounds,
+    );
+    let vectorized = median_secs(
+        || optim_kernels::apply(&rule, 1, 1e-3, &mut p, &grads, &mut m, &mut v),
+        2,
+        rounds,
+    );
+    let u_c = KernelPair::new(pps(scalar), pps(vectorized));
+
+    // D_c — FP32→FP16 downscale over sin() data (full exponent spread;
+    // monotone ramps flatter branch predictors and overstate the scalar
+    // path).
+    let src: Vec<f32> = (0..elements).map(|i| (i as f32).sin()).collect();
+    let mut dst = vec![F16::ZERO; elements];
+    let scalar = median_secs(|| tensor_kernels::downscale_reference(&src, &mut dst), 4, rounds);
+    let vectorized = median_secs(|| tensor_kernels::downscale(&src, &mut dst), 4, rounds);
+    let d_c = KernelPair::new(pps(scalar), pps(vectorized));
+
+    // Upscale — FP16→FP32 (the prefetch-side conversion).
+    let src16 = dst.clone();
+    let mut dst32 = vec![0.0f32; elements];
+    let scalar = median_secs(|| tensor_kernels::upscale_reference(&src16, &mut dst32), 4, rounds);
+    let vectorized = median_secs(|| tensor_kernels::upscale(&src16, &mut dst32), 4, rounds);
+    let upscale = KernelPair::new(pps(scalar), pps(vectorized));
+
+    // End to end — the pooled hybrid-update pipeline at the paper-default
+    // stride 2 with one static resident, sharing a single arena across
+    // all timed steps (the production configuration).
+    let params = elements;
+    let subgroup = (elements / 8).max(1);
+    let subgroups = partition_into_subgroups(params, subgroup);
+    let cfg = PipelineConfig {
+        stride: StridePolicy::Fixed(2),
+        static_residents: 1,
+        fault_injection: None,
+    };
+    let pool = ArenaPool::new();
+    let mut state = MixedPrecisionState::new(vec![0.5; params], UpdateRule::adam(), 1e-3);
+    let secs = median_secs(
+        || {
+            // The shapes are pre-validated, so the pipeline cannot reject
+            // the step; an error here is a bench bug worth crashing on.
+            #[allow(clippy::unwrap_used)]
+            hybrid_update_pooled(&mut state, &grads, &subgroups, cfg, None, &pool).unwrap();
+        },
+        iters,
+        rounds,
+    );
+    let hybrid_update = EndToEnd {
+        params,
+        subgroup,
+        stride: 2,
+        iters,
+        pps: params as f64 / secs,
+        arena: ArenaStats {
+            high_water_bytes: pool.high_water_bytes() as u64,
+            reuse_hits: pool.reuse_hits(),
+            allocation_misses: pool.allocation_misses(),
+        },
+    };
+
+    KernelBenchReport {
+        schema: SCHEMA.to_string(),
+        elements,
+        rounds,
+        u_c,
+        d_c,
+        upscale,
+        hybrid_update,
+    }
+}
+
+/// Gates `new` against `baseline`: the end-to-end pooled throughput may
+/// not regress by more than [`REGRESSION_TOLERANCE`].
+///
+/// # Errors
+///
+/// Returns a rendered explanation when the schema differs or the
+/// end-to-end throughput falls below the tolerance band.
+pub fn regression_gate(
+    new: &KernelBenchReport,
+    baseline: &KernelBenchReport,
+) -> Result<(), String> {
+    if new.schema != baseline.schema {
+        return Err(format!("schema mismatch: {} vs baseline {}", new.schema, baseline.schema));
+    }
+    let floor = baseline.hybrid_update.pps * (1.0 - REGRESSION_TOLERANCE);
+    if new.hybrid_update.pps < floor {
+        return Err(format!(
+            "end-to-end hybrid_update regressed: {:.3e} pps < floor {:.3e} (baseline {:.3e}, \
+             tolerance {:.0}%)",
+            new.hybrid_update.pps,
+            floor,
+            baseline.hybrid_update.pps,
+            REGRESSION_TOLERANCE * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the human-readable block (`kernel_bench` without `--json`).
+pub fn render(report: &KernelBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "kernel bench ({} elements, median of {} rounds)\n",
+        report.elements, report.rounds
+    ));
+    for (name, pair) in
+        [("U_c adam", &report.u_c), ("D_c downscale", &report.d_c), ("upscale", &report.upscale)]
+    {
+        out.push_str(&format!(
+            "  {name:<13} scalar {:>10.3e} pps   vectorized {:>10.3e} pps   {:>5.2}x\n",
+            pair.scalar_pps, pair.vectorized_pps, pair.speedup
+        ));
+    }
+    let e = &report.hybrid_update;
+    out.push_str(&format!(
+        "  hybrid_update {:.3e} pps ({} params, subgroup {}, stride {}, arena high-water {} B, \
+         {} hits / {} misses)\n",
+        e.pps,
+        e.params,
+        e.subgroup,
+        e.stride,
+        e.arena.high_water_bytes,
+        e.arena.reuse_hits,
+        e.arena.allocation_misses
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> KernelBenchReport {
+        run_kernel_bench(1 << 12, 3, 2)
+    }
+
+    #[test]
+    fn report_round_trips_and_carries_the_schema() {
+        let report = tiny();
+        assert_eq!(report.schema, SCHEMA);
+        assert!(report.u_c.scalar_pps > 0.0 && report.d_c.vectorized_pps > 0.0);
+        assert!(report.hybrid_update.pps > 0.0);
+        assert!(report.hybrid_update.arena.reuse_hits > 0, "steps after the first reuse leases");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: KernelBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, report.schema);
+        assert_eq!(back.hybrid_update.params, report.hybrid_update.params);
+    }
+
+    #[test]
+    fn gate_passes_against_itself_and_fails_against_an_inflated_baseline() {
+        let report = tiny();
+        assert!(regression_gate(&report, &report).is_ok());
+        let mut inflated = report.clone();
+        inflated.hybrid_update.pps *= 100.0;
+        let err = regression_gate(&report, &inflated).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        let mut wrong_schema = report.clone();
+        wrong_schema.schema = "dos-bench/kernels-v0".to_string();
+        assert!(regression_gate(&report, &wrong_schema).is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_throughput() {
+        let block = render(&tiny());
+        for needle in ["U_c adam", "D_c downscale", "upscale", "hybrid_update", "high-water"] {
+            assert!(block.contains(needle), "missing {needle}:\n{block}");
+        }
+    }
+}

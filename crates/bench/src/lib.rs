@@ -15,6 +15,7 @@ pub mod adaptive;
 pub mod comparisons;
 pub mod contention;
 pub mod extensions;
+pub mod kernels;
 pub mod scaling;
 pub mod support;
 pub mod tables;

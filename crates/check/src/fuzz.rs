@@ -10,10 +10,14 @@
 //! * **perf** — `dos-oracle`'s [`evaluate_cell`]: the Equation 1
 //!   prediction and the simulator must agree within the scheduler
 //!   family's declared tolerance band;
-//! * **numerics** — a seeded random optimizer state driven through
-//!   [`dos_core::hybrid_update`] (including injected worker faults) must
-//!   match the sequential `full_step` twin bitwise, momentum and variance
-//!   included, plus the FP16 downscale of the final step.
+//! * **numerics** — a seeded random optimizer state driven through the
+//!   full [`dos_train::Trainer`] config-JSON surface (the case is rendered
+//!   as a `"deep_optimizer_states"` document, parsed, resolved, and
+//!   stepped through the pooled pipeline, including injected worker
+//!   faults) must match the sequential `full_step` twin bitwise, momentum
+//!   and variance included, plus the FP16 downscale of the final step.
+//!   Routing through the JSON surface means entry-resolution bugs are
+//!   fuzzable events, not just unit-test concerns.
 //!
 //! A failing case is shrunk with the proptest shim's
 //! [`ShrinkValue`](proptest::strategy::ShrinkValue) halving walk — each
@@ -28,12 +32,12 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use dos_core::{hybrid_update, DeviceFault, PipelineConfig, StridePolicy};
+use dos_core::{DeviceFault, StridePolicy};
 use dos_hal::HardwareProfile;
 use dos_nn::ModelSpec;
 use dos_optim::{MixedPrecisionState, UpdateRule};
 use dos_oracle::perf::{evaluate_cell, SchedulerKind};
-use dos_zero::partition_into_subgroups;
+use dos_train::Trainer;
 
 /// The model names fuzz cases draw from (Table 2 zoo + NVMe extension).
 const MODELS: &[&str] = &["7B", "8.3B", "10B", "13B", "20B", "33B"];
@@ -84,6 +88,25 @@ impl FuzzCase {
             "disconnect" => Ok(Some(DeviceFault::DisconnectAfter(self.fault_after))),
             other => Err(format!("unknown fault kind {other:?}")),
         }
+    }
+
+    /// Renders the numerics arm as a Trainer configuration document — the
+    /// same JSON shape a user would put in a config file (§4.4).
+    pub fn trainer_json(&self) -> String {
+        format!(
+            r#"{{
+  "params": {},
+  "subgroup_size": {},
+  "rule": "adam",
+  "lr": 0.01,
+  "static_residents": {},
+  "deep_optimizer_states": {{ "enabled": true, "update_stride": {} }}
+}}"#,
+            self.params.max(1),
+            self.subgroup.max(1),
+            self.residents,
+            self.stride.max(1)
+        )
     }
 
     /// Compact one-line coordinate for reports.
@@ -163,7 +186,7 @@ pub fn run_case(case: &FuzzCase) -> Option<String> {
         ));
     }
 
-    // --- Numerics arm: pipeline vs sequential twin --------------------
+    // --- Numerics arm: JSON-configured Trainer vs sequential twin -----
     let fault = match case.fault() {
         Ok(f) => f,
         Err(e) => return Some(e),
@@ -172,24 +195,22 @@ pub fn run_case(case: &FuzzCase) -> Option<String> {
     let mut rng = StdRng::seed_from_u64(case.seed);
     let init: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let mut seq = MixedPrecisionState::new(init.clone(), UpdateRule::adam(), 0.01);
-    let mut hyb = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
-    let sgs = partition_into_subgroups(n, case.subgroup.max(1));
-    let cfg = PipelineConfig {
-        stride: StridePolicy::Fixed(case.stride.max(1)),
-        static_residents: case.residents,
-        fault_injection: fault,
+    let mut trainer = match Trainer::from_json(&case.trainer_json(), init) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("numerics arm: trainer config rejected: {e}")),
     };
+    trainer.inject_fault(fault);
     let mut last_fp16 = Vec::new();
     for step in 0..case.steps.max(1) {
         let grads: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         seq.full_step(&grads);
-        match hybrid_update(&mut hyb, &grads, &sgs, cfg) {
+        match trainer.step(&grads) {
             Ok(report) => last_fp16 = report.fp16_params,
             Err(e) => return Some(format!("step {step}: pipeline precondition failure: {e}")),
         }
-        if let Some(d) = bitwise_mismatch("params", step, hyb.params(), seq.params())
-            .or_else(|| bitwise_mismatch("momentum", step, hyb.momentum(), seq.momentum()))
-            .or_else(|| bitwise_mismatch("variance", step, hyb.variance(), seq.variance()))
+        if let Some(d) = bitwise_mismatch("params", step, trainer.params(), seq.params())
+            .or_else(|| bitwise_mismatch("momentum", step, trainer.momentum(), seq.momentum()))
+            .or_else(|| bitwise_mismatch("variance", step, trainer.variance(), seq.variance()))
         {
             return Some(format!("numerics arm: {d}"));
         }
@@ -355,6 +376,15 @@ mod tests {
             let case = sample_case(&mut rng);
             assert_eq!(run_case(&case), None, "case failed: {}", case.coordinates());
         }
+    }
+
+    #[test]
+    fn numerics_arm_case_renders_as_a_valid_config_document() {
+        let case = base_case();
+        let cfg = dos_train::TrainerConfig::from_json(&case.trainer_json()).unwrap();
+        assert_eq!(cfg.params, 48);
+        assert_eq!(cfg.static_residents, 1);
+        assert_eq!(cfg.pipeline().stride, StridePolicy::Fixed(2));
     }
 
     #[test]

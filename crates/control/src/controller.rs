@@ -484,6 +484,15 @@ pub struct WallClockTunerConfig {
     pub max_stride: usize,
     /// Stride used until the first wall-clock samples arrive.
     pub seed_stride: usize,
+    /// Static-resident sizing policy. `Headroom` resizes the resident tail
+    /// against the arena pool's per-iteration high-water gauge (fed via
+    /// [`WallClockTuner::observe_arena`]) toward `host_budget_bytes`.
+    pub residents: ResidentPolicy,
+    /// Host staging-memory budget (bytes) the `Headroom` policy steers the
+    /// arena high-water toward. `0` disables resident resizing.
+    pub host_budget_bytes: u64,
+    /// Resident count the tuner starts from.
+    pub base_residents: usize,
 }
 
 impl Default for WallClockTunerConfig {
@@ -494,23 +503,31 @@ impl Default for WallClockTunerConfig {
             min_iters_between_retunes: 1,
             max_stride: 8,
             seed_stride: 2,
+            residents: ResidentPolicy::Fixed,
+            host_budget_bytes: 0,
+            base_residents: 0,
         }
     }
 }
 
 /// The functional-trainer tuner: the same sweep + hysteresis loop as
 /// [`Controller`], fed purely from wall-clock spans recorded by the real
-/// threaded pipeline (`hybrid_update_traced`). No contention compensation
-/// is applied — wall spans already measure the contended machine — and
-/// `D_c` is pinned because the pipeline folds the downscale into each CPU
-/// update span.
+/// threaded pipeline (`hybrid_update_traced`) — `U_c` from `update:sg*`
+/// spans, `D_c` from the pipeline's dedicated `downscale:sg*` spans, `B`
+/// from the staging transfers. No contention compensation is applied —
+/// wall spans already measure the contended machine. When configured with
+/// [`ResidentPolicy::Headroom`], it additionally sizes the static-resident
+/// tail against the arena pool's high-water gauge, the functional path's
+/// observable memory signal.
 #[derive(Debug, Clone)]
 pub struct WallClockTuner {
     cfg: WallClockTunerConfig,
     est: InputEstimators,
     params: f64,
     subgroup: f64,
+    n_subgroups: usize,
     stride: usize,
+    residents: usize,
     cpu_only: bool,
     iter: usize,
     last_retune: Option<usize>,
@@ -522,11 +539,14 @@ impl WallClockTuner {
     /// A tuner for a rank updating `params_per_rank` parameters in
     /// subgroups of `subgroup_params`.
     pub fn new(cfg: WallClockTunerConfig, params_per_rank: usize, subgroup_params: usize) -> Self {
+        let n_subgroups = params_per_rank.div_ceil(subgroup_params.max(1));
         WallClockTuner {
             est: InputEstimators::wall(cfg.alpha),
             params: params_per_rank as f64,
             subgroup: subgroup_params.max(1) as f64,
+            n_subgroups,
             stride: cfg.seed_stride.clamp(1, cfg.max_stride.max(1)),
+            residents: cfg.base_residents.min(n_subgroups),
             cpu_only: false,
             iter: 0,
             last_retune: None,
@@ -558,6 +578,36 @@ impl WallClockTuner {
     /// The current wall-clock input estimates.
     pub fn estimated_inputs(&self) -> Option<PerfModelInputs> {
         self.est.inputs()
+    }
+
+    /// The static-resident count the next iteration should run with.
+    pub fn static_residents(&self) -> usize {
+        self.residents
+    }
+
+    /// Feeds the arena pool's per-iteration staging high-water mark (from
+    /// `ArenaPool::take_high_water_bytes`) and, under
+    /// [`ResidentPolicy::Headroom`], resizes the static-resident tail: the
+    /// configured fraction of the signed headroom against
+    /// `host_budget_bytes` is converted into whole subgroups at ~18
+    /// bytes/param of staging footprint (p/m/v/g in FP32 plus the FP16
+    /// copy). Overshoot shrinks the tail again, so the loop self-corrects.
+    pub fn observe_arena(&mut self, high_water_bytes: usize) {
+        let ResidentPolicy::Headroom { fraction, cap } = self.cfg.residents else { return };
+        if self.cfg.host_budget_bytes == 0 {
+            return;
+        }
+        let headroom = self.cfg.host_budget_bytes as f64 - high_water_bytes as f64;
+        let bytes_per_subgroup = 18.0 * self.subgroup;
+        let delta = fraction.clamp(0.0, 1.0) * headroom / bytes_per_subgroup;
+        let max_residents =
+            ((cap.clamp(0.0, 1.0) * self.n_subgroups as f64).floor() as usize).min(self.n_subgroups);
+        let next = ((self.residents as f64 + delta).round().max(0.0) as usize).min(max_residents);
+        if next != self.residents {
+            let old = self.residents;
+            self.residents = next;
+            self.decide(DecisionKind::Residents, format!("residents {old}->{next}"));
+        }
     }
 
     fn decide(&mut self, kind: DecisionKind, detail: String) {
@@ -839,6 +889,7 @@ mod tests {
         let events_at = |b: f64| {
             vec![
                 mk("cpu", "update:sg0", 0.5, 1.0e9),
+                mk("cpu", "downscale:sg0", 0.1, 1.0e9),
                 mk("gpu", "update:sg1", 0.1, 2.5e9),
                 mk("pcie.h2d", "prefetch:sg1", 1.0e9 / b, 4.0 * 1.0e9),
                 mk("pcie.d2h", "flush:sg1", 1.0e9 / b, 4.0 * 1.0e9),
@@ -858,6 +909,60 @@ mod tests {
             tuner.stride_policy()
         );
         assert!(tuner.retunes() >= 2);
+        let inputs = tuner.estimated_inputs().expect("all four inputs observed");
+        assert!((inputs.dc - 1.0e10).abs() / 1.0e10 < 1e-6, "D_c is measured: {}", inputs.dc);
+    }
+
+    #[test]
+    fn wall_tuner_headroom_shrinks_residents_and_recovers() {
+        // 100 subgroups of 1M params; staging one costs 18 MB. Budget: the
+        // footprint of ~10 staged subgroups.
+        let budget = 10 * 18_000_000u64;
+        let cfg = WallClockTunerConfig {
+            residents: ResidentPolicy::Headroom { fraction: 0.5, cap: 0.2 },
+            host_budget_bytes: budget,
+            base_residents: 12,
+            ..WallClockTunerConfig::default()
+        };
+        let mut tuner = WallClockTuner::new(cfg, 100_000_000, 1_000_000);
+        assert_eq!(tuner.static_residents(), 12);
+
+        // Constrained pool: high-water blows past the budget every
+        // iteration; the tail must shrink monotonically toward zero.
+        let mut seen = vec![tuner.static_residents()];
+        for _ in 0..12 {
+            tuner.observe_arena(2 * budget as usize);
+            seen.push(tuner.static_residents());
+        }
+        assert!(
+            seen.windows(2).all(|w| w[1] <= w[0]),
+            "constrained pool must never grow the tail: {seen:?}"
+        );
+        let low = tuner.static_residents();
+        assert!(low < 12, "constrained pool must shrink the tail: {seen:?}");
+
+        // Relaxed pool: ample headroom grows the tail back, but never past
+        // the cap (20% of 100 subgroups).
+        for _ in 0..12 {
+            tuner.observe_arena(budget as usize / 10);
+        }
+        let recovered = tuner.static_residents();
+        assert!(recovered > low, "headroom must recover the tail: {low} -> {recovered}");
+        assert!(recovered <= 20, "cap respected: {recovered}");
+        assert!(tuner.decisions().iter().any(|d| d.kind == DecisionKind::Residents));
+    }
+
+    #[test]
+    fn wall_tuner_fixed_policy_ignores_arena_pressure() {
+        let cfg = WallClockTunerConfig {
+            base_residents: 5,
+            host_budget_bytes: 1,
+            ..WallClockTunerConfig::default()
+        };
+        let mut tuner = WallClockTuner::new(cfg, 100_000_000, 1_000_000);
+        tuner.observe_arena(usize::MAX / 2);
+        assert_eq!(tuner.static_residents(), 5);
+        assert!(tuner.decisions().is_empty());
     }
 
     proptest! {

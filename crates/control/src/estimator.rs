@@ -102,16 +102,15 @@ impl InputEstimators {
     }
 
     /// Unseeded estimators for wall-clock feeds with no calibrated prior.
-    /// `D_c` is pinned to a huge value: the threaded pipeline folds the
-    /// downscale into each CPU update span, so the observed `U_c` already
-    /// carries the downscale cost and a separate `D_c` term would double
-    /// count it.
+    /// All four inputs — including `D_c`, which the threaded pipeline now
+    /// traces as its own `downscale:sg*` span per CPU subgroup — start
+    /// empty and converge on real samples.
     pub fn wall(alpha: f64) -> InputEstimators {
         InputEstimators {
             nominal: PerfModelInputs { b: 1.0, ug: 1.0, uc: 1.0, dc: 1.0 },
             contention: 1.0,
             uc: Ewma::new(alpha),
-            dc: Ewma::seeded(alpha, 1e30),
+            dc: Ewma::new(alpha),
             ug: Ewma::new(alpha),
             b_h2d: Ewma::new(alpha),
             b_d2h: Ewma::new(alpha),
@@ -211,6 +210,7 @@ impl InputEstimators {
             }
             let slot = match ev.resource.as_str() {
                 "cpu" if ev.name.starts_with("update:sg") => &mut agg.uc,
+                "cpu" if ev.name.starts_with("downscale:sg") => &mut agg.dc,
                 "gpu" if ev.name.starts_with("update:sg") => &mut agg.ug,
                 "pcie.h2d" if ev.name.starts_with("prefetch:sg") => &mut agg.b_h2d,
                 "pcie.d2h" if ev.name.starts_with("flush:sg") => &mut agg.b_d2h,
@@ -320,6 +320,7 @@ mod tests {
         };
         let events = vec![
             mk("cpu", "update:sg0", 0.5, 1.0e9),       // 2e9 params/s
+            mk("cpu", "downscale:sg0", 0.1, 1.0e9),    // 10e9 params/s
             mk("gpu", "update:sg1", 0.1, 2.5e9),       // 25e9 params/s
             mk("pcie.h2d", "prefetch:sg1", 0.4, 6.4e9), // 6.4e9/(4*0.4) = 4e9
             mk("pcie.d2h", "flush:sg1", 0.2, 2.8e9),   // 3.5e9
@@ -328,9 +329,50 @@ mod tests {
         est.observe_wall_events(&events);
         let got = est.inputs().unwrap();
         assert!((got.uc - 2.0e9).abs() < 1.0);
+        assert!((got.dc - 10.0e9).abs() < 1.0, "wall D_c reads its own span: {}", got.dc);
         assert!((got.ug - 25.0e9).abs() < 1.0);
         assert!((got.b - 3.5e9).abs() < 1.0, "min(h2d, d2h) = {}", got.b);
-        assert_eq!(got.dc, 1e30, "wall D_c is pinned (folded into U_c)");
+    }
+
+    /// Satellite regression for the unpinned wall-clock `D_c`: replay a
+    /// recorded stream of per-iteration pipeline spans whose downscale
+    /// throughput settles at a steady rate, and require the EWMA to
+    /// converge onto it (it used to stay pinned at 1e30 forever).
+    #[test]
+    fn wall_dc_converges_on_recorded_downscale_stream() {
+        let mut est = InputEstimators::wall(0.3);
+        let mk = |resource: &str, name: &str, dur: f64, work: f64| TraceEvent {
+            track: "cpu".into(),
+            name: name.into(),
+            phase: "update".into(),
+            resource: resource.into(),
+            start: 0.0,
+            dur,
+            work,
+            depth: 0,
+            kind: EventKind::Span,
+        };
+        // Recorded per-iteration downscale throughputs (params/s): a cold
+        // first iteration, then a steady 8.7e8 — the vectorized kernel's
+        // measured rate.
+        let warmup = [2.0e8, 8.0e8, 8.6e8, 8.8e8];
+        let recorded: Vec<f64> =
+            warmup.into_iter().chain(std::iter::repeat_n(8.7e8, 16)).collect();
+        for dc_pps in recorded {
+            let work = 1.0e6; // one subgroup of a million params
+            let events = vec![
+                mk("cpu", "update:sg0", work / 8.5e8, work),
+                mk("cpu", "downscale:sg0", work / dc_pps, work),
+                mk("gpu", "update:sg1", work / 2.5e10, work),
+                mk("pcie.h2d", "prefetch:sg1", 1e-3, 1.6e7),
+                mk("pcie.d2h", "flush:sg1", 1e-3, 1.4e7),
+            ];
+            est.observe_wall_events(&events);
+        }
+        let got = est.inputs().unwrap();
+        let rel = (got.dc - 8.7e8).abs() / 8.7e8;
+        assert!(rel < 0.02, "D_c must converge on the recorded rate, got {} ({rel})", got.dc);
+        assert!(got.dc < 1e10, "D_c must be a real measurement, not a pin");
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn tuner_decision_log() -> (Vec<String>, StridePolicy, usize) {
     let events_at = |b: f64| {
         vec![
             mk("cpu", "update:sg0", 0.5, 1.0e9),
+            mk("cpu", "downscale:sg0", 0.1, 1.0e9),
             mk("gpu", "update:sg1", 0.1, 2.5e9),
             mk("pcie.h2d", "prefetch:sg1", 1.0e9 / b, 4.0 * 1.0e9),
             mk("pcie.d2h", "flush:sg1", 1.0e9 / b, 4.0 * 1.0e9),
@@ -109,15 +110,19 @@ fn controller_decisions_on_recorded_stream_are_pinned() {
 
 #[test]
 fn tuner_decisions_on_recorded_stream_are_pinned() {
+    // Re-pinned when wall-clock `D_c` was unpinned: the synthetic stream
+    // now carries `downscale:sg*` spans (D_c = 1e10 params/s), which
+    // shifts every predicted gain and keeps Equation 1's CPU-only retreat
+    // out of reach on this particular stream (the deep-degradation ladder
+    // is exercised by the tuner's unit tests instead).
     let want = vec![
-        "Retune k2->k3 (predicted gain 24.2%)",
-        "Retune k3->k7 (predicted gain 36.1%)",
-        "Retune k7->k8 (predicted gain 5.3%)",
-        "Ladder k8->cpu-only (predicted gain 8.0%)",
-        "Recover cpu-only->k3 (predicted gain 44.5%)",
+        "Retune k2->k3 (predicted gain 12.6%)",
+        "Retune k3->k6 (predicted gain 26.5%)",
+        "Retune k6->k8 (predicted gain 11.5%)",
+        "Retune k8->k3 (predicted gain 23.8%)",
     ];
     let (log, policy, retunes) = tuner_decision_log();
     assert_eq!(log, want);
     assert_eq!(policy, StridePolicy::Fixed(3));
-    assert_eq!(retunes, 5);
+    assert_eq!(retunes, 4);
 }

@@ -39,6 +39,7 @@
 // typed errors, never die on a stray unwrap; tests may assert freely.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 mod calibration;
 mod explain;
 mod nvme;
@@ -47,12 +48,13 @@ mod pipeline;
 mod schedulers;
 pub mod sync;
 
+pub use arena::{ArenaPool, PooledF16, PooledF32};
 pub use calibration::{calibrate, calibrate_with, CalibrationReport, CalibrationSpread};
 pub use explain::{explain_schedule, ScheduleExplanation};
 pub use nvme::NvmeOffload;
 pub use perf_model::PerfModel;
 pub use pipeline::{
-    hybrid_update, hybrid_update_traced, DeviceFault, PipelineConfig, PipelineDegradation,
-    PipelineError, PipelineReport,
+    hybrid_update, hybrid_update_pooled, hybrid_update_traced, DeviceFault, PipelineConfig,
+    PipelineDegradation, PipelineError, PipelineReport,
 };
 pub use schedulers::{DeepOptimizerStates, StridePolicy, TwinFlow, Zero3Offload};

@@ -13,11 +13,12 @@
 //! crossbeam/std primitives in production, schedule-controlled twins under
 //! `dos-check`'s deterministic exploration.
 
+use crate::arena::{ArenaPool, PooledF16, PooledF32};
 use crate::sync;
 
 use dos_optim::MixedPrecisionState;
 use dos_telemetry::Tracer;
-use dos_tensor::F16;
+use dos_tensor::{kernels, F16};
 use dos_zero::SubgroupSpec;
 
 use crate::schedulers::StridePolicy;
@@ -122,22 +123,24 @@ pub struct PipelineReport {
     pub degraded: Option<PipelineDegradation>,
 }
 
-/// One staged subgroup travelling to the device worker.
+/// One staged subgroup travelling to the device worker. The buffers are
+/// arena leases ("pinned" staging memory), not fresh allocations; they
+/// return to the pool wherever the subgroup is dropped.
 struct StagedSubgroup {
     sg: SubgroupSpec,
-    p: Vec<f32>,
-    m: Vec<f32>,
-    v: Vec<f32>,
-    g: Vec<f32>,
+    p: PooledF32,
+    m: PooledF32,
+    v: PooledF32,
+    g: PooledF32,
 }
 
-/// An updated subgroup travelling back.
+/// An updated subgroup travelling back, carrying the same leased buffers.
 struct UpdatedSubgroup {
     sg: SubgroupSpec,
-    p: Vec<f32>,
-    m: Vec<f32>,
-    v: Vec<f32>,
-    p16: Vec<F16>,
+    p: PooledF32,
+    m: PooledF32,
+    v: PooledF32,
+    p16: PooledF16,
 }
 
 /// Runs one interleaved hybrid optimizer step over `state` with `grads`,
@@ -166,13 +169,14 @@ pub fn hybrid_update(
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
 ) -> Result<PipelineReport, PipelineError> {
-    hybrid_update_inner(state, grads, subgroups, cfg, None)
+    hybrid_update_inner(state, grads, subgroups, cfg, None, None)
 }
 
 /// [`hybrid_update`] with wall-clock tracing: every pipeline stage emits a
 /// real-time span into `tracer` — `prefetch:sg{id}` (H2D staging) /
-/// `update:sg{id}` / `flush:sg{id}` (D2H write-back) on the `"cpu"` track,
-/// and `update:sg{id}` / `flush:sg{id}` (on-device downscale + send) on the
+/// `update:sg{id}` / `downscale:sg{id}` (FP32→FP16, `D_c`) /
+/// `flush:sg{id}` (D2H write-back) on the `"cpu"` track, and
+/// `update:sg{id}` / `flush:sg{id}` (on-device downscale + send) on the
 /// `"device-worker"` track — plus byte counters in the tracer's metrics
 /// registry. Numerics are identical to the untraced path (tracing only
 /// observes).
@@ -187,7 +191,29 @@ pub fn hybrid_update_traced(
     cfg: PipelineConfig,
     tracer: &Tracer,
 ) -> Result<PipelineReport, PipelineError> {
-    hybrid_update_inner(state, grads, subgroups, cfg, Some(tracer))
+    hybrid_update_inner(state, grads, subgroups, cfg, Some(tracer), None)
+}
+
+/// [`hybrid_update_traced`] with a caller-owned [`ArenaPool`] for the
+/// staging buffers, so steady-state steps recycle the same leases instead
+/// of allocating per subgroup. Trainers hold one pool across iterations;
+/// the pool's high-water gauge is what the resident-sizing policy observes.
+///
+/// Pass `tracer: None` for an untraced pooled step. Numerics are identical
+/// to [`hybrid_update`] either way.
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`hybrid_update`].
+pub fn hybrid_update_pooled(
+    state: &mut MixedPrecisionState,
+    grads: &[f32],
+    subgroups: &[SubgroupSpec],
+    cfg: PipelineConfig,
+    tracer: Option<&Tracer>,
+    pool: &ArenaPool,
+) -> Result<PipelineReport, PipelineError> {
+    hybrid_update_inner(state, grads, subgroups, cfg, tracer, Some(pool))
 }
 
 /// Renders the payload of a worker panic for the degradation report.
@@ -207,6 +233,7 @@ fn hybrid_update_inner(
     subgroups: &[SubgroupSpec],
     cfg: PipelineConfig,
     tracer: Option<&Tracer>,
+    pool: Option<&ArenaPool>,
 ) -> Result<PipelineReport, PipelineError> {
     if grads.len() != state.len() {
         return Err(PipelineError::GradientLengthMismatch {
@@ -269,6 +296,18 @@ fn hybrid_update_inner(
     let mut worker_lost: Option<String> = None;
     let mut fp16 = vec![F16::ZERO; state.len()];
     let fault = cfg.fault_injection;
+    // Staging buffers come from an arena: the caller's long-lived pool when
+    // provided, otherwise a step-local one (still zero-copy *within* the
+    // step once the first stride's buffers cycle back).
+    let local_pool;
+    let pool = match pool {
+        Some(p) => p,
+        None => {
+            local_pool = ArenaPool::new();
+            &local_pool
+        }
+    };
+    let worker_pool = pool.clone();
 
     sync::scope(|scope| {
         // The device worker: applies the same element-wise rule, then
@@ -294,7 +333,7 @@ fn hybrid_update_inner(
                 }
                 let flush = format!("flush:sg{}", job.sg.id);
                 let _guard = tracer.map(|t| t.span_on(DEVICE_TRACK, "gpu", &flush, "update"));
-                let p16 = job.p.iter().map(|&x| F16::from_f32(x)).collect();
+                let p16 = worker_pool.lease_f16_downscaled(&job.p);
                 let echo = UpdatedSubgroup { sg: job.sg, p: job.p, m: job.m, v: job.v, p16 };
                 if d2h_tx.send(echo).is_err() {
                     return; // main thread is gone; nothing left to do
@@ -320,28 +359,34 @@ fn hybrid_update_inner(
             }
             StagedSubgroup {
                 sg: *sg,
-                p: p.to_vec(),
-                m: m.to_vec(),
-                v: v.to_vec(),
-                g: grads[sg.range()].to_vec(),
+                p: pool.lease_f32_copy(p),
+                m: pool.lease_f32_copy(m),
+                v: pool.lease_f32_copy(v),
+                g: pool.lease_f32_copy(&grads[sg.range()]),
             }
         };
 
         // Local (CPU) update of one subgroup; also the degraded fallback
-        // path when the device worker is gone.
+        // path when the device worker is gone. The FP32→FP16 downscale is a
+        // distinct pipeline stage (`D_c` in Eq. 1), so it gets its own span
+        // — folding it into the update span would inflate the tuner's `U_c`
+        // estimate and leave `D_c` unobservable.
         let cpu_apply =
             |state: &mut MixedPrecisionState, fp16: &mut Vec<F16>, sg: &SubgroupSpec| {
-                let label = format!("update:sg{}", sg.id);
+                {
+                    let label = format!("update:sg{}", sg.id);
+                    let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "cpu", &label, "update"));
+                    if let Some(g) = guard.as_mut() {
+                        g.set_work(sg.len() as f64);
+                    }
+                    state.update_range(sg.range(), &grads[sg.range()]);
+                }
+                let label = format!("downscale:sg{}", sg.id);
                 let mut guard = tracer.map(|t| t.span_on(CPU_TRACK, "cpu", &label, "update"));
                 if let Some(g) = guard.as_mut() {
                     g.set_work(sg.len() as f64);
                 }
-                state.update_range(sg.range(), &grads[sg.range()]);
-                for (dst, src) in
-                    fp16[sg.range()].iter_mut().zip(state.downscale_range(sg.range()))
-                {
-                    *dst = src;
-                }
+                kernels::downscale(&state.params()[sg.range()], &mut fp16[sg.range()]);
             };
 
         for (i, sg) in dynamic.iter().enumerate() {
@@ -553,10 +598,11 @@ mod tests {
         let on = |track: &str, prefix: &str| {
             events.iter().filter(|e| e.track == track && e.name.starts_with(prefix)).count()
         };
-        // CPU track: prefetch per shipped subgroup, update per local one,
-        // flush per write-back.
+        // CPU track: prefetch per shipped subgroup, update + downscale per
+        // local one, flush per write-back.
         assert_eq!(on(super::CPU_TRACK, "prefetch:sg"), report.device_subgroups);
         assert_eq!(on(super::CPU_TRACK, "update:sg"), report.cpu_subgroups);
+        assert_eq!(on(super::CPU_TRACK, "downscale:sg"), report.cpu_subgroups);
         assert_eq!(on(super::CPU_TRACK, "flush:sg"), report.device_subgroups);
         // Device-worker track: update + flush per shipped subgroup.
         assert_eq!(on(super::DEVICE_TRACK, "update:sg"), report.device_subgroups);
@@ -663,6 +709,52 @@ mod tests {
         // updates cover the rest (locals + lost retries).
         assert_eq!(on(super::CPU_TRACK, "flush:sg"), report.device_subgroups);
         assert_eq!(on(super::CPU_TRACK, "update:sg"), report.cpu_subgroups);
+        assert_eq!(on(super::CPU_TRACK, "downscale:sg"), report.cpu_subgroups);
         assert_eq!(tracer.metrics().counter("pipeline.degraded_steps"), 1);
+    }
+
+    #[test]
+    fn pooled_steps_recycle_buffers_and_stay_bitwise_exact() {
+        let n = 1000;
+        let (mut seq, grads) = setup(n);
+        let (mut hyb, _) = setup(n);
+        let sgs = partition_into_subgroups(n, 64);
+        let pool = crate::ArenaPool::new();
+        for _ in 0..4 {
+            seq.full_step(&grads);
+            hybrid_update_pooled(&mut hyb, &grads, &sgs, PipelineConfig::default(), None, &pool)
+                .unwrap();
+        }
+        assert_eq!(seq.params(), hyb.params());
+        assert_eq!(seq.momentum(), hyb.momentum());
+        assert_eq!(seq.variance(), hyb.variance());
+        // Every lease came back: the pool owns all buffers again.
+        assert_eq!(pool.in_use_bytes(), 0);
+        // Steady state recycles: later steps hit the free lists instead of
+        // allocating (first step can only miss).
+        assert!(
+            pool.reuse_hits() > pool.allocation_misses(),
+            "hits {} vs misses {}",
+            pool.reuse_hits(),
+            pool.allocation_misses()
+        );
+        assert!(pool.high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn pooled_degraded_step_returns_all_leases() {
+        let n = 600;
+        let (expected_p, _) = reference(n);
+        let (mut state, grads) = setup(n);
+        let sgs = partition_into_subgroups(n, 40);
+        let pool = crate::ArenaPool::new();
+        let cfg = PipelineConfig {
+            fault_injection: Some(DeviceFault::PanicAfter(2)),
+            ..Default::default()
+        };
+        let report = hybrid_update_pooled(&mut state, &grads, &sgs, cfg, None, &pool).unwrap();
+        assert!(report.degraded.is_some());
+        assert_eq!(state.params(), &expected_p[..]);
+        assert_eq!(pool.in_use_bytes(), 0, "worker loss must not leak leases");
     }
 }

@@ -17,6 +17,7 @@
 //! | [`check`] | `dos-check` | deterministic schedule exploration + differential fuzzing for the pipeline |
 //! | [`control`] | `dos-control` | adaptive control plane: online Eq. 1 re-solving, resident sizing, degradation ladder |
 //! | [`telemetry`] | `dos-telemetry` | tracer + metrics, timelines, Chrome/Perfetto export, overlap/stall analyzer, Gantt |
+//! | [`train`] | `dos-train` | JSON-configured Trainer facade over the pooled functional pipeline |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
 //! | [`oracle`] | `dos-oracle` | differential conformance harness (Eq. 1 vs simulator vs pipeline) |
 //!
@@ -39,4 +40,5 @@ pub use dos_runtime as runtime;
 pub use dos_sim as sim;
 pub use dos_telemetry as telemetry;
 pub use dos_tensor as tensor;
+pub use dos_train as train;
 pub use dos_zero as zero;

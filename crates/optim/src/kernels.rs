@@ -1,0 +1,238 @@
+//! Chunked, autovectorizable optimizer update kernels.
+//!
+//! The rules in [`crate::UpdateRule`] are element-wise, so the per-element
+//! arithmetic can be restructured freely *between* elements without
+//! changing a single bit — as long as the expression applied to each
+//! element stays identical (every division stays a division, every
+//! operand order is preserved; IEEE-754 `add`/`mul`/`div`/`sqrt` are
+//! exactly rounded, scalar or SIMD). The kernels here walk the four state
+//! slices in lock-step chunks with all bounds checks hoisted, which is the
+//! shape LLVM's loop vectorizer turns into packed `sqrt`/`div` lanes.
+//!
+//! [`apply_reference`] keeps the original scalar loops as the oracle;
+//! bit-identity is enforced by the unit tests here, the `kernels` arm of
+//! the conformance harness (`dos-oracle`), and proptests across rules ×
+//! stride policies × non-lane-multiple subgroup sizes.
+
+use crate::rule::UpdateRule;
+
+/// Elements per chunk: large enough to amortize loop setup, small enough
+/// that `p/g/m/v` chunks stay cache-resident together.
+pub const CHUNK: usize = 1024;
+
+fn check_lengths(step: u64, p: &[f32], g: &[f32], m: &[f32], v: &[f32]) {
+    assert!(step > 0, "step is 1-based");
+    let n = p.len();
+    assert_eq!(g.len(), n, "gradient length mismatch");
+    assert_eq!(m.len(), n, "momentum length mismatch");
+    assert_eq!(v.len(), n, "variance length mismatch");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adam_chunk(
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bc1: f32,
+    bc2: f32,
+    lr: f32,
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+) {
+    for (((pi, &gi), mi), vi) in p.iter_mut().zip(g).zip(m.iter_mut()).zip(v.iter_mut()) {
+        let mn = beta1 * *mi + (1.0 - beta1) * gi;
+        let vn = beta2 * *vi + (1.0 - beta2) * gi * gi;
+        *mi = mn;
+        *vi = vn;
+        let mhat = mn / bc1;
+        let vhat = vn / bc2;
+        *pi -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * *pi);
+    }
+}
+
+fn adagrad_chunk(eps: f32, lr: f32, p: &mut [f32], g: &[f32], v: &mut [f32]) {
+    for ((pi, &gi), vi) in p.iter_mut().zip(g).zip(v.iter_mut()) {
+        let vn = *vi + gi * gi;
+        *vi = vn;
+        *pi -= lr * gi / (vn.sqrt() + eps);
+    }
+}
+
+fn rmsprop_chunk(alpha: f32, eps: f32, lr: f32, p: &mut [f32], g: &[f32], v: &mut [f32]) {
+    for ((pi, &gi), vi) in p.iter_mut().zip(g).zip(v.iter_mut()) {
+        let vn = alpha * *vi + (1.0 - alpha) * gi * gi;
+        *vi = vn;
+        *pi -= lr * gi / (vn.sqrt() + eps);
+    }
+}
+
+/// Applies `rule` to the element range, chunked and autovectorizable.
+/// Bit-identical to [`apply_reference`] for every input.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or `step == 0`.
+pub fn apply(
+    rule: &UpdateRule,
+    step: u64,
+    lr: f32,
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+) {
+    check_lengths(step, p, g, m, v);
+    match *rule {
+        UpdateRule::Adam { beta1, beta2, eps, weight_decay } => {
+            let bc1 = 1.0 - beta1.powi(step as i32);
+            let bc2 = 1.0 - beta2.powi(step as i32);
+            for (((pc, gc), mc), vc) in p
+                .chunks_mut(CHUNK)
+                .zip(g.chunks(CHUNK))
+                .zip(m.chunks_mut(CHUNK))
+                .zip(v.chunks_mut(CHUNK))
+            {
+                adam_chunk(beta1, beta2, eps, weight_decay, bc1, bc2, lr, pc, gc, mc, vc);
+            }
+        }
+        UpdateRule::Adagrad { eps } => {
+            for ((pc, gc), vc) in
+                p.chunks_mut(CHUNK).zip(g.chunks(CHUNK)).zip(v.chunks_mut(CHUNK))
+            {
+                adagrad_chunk(eps, lr, pc, gc, vc);
+            }
+        }
+        UpdateRule::RmsProp { alpha, eps } => {
+            for ((pc, gc), vc) in
+                p.chunks_mut(CHUNK).zip(g.chunks(CHUNK)).zip(v.chunks_mut(CHUNK))
+            {
+                rmsprop_chunk(alpha, eps, lr, pc, gc, vc);
+            }
+        }
+    }
+}
+
+/// The original scalar loops, retained verbatim as the bit-exactness
+/// oracle for [`apply`].
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or `step == 0`.
+pub fn apply_reference(
+    rule: &UpdateRule,
+    step: u64,
+    lr: f32,
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+) {
+    check_lengths(step, p, g, m, v);
+    let n = p.len();
+    match *rule {
+        UpdateRule::Adam { beta1, beta2, eps, weight_decay } => {
+            let bc1 = 1.0 - beta1.powi(step as i32);
+            let bc2 = 1.0 - beta2.powi(step as i32);
+            for i in 0..n {
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * p[i]);
+            }
+        }
+        UpdateRule::Adagrad { eps } => {
+            for i in 0..n {
+                v[i] += g[i] * g[i];
+                p[i] -= lr * g[i] / (v[i].sqrt() + eps);
+            }
+        }
+        UpdateRule::RmsProp { alpha, eps } => {
+            for i in 0..n {
+                v[i] = alpha * v[i] + (1.0 - alpha) * g[i] * g[i];
+                p[i] -= lr * g[i] / (v[i].sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rules() -> [UpdateRule; 4] {
+        [UpdateRule::adam(), UpdateRule::adamw(0.013), UpdateRule::adagrad(), UpdateRule::rmsprop()]
+    }
+
+    fn synth(n: usize, salt: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt);
+                (x % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vectorized_matches_reference_across_rules_steps_and_tails() {
+        // Sizes straddling the chunk boundary and SIMD lane widths
+        // (including the non-multiple-of-lane-width tails).
+        for n in [0usize, 1, 3, 7, 15, 16, 17, 255, 256, 257, 1023, 1024, 1025, 4097] {
+            for rule in rules() {
+                let mut pa = synth(n, 1);
+                let mut ma = synth(n, 2);
+                let mut va: Vec<f32> = synth(n, 3).iter().map(|x| x.abs()).collect();
+                let (mut pb, mut mb, mut vb) = (pa.clone(), ma.clone(), va.clone());
+                for step in 1..=3u64 {
+                    let g = synth(n, 4 + step as u32);
+                    apply(&rule, step, 0.017, &mut pa, &g, &mut ma, &mut va);
+                    apply_reference(&rule, step, 0.017, &mut pb, &g, &mut mb, &mut vb);
+                }
+                let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&pa), bits(&pb), "params diverged: {rule:?} n={n}");
+                assert_eq!(bits(&ma), bits(&mb), "momentum diverged: {rule:?} n={n}");
+                assert_eq!(bits(&va), bits(&vb), "variance diverged: {rule:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn step_zero_rejected() {
+        apply(&UpdateRule::adam(), 0, 0.1, &mut [0.0], &[0.0], &mut [0.0], &mut [0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        apply(&UpdateRule::adam(), 1, 0.1, &mut [0.0, 1.0], &[0.0], &mut [0.0; 2], &mut [0.0; 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_inputs_stay_bit_identical(
+            n in 1usize..600,
+            seed in 0u32..1_000_000,
+            ridx in 0usize..4,
+            step in 1u64..5,
+        ) {
+            let rule = rules()[ridx];
+            let mut pa = synth(n, seed);
+            let g = synth(n, seed ^ 0xABCD);
+            let mut ma = synth(n, seed ^ 0x1111);
+            let mut va: Vec<f32> = synth(n, seed ^ 0x2222).iter().map(|x| x.abs()).collect();
+            let (mut pb, mut mb, mut vb) = (pa.clone(), ma.clone(), va.clone());
+            apply(&rule, step, 0.005, &mut pa, &g, &mut ma, &mut va);
+            apply_reference(&rule, step, 0.005, &mut pb, &g, &mut mb, &mut vb);
+            prop_assert!(pa.iter().zip(&pb).all(|(a, b)| a.to_bits() == b.to_bits()));
+            prop_assert!(ma.iter().zip(&mb).all(|(a, b)| a.to_bits() == b.to_bits()));
+            prop_assert!(va.iter().zip(&vb).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+}

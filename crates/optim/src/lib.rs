@@ -12,10 +12,16 @@
 //!   FP16 downscaling (`D_c` in the performance model);
 //! * [`ModelOptimizer`] — the functional driver that trains real `dos-nn`
 //!   models, with configurable gradient-precision paths mirroring Figure 6.
+//!
+//! The element-wise loops themselves live in [`kernels`]: chunked,
+//! autovectorizable implementations (`U_c` in the performance model) that
+//! are bit-identical to the retained scalar oracle
+//! ([`UpdateRule::apply_reference`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernels;
 mod loss_scale;
 mod model_opt;
 mod rule;

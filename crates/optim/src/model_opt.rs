@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use dos_nn::VisitParams;
-use dos_tensor::F16;
+use dos_tensor::kernels::round_through_f16;
 
 use crate::rule::UpdateRule;
 use crate::state::MixedPrecisionState;
@@ -84,9 +84,7 @@ impl ModelOptimizer {
     pub fn gather_grads(&self, model: &mut impl VisitParams) -> Vec<f32> {
         let mut grads = model.gather_grads();
         if self.grad_precision == GradPrecision::Fp16Flush {
-            for g in grads.iter_mut() {
-                *g = F16::from_f32(*g).to_f32();
-            }
+            round_through_f16(&mut grads);
         }
         grads
     }
@@ -105,8 +103,8 @@ impl ModelOptimizer {
     /// schedulers can update the state out-of-order first.
     pub fn write_back(&self, model: &mut impl VisitParams) {
         if self.fp16_device_params {
-            let rounded: Vec<f32> =
-                self.state.params().iter().map(|&p| F16::from_f32(p).to_f32()).collect();
+            let mut rounded = self.state.params().to_vec();
+            round_through_f16(&mut rounded);
             model.scatter_params(&rounded);
         } else {
             model.scatter_params(self.state.params());
@@ -118,6 +116,7 @@ impl ModelOptimizer {
 mod tests {
     use super::*;
     use dos_nn::{Gpt, GptConfig};
+    use dos_tensor::F16;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

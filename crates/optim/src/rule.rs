@@ -64,7 +64,10 @@ impl UpdateRule {
     /// Applies the rule to a contiguous range of elements.
     ///
     /// `step` is the 1-based global step count (used for Adam's bias
-    /// correction). All four slices must be the same length.
+    /// correction). All four slices must be the same length. Delegates to
+    /// the chunked vectorized kernels ([`crate::kernels::apply`]), which
+    /// are bit-identical to the scalar oracle
+    /// ([`UpdateRule::apply_reference`]).
     ///
     /// # Panics
     ///
@@ -78,36 +81,26 @@ impl UpdateRule {
         m: &mut [f32],
         v: &mut [f32],
     ) {
-        assert!(step > 0, "step is 1-based");
-        let n = p.len();
-        assert_eq!(g.len(), n, "gradient length mismatch");
-        assert_eq!(m.len(), n, "momentum length mismatch");
-        assert_eq!(v.len(), n, "variance length mismatch");
-        match *self {
-            UpdateRule::Adam { beta1, beta2, eps, weight_decay } => {
-                let bc1 = 1.0 - beta1.powi(step as i32);
-                let bc2 = 1.0 - beta2.powi(step as i32);
-                for i in 0..n {
-                    m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
-                    v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
-                    let mhat = m[i] / bc1;
-                    let vhat = v[i] / bc2;
-                    p[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * p[i]);
-                }
-            }
-            UpdateRule::Adagrad { eps } => {
-                for i in 0..n {
-                    v[i] += g[i] * g[i];
-                    p[i] -= lr * g[i] / (v[i].sqrt() + eps);
-                }
-            }
-            UpdateRule::RmsProp { alpha, eps } => {
-                for i in 0..n {
-                    v[i] = alpha * v[i] + (1.0 - alpha) * g[i] * g[i];
-                    p[i] -= lr * g[i] / (v[i].sqrt() + eps);
-                }
-            }
-        }
+        crate::kernels::apply(self, step, lr, p, g, m, v);
+    }
+
+    /// The scalar reference implementation — the oracle the vectorized
+    /// kernels are conformance-tested against. Same contract as
+    /// [`UpdateRule::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ or `step == 0`.
+    pub fn apply_reference(
+        &self,
+        step: u64,
+        lr: f32,
+        p: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+    ) {
+        crate::kernels::apply_reference(self, step, lr, p, g, m, v);
     }
 }
 

@@ -19,6 +19,9 @@
 //! * [`numerics`] asserts the hybrid pipeline is **byte-exact** against a
 //!   sequential CPU update for Adam/AdamW/Adagrad/RMSProp and every stride
 //!   policy (§4.1's correctness claim);
+//! * [`kernels`] asserts the chunked autovectorizable update/conversion
+//!   kernels are **bit-exact** against their retained scalar reference
+//!   twins, over chunk-straddling lengths and adversarial bit patterns;
 //! * [`DivergenceReport`] serializes the failures and renders them as an
 //!   ASCII table naming the exact cell, expected band, and observed value.
 //!
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernels;
 pub mod numerics;
 pub mod perf;
 mod report;
@@ -78,7 +82,9 @@ pub struct ConformanceOutcome {
     pub perf_cells: Vec<perf::PerfCell>,
     /// Numerics cells (pipeline vs. sequential).
     pub numerics_cells: Vec<numerics::NumericsCell>,
-    /// Merged divergence report across both oracles.
+    /// Kernel cells (vectorized vs. scalar reference twin).
+    pub kernel_cells: Vec<kernels::KernelCell>,
+    /// Merged divergence report across all oracles.
     pub report: DivergenceReport,
 }
 
@@ -131,7 +137,9 @@ impl Oracle {
             filter,
         );
         report.merge(numerics_report);
-        ConformanceOutcome { perf_cells, numerics_cells, report }
+        let (kernel_cells, kernel_report) = kernels::default_cells_filtered(filter);
+        report.merge(kernel_report);
+        ConformanceOutcome { perf_cells, numerics_cells, kernel_cells, report }
     }
 }
 
@@ -146,6 +154,7 @@ mod tests {
         assert!(outcome.report.cells_checked > 50);
         assert!(!outcome.perf_cells.is_empty());
         assert!(!outcome.numerics_cells.is_empty());
+        assert!(!outcome.kernel_cells.is_empty());
     }
 
     #[test]

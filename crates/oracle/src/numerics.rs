@@ -269,6 +269,41 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
+        /// Satellite property for the vectorized-kernel rewrite: every
+        /// rule × every stride policy, with `params`/`subgroup` forced odd
+        /// so no length is a multiple of any SIMD lane width or of the
+        /// kernels' chunk sizes — the remainder path is always exercised.
+        #[test]
+        fn all_rules_and_policies_stay_byte_exact_on_odd_shapes(
+            rule_ix in 0usize..4,
+            policy_ix in 0usize..4,
+            params in 64usize..400,
+            subgroup in 16usize..96,
+            residents in 0usize..3,
+        ) {
+            let rules = [
+                UpdateRule::adam(),
+                UpdateRule::adamw(0.01),
+                UpdateRule::adagrad(),
+                UpdateRule::rmsprop(),
+            ];
+            let policies = [
+                StridePolicy::CpuOnly,
+                StridePolicy::Auto,
+                StridePolicy::Adaptive,
+                StridePolicy::Fixed(1 + params % 5),
+            ];
+            let cell = run_case(&NumericsCase {
+                rule: rules[rule_ix],
+                stride: policies[policy_ix],
+                static_residents: residents,
+                params: params | 1,
+                subgroup: subgroup | 1,
+                steps: 2,
+            });
+            prop_assert!(cell.mismatch.is_none(), "diverged: {:?}", cell.mismatch);
+        }
+
         #[test]
         fn random_shapes_stay_byte_exact(
             params in 64usize..400,

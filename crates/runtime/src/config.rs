@@ -8,7 +8,6 @@
 
 use serde::{Deserialize, Serialize};
 
-use dos_core::StridePolicy;
 use dos_hal::HardwareProfile;
 use dos_nn::ModelSpec;
 use dos_sim::{GradientPath, TrainConfig};
@@ -59,69 +58,10 @@ impl From<serde_json::Error> for ConfigError {
     }
 }
 
-/// The `"deep_optimizer_states"` JSON entry (§4.4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(deny_unknown_fields, default)]
-pub struct DosEntry {
-    /// Master switch; `false` leaves the baseline scheduler in place.
-    pub enabled: bool,
-    /// `"auto"` (solve Equation 1), `"cpu_only"`, `"adaptive"` (online
-    /// controller retuning), or an integer stride.
-    pub update_stride: StrideEntry,
-    /// FP32-on-GPU gradient conversion path (Figure 6 bottom).
-    pub fp32_gradient_path: bool,
-    /// Overlap gradient flushes with backward compute.
-    pub overlap_backward: bool,
-}
-
-impl Default for DosEntry {
-    fn default() -> Self {
-        DosEntry {
-            enabled: true,
-            update_stride: StrideEntry::Auto,
-            fp32_gradient_path: true,
-            overlap_backward: true,
-        }
-    }
-}
-
-/// JSON form of [`StridePolicy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case", untagged)]
-pub enum StrideEntry {
-    /// A fixed stride value.
-    Fixed(usize),
-    /// A named policy: `"auto"` or `"cpu_only"`.
-    Named(NamedStride),
-}
-
-/// Named stride policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum NamedStride {
-    /// Solve Equation 1.
-    Auto,
-    /// Keep every dynamic subgroup on the CPU.
-    CpuOnly,
-    /// Online retuning by the `dos-control` feedback controller.
-    Adaptive,
-}
-
-impl StrideEntry {
-    /// The `"auto"` policy.
-    #[allow(non_upper_case_globals)]
-    pub const Auto: StrideEntry = StrideEntry::Named(NamedStride::Auto);
-
-    /// Converts to the scheduler's policy type.
-    pub fn to_policy(self) -> StridePolicy {
-        match self {
-            StrideEntry::Fixed(k) => StridePolicy::Fixed(k),
-            StrideEntry::Named(NamedStride::Auto) => StridePolicy::Auto,
-            StrideEntry::Named(NamedStride::CpuOnly) => StridePolicy::CpuOnly,
-            StrideEntry::Named(NamedStride::Adaptive) => StridePolicy::Adaptive,
-        }
-    }
-}
+// The `"deep_optimizer_states"` entry itself is owned by `dos-train` (the
+// functional Trainer's JSON surface shares it); re-exported here so the
+// simulator-facing document keeps its historical import paths.
+pub use dos_train::{DosEntry, NamedStride, StrideEntry};
 
 /// The whole runtime configuration document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -266,6 +206,7 @@ impl RuntimeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dos_core::StridePolicy;
 
     #[test]
     fn minimal_config_uses_paper_defaults() {

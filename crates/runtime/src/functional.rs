@@ -11,7 +11,7 @@
 
 use dos_collectives::{CollectiveError, Communicator};
 use dos_control::{WallClockTuner, WallClockTunerConfig};
-use dos_core::{PipelineConfig, PipelineError, StridePolicy};
+use dos_core::{ArenaPool, PipelineConfig, PipelineError, StridePolicy};
 use dos_data::{DataLoader, TokenDataset};
 use dos_nn::{Gpt, GptConfig, VisitParams};
 use dos_optim::{clip_grad_norm, DynamicLossScaler, LrSchedule, MixedPrecisionState, UpdateRule};
@@ -99,6 +99,12 @@ pub struct FunctionalConfig {
     pub subgroup_size: usize,
     /// Interleaving configuration (stride, static residents).
     pub pipeline: PipelineConfig,
+    /// Wall-clock tuner tunables, used when `pipeline.stride` is
+    /// [`StridePolicy::Adaptive`]: stride sweep gates plus the
+    /// resident-sizing policy fed from the arena pool's high-water gauge.
+    /// When `base_residents` is left at 0 it inherits
+    /// `pipeline.static_residents`.
+    pub tuner: WallClockTunerConfig,
     /// Seed for model init and data shuffling.
     pub seed: u64,
     /// Learning-rate schedule overriding the constant `lr` when set.
@@ -145,6 +151,7 @@ impl FunctionalConfig {
             lr: 5e-3,
             subgroup_size: 4096,
             pipeline: PipelineConfig::default(),
+            tuner: WallClockTunerConfig::default(),
             seed: 42,
             lr_schedule: None,
             grad_clip: None,
@@ -301,8 +308,21 @@ fn run_rank(
     // otherwise from a private per-rank tracer.
     let mut tuner = (cfg.pipeline.stride == StridePolicy::Adaptive).then(|| {
         let t = cfg.tracer.clone().unwrap_or_default();
-        (WallClockTuner::new(WallClockTunerConfig::default(), shard.len(), cfg.subgroup_size), t)
+        let mut tcfg = cfg.tuner;
+        if tcfg.base_residents == 0 {
+            tcfg.base_residents = cfg.pipeline.static_residents;
+        }
+        (WallClockTuner::new(tcfg, shard.len(), cfg.subgroup_size), t)
     });
+
+    // Per-rank staging arena: the hybrid pipeline leases its subgroup
+    // buffers here instead of allocating per subgroup, and the pool's
+    // high-water gauge is the memory signal the headroom policy observes.
+    // With a tracer attached, the gauges flow into its metrics registry.
+    let pool = match &cfg.tracer {
+        Some(t) => ArenaPool::with_metrics(t.metrics().clone()),
+        None => ArenaPool::new(),
+    };
 
     let store = match &cfg.checkpoint_dir {
         Some(dir) if rank == 0 => Some(CheckpointStore::open(dir, cfg.checkpoint_keep)?),
@@ -384,10 +404,18 @@ fn run_rank(
             Some((tun, tt)) => {
                 let mut pipeline = cfg.pipeline;
                 pipeline.stride = tun.stride_policy();
+                pipeline.static_residents = tun.static_residents();
                 let mark = tt.now();
                 let report = {
                     let _sp = tt.span(&format!("hybrid-update:it{it}"), "update");
-                    dos_core::hybrid_update_traced(&mut state, &shard_grads, &subgroups, pipeline, tt)
+                    dos_core::hybrid_update_pooled(
+                        &mut state,
+                        &shard_grads,
+                        &subgroups,
+                        pipeline,
+                        Some(tt),
+                        &pool,
+                    )
                 }?;
                 // Feed only this iteration's spans back; under a shared
                 // tracer, concurrent ranks' spans in the same window are
@@ -396,6 +424,9 @@ fn run_rank(
                     tt.events().into_iter().filter(|ev| ev.start >= mark).collect();
                 let before = tun.decisions().len();
                 tun.observe(&fresh);
+                // The arena's per-iteration staging peak drives the
+                // resident-sizing policy (a no-op under Fixed).
+                tun.observe_arena(pool.take_high_water_bytes());
                 if rank == 0 && cfg.tracer.is_some() {
                     for d in &tun.decisions()[before..] {
                         tt.control_decision(&d.detail, tt.now());
@@ -403,21 +434,20 @@ fn run_rank(
                 }
                 report
             }
-            None => match &cfg.tracer {
-                Some(t) => {
-                    let _sp = t.span(&format!("hybrid-update:it{it}"), "update");
-                    dos_core::hybrid_update_traced(
-                        &mut state,
-                        &shard_grads,
-                        &subgroups,
-                        cfg.pipeline,
-                        t,
-                    )?
-                }
-                None => {
-                    dos_core::hybrid_update(&mut state, &shard_grads, &subgroups, cfg.pipeline)?
-                }
-            },
+            None => {
+                let _sp = cfg
+                    .tracer
+                    .as_ref()
+                    .map(|t| t.span(&format!("hybrid-update:it{it}"), "update"));
+                dos_core::hybrid_update_pooled(
+                    &mut state,
+                    &shard_grads,
+                    &subgroups,
+                    cfg.pipeline,
+                    cfg.tracer.as_ref(),
+                    &pool,
+                )?
+            }
         };
         if report.degraded.is_some() {
             degraded_steps += 1;
@@ -592,6 +622,53 @@ mod tests {
         let events = tracer.events();
         assert!(events.iter().any(|e| e.name.starts_with("update:sg")));
         assert!(events.iter().any(|e| e.name.starts_with("hybrid-update:it")));
+    }
+
+    #[test]
+    fn headroom_tuner_shrinks_residents_without_changing_numerics() {
+        use dos_control::ResidentPolicy;
+        let ds = toy_dataset(8);
+        let mut base = FunctionalConfig::small();
+        base.world = 1;
+        base.subgroup_size = 512;
+        base.pipeline.stride = StridePolicy::Fixed(2);
+        base.pipeline.static_residents = 4;
+        let reference = train_functional(&base, &ds, 5).unwrap();
+
+        // Hopeless staging budget: every iteration's arena high-water
+        // overshoots it, so the headroom policy must shrink the resident
+        // tail — visibly, via control instants — while the training math
+        // stays bitwise identical (§4.1: scheduling never moves numerics).
+        let tracer = dos_telemetry::Tracer::new();
+        let mut constrained = base.clone();
+        constrained.pipeline.stride = StridePolicy::Adaptive;
+        constrained.tuner = WallClockTunerConfig {
+            residents: ResidentPolicy::Headroom { fraction: 1.0, cap: 0.5 },
+            host_budget_bytes: 1,
+            ..WallClockTunerConfig::default()
+        };
+        constrained.tracer = Some(tracer.clone());
+        let run = train_functional(&constrained, &ds, 5).unwrap();
+        assert_eq!(run.losses, reference.losses);
+        assert_eq!(run.final_params, reference.final_params);
+        let names: Vec<String> =
+            tracer.control_instants().iter().map(|ev| ev.name.clone()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("residents 4->")),
+            "expected a resident-shrink decision, saw {names:?}"
+        );
+    }
+
+    #[test]
+    fn traced_training_exports_arena_gauges() {
+        let ds = toy_dataset(8);
+        let tracer = dos_telemetry::Tracer::new();
+        let mut cfg = FunctionalConfig::small();
+        cfg.tracer = Some(tracer.clone());
+        train_functional(&cfg, &ds, 3).unwrap();
+        let m = tracer.metrics();
+        assert_eq!(m.gauge("arena.in_use_bytes"), Some(0.0), "all leases returned");
+        assert!(m.gauge("arena.high_water_bytes").unwrap_or(0.0) > 0.0);
     }
 
     #[test]

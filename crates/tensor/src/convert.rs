@@ -10,6 +10,7 @@
 use crate::bf16::Bf16;
 use crate::error::TensorError;
 use crate::f16::F16;
+use crate::kernels;
 
 /// Upscales FP16 `src` into FP32 `dst`, processing `chunk` elements at a
 /// time (a `chunk` of 0 means one pass over the whole buffer).
@@ -27,9 +28,7 @@ pub fn upscale_f16_chunked(
     }
     let chunk = if chunk == 0 { src.len().max(1) } else { chunk };
     for (s, d) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
-        for (x, y) in s.iter().zip(d.iter_mut()) {
-            *y = x.to_f32();
-        }
+        kernels::upscale(s, d);
     }
     Ok(())
 }
@@ -50,9 +49,7 @@ pub fn downscale_f32_chunked(
     }
     let chunk = if chunk == 0 { src.len().max(1) } else { chunk };
     for (s, d) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
-        for (x, y) in s.iter().zip(d.iter_mut()) {
-            *y = F16::from_f32(*x);
-        }
+        kernels::downscale(s, d);
     }
     Ok(())
 }

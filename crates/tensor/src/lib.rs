@@ -8,7 +8,10 @@
 //!
 //! The half-precision types are bit-exact (round-to-nearest-even, verified
 //! exhaustively over all 65 536 bit patterns), so mixed-precision rounding
-//! behaves as it would on real FP16 hardware.
+//! behaves as it would on real FP16 hardware. The [`kernels`] module holds
+//! branchless, autovectorizable twins of the conversions, bit-identical to
+//! the scalar oracle and used by every hot path; the scalar code remains
+//! the reference the conformance harness checks against.
 //!
 //! ```
 //! use dos_tensor::{Tensor, DType, F16};
@@ -28,6 +31,7 @@ pub mod convert;
 mod dtype;
 mod error;
 mod f16;
+pub mod kernels;
 mod tensor;
 
 pub use bf16::Bf16;

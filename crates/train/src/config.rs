@@ -1,0 +1,292 @@
+//! The single-JSON-entry configuration surface.
+//!
+//! The paper ships Deep Optimizer States as a middleware "that can be
+//! enabled and configured through a single JSON entry in the configuration
+//! file given to the training runtime" (§4.4). This module owns the
+//! canonical `"deep_optimizer_states"` entry — shared with the simulator's
+//! [`RuntimeConfig`](https://docs.rs/dos-runtime) document, which re-exports
+//! these types — plus the small trainer-level document wrapped around it by
+//! [`TrainerConfig`].
+
+use serde::{Deserialize, Serialize};
+
+use dos_core::{PipelineConfig, PipelineError, StridePolicy};
+use dos_optim::UpdateRule;
+
+/// Errors raised while parsing or resolving a trainer configuration, or
+/// while stepping the trainer it builds.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrainerError {
+    /// The JSON failed to parse.
+    Parse(serde_json::Error),
+    /// A field value is out of range or a name could not be resolved.
+    Invalid {
+        /// Description of the invalid value.
+        detail: String,
+    },
+    /// The hybrid-update pipeline rejected a step's preconditions.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainerError::Parse(e) => write!(f, "invalid trainer JSON: {e}"),
+            TrainerError::Invalid { detail } => write!(f, "invalid trainer config: {detail}"),
+            TrainerError::Pipeline(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainerError::Parse(e) => Some(e),
+            TrainerError::Pipeline(e) => Some(e),
+            TrainerError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for TrainerError {
+    fn from(e: serde_json::Error) -> Self {
+        TrainerError::Parse(e)
+    }
+}
+
+impl From<PipelineError> for TrainerError {
+    fn from(e: PipelineError) -> Self {
+        TrainerError::Pipeline(e)
+    }
+}
+
+/// The `"deep_optimizer_states"` JSON entry (§4.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct DosEntry {
+    /// Master switch; `false` leaves the baseline scheduler in place.
+    pub enabled: bool,
+    /// `"auto"` (solve Equation 1), `"cpu_only"`, `"adaptive"` (online
+    /// controller retuning), or an integer stride.
+    pub update_stride: StrideEntry,
+    /// FP32-on-GPU gradient conversion path (Figure 6 bottom).
+    pub fp32_gradient_path: bool,
+    /// Overlap gradient flushes with backward compute.
+    pub overlap_backward: bool,
+}
+
+impl Default for DosEntry {
+    fn default() -> Self {
+        DosEntry {
+            enabled: true,
+            update_stride: StrideEntry::Auto,
+            fp32_gradient_path: true,
+            overlap_backward: true,
+        }
+    }
+}
+
+/// JSON form of [`StridePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", untagged)]
+pub enum StrideEntry {
+    /// A fixed stride value.
+    Fixed(usize),
+    /// A named policy: `"auto"` or `"cpu_only"`.
+    Named(NamedStride),
+}
+
+/// Named stride policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NamedStride {
+    /// Solve Equation 1.
+    Auto,
+    /// Keep every dynamic subgroup on the CPU.
+    CpuOnly,
+    /// Online retuning by the `dos-control` feedback controller.
+    Adaptive,
+}
+
+impl StrideEntry {
+    /// The `"auto"` policy.
+    #[allow(non_upper_case_globals)]
+    pub const Auto: StrideEntry = StrideEntry::Named(NamedStride::Auto);
+
+    /// Converts to the scheduler's policy type.
+    pub fn to_policy(self) -> StridePolicy {
+        match self {
+            StrideEntry::Fixed(k) => StridePolicy::Fixed(k),
+            StrideEntry::Named(NamedStride::Auto) => StridePolicy::Auto,
+            StrideEntry::Named(NamedStride::CpuOnly) => StridePolicy::CpuOnly,
+            StrideEntry::Named(NamedStride::Adaptive) => StridePolicy::Adaptive,
+        }
+    }
+}
+
+/// A functional-trainer configuration document: one optimizer shard, its
+/// partitioning, the update rule, and the middleware entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TrainerConfig {
+    /// Flat parameter count of the optimizer shard.
+    pub params: usize,
+    /// Subgroup size in parameters (DeepSpeed's `sub_group_size`).
+    pub subgroup_size: usize,
+    /// Update rule name: `"adam"`, `"adamw"`, `"adagrad"`, `"rmsprop"`.
+    #[serde(default = "default_rule")]
+    pub rule: String,
+    /// Decoupled weight decay (only `"adamw"` reads it).
+    #[serde(default)]
+    pub weight_decay: f32,
+    /// Learning rate.
+    #[serde(default = "default_lr")]
+    pub lr: f32,
+    /// Trailing subgroups treated as static device residents.
+    #[serde(default)]
+    pub static_residents: usize,
+    /// The middleware entry.
+    #[serde(default)]
+    pub deep_optimizer_states: DosEntry,
+}
+
+fn default_rule() -> String {
+    "adam".to_string()
+}
+fn default_lr() -> f32 {
+    0.01
+}
+
+impl TrainerConfig {
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Parse`] on malformed JSON (including unknown
+    /// fields — typos fail fast rather than silently training a different
+    /// configuration).
+    pub fn from_json(json: &str) -> Result<TrainerConfig, TrainerError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes back to pretty JSON.
+    pub fn to_json(&self) -> String {
+        // The in-tree serializer is infallible for derived config types.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Resolves the rule name into an [`UpdateRule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] for unknown names.
+    pub fn resolve_rule(&self) -> Result<UpdateRule, TrainerError> {
+        match self.rule.as_str() {
+            "adam" => Ok(UpdateRule::adam()),
+            "adamw" => Ok(UpdateRule::adamw(self.weight_decay)),
+            "adagrad" => Ok(UpdateRule::adagrad()),
+            "rmsprop" => Ok(UpdateRule::rmsprop()),
+            other => {
+                Err(TrainerError::Invalid { detail: format!("unknown update rule {other:?}") })
+            }
+        }
+    }
+
+    /// Resolves the middleware entry into a pipeline configuration.
+    /// Disabling the entry retreats every dynamic subgroup to the CPU —
+    /// the pre-middleware baseline path.
+    pub fn pipeline(&self) -> PipelineConfig {
+        let dos = &self.deep_optimizer_states;
+        PipelineConfig {
+            stride: if dos.enabled { dos.update_stride.to_policy() } else { StridePolicy::CpuOnly },
+            static_residents: self.static_residents,
+            fault_injection: None,
+        }
+    }
+
+    /// Validates shape fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] when `params` or `subgroup_size`
+    /// is zero.
+    pub fn validate(&self) -> Result<(), TrainerError> {
+        if self.params == 0 || self.subgroup_size == 0 {
+            return Err(TrainerError::Invalid {
+                detail: "params and subgroup_size must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_config_uses_paper_defaults() {
+        let cfg =
+            TrainerConfig::from_json(r#"{ "params": 64, "subgroup_size": 16 }"#).unwrap();
+        assert_eq!(cfg.rule, "adam");
+        assert_eq!(cfg.lr, 0.01);
+        assert!(cfg.deep_optimizer_states.enabled);
+        assert_eq!(cfg.pipeline().stride, StridePolicy::Auto);
+    }
+
+    #[test]
+    fn stride_entry_forms() {
+        for (entry, want) in [
+            ("3", StridePolicy::Fixed(3)),
+            ("\"auto\"", StridePolicy::Auto),
+            ("\"cpu_only\"", StridePolicy::CpuOnly),
+            ("\"adaptive\"", StridePolicy::Adaptive),
+        ] {
+            let cfg = TrainerConfig::from_json(&format!(
+                r#"{{ "params": 8, "subgroup_size": 4,
+                      "deep_optimizer_states": {{ "update_stride": {entry} }} }}"#
+            ))
+            .unwrap();
+            assert_eq!(cfg.pipeline().stride, want);
+        }
+    }
+
+    #[test]
+    fn disabling_the_middleware_forces_cpu_only() {
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4,
+                 "deep_optimizer_states": { "enabled": false, "update_stride": 3 } }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.pipeline().stride, StridePolicy::CpuOnly);
+    }
+
+    #[test]
+    fn unknown_fields_and_rules_fail_fast() {
+        assert!(TrainerConfig::from_json(r#"{ "params": 8, "subgroup_size": 4, "typo": 1 }"#)
+            .is_err());
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4, "rule": "sgd" }"#,
+        )
+        .unwrap();
+        assert!(matches!(cfg.resolve_rule(), Err(TrainerError::Invalid { .. })));
+        let cfg = TrainerConfig::from_json(r#"{ "params": 0, "subgroup_size": 4 }"#).unwrap();
+        assert!(matches!(cfg.validate(), Err(TrainerError::Invalid { .. })));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 48, "subgroup_size": 8, "rule": "adamw", "weight_decay": 0.1,
+                 "static_residents": 1,
+                 "deep_optimizer_states": { "update_stride": 2 } }"#,
+        )
+        .unwrap();
+        let again = TrainerConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again.params, 48);
+        assert_eq!(again.rule, "adamw");
+        assert_eq!(again.pipeline().stride, StridePolicy::Fixed(2));
+        assert_eq!(again.static_residents, 1);
+    }
+}

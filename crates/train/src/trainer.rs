@@ -1,0 +1,193 @@
+//! The [`Trainer`] facade: a JSON-configured optimizer shard stepped
+//! through the zero-copy hybrid-update pipeline.
+
+use dos_core::{hybrid_update_pooled, ArenaPool, DeviceFault, PipelineConfig, PipelineReport};
+use dos_optim::MixedPrecisionState;
+use dos_zero::{partition_into_subgroups, SubgroupSpec};
+
+use crate::config::{TrainerConfig, TrainerError};
+
+/// A functional trainer over one flat optimizer shard.
+///
+/// Construction resolves the whole JSON surface — rule name, stride
+/// entry, partitioning — so that anything reachable through a
+/// configuration file exercises the exact production code path:
+/// [`hybrid_update_pooled`] with a per-trainer [`ArenaPool`], never a
+/// hand-assembled pipeline call.
+#[derive(Debug)]
+pub struct Trainer {
+    cfg: TrainerConfig,
+    state: MixedPrecisionState,
+    subgroups: Vec<SubgroupSpec>,
+    pipeline: PipelineConfig,
+    pool: ArenaPool,
+    steps_taken: usize,
+}
+
+impl Trainer {
+    /// Builds a trainer from a JSON document and the initial parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Parse`] on malformed JSON and
+    /// [`TrainerError::Invalid`] for unresolvable names, zero shapes, or
+    /// an `init` whose length disagrees with `params`.
+    pub fn from_json(json: &str, init: Vec<f32>) -> Result<Trainer, TrainerError> {
+        TrainerConfig::from_json(json)?.build(init)
+    }
+
+    /// Arms (or clears) a device-worker fault for the next steps. Chaos
+    /// campaigns and the differential fuzzer use this; production configs
+    /// never set it, which is why it is not part of the JSON surface.
+    pub fn inject_fault(&mut self, fault: Option<DeviceFault>) {
+        self.pipeline.fault_injection = fault;
+    }
+
+    /// Runs one optimizer step over the full shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] on a gradient-length mismatch and
+    /// [`TrainerError::Pipeline`] when the pipeline rejects the step.
+    pub fn step(&mut self, grads: &[f32]) -> Result<PipelineReport, TrainerError> {
+        if grads.len() != self.cfg.params {
+            return Err(TrainerError::Invalid {
+                detail: format!(
+                    "gradient length {} != configured params {}",
+                    grads.len(),
+                    self.cfg.params
+                ),
+            });
+        }
+        let report = hybrid_update_pooled(
+            &mut self.state,
+            grads,
+            &self.subgroups,
+            self.pipeline,
+            None,
+            &self.pool,
+        )?;
+        self.steps_taken += 1;
+        Ok(report)
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// The FP32 master parameters.
+    pub fn params(&self) -> &[f32] {
+        self.state.params()
+    }
+
+    /// The first-moment (momentum) state.
+    pub fn momentum(&self) -> &[f32] {
+        self.state.momentum()
+    }
+
+    /// The second-moment (variance) state.
+    pub fn variance(&self) -> &[f32] {
+        self.state.variance()
+    }
+
+    /// The subgroup partition the pipeline runs over.
+    pub fn subgroups(&self) -> &[SubgroupSpec] {
+        &self.subgroups
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// The trainer's staging arena (lease gauges, hit/miss counters).
+    pub fn arena(&self) -> &ArenaPool {
+        &self.pool
+    }
+}
+
+impl TrainerConfig {
+    /// Builds a [`Trainer`] from this configuration and the initial
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] for zero shapes, unknown rule
+    /// names, or a length mismatch between `init` and `params`.
+    pub fn build(self, init: Vec<f32>) -> Result<Trainer, TrainerError> {
+        self.validate()?;
+        if init.len() != self.params {
+            return Err(TrainerError::Invalid {
+                detail: format!("init length {} != params {}", init.len(), self.params),
+            });
+        }
+        let rule = self.resolve_rule()?;
+        let pipeline = self.pipeline();
+        let subgroups = partition_into_subgroups(self.params, self.subgroup_size);
+        let state = MixedPrecisionState::new(init, rule, self.lr);
+        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool: ArenaPool::new(), steps_taken: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dos_optim::UpdateRule;
+
+    fn init(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect()
+    }
+
+    fn grads(n: usize, step: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i + 13 * step) as f32 * 0.11).cos()).collect()
+    }
+
+    #[test]
+    fn json_built_trainer_matches_the_sequential_twin_bitwise() {
+        let n = 47; // deliberately not a multiple of the subgroup size
+        let json = r#"{ "params": 47, "subgroup_size": 8, "static_residents": 1,
+                        "deep_optimizer_states": { "update_stride": 2 } }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        let mut seq = MixedPrecisionState::new(init(n), UpdateRule::adam(), 0.01);
+        for step in 0..3 {
+            let g = grads(n, step);
+            seq.full_step(&g);
+            let report = trainer.step(&g).unwrap();
+            assert!(report.device_subgroups > 0, "stride 2 must use the device");
+            assert_eq!(report.fp16_params, seq.downscale_range(0..n));
+        }
+        assert_eq!(trainer.params(), seq.params());
+        assert_eq!(trainer.momentum(), seq.momentum());
+        assert_eq!(trainer.variance(), seq.variance());
+        assert_eq!(trainer.steps_taken(), 3);
+        assert_eq!(trainer.arena().in_use_bytes(), 0, "all leases returned");
+        assert!(trainer.arena().high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn injected_fault_degrades_but_does_not_diverge() {
+        let n = 40;
+        let json = r#"{ "params": 40, "subgroup_size": 5,
+                        "deep_optimizer_states": { "update_stride": 2 } }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        trainer.inject_fault(Some(DeviceFault::PanicAfter(1)));
+        let mut seq = MixedPrecisionState::new(init(n), UpdateRule::adam(), 0.01);
+        let g = grads(n, 0);
+        seq.full_step(&g);
+        let report = trainer.step(&g).unwrap();
+        assert!(report.degraded.is_some(), "the armed fault must fire");
+        assert_eq!(trainer.params(), seq.params());
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        let json = r#"{ "params": 8, "subgroup_size": 4 }"#;
+        assert!(matches!(
+            Trainer::from_json(json, vec![0.0; 7]),
+            Err(TrainerError::Invalid { .. })
+        ));
+        let mut trainer = Trainer::from_json(json, vec![0.0; 8]).unwrap();
+        assert!(matches!(trainer.step(&[0.0; 9]), Err(TrainerError::Invalid { .. })));
+    }
+}
