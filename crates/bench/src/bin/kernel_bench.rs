@@ -7,8 +7,9 @@
 //!              [--elements N] [--rounds N] [--iters N]
 //! ```
 //!
-//! `--baseline BENCH_6.json` exits nonzero when the end-to-end
-//! throughput regresses by more than the committed tolerance.
+//! `--baseline BENCH_7.json` exits nonzero when the end-to-end
+//! throughput regresses by more than the committed tolerance or the
+//! always-on monitoring overhead exceeds its budget.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

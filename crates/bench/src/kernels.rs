@@ -1,5 +1,5 @@
 //! Measured kernel and pipeline throughput — the numbers behind
-//! `BENCH_6.json`.
+//! `BENCH_7.json`.
 //!
 //! Unlike the simulator-driven figures, everything here is wall-clock
 //! measured on the host running the benchmark: the scalar oracle loops
@@ -23,6 +23,11 @@ pub const SCHEMA: &str = "dos-bench/kernels-v1";
 
 /// Relative end-to-end throughput loss the regression gate tolerates.
 pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Largest fraction of end-to-end throughput the always-on monitoring
+/// path (flight-only tracer on the pooled pipeline) may cost before the
+/// gate fails the build.
+pub const OVERHEAD_BUDGET: f64 = 0.03;
 
 /// One scalar-versus-vectorized measurement, params/s.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -69,7 +74,29 @@ pub struct EndToEnd {
     pub arena: ArenaStats,
 }
 
-/// The whole `BENCH_6.json` document.
+/// Cost of always-on flight recording on the end-to-end pipeline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OverheadStats {
+    /// End-to-end throughput with no tracer attached, params/s.
+    pub untraced_pps: f64,
+    /// End-to-end throughput with a bounded flight-only tracer, params/s.
+    pub flight_pps: f64,
+    /// `1 - flight_pps / untraced_pps`, clamped at zero (timing jitter can
+    /// make the traced arm come out marginally faster on tiny shapes).
+    pub overhead_fraction: f64,
+}
+
+impl OverheadStats {
+    fn new(untraced_pps: f64, flight_pps: f64) -> OverheadStats {
+        OverheadStats {
+            untraced_pps,
+            flight_pps,
+            overhead_fraction: (1.0 - flight_pps / untraced_pps).max(0.0),
+        }
+    }
+}
+
+/// The whole `BENCH_7.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelBenchReport {
     /// Always [`SCHEMA`].
@@ -86,6 +113,10 @@ pub struct KernelBenchReport {
     pub upscale: KernelPair,
     /// End-to-end [`hybrid_update_pooled`] throughput.
     pub hybrid_update: EndToEnd,
+    /// Traced-vs-untraced cost of the production monitoring path. Absent
+    /// in pre-monitoring baseline documents, so those still parse.
+    #[serde(default)]
+    pub monitoring_overhead: Option<OverheadStats>,
 }
 
 /// One warmup invocation, then the median of `rounds` timed rounds of
@@ -184,6 +215,26 @@ pub fn run_kernel_bench(elements: usize, rounds: usize, iters: usize) -> KernelB
         },
     };
 
+    // Monitoring overhead — the identical pipeline with the production
+    // always-on configuration attached: a bounded flight-only tracer
+    // (ring recording, interned ids, no unbounded event store). Fresh
+    // state and arena so both arms start cold from the same shape.
+    let tracer = dos::telemetry::Tracer::flight_only(4096);
+    let traced_pool = ArenaPool::with_metrics(tracer.metrics().clone());
+    let mut traced_state = MixedPrecisionState::new(vec![0.5; params], UpdateRule::adam(), 1e-3);
+    let traced_secs = median_secs(
+        || {
+            // Same pre-validated shapes as the untraced arm.
+            #[allow(clippy::unwrap_used)]
+            hybrid_update_pooled(&mut traced_state, &grads, &subgroups, cfg, Some(&tracer), &traced_pool)
+                .unwrap();
+        },
+        iters,
+        rounds,
+    );
+    let monitoring_overhead =
+        Some(OverheadStats::new(hybrid_update.pps, params as f64 / traced_secs));
+
     KernelBenchReport {
         schema: SCHEMA.to_string(),
         elements,
@@ -192,6 +243,7 @@ pub fn run_kernel_bench(elements: usize, rounds: usize, iters: usize) -> KernelB
         d_c,
         upscale,
         hybrid_update,
+        monitoring_overhead,
     }
 }
 
@@ -219,6 +271,18 @@ pub fn regression_gate(
             baseline.hybrid_update.pps,
             REGRESSION_TOLERANCE * 100.0
         ));
+    }
+    if let Some(overhead) = &new.monitoring_overhead {
+        if overhead.overhead_fraction > OVERHEAD_BUDGET {
+            return Err(format!(
+                "always-on monitoring overhead over budget: {:.1}% > {:.0}% \
+                 ({:.3e} pps traced vs {:.3e} untraced)",
+                overhead.overhead_fraction * 100.0,
+                OVERHEAD_BUDGET * 100.0,
+                overhead.flight_pps,
+                overhead.untraced_pps
+            ));
+        }
     }
     Ok(())
 }
@@ -250,6 +314,16 @@ pub fn render(report: &KernelBenchReport) -> String {
         e.arena.reuse_hits,
         e.arena.allocation_misses
     ));
+    if let Some(o) = &report.monitoring_overhead {
+        out.push_str(&format!(
+            "  monitoring overhead {:.1}% (budget {:.0}%): {:.3e} pps flight-traced vs \
+             {:.3e} untraced\n",
+            o.overhead_fraction * 100.0,
+            OVERHEAD_BUDGET * 100.0,
+            o.flight_pps,
+            o.untraced_pps
+        ));
+    }
     out
 }
 
@@ -276,7 +350,11 @@ mod tests {
 
     #[test]
     fn gate_passes_against_itself_and_fails_against_an_inflated_baseline() {
-        let report = tiny();
+        let mut report = tiny();
+        // Tiny shapes make the traced-vs-untraced split pure timing noise;
+        // pin a healthy value so this test exercises the pps floor only.
+        report.monitoring_overhead =
+            Some(OverheadStats { untraced_pps: 1e9, flight_pps: 0.99e9, overhead_fraction: 0.01 });
         assert!(regression_gate(&report, &report).is_ok());
         let mut inflated = report.clone();
         inflated.hybrid_update.pps *= 100.0;
@@ -288,9 +366,50 @@ mod tests {
     }
 
     #[test]
+    fn overhead_budget_gates_and_tolerates_within_budget() {
+        let mut report = tiny();
+        assert!(report.monitoring_overhead.is_some(), "bench must measure the traced arm");
+        let baseline = report.clone();
+        report.monitoring_overhead =
+            Some(OverheadStats { untraced_pps: 1e9, flight_pps: 0.99e9, overhead_fraction: 0.01 });
+        assert!(regression_gate(&report, &baseline).is_ok());
+        report.monitoring_overhead =
+            Some(OverheadStats { untraced_pps: 1e9, flight_pps: 0.90e9, overhead_fraction: 0.10 });
+        let err = regression_gate(&report, &baseline).unwrap_err();
+        assert!(err.contains("overhead"), "{err}");
+        // Pre-monitoring documents (no overhead field) still gate cleanly.
+        report.monitoring_overhead = None;
+        assert!(regression_gate(&report, &baseline).is_ok());
+        let legacy = r#"{ "schema": "dos-bench/kernels-v1", "elements": 16, "rounds": 1,
+            "u_c": { "scalar_pps": 1.0, "vectorized_pps": 2.0, "speedup": 2.0 },
+            "d_c": { "scalar_pps": 1.0, "vectorized_pps": 2.0, "speedup": 2.0 },
+            "upscale": { "scalar_pps": 1.0, "vectorized_pps": 2.0, "speedup": 2.0 },
+            "hybrid_update": { "params": 16, "subgroup": 2, "stride": 2, "iters": 1,
+                "pps": 1.0, "arena": { "high_water_bytes": 0, "reuse_hits": 0,
+                "allocation_misses": 0 } } }"#;
+        let parsed: KernelBenchReport = serde_json::from_str(legacy).unwrap();
+        assert!(parsed.monitoring_overhead.is_none());
+    }
+
+    #[test]
+    fn overhead_fraction_clamps_at_zero() {
+        let o = OverheadStats::new(1.0e9, 1.1e9);
+        assert_eq!(o.overhead_fraction, 0.0);
+        let o = OverheadStats::new(1.0e9, 0.95e9);
+        assert!((o.overhead_fraction - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
     fn render_mentions_every_throughput() {
         let block = render(&tiny());
-        for needle in ["U_c adam", "D_c downscale", "upscale", "hybrid_update", "high-water"] {
+        for needle in [
+            "U_c adam",
+            "D_c downscale",
+            "upscale",
+            "hybrid_update",
+            "high-water",
+            "monitoring overhead",
+        ] {
             assert!(block.contains(needle), "missing {needle}:\n{block}");
         }
     }

@@ -478,6 +478,10 @@ fn hybrid_update_inner(
         t.metrics().inc_counter("pipeline.cpu_subgroups", cpu_count as u64);
         if worker_lost.is_some() {
             t.metrics().inc_counter("pipeline.degraded_steps", 1);
+            // A `fault:` instant triggers the tracer's automatic
+            // flight-recorder dump, shipping the last-N-events context of
+            // the degradation alongside the counters.
+            t.instant_at("faults", "fault:device-worker", "fault", t.now());
         }
     }
 

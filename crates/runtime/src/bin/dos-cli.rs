@@ -6,6 +6,9 @@
 //! dos-cli trace <config.json> [--out trace.json] [--analyze]
 //! dos-cli conformance [--quick] [--json] [--filter SUBSTR]
 //! dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]
+//!               [--flight-out FILE]
+//! dos-cli monitor <config.json> [--listen ADDR] [--iterations N] [--seed N]
+//!                 [--prom-out FILE] [--health-out FILE] [--flight-dir DIR]
 //! dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC]
 //!                  [--trace-out FILE] [--json]
 //! dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]
@@ -37,6 +40,21 @@
 //!                    worker-kill, ckpt-corrupt (default: all)
 //!   --trace-out FILE also export the faulted iteration's Chrome trace,
 //!                    fault instants included
+//!   --flight-out FILE write the monitored worker-kill check's automatic
+//!                    flight-recorder dump here
+//!
+//! monitor: run real training while serving live metrics over HTTP —
+//! `/metrics` (Prometheus text format), `/metrics.json`, and `/health`
+//! (the online anomaly detectors' board). The run self-scrapes its own
+//! endpoint and exits nonzero if the payload is invalid. Accepts either a
+//! trainer document (with `"params"`) or a simulator config like
+//! `examples/quickstart.json` (a representative trainer is derived).
+//!   --listen ADDR    bind address (default: 127.0.0.1:0, ephemeral port)
+//!   --iterations N   optimizer steps to run (default: 8)
+//!   --seed N         seed for the deterministic data streams (default: 0)
+//!   --prom-out FILE  write the final Prometheus payload here
+//!   --health-out FILE write the final health snapshot JSON here
+//!   --flight-dir DIR directory for automatic flight-recorder dumps
 //!
 //! autotune: race the adaptive control plane against the static Equation 1
 //! arm under a pinned fault plan; exit nonzero if the controller fails its
@@ -83,8 +101,8 @@
 use std::process::ExitCode;
 
 use dos_runtime::{
-    run_autotune, run_chaos, run_iteration, run_training, trace_iteration, AutotuneOptions,
-    ChaosOptions, FaultKind, RuntimeConfig,
+    run_autotune, run_chaos, run_iteration, run_monitor, run_training, trace_iteration,
+    AutotuneOptions, ChaosOptions, FaultKind, MonitorOptions, RuntimeConfig,
 };
 
 struct Args {
@@ -125,7 +143,12 @@ fn usage() {
     eprintln!("usage: dos-cli <config.json> [--iterations N] [--compare] [--explain]");
     eprintln!("       dos-cli trace <config.json> [--out trace.json] [--analyze]");
     eprintln!("       dos-cli conformance [--quick] [--json] [--filter SUBSTR]");
-    eprintln!("       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE]");
+    eprintln!(
+        "       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE] [--flight-out FILE]"
+    );
+    eprintln!(
+        "       dos-cli monitor <config.json> [--listen ADDR] [--iterations N] [--seed N] [--prom-out FILE] [--health-out FILE] [--flight-dir DIR]"
+    );
     eprintln!(
         "       dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC] [--trace-out FILE] [--json]"
     );
@@ -392,6 +415,10 @@ fn run_chaos_cmd(rest: &[String]) -> Result<bool, String> {
                 opts.trace_out =
                     Some(args.next().ok_or("--trace-out needs a path")?.into());
             }
+            "--flight-out" => {
+                opts.flight_out =
+                    Some(args.next().ok_or("--flight-out needs a path")?.into());
+            }
             other if config_path.is_none() => config_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -403,6 +430,49 @@ fn run_chaos_cmd(rest: &[String]) -> Result<bool, String> {
     let report = run_chaos(&config, &opts).map_err(|e| e.to_string())?;
     print!("{}", report.render());
     Ok(report.passed())
+}
+
+/// Runs real training with the metrics endpoint live; `Ok(true)` means
+/// every self-scrape served a valid payload.
+fn run_monitor_cmd(rest: &[String]) -> Result<bool, String> {
+    let mut config_path = None;
+    let mut opts = MonitorOptions::default();
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                opts.listen = args.next().ok_or("--listen needs an address")?.to_string();
+            }
+            "--iterations" => {
+                let v = args.next().ok_or("--iterations needs a value")?;
+                opts.iterations = v.parse().map_err(|_| format!("bad iteration count `{v}`"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--prom-out" => {
+                opts.prom_out = Some(args.next().ok_or("--prom-out needs a path")?.into());
+            }
+            "--health-out" => {
+                opts.health_out = Some(args.next().ok_or("--health-out needs a path")?.into());
+            }
+            "--flight-dir" => {
+                opts.flight_dir = Some(args.next().ok_or("--flight-dir needs a path")?.into());
+            }
+            other if config_path.is_none() => config_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let config_path = config_path.ok_or("missing config path")?;
+    let json = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let outcome = run_monitor(&json, &opts)?;
+    eprintln!(
+        "monitored {} iteration(s) on {}: {} degraded, {} health event(s); payload valid",
+        outcome.iterations, outcome.addr, outcome.degraded_steps, outcome.health_events
+    );
+    Ok(true)
 }
 
 /// Runs the differential conformance matrix; `Ok(true)` means conformant.
@@ -571,6 +641,17 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("chaos") {
         return match run_chaos_cmd(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("monitor") {
+        return match run_monitor_cmd(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

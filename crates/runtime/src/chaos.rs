@@ -85,11 +85,19 @@ pub struct ChaosOptions {
     /// Where to write the Chrome trace of the faulted simulated iteration
     /// (fault instants included), if anywhere.
     pub trace_out: Option<PathBuf>,
+    /// Where to write the flight-recorder dump produced by the monitored
+    /// worker-kill check, if anywhere.
+    pub flight_out: Option<PathBuf>,
 }
 
 impl Default for ChaosOptions {
     fn default() -> Self {
-        ChaosOptions { seed: 0, faults: FaultKind::all().to_vec(), trace_out: None }
+        ChaosOptions {
+            seed: 0,
+            faults: FaultKind::all().to_vec(),
+            trace_out: None,
+            flight_out: None,
+        }
     }
 }
 
@@ -161,6 +169,7 @@ pub fn run_chaos(
         if kill {
             checks.push(check_degraded_pipeline(opts.seed));
             checks.push(check_degraded_training(opts.seed));
+            checks.push(check_monitored_incident(opts.seed, opts.flight_out.as_deref()));
         }
         if corrupt {
             checks.push(check_checkpoint_recovery(opts.seed));
@@ -329,6 +338,95 @@ fn check_degraded_training(seed: u64) -> ChaosCheck {
         detail: format!(
             "worker killed after {kill_at} jobs every step (panic + disconnect), \
              {iters}-iteration runs bitwise identical to healthy"
+        ),
+    }
+}
+
+/// A monitored trainer under an injected worker kill: the incident must
+/// surface end-to-end through the production-monitoring layer — a
+/// degraded iteration report, a `health:degraded` instant, and an
+/// automatic flight-recorder dump whose ring context still contains the
+/// pipeline's `fault:device-worker` instant.
+fn check_monitored_incident(seed: u64, flight_out: Option<&std::path::Path>) -> ChaosCheck {
+    let name = "monitored-incident-flight-dump".to_string();
+    let mut rng = seed;
+    let n = 1000 + (splitmix64(&mut rng) % 200) as usize;
+    let json = format!(
+        r#"{{ "params": {n}, "subgroup_size": 128,
+              "deep_optimizer_states": {{ "update_stride": 2 }},
+              "monitor": {{ "flight_capacity": 512 }} }}"#
+    );
+    let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0 - 0.4).collect();
+    let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
+    let mut trainer = match dos_train::Trainer::from_json(&json, init) {
+        Ok(t) => t,
+        Err(e) => return ChaosCheck { name, passed: false, detail: format!("build: {e}") },
+    };
+    // Healthy steps first, so the dump has pre-incident ring context.
+    for _ in 0..2 {
+        if let Err(e) = trainer.step(&grads) {
+            return ChaosCheck { name, passed: false, detail: format!("healthy step: {e}") };
+        }
+    }
+    let kill_at = (splitmix64(&mut rng) % 2) as usize;
+    trainer.inject_fault(Some(DeviceFault::PanicAfter(kill_at)));
+    let report = match trainer.step(&grads) {
+        Ok(r) => r,
+        Err(e) => return ChaosCheck { name, passed: false, detail: format!("faulted step: {e}") },
+    };
+    if report.degraded.is_none() {
+        return ChaosCheck {
+            name,
+            passed: false,
+            detail: "injected worker kill did not degrade the step".to_string(),
+        };
+    }
+    if !trainer.last_iteration().is_some_and(|r| r.degraded) {
+        return ChaosCheck {
+            name,
+            passed: false,
+            detail: "iteration report did not carry the degradation".to_string(),
+        };
+    }
+    let Some(dump) = trainer.tracer().and_then(|t| t.flight()).and_then(|f| f.last_dump())
+    else {
+        return ChaosCheck {
+            name,
+            passed: false,
+            detail: "no automatic flight dump was produced".to_string(),
+        };
+    };
+    let has_fault = dump.events.iter().any(|e| e.name == "fault:device-worker");
+    let has_health = dump.reason.starts_with("health:degraded")
+        || dump.events.iter().any(|e| e.name == "health:degraded");
+    if !has_fault || !has_health {
+        return ChaosCheck {
+            name,
+            passed: false,
+            detail: format!(
+                "flight dump (reason {:?}, {} events) missing fault/health context",
+                dump.reason,
+                dump.events.len()
+            ),
+        };
+    }
+    if let Some(out) = flight_out {
+        if let Err(e) = std::fs::write(out, dump.to_json()) {
+            return ChaosCheck {
+                name,
+                passed: false,
+                detail: format!("write {}: {e}", out.display()),
+            };
+        }
+    }
+    ChaosCheck {
+        name,
+        passed: true,
+        detail: format!(
+            "worker killed after {kill_at} jobs under monitoring; flight dump ({:?}, {} events) \
+             contains fault:device-worker and health:degraded",
+            dump.reason,
+            dump.events.len()
         ),
     }
 }
@@ -507,20 +605,45 @@ mod tests {
     fn full_campaign_passes_on_a_healthy_build() {
         let config = RuntimeConfig::from_json(r#"{ "model": "7B" }"#).unwrap();
         let report = run_chaos(&config, &ChaosOptions::default()).unwrap();
-        assert_eq!(report.checks.len(), 4, "{}", report.render());
+        assert_eq!(report.checks.len(), 5, "{}", report.render());
         assert!(report.passed(), "{}", report.render());
     }
 
     #[test]
     fn campaigns_are_reproducible_per_seed() {
         let config = RuntimeConfig::from_json(r#"{ "model": "7B" }"#).unwrap();
-        let opts = ChaosOptions { seed: 7, faults: vec![FaultKind::WorkerKill], trace_out: None };
+        let opts = ChaosOptions {
+            seed: 7,
+            faults: vec![FaultKind::WorkerKill],
+            trace_out: None,
+            flight_out: None,
+        };
         let a = run_chaos(&config, &opts).unwrap();
         let b = run_chaos(&config, &opts).unwrap();
         let details = |r: &ChaosReport| {
             r.checks.iter().map(|c| (c.name.clone(), c.passed, c.detail.clone())).collect::<Vec<_>>()
         };
         assert_eq!(details(&a), details(&b));
+    }
+
+    #[test]
+    fn flight_out_writes_the_incident_dump() {
+        let out = std::env::temp_dir()
+            .join(format!("dos-chaos-flight-{}.json", std::process::id()));
+        let config = RuntimeConfig::from_json(r#"{ "model": "7B" }"#).unwrap();
+        let opts = ChaosOptions {
+            seed: 11,
+            faults: vec![FaultKind::WorkerKill],
+            trace_out: None,
+            flight_out: Some(out.clone()),
+        };
+        let report = run_chaos(&config, &opts).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let dump = dos_telemetry::FlightDump::from_json(&text).unwrap();
+        assert!(dump.events.iter().any(|e| e.name == "fault:device-worker"));
+        assert!(dump.reason.starts_with("health:degraded"));
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]
@@ -542,6 +665,7 @@ mod tests {
             seed: 3,
             faults: vec![FaultKind::Degrade, FaultKind::TransferFail],
             trace_out: Some(out.clone()),
+            flight_out: None,
         };
         let report = run_chaos(&config, &opts).unwrap();
         assert!(report.passed(), "{}", report.render());

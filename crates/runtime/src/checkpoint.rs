@@ -340,6 +340,7 @@ impl TrainingCheckpoint {
 pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
+    tracer: Option<dos_telemetry::Tracer>,
 }
 
 impl CheckpointStore {
@@ -352,7 +353,16 @@ impl CheckpointStore {
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<CheckpointStore, CheckpointError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, keep: keep.max(1) })
+        Ok(CheckpointStore { dir, keep: keep.max(1), tracer: None })
+    }
+
+    /// Attaches a tracer so recovery incidents are recorded: a fallback
+    /// past rejected checkpoint files emits a `fault:checkpoint:fallback`
+    /// instant (which also triggers the tracer's flight-recorder dump).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: dos_telemetry::Tracer) -> CheckpointStore {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The store's directory.
@@ -413,7 +423,16 @@ impl CheckpointStore {
         let mut rejected = 0;
         for path in self.list().into_iter().rev() {
             match TrainingCheckpoint::load(&path) {
-                Ok(ckpt) => return Ok((ckpt, path)),
+                Ok(ckpt) => {
+                    if rejected > 0 {
+                        // Recovered, but not from the newest file: that is
+                        // an incident worth a flight-recorder dump.
+                        if let Some(t) = &self.tracer {
+                            t.instant_at("faults", "fault:checkpoint:fallback", "fault", t.now());
+                        }
+                    }
+                    return Ok((ckpt, path));
+                }
                 Err(_) => rejected += 1,
             }
         }
@@ -671,6 +690,33 @@ mod tests {
             Err(CheckpointError::NoValidCheckpoint { rejected, .. }) => assert_eq!(rejected, 2),
             other => panic!("expected NoValidCheckpoint, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fallback_recovery_emits_a_fault_instant_and_flight_dump() {
+        let dir = std::env::temp_dir()
+            .join(format!("dos-ckpt-fallback-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracer = dos_telemetry::Tracer::with_flight(64);
+        let store = CheckpointStore::open(&dir, 2).unwrap().with_tracer(tracer.clone());
+        let (mut model, mut state) = setup();
+        for it in 1..=2 {
+            state.full_step(&vec![0.001 * it as f32; state.len()]);
+            store.save(&TrainingCheckpoint::capture(&mut model, &state, it)).unwrap();
+        }
+        // A clean recovery stays quiet.
+        store.latest_valid().unwrap();
+        assert!(tracer.events().iter().all(|e| e.name != "fault:checkpoint:fallback"));
+
+        // Truncate the newest: recovery falls back and records the incident.
+        let bytes = std::fs::read(store.path_for(2)).unwrap();
+        std::fs::write(store.path_for(2), &bytes[..bytes.len() / 2]).unwrap();
+        let (ckpt, _) = store.latest_valid().unwrap();
+        assert_eq!(ckpt.iteration, 1);
+        assert!(tracer.events().iter().any(|e| e.name == "fault:checkpoint:fallback"));
+        let dump = tracer.flight().unwrap().last_dump().expect("fault: triggers auto dump");
+        assert_eq!(dump.reason, "fault:checkpoint:fallback");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

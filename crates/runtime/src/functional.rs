@@ -37,6 +37,11 @@ pub enum TrainError {
     Collective(CollectiveError),
     /// A rank thread panicked.
     RankPanicked,
+    /// The metrics endpoint could not be started.
+    Monitor(
+        /// Description of the bind/serve failure.
+        String,
+    ),
 }
 
 impl std::fmt::Display for TrainError {
@@ -49,6 +54,7 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::Collective(e) => write!(f, "collective failure: {e}"),
             TrainError::RankPanicked => write!(f, "a rank thread panicked"),
+            TrainError::Monitor(detail) => write!(f, "metrics endpoint failure: {detail}"),
         }
     }
 }
@@ -138,6 +144,10 @@ pub struct FunctionalConfig {
     /// `device-worker` tracks. `None` disables tracing entirely (the
     /// update path is bitwise identical either way).
     pub tracer: Option<dos_telemetry::Tracer>,
+    /// Serve live metrics from this address (e.g. `"127.0.0.1:0"`) for the
+    /// duration of the run. Uses the configured tracer's registry, or
+    /// attaches a flight-only tracer when none is set. `None` disables it.
+    pub monitor_listen: Option<String>,
 }
 
 impl FunctionalConfig {
@@ -162,6 +172,7 @@ impl FunctionalConfig {
             checkpoint_every: 10,
             resume: None,
             tracer: None,
+            monitor_listen: None,
         }
     }
 }
@@ -179,6 +190,9 @@ pub struct FunctionalReport {
     /// the device worker was lost. Nonzero only under fault injection or a
     /// genuine worker crash; the numerics are unaffected either way.
     pub degraded_steps: usize,
+    /// The bound metrics-endpoint address, when `monitor_listen` was set
+    /// (`"127.0.0.1:0"` resolves to the actual ephemeral port here).
+    pub monitor_addr: Option<String>,
 }
 
 /// Mean cross-entropy loss and perplexity of a model over an entire
@@ -228,6 +242,29 @@ pub fn train_functional(
     if cfg.resume.is_some() && cfg.world != 1 {
         return Err(TrainError::ResumeRequiresSingleRank { world: cfg.world });
     }
+    // With a listen address, serve live metrics for the duration of the
+    // run. A flight-only tracer (bounded ring, no unbounded store) is
+    // attached when the caller did not configure one, so the pipeline's
+    // counters and the arena gauges have a registry to land in.
+    let mut owned;
+    let cfg = match &cfg.monitor_listen {
+        Some(_) => {
+            owned = cfg.clone();
+            if owned.tracer.is_none() {
+                owned.tracer = Some(dos_telemetry::Tracer::flight_only(4096));
+            }
+            &owned
+        }
+        None => cfg,
+    };
+    let server = match (&cfg.monitor_listen, &cfg.tracer) {
+        (Some(listen), Some(t)) => Some(
+            dos_telemetry::MetricsServer::start(listen, t.metrics().clone(), None)
+                .map_err(TrainError::Monitor)?,
+        ),
+        _ => None,
+    };
+    let monitor_addr = server.as_ref().map(|s| s.addr().to_string());
     let comms = Communicator::world(cfg.world);
 
     let results: Vec<(Vec<f32>, Vec<f32>, usize)> = std::thread::scope(|scope| {
@@ -249,7 +286,8 @@ pub fn train_functional(
     let final_params = results[0].1.clone();
     let degraded_steps = results[0].2;
     let ranks_consistent = results.iter().all(|(_, p, _)| *p == final_params);
-    Ok(FunctionalReport { losses, ranks_consistent, final_params, degraded_steps })
+    drop(server); // release the port before returning
+    Ok(FunctionalReport { losses, ranks_consistent, final_params, degraded_steps, monitor_addr })
 }
 
 /// One rank's training loop.
@@ -507,6 +545,23 @@ mod tests {
         let first: f32 = report.losses[..3].iter().sum::<f32>() / 3.0;
         let last: f32 = report.losses[9..].iter().sum::<f32>() / 3.0;
         assert!(last < first * 0.9, "loss did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn monitor_listen_serves_without_perturbing_numerics() {
+        let ds = toy_dataset(8);
+        let plain = train_functional(&FunctionalConfig::small(), &ds, 4).unwrap();
+        assert!(plain.monitor_addr.is_none());
+
+        let mut cfg = FunctionalConfig::small();
+        cfg.monitor_listen = Some("127.0.0.1:0".to_string());
+        let monitored = train_functional(&cfg, &ds, 4).unwrap();
+        let addr = monitored.monitor_addr.expect("endpoint was bound");
+        assert!(addr.parse::<std::net::SocketAddr>().is_ok(), "bad addr {addr}");
+        assert_eq!(plain.losses, monitored.losses, "monitoring must be observational");
+        assert_eq!(plain.final_params, monitored.final_params);
+        // The server shuts down with the run: the port no longer accepts.
+        assert!(dos_telemetry::http_get(addr.as_str(), "/metrics").is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod chaos;
 mod checkpoint;
 mod config;
 mod functional;
+mod monitor;
 mod sim_trainer;
 
 pub use autotune::{
@@ -42,4 +43,5 @@ pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry}
 pub use functional::{
     evaluate, train_functional, FunctionalConfig, FunctionalReport, TrainError,
 };
+pub use monitor::{run_monitor, MonitorOptions, MonitorOutcome};
 pub use sim_trainer::{run_iteration, run_training, scheduler_for, trace_iteration};

@@ -384,13 +384,16 @@ impl TraceAnalysis {
             for r in &p.resources {
                 let stalls = r.idle_gaps.count();
                 out.push_str(&format!(
-                    "  {:<10} busy {:.6}s ({:5.1}%)  spans {:>4}  idle gaps {} (mean {:.1} us)\n",
+                    "  {:<10} busy {:.6}s ({:5.1}%)  spans {:>4}  idle gaps {} (mean {:.1} us, p50/p95/p99 {:.1}/{:.1}/{:.1} us)\n",
                     r.resource,
                     r.busy_secs,
                     r.busy_fraction * 100.0,
                     r.span_count,
                     stalls,
                     r.idle_gaps.mean() * 1e6,
+                    r.idle_gaps.quantile(0.50) * 1e6,
+                    r.idle_gaps.quantile(0.95) * 1e6,
+                    r.idle_gaps.quantile(0.99) * 1e6,
                 ));
             }
             for o in &p.overlaps {

@@ -49,6 +49,8 @@ pub struct ChromeArgs {
     pub work: f64,
     /// Nesting depth below the track root.
     pub depth: u64,
+    /// Counter value (`"ph":"C"` gauge-series events only).
+    pub value: f64,
 }
 
 /// One event in Trace Event Format.
@@ -99,6 +101,16 @@ impl ChromeTrace {
     pub fn span_events(&self) -> impl Iterator<Item = &ChromeEvent> {
         self.traceEvents.iter().filter(|e| e.ph != "M")
     }
+
+    /// The `(microseconds, value)` samples of the named counter track
+    /// (`"ph":"C"` events), in document order.
+    pub fn counter_samples(&self, name: &str) -> Vec<(f64, f64)> {
+        self.traceEvents
+            .iter()
+            .filter(|e| e.ph == "C" && e.name == name)
+            .map(|e| (e.ts, e.args.value))
+            .collect()
+    }
 }
 
 fn metadata(tid: u64, track: &str) -> ChromeEvent {
@@ -141,14 +153,29 @@ pub fn chrome_trace(tracer: &Tracer) -> ChromeTrace {
                 resource: ev.resource.clone(),
                 work: ev.work,
                 depth: ev.depth as u64,
+                value: 0.0,
             },
         });
     }
-    ChromeTrace {
-        traceEvents: events,
-        displayTimeUnit: "ms".to_string(),
-        metrics: tracer.metrics().snapshot(),
+    // Gauge time series render as Perfetto counter tracks: one `"C"`
+    // event per retained sample, named after the gauge (counter tracks
+    // are keyed by name, not tid).
+    let metrics = tracer.metrics().snapshot();
+    for gauge in &metrics.gauges {
+        for (at, value) in tracer.metrics().gauge_series(&gauge.name) {
+            events.push(ChromeEvent {
+                name: gauge.name.clone(),
+                cat: "counter".to_string(),
+                ph: "C".to_string(),
+                ts: at * SECS_TO_US,
+                dur: 0.0,
+                pid: 1,
+                tid: 0,
+                args: ChromeArgs { value, ..ChromeArgs::default() },
+            });
+        }
     }
+    ChromeTrace { traceEvents: events, displayTimeUnit: "ms".to_string(), metrics }
 }
 
 /// Exports a bare [`Timeline`] (e.g. an [`crate::Span`] recording from the
@@ -172,6 +199,7 @@ pub fn chrome_trace_from_timeline(tl: &Timeline) -> ChromeTrace {
                     resource: res.clone(),
                     work: span.work,
                     depth: 0,
+                    value: 0.0,
                 },
             });
         }
@@ -244,5 +272,76 @@ mod tests {
         let json = r#"{"traceEvents": [], "displayTimeUnit": "ms"}"#;
         let doc: ChromeTrace = serde_json::from_str(json).expect("parse minimal");
         assert!(doc.traceEvents.is_empty());
+    }
+
+    #[test]
+    fn gauge_series_export_as_counter_events_and_round_trip() {
+        let tr = Tracer::new();
+        tr.record_span("cpu", "", "update:sg0", "update", 0.0, 1.0, 0.0);
+        tr.metrics().set_gauge("arena.in_use_bytes", 1024.0);
+        tr.metrics().set_gauge("arena.in_use_bytes", 2048.0);
+        tr.metrics().set_gauge("arena.high_water_bytes", 2048.0);
+        let doc = chrome_trace(&tr);
+        let in_use = doc.counter_samples("arena.in_use_bytes");
+        assert_eq!(in_use.len(), 2);
+        assert_eq!(in_use[0].1, 1024.0);
+        assert_eq!(in_use[1].1, 2048.0);
+        assert!(in_use[0].0 <= in_use[1].0, "counter timestamps ordered");
+        assert_eq!(doc.counter_samples("arena.high_water_bytes").len(), 1);
+        let counters: Vec<&ChromeEvent> =
+            doc.traceEvents.iter().filter(|e| e.ph == "C").collect();
+        assert!(counters.iter().all(|e| e.cat == "counter" && e.dur == 0.0));
+        // The serde shim must carry `args.value` through unchanged.
+        let json = serde_json::to_string_pretty(&doc).expect("serialize");
+        let back: ChromeTrace = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, doc);
+        assert_eq!(back.counter_samples("arena.in_use_bytes"), in_use);
+    }
+
+    #[test]
+    fn interned_stream_serializes_bit_identically_to_the_expected_document() {
+        // The interning refactor must be invisible in the exported JSON:
+        // record a stream through the (interned) tracer and compare the
+        // serialized document byte-for-byte against one built by hand from
+        // owned strings — the exact document the pre-interning tracer
+        // produced.
+        let tr = Tracer::new();
+        tr.record_span("cpu", "", "update:sg0", "update", 0.0, 1.5, 4.0);
+        tr.record_span("device-worker", "gpu", "update:sg1", "update", 0.25, 1.0, 8.0);
+        tr.record_span("cpu", "", "update:sg0", "update", 2.0, 3.0, 4.0);
+        tr.instant_at("faults", "fault:pcie.h2d", "fault", 2.5);
+        let args = |resource: &str, work: f64| ChromeArgs {
+            name: String::new(),
+            resource: resource.to_string(),
+            work,
+            depth: 0,
+            value: 0.0,
+        };
+        let event = |name: &str, cat: &str, ph: &str, ts, dur, tid, args| ChromeEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: ph.to_string(),
+            ts,
+            dur,
+            pid: 1,
+            tid,
+            args,
+        };
+        let expected = ChromeTrace {
+            traceEvents: vec![
+                metadata(1, "cpu"),
+                metadata(2, "device-worker"),
+                metadata(3, "faults"),
+                event("update:sg0", "update", "X", 0.0, 1_500_000.0, 1, args("", 4.0)),
+                event("update:sg1", "update", "X", 250_000.0, 750_000.0, 2, args("gpu", 8.0)),
+                event("update:sg0", "update", "X", 2_000_000.0, 1_000_000.0, 1, args("", 4.0)),
+                event("fault:pcie.h2d", "fault", "i", 2_500_000.0, 0.0, 3, args("", 0.0)),
+            ],
+            displayTimeUnit: "ms".to_string(),
+            metrics: MetricsSnapshot::default(),
+        };
+        let got = serde_json::to_string_pretty(&chrome_trace(&tr)).expect("serialize");
+        let want = serde_json::to_string_pretty(&expected).expect("serialize");
+        assert_eq!(got, want, "interned export diverged from the string-backed document");
     }
 }

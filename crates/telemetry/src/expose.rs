@@ -1,0 +1,441 @@
+//! Metrics exposition: Prometheus text format, JSON, and a minimal
+//! `std::net` HTTP server.
+//!
+//! [`prometheus_text`] renders a [`MetricsSnapshot`] in the Prometheus
+//! text exposition format (version 0.0.4). Metric names in this workspace
+//! are dotted (`arena.in_use_bytes`), which Prometheus identifiers do not
+//! allow, so the dotted name becomes a `name` label on three stable
+//! metric families:
+//!
+//! ```text
+//! dos_counter{name="pipeline.h2d.bytes"} 4096
+//! dos_gauge{name="arena.in_use_bytes"} 524288
+//! dos_histogram_bucket{name="stall.secs",le="0.001"} 12
+//! dos_histogram_bucket{name="stall.secs",le="+Inf"} 14
+//! dos_histogram_sum{name="stall.secs"} 0.42
+//! dos_histogram_count{name="stall.secs"} 14
+//! ```
+//!
+//! [`MetricsServer`] serves that payload live from a background thread
+//! over plain `std::net` (shims-only policy: no HTTP framework), with
+//! three routes: `/metrics` (Prometheus text), `/metrics.json` (the
+//! snapshot as JSON), and `/health` (the [`HealthBoard`] snapshot).
+//! [`http_get`] is the matching one-call client used by self-scrapes and
+//! CI smoke tests, and [`parse_prometheus`] is a strict-enough parser to
+//! validate a scraped payload without a real Prometheus around.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::health::HealthBoard;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Dotted
+/// workspace metric names ride in the `name` label (see module docs).
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("# TYPE dos_counter counter\n");
+        for c in &snap.counters {
+            out.push_str(&format!(
+                "dos_counter{{name=\"{}\"}} {}\n",
+                escape_label(&c.name),
+                c.value
+            ));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("# TYPE dos_gauge gauge\n");
+        for g in &snap.gauges {
+            out.push_str(&format!(
+                "dos_gauge{{name=\"{}\"}} {}\n",
+                escape_label(&g.name),
+                g.value
+            ));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("# TYPE dos_histogram histogram\n");
+        for h in &snap.histograms {
+            let name = escape_label(&h.name);
+            let mut cumulative = 0u64;
+            for (i, &count) in h.histogram.counts().iter().enumerate() {
+                cumulative += count;
+                let le = match h.histogram.bounds().get(i) {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "dos_histogram_bucket{{name=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!("dos_histogram_sum{{name=\"{name}\"}} {}\n", h.histogram.sum()));
+            out.push_str(&format!(
+                "dos_histogram_count{{name=\"{name}\"}} {}\n",
+                h.histogram.count()
+            ));
+        }
+    }
+    out
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric family name (`dos_gauge`, ...).
+    pub metric: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of the named label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a Prometheus text payload into samples, validating the basic
+/// grammar (comment/blank lines skipped; every sample line must be
+/// `name{labels} value` or `name value` with a parseable float).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value: {line:?}", lineno + 1))?;
+        let (metric, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels: {line:?}", lineno + 1))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| {
+                        format!("line {}: malformed label {pair:?}", lineno + 1)
+                    })?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            format!("line {}: unquoted label value {pair:?}", lineno + 1)
+                        })?;
+                    labels.push((
+                        k.to_string(),
+                        v.replace("\\\"", "\"").replace("\\n", "\n").replace("\\\\", "\\"),
+                    ));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        if metric.is_empty()
+            || !metric.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: illegal metric name {metric:?}", lineno + 1));
+        }
+        samples.push(PromSample { metric, labels, value });
+    }
+    Ok(samples)
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best effort: a scraper hanging up mid-response must not kill the
+    // serving thread.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    metrics: &MetricsRegistry,
+    health: Option<&HealthBoard>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 2048];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/")
+        .to_string();
+    match path.as_str() {
+        "/metrics" => {
+            let body = prometheus_text(&metrics.snapshot());
+            respond(stream, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/metrics.json" => {
+            let body = serde_json::to_string_pretty(&metrics.snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            respond(stream, "200 OK", "application/json", &body);
+        }
+        "/health" => {
+            let body = match health {
+                Some(board) => serde_json::to_string_pretty(&board.snapshot())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+                None => "{}".to_string(),
+            };
+            respond(stream, "200 OK", "application/json", &body);
+        }
+        "/" => respond(
+            stream,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "dos metrics endpoint: /metrics (Prometheus), /metrics.json, /health\n",
+        ),
+        _ => respond(stream, "404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// A minimal metrics HTTP server on a background thread.
+///
+/// Serves the live [`MetricsRegistry`] (every scrape takes a fresh
+/// snapshot) and optionally a [`HealthBoard`]. Dropping the server stops
+/// the thread and releases the port.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the address cannot be bound.
+    pub fn start(
+        listen: &str,
+        metrics: MetricsRegistry,
+        health: Option<HealthBoard>,
+    ) -> Result<MetricsServer, String> {
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dos-metrics-server".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut stream, _peer)) => {
+                            let _ = stream.set_nonblocking(false);
+                            handle_connection(&mut stream, &metrics, health.as_ref());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .map_err(|e| format!("spawn server thread: {e}"))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread (also happens on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Minimal HTTP/1.1 GET, returning `(status_code, body)`. The one-call
+/// client behind `dos-cli monitor`'s self-scrape and the CI smoke test.
+///
+/// # Errors
+///
+/// Returns a description on connection, I/O, or HTTP framing failure.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<(u16, String), String> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve: {e}"))?
+        .next()
+        .ok_or_else(|| "resolve: no address".to_string())?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {response:?}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::{HealthBoard, HealthMonitor, IterationReport};
+
+    fn sample_registry() -> MetricsRegistry {
+        let m = MetricsRegistry::new();
+        m.inc_counter("pipeline.h2d.bytes", 4096);
+        m.set_gauge("arena.in_use_bytes", 524_288.0);
+        m.set_gauge("arena.high_water_bytes", 1_048_576.0);
+        m.observe("stall.secs", &[0.001, 0.1], 0.05);
+        m.observe("stall.secs", &[0.001, 0.1], 0.0005);
+        m
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_families_and_parses_back() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("dos_counter{name=\"pipeline.h2d.bytes\"} 4096\n"), "{text}");
+        assert!(text.contains("dos_gauge{name=\"arena.in_use_bytes\"} 524288\n"), "{text}");
+        assert!(text.contains("le=\"+Inf\"}} 2") || text.contains("le=\"+Inf\"} 2"), "{text}");
+        let samples = parse_prometheus(&text).expect("payload parses");
+        let gauge = samples
+            .iter()
+            .find(|s| s.metric == "dos_gauge" && s.label("name") == Some("arena.in_use_bytes"))
+            .expect("arena gauge present");
+        assert_eq!(gauge.value, 524_288.0);
+        // Histogram buckets are cumulative and end at +Inf == count.
+        let buckets: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| s.metric == "dos_histogram_bucket")
+            .collect();
+        assert_eq!(buckets.last().and_then(|b| b.label("le")), Some("+Inf"));
+        assert_eq!(buckets.last().map(|b| b.value), Some(2.0));
+        assert!(
+            buckets.windows(2).all(|w| w[0].value <= w[1].value),
+            "buckets must be cumulative: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("dos_gauge{name=\"x\"} not_a_number").is_err());
+        assert!(parse_prometheus("no-value-here").is_err());
+        assert!(parse_prometheus("bad{name=\"x\" 1").is_err());
+        assert!(parse_prometheus("bad name{a=\"b\"} 1").is_err());
+        assert!(parse_prometheus("# just a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("weird\"name\\with\nstuff", 1.0);
+        let text = prometheus_text(&m.snapshot());
+        let samples = parse_prometheus(&text).expect("parses");
+        assert_eq!(samples[0].label("name"), Some("weird\"name\\with\nstuff"));
+    }
+
+    #[test]
+    fn server_serves_metrics_json_and_health() {
+        let metrics = sample_registry();
+        let board = HealthBoard::new();
+        let mut mon = HealthMonitor::default();
+        let report = IterationReport {
+            iteration: 0,
+            iter_secs: 0.01,
+            params: 1024,
+            pps: 102_400.0,
+            stall_fraction: 0.1,
+            overlap_efficiency: 0.8,
+            device_subgroups: 2,
+            cpu_subgroups: 2,
+            arena_reuse_hits: 4,
+            arena_allocation_misses: 1,
+            arena_high_water_bytes: 4096,
+            degraded: false,
+        };
+        let events = mon.observe(&report);
+        board.publish(report, &events, &mon);
+        let server = MetricsServer::start("127.0.0.1:0", metrics.clone(), Some(board))
+            .expect("server starts");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        assert!(body.contains("arena.in_use_bytes"), "{body}");
+        assert!(parse_prometheus(&body).is_ok());
+
+        // The payload is live: a later scrape sees newer values.
+        metrics.inc_counter("pipeline.h2d.bytes", 1);
+        let (_, body2) = http_get(addr, "/metrics").expect("second scrape");
+        assert!(body2.contains("dos_counter{name=\"pipeline.h2d.bytes\"} 4097"), "{body2}");
+
+        let (status, json) = http_get(addr, "/metrics.json").expect("json scrape");
+        assert_eq!(status, 200);
+        let snap: MetricsSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(snap.gauges.len(), 2);
+
+        let (status, health) = http_get(addr, "/health").expect("health scrape");
+        assert_eq!(status, 200);
+        let snap: crate::health::HealthSnapshot =
+            serde_json::from_str(&health).expect("health parses");
+        assert_eq!(snap.iterations, 1);
+
+        let (status, _) = http_get(addr, "/nope").expect("404 route");
+        assert_eq!(status, 404);
+    }
+}

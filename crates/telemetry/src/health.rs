@@ -1,0 +1,523 @@
+//! Online health and anomaly detection for a running training job.
+//!
+//! Post-hoc analysis ([`crate::analyze`]) answers "what happened" after a
+//! run; this module answers "is it healthy *now*". The trainer aggregates
+//! each iteration into an [`IterationReport`] (throughput, stall/overlap
+//! fractions, arena behavior, degradation state) and feeds it to a
+//! [`HealthMonitor`], which keeps EWMA baselines and flags three anomaly
+//! classes:
+//!
+//! * **iteration stall** — one iteration took far longer than the moving
+//!   baseline (`iter_secs > stall_factor × EWMA`);
+//! * **throughput regression** — sustained params/s fell below a fraction
+//!   of the baseline (`pps < regression_factor × EWMA`);
+//! * **arena thrash** — the staging arena keeps allocating instead of
+//!   reusing after warmup (per-iteration miss fraction above threshold).
+//!
+//! Detections are [`HealthEvent`]s: the caller emits them as `health:*`
+//! tracer instants (a `health:degraded` instant additionally triggers the
+//! attached flight recorder's dump) and as structured JSON log lines
+//! ([`HealthEvent::json_line`]). A cloneable [`HealthBoard`] holds the
+//! latest report and recent events for the `/health` endpoint of the
+//! metrics exposition server.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::tracer::{EventKind, TraceEvent};
+
+/// Track name `health:*` detection instants are recorded on.
+pub const HEALTH_TRACK: &str = "health";
+
+/// Recent [`HealthEvent`]s a [`HealthBoard`] retains for its snapshot.
+pub const BOARD_RECENT_CAP: usize = 64;
+
+/// Per-iteration aggregation produced by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Iteration index (0-based).
+    pub iteration: u64,
+    /// Wall-clock duration of the iteration, seconds.
+    pub iter_secs: f64,
+    /// Parameters updated this iteration.
+    pub params: u64,
+    /// Throughput, params per second.
+    pub pps: f64,
+    /// Fraction of the iteration the CPU track spent idle (0.0 when no
+    /// trace window was available).
+    pub stall_fraction: f64,
+    /// CPU/device busy-time overlap divided by the smaller of the two
+    /// busy times (0.0 when either side recorded nothing).
+    pub overlap_efficiency: f64,
+    /// Subgroups updated on the device this iteration.
+    pub device_subgroups: u64,
+    /// Subgroups updated on the CPU this iteration.
+    pub cpu_subgroups: u64,
+    /// Arena leases served from the freelists this iteration.
+    pub arena_reuse_hits: u64,
+    /// Arena leases that had to allocate this iteration.
+    pub arena_allocation_misses: u64,
+    /// Sticky arena high-water mark, bytes.
+    pub arena_high_water_bytes: u64,
+    /// True when the pipeline ran degraded (device worker lost).
+    pub degraded: bool,
+}
+
+/// What a [`HealthEvent`] detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum HealthEventKind {
+    /// One iteration far above the EWMA baseline duration.
+    IterationStall,
+    /// Throughput below a fraction of the EWMA baseline.
+    ThroughputRegression,
+    /// Arena allocating instead of reusing after warmup.
+    ArenaThrash,
+    /// The pipeline reported a degraded (worker-lost) step.
+    Degraded,
+}
+
+impl HealthEventKind {
+    /// The tracer-instant name for this detection (`health:*`).
+    pub fn instant_name(self) -> &'static str {
+        match self {
+            HealthEventKind::IterationStall => "health:stall",
+            HealthEventKind::ThroughputRegression => "health:regression",
+            HealthEventKind::ArenaThrash => "health:arena-thrash",
+            HealthEventKind::Degraded => "health:degraded",
+        }
+    }
+}
+
+/// One anomaly detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Anomaly class.
+    pub kind: HealthEventKind,
+    /// Iteration the detection fired on.
+    pub iteration: u64,
+    /// Human-readable detail (observed value vs baseline).
+    pub detail: String,
+}
+
+impl HealthEvent {
+    /// One structured JSON log line (`{"type":"health",...}`).
+    pub fn json_line(&self) -> String {
+        let kind = serde_json::to_string(&self.kind).unwrap_or_else(|_| "\"unknown\"".into());
+        let detail = serde_json::to_string(&self.detail).unwrap_or_else(|_| "\"\"".into());
+        format!(
+            "{{\"type\":\"health\",\"kind\":{kind},\"iteration\":{},\"detail\":{detail}}}",
+            self.iteration
+        )
+    }
+}
+
+/// Detector thresholds. The defaults are deliberately loose — production
+/// monitoring must be quiet on a healthy run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor in (0, 1]; higher tracks faster.
+    pub alpha: f64,
+    /// Iterations observed before the detectors arm (baselines need a few
+    /// samples, and the first iterations legitimately miss in the arena).
+    pub warmup: u64,
+    /// An iteration is a stall when `iter_secs > stall_factor × EWMA`.
+    pub stall_factor: f64,
+    /// A regression when `pps < regression_factor × EWMA`.
+    pub regression_factor: f64,
+    /// Arena thrash when the per-iteration miss fraction exceeds this
+    /// after warmup.
+    pub thrash_miss_fraction: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            alpha: 0.3,
+            warmup: 3,
+            stall_factor: 3.0,
+            regression_factor: 0.33,
+            thrash_miss_fraction: 0.5,
+        }
+    }
+}
+
+/// EWMA-based anomaly detector over a stream of [`IterationReport`]s.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    seen: u64,
+    ewma_iter_secs: Option<f64>,
+    ewma_pps: Option<f64>,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig::default())
+    }
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given thresholds.
+    pub fn new(cfg: HealthConfig) -> HealthMonitor {
+        HealthMonitor { cfg, seen: 0, ewma_iter_secs: None, ewma_pps: None }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Current iteration-duration baseline, if any samples arrived.
+    pub fn ewma_iter_secs(&self) -> Option<f64> {
+        self.ewma_iter_secs
+    }
+
+    /// Current throughput baseline, if any samples arrived.
+    pub fn ewma_pps(&self) -> Option<f64> {
+        self.ewma_pps
+    }
+
+    /// Feeds one iteration; returns the detections it fired (empty on a
+    /// healthy iteration). Detections compare against the baselines from
+    /// *before* this sample, then the sample is folded in.
+    pub fn observe(&mut self, r: &IterationReport) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        if r.degraded {
+            events.push(HealthEvent {
+                kind: HealthEventKind::Degraded,
+                iteration: r.iteration,
+                detail: "pipeline reported a degraded (worker-lost) step".to_string(),
+            });
+        }
+        let armed = self.seen >= self.cfg.warmup;
+        if armed {
+            if let Some(base) = self.ewma_iter_secs {
+                if base > 0.0 && r.iter_secs > self.cfg.stall_factor * base {
+                    events.push(HealthEvent {
+                        kind: HealthEventKind::IterationStall,
+                        iteration: r.iteration,
+                        detail: format!(
+                            "iteration took {:.6}s vs EWMA {:.6}s (factor {:.1})",
+                            r.iter_secs, base, self.cfg.stall_factor
+                        ),
+                    });
+                }
+            }
+            if let Some(base) = self.ewma_pps {
+                if base > 0.0 && r.pps < self.cfg.regression_factor * base {
+                    events.push(HealthEvent {
+                        kind: HealthEventKind::ThroughputRegression,
+                        iteration: r.iteration,
+                        detail: format!(
+                            "throughput {:.3e} pps vs EWMA {:.3e} (floor factor {:.2})",
+                            r.pps, base, self.cfg.regression_factor
+                        ),
+                    });
+                }
+            }
+            let leases = r.arena_reuse_hits + r.arena_allocation_misses;
+            if leases > 0 {
+                let miss_fraction = r.arena_allocation_misses as f64 / leases as f64;
+                if miss_fraction > self.cfg.thrash_miss_fraction {
+                    events.push(HealthEvent {
+                        kind: HealthEventKind::ArenaThrash,
+                        iteration: r.iteration,
+                        detail: format!(
+                            "arena miss fraction {miss_fraction:.2} ({} misses / {} leases) \
+                             after warmup",
+                            r.arena_allocation_misses, leases
+                        ),
+                    });
+                }
+            }
+        }
+        let a = self.cfg.alpha.clamp(f64::EPSILON, 1.0);
+        let fold = |base: &mut Option<f64>, sample: f64| {
+            *base = Some(match *base {
+                Some(b) => (1.0 - a) * b + a * sample,
+                None => sample,
+            });
+        };
+        fold(&mut self.ewma_iter_secs, r.iter_secs);
+        fold(&mut self.ewma_pps, r.pps);
+        self.seen += 1;
+        events
+    }
+}
+
+#[derive(Debug, Default)]
+struct BoardState {
+    iterations: u64,
+    last: Option<IterationReport>,
+    recent_events: Vec<HealthEvent>,
+    total_events: u64,
+    ewma_iter_secs: f64,
+    ewma_pps: f64,
+}
+
+/// Shared, cloneable publication point between the trainer's health loop
+/// and the `/health` endpoint of the metrics server.
+#[derive(Debug, Clone, Default)]
+pub struct HealthBoard {
+    state: Arc<Mutex<BoardState>>,
+}
+
+/// Serializable copy of a [`HealthBoard`] (the `/health` payload).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HealthSnapshot {
+    /// Iterations published so far.
+    pub iterations: u64,
+    /// The most recent iteration report.
+    pub last: Option<IterationReport>,
+    /// The newest detections (bounded by [`BOARD_RECENT_CAP`]).
+    pub recent_events: Vec<HealthEvent>,
+    /// Detections ever fired.
+    pub total_events: u64,
+    /// Iteration-duration EWMA baseline (0.0 before any sample).
+    pub ewma_iter_secs: f64,
+    /// Throughput EWMA baseline (0.0 before any sample).
+    pub ewma_pps: f64,
+    /// True when the latest iteration ran degraded.
+    pub degraded: bool,
+}
+
+impl HealthBoard {
+    /// Creates an empty board.
+    pub fn new() -> HealthBoard {
+        HealthBoard::default()
+    }
+
+    /// Publishes one iteration's report, its detections, and the
+    /// monitor's current baselines.
+    pub fn publish(&self, report: IterationReport, events: &[HealthEvent], monitor: &HealthMonitor) {
+        let mut st = self.state.lock();
+        st.iterations += 1;
+        st.last = Some(report);
+        st.total_events += events.len() as u64;
+        st.recent_events.extend_from_slice(events);
+        if st.recent_events.len() > BOARD_RECENT_CAP {
+            let drop = st.recent_events.len() - BOARD_RECENT_CAP;
+            st.recent_events.drain(..drop);
+        }
+        st.ewma_iter_secs = monitor.ewma_iter_secs().unwrap_or(0.0);
+        st.ewma_pps = monitor.ewma_pps().unwrap_or(0.0);
+    }
+
+    /// A point-in-time copy for serialization.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let st = self.state.lock();
+        HealthSnapshot {
+            iterations: st.iterations,
+            last: st.last,
+            recent_events: st.recent_events.clone(),
+            total_events: st.total_events,
+            ewma_iter_secs: st.ewma_iter_secs,
+            ewma_pps: st.ewma_pps,
+            degraded: st.last.is_some_and(|r| r.degraded),
+        }
+    }
+}
+
+/// Computes `(stall_fraction, overlap_efficiency)` for the window
+/// `[start, end]` from a slice of trace events: the idle fraction of
+/// `cpu_track` and the busy-time overlap between `cpu_track` and
+/// `device_track` relative to the smaller of the two. Returns `(0.0,
+/// 0.0)` when the window is empty or no spans intersect it.
+pub fn window_stats(
+    events: &[TraceEvent],
+    cpu_track: &str,
+    device_track: &str,
+    start: f64,
+    end: f64,
+) -> (f64, f64) {
+    let dur = end - start;
+    if dur <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let busy = |track: &str| -> Vec<(f64, f64)> {
+        let mut spans: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.track == track)
+            .map(|e| (e.start.max(start), (e.start + e.dur).min(end)))
+            .filter(|&(s, e)| e > s)
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    };
+    let total = |iv: &[(f64, f64)]| iv.iter().map(|&(s, e)| e - s).sum::<f64>();
+    let cpu = busy(cpu_track);
+    let dev = busy(device_track);
+    let cpu_busy = total(&cpu);
+    let dev_busy = total(&dev);
+    let stall = (1.0 - cpu_busy / dur).clamp(0.0, 1.0);
+    if cpu_busy <= 0.0 || dev_busy <= 0.0 {
+        return (stall, 0.0);
+    }
+    // Overlap of two sorted interval unions.
+    let mut overlap = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < cpu.len() && j < dev.len() {
+        let lo = cpu[i].0.max(dev[j].0);
+        let hi = cpu[i].1.min(dev[j].1);
+        if hi > lo {
+            overlap += hi - lo;
+        }
+        if cpu[i].1 < dev[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (stall, (overlap / cpu_busy.min(dev_busy)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(iteration: u64, iter_secs: f64, pps: f64) -> IterationReport {
+        IterationReport {
+            iteration,
+            iter_secs,
+            params: 1000,
+            pps,
+            stall_fraction: 0.0,
+            overlap_efficiency: 0.0,
+            device_subgroups: 2,
+            cpu_subgroups: 2,
+            arena_reuse_hits: 8,
+            arena_allocation_misses: 0,
+            arena_high_water_bytes: 4096,
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_stays_quiet() {
+        let mut mon = HealthMonitor::default();
+        for i in 0..20 {
+            let events = mon.observe(&report(i, 0.01, 100_000.0));
+            assert!(events.is_empty(), "iteration {i}: {events:?}");
+        }
+        assert!(mon.ewma_pps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stall_and_regression_fire_after_warmup_only() {
+        let mut mon = HealthMonitor::default();
+        // An outlier during warmup is swallowed.
+        assert!(mon.observe(&report(0, 10.0, 1.0)).is_empty());
+        let mut mon = HealthMonitor::default();
+        for i in 0..5 {
+            assert!(mon.observe(&report(i, 0.01, 100_000.0)).is_empty());
+        }
+        let events = mon.observe(&report(5, 0.2, 5_000.0));
+        let kinds: Vec<HealthEventKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&HealthEventKind::IterationStall), "{events:?}");
+        assert!(kinds.contains(&HealthEventKind::ThroughputRegression), "{events:?}");
+    }
+
+    #[test]
+    fn arena_thrash_needs_a_majority_of_misses() {
+        let mut mon = HealthMonitor::default();
+        for i in 0..5 {
+            mon.observe(&report(i, 0.01, 100_000.0));
+        }
+        let mut thrash = report(5, 0.01, 100_000.0);
+        thrash.arena_reuse_hits = 1;
+        thrash.arena_allocation_misses = 9;
+        let events = mon.observe(&thrash);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, HealthEventKind::ArenaThrash);
+        let mut ok = report(6, 0.01, 100_000.0);
+        ok.arena_allocation_misses = 1;
+        ok.arena_reuse_hits = 9;
+        assert!(mon.observe(&ok).is_empty());
+    }
+
+    #[test]
+    fn degraded_reports_always_fire() {
+        let mut mon = HealthMonitor::default();
+        let mut r = report(0, 0.01, 100_000.0);
+        r.degraded = true;
+        let events = mon.observe(&r);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, HealthEventKind::Degraded);
+        assert_eq!(events[0].kind.instant_name(), "health:degraded");
+    }
+
+    #[test]
+    fn json_line_is_valid_json() {
+        let ev = HealthEvent {
+            kind: HealthEventKind::IterationStall,
+            iteration: 7,
+            detail: "iteration took \"long\"".to_string(),
+        };
+        let line = ev.json_line();
+        let back: serde::Value = serde_json::from_str(&line).expect("log line parses");
+        let map = back.as_map().expect("object").to_vec();
+        let get = |k: &str| map.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+        assert_eq!(get("type"), Some(serde::Value::Str("health".to_string())));
+        assert_eq!(get("kind"), Some(serde::Value::Str("iteration_stall".to_string())));
+        assert_eq!(get("iteration"), Some(serde::Value::Int(7)));
+    }
+
+    #[test]
+    fn board_publishes_and_bounds_recent_events() {
+        let board = HealthBoard::new();
+        let mut mon = HealthMonitor::default();
+        for i in 0..(BOARD_RECENT_CAP as u64 + 10) {
+            let mut r = report(i, 0.01, 100_000.0);
+            r.degraded = true;
+            let events = mon.observe(&r);
+            board.publish(r, &events, &mon);
+        }
+        let snap = board.snapshot();
+        assert_eq!(snap.iterations, BOARD_RECENT_CAP as u64 + 10);
+        assert_eq!(snap.recent_events.len(), BOARD_RECENT_CAP);
+        assert_eq!(snap.total_events, BOARD_RECENT_CAP as u64 + 10);
+        assert!(snap.degraded);
+        assert!(snap.ewma_pps > 0.0);
+        let json = serde_json::to_string_pretty(&snap).expect("serialize");
+        let back: HealthSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn window_stats_measure_idle_and_overlap() {
+        let mk = |track: &str, start: f64, dur: f64| TraceEvent {
+            track: track.to_string(),
+            name: "s".to_string(),
+            phase: "update".to_string(),
+            resource: String::new(),
+            start,
+            dur,
+            work: 0.0,
+            depth: 0,
+            kind: EventKind::Span,
+        };
+        // CPU busy [0,2] and [3,4]; device busy [1,4]; window [0,4].
+        let events =
+            vec![mk("cpu", 0.0, 2.0), mk("cpu", 3.0, 1.0), mk("device-worker", 1.0, 3.0)];
+        let (stall, overlap) = window_stats(&events, "cpu", "device-worker", 0.0, 4.0);
+        // CPU busy 3s of 4 → stall 0.25; overlap [1,2]+[3,4]=2s over
+        // min(3,3)=3 → 2/3.
+        assert!((stall - 0.25).abs() < 1e-9, "stall {stall}");
+        assert!((overlap - 2.0 / 3.0).abs() < 1e-9, "overlap {overlap}");
+        // Empty window and missing tracks are inert.
+        assert_eq!(window_stats(&events, "cpu", "device-worker", 4.0, 4.0), (0.0, 0.0));
+        assert_eq!(window_stats(&events, "nope", "device-worker", 0.0, 4.0), (1.0, 0.0));
+    }
+}

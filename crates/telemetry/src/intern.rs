@@ -1,0 +1,105 @@
+//! String interning for the tracer hot path.
+//!
+//! Every [`crate::TraceEvent`] used to carry four owned `String`s; at
+//! pipeline rates that is four heap allocations per span. The tracer now
+//! stores [`RawEvent`]s — four `u32` symbol ids plus the numeric fields —
+//! and resolves them back to strings only when a consumer materializes
+//! the stream ([`crate::Tracer::events`], flight-recorder dumps). The
+//! symbol table is append-only and shared between a tracer and its
+//! attached [`crate::FlightRecorder`], so forwarding an event into the
+//! ring is a plain `memcpy` of a `Copy` struct.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::tracer::EventKind;
+
+/// Symbol id of the empty string; [`SymbolTable::new`] pre-interns it so
+/// "no resource" checks never need a string resolve.
+pub(crate) const EMPTY_SYM: u32 = 0;
+
+#[derive(Debug, Default)]
+struct Symbols {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+/// Append-only map between strings and dense `u32` ids.
+///
+/// `intern` allocates only the first time a string is seen; afterwards it
+/// is a single hash lookup, so a steady-state tracing hot path performs
+/// no allocation at all.
+#[derive(Debug)]
+pub(crate) struct SymbolTable {
+    inner: Mutex<Symbols>,
+}
+
+impl SymbolTable {
+    pub(crate) fn new() -> SymbolTable {
+        let table = SymbolTable { inner: Mutex::new(Symbols::default()) };
+        let empty = table.intern("");
+        debug_assert_eq!(empty, EMPTY_SYM);
+        table
+    }
+
+    /// Returns the id for `name`, assigning the next dense id on first
+    /// sight.
+    pub(crate) fn intern(&self, name: &str) -> u32 {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(inner.names.len()).unwrap_or_else(|_| {
+            // 4 billion distinct labels means the emitter is embedding
+            // unbounded data in names; crashing beats silent aliasing.
+            panic!("symbol table overflow")
+        });
+        let arc: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&arc));
+        inner.index.insert(arc, id);
+        id
+    }
+
+    /// Resolves an id back to its string (cheap `Arc` clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never handed out by this table.
+    pub(crate) fn resolve(&self, id: u32) -> Arc<str> {
+        Arc::clone(&self.inner.lock().names[id as usize])
+    }
+}
+
+/// The interned, `Copy` form of a trace event — what the tracer's event
+/// vector and the flight-recorder ring actually store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RawEvent {
+    pub(crate) track: u32,
+    pub(crate) name: u32,
+    pub(crate) phase: u32,
+    pub(crate) resource: u32,
+    pub(crate) start: f64,
+    pub(crate) dur: f64,
+    pub(crate) work: f64,
+    pub(crate) depth: u32,
+    pub(crate) kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dedupes() {
+        let t = SymbolTable::new();
+        let a = t.intern("cpu");
+        let b = t.intern("gpu");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("cpu"), a);
+        assert_eq!(&*t.resolve(a), "cpu");
+        assert_eq!(&*t.resolve(b), "gpu");
+        assert_eq!(t.intern(""), EMPTY_SYM);
+    }
+}

@@ -27,7 +27,11 @@
 
 mod analyze;
 mod chrome;
+mod expose;
+mod flight;
 mod gantt;
+mod health;
+mod intern;
 mod metrics;
 mod timeline;
 mod tracer;
@@ -37,9 +41,18 @@ pub use analyze::{
     TraceAnalysis, IDLE_GAP_BOUNDS,
 };
 pub use chrome::{chrome_trace, chrome_trace_from_timeline, ChromeArgs, ChromeEvent, ChromeTrace};
+pub use expose::{http_get, parse_prometheus, prometheus_text, MetricsServer, PromSample};
+pub use flight::{
+    install_flight_panic_hook, FlightDump, FlightEvent, FlightRecorder,
+};
 pub use gantt::{render_gantt, render_legend};
+pub use health::{
+    window_stats, HealthBoard, HealthConfig, HealthEvent, HealthEventKind, HealthMonitor,
+    HealthSnapshot, IterationReport, BOARD_RECENT_CAP, HEALTH_TRACK,
+};
 pub use metrics::{
     CounterSample, GaugeSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
+    GAUGE_SERIES_CAP,
 };
 pub use timeline::{Sample, Span, Timeline};
 pub use tracer::{

@@ -9,9 +9,16 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+/// Retained samples per gauge time series. When a series fills up it is
+/// compacted by dropping every other sample (halving its resolution), so
+/// memory stays bounded on arbitrarily long runs while the overall shape
+/// survives for the Perfetto counter tracks.
+pub const GAUGE_SERIES_CAP: usize = 512;
 
 /// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
 /// first `bounds.len()` buckets; one final overflow bucket catches the rest.
@@ -73,6 +80,36 @@ impl Histogram {
             self.sum / n as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` clamped into `[0, 1]`) from the
+    /// bucketed counts by linear interpolation inside the bucket holding
+    /// the target rank — the standard Prometheus `histogram_quantile`
+    /// estimator. Observations landing in the overflow bucket clamp to the
+    /// last finite bound (their true magnitude is unknown). Returns 0.0
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: unbounded above, clamp.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + frac * (upper - lower);
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
 }
 
 /// One counter reading in a [`MetricsSnapshot`].
@@ -100,6 +137,15 @@ pub struct HistogramSample {
     pub name: String,
     /// The histogram state (bounds, per-bucket counts, sum).
     pub histogram: Histogram,
+    /// Estimated median ([`Histogram::quantile`] at 0.50).
+    #[serde(default)]
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    #[serde(default)]
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    #[serde(default)]
+    pub p99: f64,
 }
 
 /// A serializable point-in-time copy of a [`MetricsRegistry`], embedded in
@@ -119,22 +165,40 @@ pub struct MetricsSnapshot {
 struct Registers {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    /// Bounded per-gauge history of `(seconds-since-epoch, value)` pairs,
+    /// the data behind the Perfetto counter tracks (`"ph":"C"` events).
+    gauge_series: BTreeMap<String, Vec<(f64, f64)>>,
     histograms: BTreeMap<String, Histogram>,
 }
 
 /// Thread-safe registry of named counters, gauges, and histograms.
 ///
 /// Clones share storage, so a registry handle can be passed into worker
-/// threads alongside a [`crate::Tracer`].
-#[derive(Debug, Clone, Default)]
+/// threads alongside a [`crate::Tracer`]. Every gauge write is also
+/// timestamped against the registry's epoch into a bounded time series
+/// ([`MetricsRegistry::gauge_series`]).
+#[derive(Debug, Clone)]
 pub struct MetricsRegistry {
+    epoch: Instant,
     regs: Arc<Mutex<Registers>>,
 }
 
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
 impl MetricsRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry whose time-series epoch (t=0) is "now".
     pub fn new() -> MetricsRegistry {
-        MetricsRegistry::default()
+        MetricsRegistry::with_epoch(Instant::now())
+    }
+
+    /// Creates an empty registry with an explicit epoch, so gauge series
+    /// timestamps line up with a [`crate::Tracer`] sharing the same epoch.
+    pub fn with_epoch(epoch: Instant) -> MetricsRegistry {
+        MetricsRegistry { epoch, regs: Arc::new(Mutex::new(Registers::default())) }
     }
 
     /// Adds `delta` to the named counter (created at zero on first use).
@@ -147,14 +211,34 @@ impl MetricsRegistry {
         self.regs.lock().counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets the named gauge to `value`.
+    /// Sets the named gauge to `value` and appends a timestamped sample to
+    /// its bounded time series (see [`GAUGE_SERIES_CAP`]).
     pub fn set_gauge(&self, name: &str, value: f64) {
-        self.regs.lock().gauges.insert(name.to_string(), value);
+        let at = self.epoch.elapsed().as_secs_f64();
+        let mut regs = self.regs.lock();
+        regs.gauges.insert(name.to_string(), value);
+        let series = regs.gauge_series.entry(name.to_string()).or_default();
+        if series.len() >= GAUGE_SERIES_CAP {
+            // Halve resolution, keeping every other sample — the parity
+            // that retains the most recent one, which sits at the end.
+            let mut keep = series.len().is_multiple_of(2);
+            series.retain(|_| {
+                keep = !keep;
+                keep
+            });
+        }
+        series.push((at, value));
     }
 
     /// Last value of the named gauge, if ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.regs.lock().gauges.get(name).copied()
+    }
+
+    /// The bounded `(seconds, value)` history of the named gauge, oldest
+    /// first (empty if the gauge was never set).
+    pub fn gauge_series(&self, name: &str) -> Vec<(f64, f64)> {
+        self.regs.lock().gauge_series.get(name).cloned().unwrap_or_default()
     }
 
     /// Records `value` into the named histogram, creating it with `bounds`
@@ -190,7 +274,13 @@ impl MetricsRegistry {
             histograms: regs
                 .histograms
                 .iter()
-                .map(|(name, h)| HistogramSample { name: name.clone(), histogram: h.clone() })
+                .map(|(name, h)| HistogramSample {
+                    name: name.clone(),
+                    histogram: h.clone(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                })
                 .collect(),
         }
     }
@@ -273,5 +363,65 @@ mod tests {
         assert_eq!(names, ["a", "b"]);
         assert_eq!(snap.gauges.len(), 1);
         assert_eq!(snap.histograms[0].histogram.count(), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates_an_exact_uniform_fixture() {
+        // 100 observations spread uniformly over (0, 10]: ten per bucket
+        // with bounds 1..=10, so the CDF is exactly linear and every
+        // quantile is known in closed form.
+        let bounds: Vec<f64> = (1..=10).map(f64::from).collect();
+        let mut h = Histogram::new(&bounds);
+        for i in 0..100 {
+            h.observe(i as f64 / 10.0 + 0.05);
+        }
+        assert!((h.quantile(0.50) - 5.0).abs() < 1e-9, "p50 {}", h.quantile(0.50));
+        assert!((h.quantile(0.95) - 9.5).abs() < 1e-9, "p95 {}", h.quantile(0.95));
+        assert!((h.quantile(0.99) - 9.9).abs() < 1e-9, "p99 {}", h.quantile(0.99));
+        assert_eq!(h.quantile(0.0), 0.0, "q=0 is the distribution floor");
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_handles_point_masses_empty_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // A point mass in the (1, 2] bucket: every quantile interpolates
+        // inside that one bucket.
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        assert!((h.quantile(0.5) - 1.5).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 2.0, "q=1 hits the bucket's upper edge");
+        // Overflow observations clamp to the last finite bound.
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(50.0);
+        assert_eq!(h.quantile(0.99), 1.0);
+    }
+
+    #[test]
+    fn snapshot_surfaces_percentiles() {
+        let m = MetricsRegistry::new();
+        for i in 0..100 {
+            m.observe("lat", &[1.0, 2.0, 3.0, 4.0], i as f64 / 25.0);
+        }
+        let snap = m.snapshot();
+        let s = &snap.histograms[0];
+        assert!(s.p50 > 0.0 && s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        assert!((s.p50 - s.histogram.quantile(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_series_is_timestamped_ordered_and_bounded() {
+        let m = MetricsRegistry::new();
+        for i in 0..(GAUGE_SERIES_CAP * 2 + 7) {
+            m.set_gauge("arena.in_use_bytes", i as f64);
+        }
+        let series = m.gauge_series("arena.in_use_bytes");
+        assert!(series.len() <= GAUGE_SERIES_CAP + 1, "bounded: {}", series.len());
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0), "timestamps ordered");
+        let last = series.last().unwrap();
+        assert_eq!(last.1, (GAUGE_SERIES_CAP * 2 + 6) as f64, "newest sample survives");
+        assert!(m.gauge_series("missing").is_empty());
     }
 }

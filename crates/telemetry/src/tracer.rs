@@ -16,6 +16,14 @@
 //! thread or a simulator stream) and optionally a *resource* (the hardware
 //! unit it occupies: `"gpu"`, `"pcie.h2d"`, ...), which is what the
 //! overlap analyzer aggregates by.
+//!
+//! Internally events are stored in interned form ([`crate::intern`]): four
+//! `u32` symbol ids instead of four owned `String`s, so the steady-state
+//! record path allocates nothing. Strings are materialized only when a
+//! consumer asks ([`Tracer::events`]). A tracer can also carry an always-on
+//! [`FlightRecorder`] ring ([`Tracer::with_flight`] /
+//! [`Tracer::flight_only`]) that keeps the last N events and dumps them
+//! automatically when a `fault:*` or `health:degraded` instant lands.
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
@@ -23,6 +31,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::flight::FlightRecorder;
+use crate::intern::{RawEvent, SymbolTable, EMPTY_SYM};
 use crate::metrics::MetricsRegistry;
 use crate::timeline::Timeline;
 
@@ -94,7 +104,14 @@ pub struct TraceEvent {
 #[derive(Debug)]
 struct Inner {
     epoch: Instant,
-    events: Mutex<Vec<TraceEvent>>,
+    symbols: Arc<SymbolTable>,
+    /// Unbounded event store; empty forever in flight-only mode.
+    events: Mutex<Vec<RawEvent>>,
+    /// False in [`Tracer::flight_only`] mode: only the bounded ring keeps
+    /// events, so the tracer can stay attached for the whole life of a
+    /// production job.
+    store_events: bool,
+    flight: Option<FlightRecorder>,
     metrics: MetricsRegistry,
 }
 
@@ -119,13 +136,47 @@ impl Default for Tracer {
 impl Tracer {
     /// Creates a tracer whose wall-clock epoch (t=0) is "now".
     pub fn new() -> Tracer {
+        Tracer::build(true, None)
+    }
+
+    /// Creates a tracer that, in addition to the full event store, mirrors
+    /// every event into a bounded [`FlightRecorder`] ring of `capacity`
+    /// events. The ring shares the tracer's symbol table, so mirroring is
+    /// a single `Copy` write.
+    pub fn with_flight(capacity: usize) -> Tracer {
+        Tracer::build(true, Some(capacity))
+    }
+
+    /// Creates an always-on tracer that keeps **only** the bounded flight
+    /// ring: [`Tracer::events`] stays empty no matter how long the job
+    /// runs, memory is `capacity * sizeof(RawEvent)`, and the last
+    /// `capacity` events are available via [`Tracer::flight`] (and dumped
+    /// automatically on faults). This is the production-monitoring mode.
+    pub fn flight_only(capacity: usize) -> Tracer {
+        Tracer::build(false, Some(capacity))
+    }
+
+    fn build(store_events: bool, flight_capacity: Option<usize>) -> Tracer {
+        let epoch = Instant::now();
+        let symbols = Arc::new(SymbolTable::new());
+        let flight =
+            flight_capacity.map(|cap| FlightRecorder::with_symbols(cap, Arc::clone(&symbols)));
         Tracer {
             inner: Arc::new(Inner {
-                epoch: Instant::now(),
+                epoch,
+                symbols,
                 events: Mutex::new(Vec::new()),
-                metrics: MetricsRegistry::new(),
+                store_events,
+                flight,
+                metrics: MetricsRegistry::with_epoch(epoch),
             }),
         }
+    }
+
+    /// The attached flight recorder, when this tracer was built with
+    /// [`Tracer::with_flight`] or [`Tracer::flight_only`].
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.inner.flight.as_ref()
     }
 
     /// Seconds elapsed since the tracer's epoch.
@@ -140,10 +191,17 @@ impl Tracer {
         THREAD_TRACK.with(|t| *t.borrow_mut() = Some(name.to_string()));
     }
 
-    fn current_track() -> String {
-        THREAD_TRACK.with(|t| t.borrow().clone()).unwrap_or_else(|| {
-            std::thread::current().name().unwrap_or("thread").to_string()
+    /// Interns the calling thread's track name. No allocation once the
+    /// name has been seen: the thread-local string is looked up by `&str`.
+    fn current_track_id(&self) -> u32 {
+        THREAD_TRACK.with(|t| match t.borrow().as_deref() {
+            Some(name) => self.inner.symbols.intern(name),
+            None => self.inner.symbols.intern(std::thread::current().name().unwrap_or("thread")),
         })
+    }
+
+    fn intern(&self, name: &str) -> u32 {
+        self.inner.symbols.intern(name)
     }
 
     /// Opens a wall-clock scoped span on the calling thread's track; the
@@ -151,13 +209,23 @@ impl Tracer {
     /// increasing [`TraceEvent::depth`].
     #[must_use = "the span is recorded when the guard drops"]
     pub fn span(&self, name: &str, phase: &str) -> SpanGuard {
-        self.span_on(&Self::current_track(), "", name, phase)
+        let track = self.current_track_id();
+        self.span_ids(track, EMPTY_SYM, self.intern(name), self.intern(phase))
     }
 
     /// Like [`Tracer::span`], but on an explicit track and attributing the
     /// time to `resource` (empty string for none).
     #[must_use = "the span is recorded when the guard drops"]
     pub fn span_on(&self, track: &str, resource: &str, name: &str, phase: &str) -> SpanGuard {
+        self.span_ids(
+            self.intern(track),
+            self.intern(resource),
+            self.intern(name),
+            self.intern(phase),
+        )
+    }
+
+    fn span_ids(&self, track: u32, resource: u32, name: u32, phase: u32) -> SpanGuard {
         let depth = THREAD_DEPTH.with(|d| {
             let cur = d.get();
             d.set(cur + 1);
@@ -165,10 +233,10 @@ impl Tracer {
         });
         SpanGuard {
             tracer: self.clone(),
-            track: track.to_string(),
-            resource: resource.to_string(),
-            name: name.to_string(),
-            phase: phase.to_string(),
+            track,
+            resource,
+            name,
+            phase,
             start: self.now(),
             work: 0.0,
             depth,
@@ -178,15 +246,16 @@ impl Tracer {
     /// Records a wall-clock instant event on the calling thread's track.
     pub fn instant(&self, name: &str, phase: &str) {
         let t = self.now();
-        self.push(TraceEvent {
-            track: Self::current_track(),
-            name: name.to_string(),
-            phase: phase.to_string(),
-            resource: String::new(),
+        let track = self.current_track_id();
+        self.push_raw(RawEvent {
+            track,
+            name: self.intern(name),
+            phase: self.intern(phase),
+            resource: EMPTY_SYM,
             start: t,
             dur: 0.0,
             work: 0.0,
-            depth: THREAD_DEPTH.with(Cell::get),
+            depth: THREAD_DEPTH.with(Cell::get) as u32,
             kind: EventKind::Instant,
         });
     }
@@ -209,11 +278,11 @@ impl Tracer {
         work: f64,
     ) {
         assert!(end >= start, "span ends before it starts: [{start}, {end}]");
-        self.push(TraceEvent {
-            track: track.to_string(),
-            name: name.to_string(),
-            phase: phase.to_string(),
-            resource: resource.to_string(),
+        self.push_raw(RawEvent {
+            track: self.intern(track),
+            name: self.intern(name),
+            phase: self.intern(phase),
+            resource: self.intern(resource),
             start,
             dur: end - start,
             work,
@@ -291,11 +360,11 @@ impl Tracer {
 
     /// Records an instant event at an explicit time on an explicit track.
     pub fn instant_at(&self, track: &str, name: &str, phase: &str, at: f64) {
-        self.push(TraceEvent {
-            track: track.to_string(),
-            name: name.to_string(),
-            phase: phase.to_string(),
-            resource: String::new(),
+        self.push_raw(RawEvent {
+            track: self.intern(track),
+            name: self.intern(name),
+            phase: self.intern(phase),
+            resource: EMPTY_SYM,
             start: at,
             dur: 0.0,
             work: 0.0,
@@ -304,8 +373,37 @@ impl Tracer {
         });
     }
 
-    fn push(&self, ev: TraceEvent) {
-        self.inner.events.lock().push(ev);
+    fn push_raw(&self, ev: RawEvent) {
+        if self.inner.store_events {
+            self.inner.events.lock().push(ev);
+        }
+        if let Some(flight) = &self.inner.flight {
+            flight.record_raw(ev);
+            // Fault and degradation instants trigger an automatic dump so
+            // every incident ships its last-N-events context. Instants are
+            // rare, so the string resolve here is off the hot path.
+            if ev.kind == EventKind::Instant {
+                let name = self.inner.symbols.resolve(ev.name);
+                if name.starts_with("fault:") || name.starts_with("health:degraded") {
+                    flight.dump(&name);
+                }
+            }
+        }
+    }
+
+    fn materialize(&self, ev: &RawEvent) -> TraceEvent {
+        let sym = &self.inner.symbols;
+        TraceEvent {
+            track: sym.resolve(ev.track).to_string(),
+            name: sym.resolve(ev.name).to_string(),
+            phase: sym.resolve(ev.phase).to_string(),
+            resource: sym.resolve(ev.resource).to_string(),
+            start: ev.start,
+            dur: ev.dur,
+            work: ev.work,
+            depth: ev.depth as usize,
+            kind: ev.kind,
+        }
     }
 
     /// The metrics registry sharing this tracer's lifetime.
@@ -315,7 +413,8 @@ impl Tracer {
 
     /// A snapshot of all recorded events, sorted by start time.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut evs = self.inner.events.lock().clone();
+        let raw = self.inner.events.lock().clone();
+        let mut evs: Vec<TraceEvent> = raw.iter().map(|ev| self.materialize(ev)).collect();
         evs.sort_by(|a, b| a.start.total_cmp(&b.start));
         evs
     }
@@ -338,13 +437,13 @@ impl Tracer {
     /// Distinct track names in order of first appearance.
     pub fn tracks(&self) -> Vec<String> {
         let evs = self.inner.events.lock();
-        let mut tracks: Vec<String> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
         for ev in evs.iter() {
-            if !tracks.contains(&ev.track) {
-                tracks.push(ev.track.clone());
+            if !ids.contains(&ev.track) {
+                ids.push(ev.track);
             }
         }
-        tracks
+        ids.into_iter().map(|id| self.inner.symbols.resolve(id).to_string()).collect()
     }
 
     /// Converts the span events into a [`Timeline`] for the analyzer and
@@ -364,13 +463,16 @@ impl Tracer {
 }
 
 /// Guard for a wall-clock scoped span; records the event when dropped.
+///
+/// Holds only interned symbol ids, so dropping the guard records the span
+/// without allocating.
 #[derive(Debug)]
 pub struct SpanGuard {
     tracer: Tracer,
-    track: String,
-    resource: String,
-    name: String,
-    phase: String,
+    track: u32,
+    resource: u32,
+    name: u32,
+    phase: u32,
     start: f64,
     work: f64,
     depth: usize,
@@ -387,15 +489,15 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let end = self.tracer.now();
         THREAD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        self.tracer.push(TraceEvent {
-            track: std::mem::take(&mut self.track),
-            name: std::mem::take(&mut self.name),
-            phase: std::mem::take(&mut self.phase),
-            resource: std::mem::take(&mut self.resource),
+        self.tracer.push_raw(RawEvent {
+            track: self.track,
+            name: self.name,
+            phase: self.phase,
+            resource: self.resource,
             start: self.start,
             dur: (end - self.start).max(0.0),
             work: self.work,
-            depth: self.depth,
+            depth: self.depth as u32,
             kind: EventKind::Span,
         });
     }
@@ -525,5 +627,48 @@ mod tests {
         let tr = Tracer::new();
         tr.metrics().inc_counter("spans", 1);
         assert_eq!(tr.clone().metrics().counter("spans"), 1);
+    }
+
+    #[test]
+    fn with_flight_mirrors_events_into_the_ring() {
+        let tr = Tracer::with_flight(8);
+        tr.record_span("cpu", "", "update:sg0", "update", 0.0, 1.0, 0.0);
+        tr.instant_at("cpu", "tick", "update", 1.5);
+        let flight = tr.flight().expect("flight attached");
+        assert_eq!(flight.len(), 2);
+        assert_eq!(tr.len(), 2, "full store still records");
+        let ring = flight.events();
+        assert_eq!(ring[0].name, "update:sg0");
+        assert_eq!(ring[1].name, "tick");
+    }
+
+    #[test]
+    fn flight_only_keeps_the_ring_but_not_the_store() {
+        let tr = Tracer::flight_only(4);
+        for i in 0..10 {
+            tr.record_span("cpu", "", &format!("s{i}"), "update", i as f64, i as f64 + 0.5, 0.0);
+        }
+        assert!(tr.is_empty(), "flight-only mode stores no events");
+        assert!(tr.events().is_empty());
+        let flight = tr.flight().expect("flight attached");
+        assert_eq!(flight.len(), 4);
+        assert_eq!(flight.total_recorded(), 10);
+        let names: Vec<String> = flight.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["s6", "s7", "s8", "s9"], "newest N in order");
+    }
+
+    #[test]
+    fn fault_instants_trigger_an_automatic_flight_dump() {
+        let tr = Tracer::with_flight(16);
+        tr.record_span("cpu", "", "update:sg0", "update", 0.0, 1.0, 0.0);
+        assert!(tr.flight().and_then(FlightRecorder::last_dump).is_none());
+        tr.instant_at("faults", "fault:pcie.h2d", "fault", 1.2);
+        let dump = tr.flight().and_then(FlightRecorder::last_dump).expect("auto dump");
+        assert_eq!(dump.reason, "fault:pcie.h2d");
+        assert!(dump.events.iter().any(|e| e.name == "fault:pcie.h2d"));
+        assert!(dump.events.iter().any(|e| e.name == "update:sg0"), "context rides along");
+        tr.instant_at("health", "health:degraded", "health", 2.0);
+        let dump = tr.flight().and_then(FlightRecorder::last_dump).expect("second dump");
+        assert_eq!(dump.reason, "health:degraded");
     }
 }

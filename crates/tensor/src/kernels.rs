@@ -11,7 +11,7 @@
 //!
 //! The downscale is `D_c` in the paper's Eq. 1 — one of the two CPU-side
 //! throughput constants the adaptive controller steers on — so this is a
-//! measured hot path, not a micro-optimization; see `BENCH_6.json`.
+//! measured hot path, not a micro-optimization; see `BENCH_7.json`.
 
 use crate::f16::F16;
 

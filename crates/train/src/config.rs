@@ -125,6 +125,31 @@ impl StrideEntry {
     }
 }
 
+/// The optional `"monitor"` JSON entry: production monitoring.
+///
+/// When present, [`TrainerConfig::build`] attaches a flight-only
+/// [`dos_telemetry::Tracer`] (bounded ring, no unbounded event store) so
+/// every step records into the flight recorder, publishes arena gauges,
+/// and — unless `health` is disabled — runs the online health detectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct MonitorEntry {
+    /// Address for the metrics endpoint (e.g. `"127.0.0.1:9464"`, or port
+    /// `0` for ephemeral). `None` leaves serving to the embedding runtime;
+    /// the trainer itself never opens sockets.
+    pub listen: Option<String>,
+    /// Flight-recorder ring capacity in events.
+    pub flight_capacity: usize,
+    /// Enable the online health/anomaly detectors.
+    pub health: bool,
+}
+
+impl Default for MonitorEntry {
+    fn default() -> Self {
+        MonitorEntry { listen: None, flight_capacity: 4096, health: true }
+    }
+}
+
 /// A functional-trainer configuration document: one optimizer shard, its
 /// partitioning, the update rule, and the middleware entry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -149,6 +174,10 @@ pub struct TrainerConfig {
     /// The middleware entry.
     #[serde(default)]
     pub deep_optimizer_states: DosEntry,
+    /// Optional production-monitoring entry (flight recorder, metrics,
+    /// health detection). Absent → zero observability overhead.
+    #[serde(default)]
+    pub monitor: Option<MonitorEntry>,
 }
 
 fn default_rule() -> String {
@@ -273,6 +302,28 @@ mod tests {
         assert!(matches!(cfg.resolve_rule(), Err(TrainerError::Invalid { .. })));
         let cfg = TrainerConfig::from_json(r#"{ "params": 0, "subgroup_size": 4 }"#).unwrap();
         assert!(matches!(cfg.validate(), Err(TrainerError::Invalid { .. })));
+    }
+
+    #[test]
+    fn monitor_entry_parses_defaults_and_round_trips() {
+        let cfg = TrainerConfig::from_json(r#"{ "params": 8, "subgroup_size": 4 }"#).unwrap();
+        assert!(cfg.monitor.is_none(), "absent entry stays absent");
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4,
+                 "monitor": { "listen": "127.0.0.1:0" } }"#,
+        )
+        .unwrap();
+        let mon = cfg.monitor.clone().unwrap();
+        assert_eq!(mon.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(mon.flight_capacity, 4096);
+        assert!(mon.health);
+        let again = TrainerConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again.monitor, Some(mon));
+        // Typos inside the entry fail fast like everywhere else.
+        assert!(TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4, "monitor": { "listne": "x" } }"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -25,5 +25,5 @@
 pub mod config;
 pub mod trainer;
 
-pub use config::{DosEntry, NamedStride, StrideEntry, TrainerConfig, TrainerError};
+pub use config::{DosEntry, MonitorEntry, NamedStride, StrideEntry, TrainerConfig, TrainerError};
 pub use trainer::Trainer;

@@ -3,9 +3,17 @@
 
 use dos_core::{hybrid_update_pooled, ArenaPool, DeviceFault, PipelineConfig, PipelineReport};
 use dos_optim::MixedPrecisionState;
+use dos_telemetry::{
+    window_stats, HealthBoard, HealthEvent, HealthMonitor, IterationReport, Tracer, HEALTH_TRACK,
+};
 use dos_zero::{partition_into_subgroups, SubgroupSpec};
 
 use crate::config::{TrainerConfig, TrainerError};
+
+/// Track names the pipeline records its spans on (kept in sync with
+/// `dos-core`'s hybrid-update pipeline).
+const CPU_TRACK: &str = "cpu";
+const DEVICE_TRACK: &str = "device-worker";
 
 /// A functional trainer over one flat optimizer shard.
 ///
@@ -22,6 +30,23 @@ pub struct Trainer {
     pipeline: PipelineConfig,
     pool: ArenaPool,
     steps_taken: usize,
+    monitoring: Option<Monitoring>,
+}
+
+/// Per-trainer monitoring state: a flight-only tracer feeding the ring
+/// and metrics, plus the online health detectors and their board.
+#[derive(Debug)]
+struct Monitoring {
+    tracer: Tracer,
+    /// Whether detector events are emitted (instants + board); the EWMA
+    /// baselines are maintained either way.
+    detect: bool,
+    health: HealthMonitor,
+    board: HealthBoard,
+    last_report: Option<IterationReport>,
+    last_events: Vec<HealthEvent>,
+    prev_hits: u64,
+    prev_misses: u64,
 }
 
 impl Trainer {
@@ -59,16 +84,68 @@ impl Trainer {
                 ),
             });
         }
+        let window_start = self.monitoring.as_ref().map(|m| m.tracer.now());
+        let wall = std::time::Instant::now();
         let report = hybrid_update_pooled(
             &mut self.state,
             grads,
             &self.subgroups,
             self.pipeline,
-            None,
+            self.monitoring.as_ref().map(|m| &m.tracer),
             &self.pool,
         )?;
         self.steps_taken += 1;
+        if let Some(start) = window_start {
+            self.observe_iteration(start, wall.elapsed().as_secs_f64(), &report);
+        }
         Ok(report)
+    }
+
+    /// Folds one finished step into the monitoring state: builds the
+    /// [`IterationReport`], runs the detectors, emits `health:*` instants
+    /// (a `health:degraded` instant also triggers the flight recorder's
+    /// automatic dump), and publishes to the board.
+    fn observe_iteration(&mut self, window_start: f64, iter_secs: f64, report: &PipelineReport) {
+        let params = self.cfg.params;
+        let steps_taken = self.steps_taken;
+        let hits = self.pool.reuse_hits();
+        let misses = self.pool.allocation_misses();
+        let high_water = self.pool.high_water_bytes();
+        let Some(mon) = self.monitoring.as_mut() else { return };
+        let window_end = mon.tracer.now();
+        let window_events = match mon.tracer.flight() {
+            Some(flight) => flight.events(),
+            None => mon.tracer.events(),
+        };
+        let (stall_fraction, overlap_efficiency) =
+            window_stats(&window_events, CPU_TRACK, DEVICE_TRACK, window_start, window_end);
+        let iter = IterationReport {
+            iteration: (steps_taken - 1) as u64,
+            iter_secs,
+            params: params as u64,
+            pps: if iter_secs > 0.0 { params as f64 / iter_secs } else { 0.0 },
+            stall_fraction,
+            overlap_efficiency,
+            device_subgroups: report.device_subgroups as u64,
+            cpu_subgroups: report.cpu_subgroups as u64,
+            arena_reuse_hits: hits.saturating_sub(mon.prev_hits),
+            arena_allocation_misses: misses.saturating_sub(mon.prev_misses),
+            arena_high_water_bytes: high_water as u64,
+            degraded: report.degraded.is_some(),
+        };
+        mon.prev_hits = hits;
+        mon.prev_misses = misses;
+        let events = mon.health.observe(&iter);
+        if mon.detect {
+            for ev in &events {
+                mon.tracer.instant_at(HEALTH_TRACK, ev.kind.instant_name(), "health", window_end);
+            }
+            mon.board.publish(iter, &events, &mon.health);
+        } else {
+            mon.board.publish(iter, &[], &mon.health);
+        }
+        mon.last_report = Some(iter);
+        mon.last_events = events;
     }
 
     /// The resolved configuration.
@@ -105,6 +182,30 @@ impl Trainer {
     pub fn arena(&self) -> &ArenaPool {
         &self.pool
     }
+
+    /// The monitoring tracer, when a `monitor` entry is configured. Its
+    /// flight recorder and [`dos_telemetry::MetricsRegistry`] carry the
+    /// live observability state.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.monitoring.as_ref().map(|m| &m.tracer)
+    }
+
+    /// The health board, when monitoring is configured.
+    pub fn health_board(&self) -> Option<&HealthBoard> {
+        self.monitoring.as_ref().map(|m| &m.board)
+    }
+
+    /// The most recent per-iteration report, when monitoring is configured
+    /// and at least one step has run.
+    pub fn last_iteration(&self) -> Option<IterationReport> {
+        self.monitoring.as_ref().and_then(|m| m.last_report)
+    }
+
+    /// Health events raised by the most recent step (empty when quiet or
+    /// unmonitored).
+    pub fn last_health_events(&self) -> &[HealthEvent] {
+        self.monitoring.as_ref().map(|m| m.last_events.as_slice()).unwrap_or(&[])
+    }
 }
 
 impl TrainerConfig {
@@ -126,7 +227,23 @@ impl TrainerConfig {
         let pipeline = self.pipeline();
         let subgroups = partition_into_subgroups(self.params, self.subgroup_size);
         let state = MixedPrecisionState::new(init, rule, self.lr);
-        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool: ArenaPool::new(), steps_taken: 0 })
+        let monitoring = self.monitor.as_ref().map(|entry| Monitoring {
+            tracer: Tracer::flight_only(entry.flight_capacity),
+            detect: entry.health,
+            health: HealthMonitor::default(),
+            board: HealthBoard::new(),
+            last_report: None,
+            last_events: Vec::new(),
+            prev_hits: 0,
+            prev_misses: 0,
+        });
+        // The arena publishes its gauges into the monitoring tracer's
+        // registry so `/metrics` sees `arena.{in_use,high_water}_bytes`.
+        let pool = match &monitoring {
+            Some(mon) => ArenaPool::with_metrics(mon.tracer.metrics().clone()),
+            None => ArenaPool::new(),
+        };
+        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool, steps_taken: 0, monitoring })
     }
 }
 
@@ -178,6 +295,71 @@ mod tests {
         let report = trainer.step(&g).unwrap();
         assert!(report.degraded.is_some(), "the armed fault must fire");
         assert_eq!(trainer.params(), seq.params());
+    }
+
+    #[test]
+    fn monitored_trainer_is_bitwise_identical_and_reports() {
+        let n = 47;
+        let plain = r#"{ "params": 47, "subgroup_size": 8,
+                         "deep_optimizer_states": { "update_stride": 2 } }"#;
+        let monitored = r#"{ "params": 47, "subgroup_size": 8,
+                             "deep_optimizer_states": { "update_stride": 2 },
+                             "monitor": {} }"#;
+        let mut a = Trainer::from_json(plain, init(n)).unwrap();
+        let mut b = Trainer::from_json(monitored, init(n)).unwrap();
+        for step in 0..4 {
+            let g = grads(n, step);
+            a.step(&g).unwrap();
+            b.step(&g).unwrap();
+        }
+        assert_eq!(a.params(), b.params(), "monitoring must not perturb numerics");
+        assert_eq!(a.momentum(), b.momentum());
+        assert_eq!(a.variance(), b.variance());
+
+        let rep = b.last_iteration().expect("monitored trainer reports");
+        assert_eq!(rep.iteration, 3);
+        assert_eq!(rep.params, 47);
+        assert!(rep.pps > 0.0);
+        assert!(rep.device_subgroups > 0);
+        assert!(!rep.degraded);
+        let board = b.health_board().unwrap().snapshot();
+        assert_eq!(board.iterations, 4);
+        assert!(!board.degraded);
+
+        let tracer = b.tracer().unwrap();
+        assert!(tracer.flight().unwrap().total_recorded() > 0, "ring fills");
+        assert!(tracer.is_empty(), "flight-only mode keeps no unbounded store");
+        assert!(tracer.metrics().gauge("arena.in_use_bytes").is_some());
+        assert!(a.tracer().is_none() && a.health_board().is_none());
+    }
+
+    #[test]
+    fn degraded_monitored_step_dumps_flight_context() {
+        let n = 40;
+        let json = r#"{ "params": 40, "subgroup_size": 5,
+                        "deep_optimizer_states": { "update_stride": 2 },
+                        "monitor": { "flight_capacity": 256 } }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        let g = grads(n, 0);
+        trainer.step(&g).unwrap();
+        trainer.inject_fault(Some(DeviceFault::PanicAfter(1)));
+        let report = trainer.step(&g).unwrap();
+        assert!(report.degraded.is_some(), "the armed fault must fire");
+
+        assert!(
+            trainer.last_iteration().unwrap().degraded,
+            "iteration report carries the degradation"
+        );
+        assert!(trainer
+            .last_health_events()
+            .iter()
+            .any(|e| e.kind == dos_telemetry::HealthEventKind::Degraded));
+        // The health:degraded instant triggered an automatic flight dump
+        // whose ring context includes the pipeline's fault instant.
+        let dump = trainer.tracer().unwrap().flight().unwrap().last_dump().expect("auto dump");
+        assert_eq!(dump.reason, "health:degraded");
+        assert!(dump.events.iter().any(|e| e.name == "fault:device-worker"), "{dump:?}");
+        assert!(dump.events.iter().any(|e| e.name == "health:degraded"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn seeded_campaign_upholds_every_invariant() {
         [
             "pipeline-degradation-byte-exact",
             "degraded-training-matches-healthy",
+            "monitored-incident-flight-dump",
             "checkpoint-recovery-bitwise",
             "sim-faults-traced-not-dropped",
         ],
@@ -38,7 +39,12 @@ fn seeded_campaign_upholds_every_invariant() {
 /// `--faults` narrows the campaign to the selected fault kinds.
 #[test]
 fn fault_subset_runs_only_selected_checks() {
-    let opts = ChaosOptions { seed: 1, faults: vec![FaultKind::CkptCorrupt], trace_out: None };
+    let opts = ChaosOptions {
+        seed: 1,
+        faults: vec![FaultKind::CkptCorrupt],
+        trace_out: None,
+        flight_out: None,
+    };
     let report = run_chaos(&config(), &opts).unwrap();
     assert_eq!(report.checks.len(), 1, "{}", report.render());
     assert_eq!(report.checks[0].name, "checkpoint-recovery-bitwise");
@@ -50,8 +56,12 @@ fn fault_subset_runs_only_selected_checks() {
 #[test]
 fn campaigns_vary_with_the_seed_but_always_hold() {
     for seed in [0u64, 7, 99] {
-        let opts =
-            ChaosOptions { seed, faults: vec![FaultKind::WorkerKill], trace_out: None };
+        let opts = ChaosOptions {
+            seed,
+            faults: vec![FaultKind::WorkerKill],
+            trace_out: None,
+            flight_out: None,
+        };
         let report = run_chaos(&config(), &opts).unwrap();
         assert!(report.passed(), "seed {seed}:\n{}", report.render());
         assert!(
