@@ -20,9 +20,10 @@
 //!
 //! [`run_check`] is the entry point behind `dos-cli check`; it explores
 //! the default scenario suite (healthy pipeline plus both `PanicAfter`
-//! and `DisconnectAfter` recovery paths) until the requested number of
-//! distinct schedules is reached, then runs the fuzz arms, and returns a
-//! JSON-serializable [`report::CheckReport`].
+//! and `DisconnectAfter` recovery paths, and the blocking-mode collective
+//! rendezvous — healthy and with a mid-run rank disconnect) until the
+//! requested number of distinct schedules is reached, then runs the fuzz
+//! arms, and returns a JSON-serializable [`report::CheckReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -141,7 +142,10 @@ fn fuzz_failure(origin: &str, case: &fuzz::FuzzCase, divergence: String) -> Fuzz
 /// Returns a description when the corpus directory is unreadable or holds
 /// an unparsable case — corpus corruption must fail loudly.
 pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, String> {
-    let suite = CheckScenario::default_suite();
+    let suite: Vec<CheckScenario> = CheckScenario::default_suite()
+        .into_iter()
+        .chain(CheckScenario::rendezvous_suite())
+        .collect();
     let mut distinct_seen: HashSet<u64> = HashSet::new();
     let mut scenarios: Vec<ScenarioReport> = Vec::new();
 

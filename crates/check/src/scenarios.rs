@@ -4,11 +4,20 @@
 //! A scenario fixes the body completely — parameter count, subgroup size,
 //! stride, residents, fault plan, and the deterministic init/gradient
 //! formulas — so a schedule token (`scenario` + decision sequence) is a
-//! full reproduction recipe. Two scenario kinds exist:
+//! full reproduction recipe. Three scenario kinds exist:
 //!
 //! * [`ScenarioKind::Pipeline`] — the real [`dos_core::hybrid_update`].
 //!   Expected to pass under *every* schedule; any divergence, deadlock, or
 //!   panic is a pipeline bug.
+//! * [`ScenarioKind::Rendezvous`] — the real
+//!   [`dos_collectives::Communicator`] in blocking mode over
+//!   [`dos_collectives::InProcTransport`], one virtual thread per rank:
+//!   barrier, then rounds of all-reduce with per-rank perturbation, then
+//!   an all-gather. The disconnect variant has one rank drop its
+//!   transport before the final round — survivors must observe a typed
+//!   rank failure (poison propagation), never a deadlock. Expected to
+//!   pass under every schedule; any divergence or deadlock is a
+//!   collective-layer bug.
 //! * [`ScenarioKind::BuggyLostSend`] — a deliberately seeded ordering bug
 //!   (see [`buggy_lost_send_update`]): when an H2D send fails because the
 //!   worker already disconnected, the job is dropped instead of re-run on
@@ -18,6 +27,7 @@
 //!   by tests and `--replay` demos to prove the checker catches, shrinks,
 //!   and replays real ordering bugs; never part of the default suite.
 
+use dos_collectives::{CollectiveError, Communicator};
 use dos_core::sync;
 use dos_core::{hybrid_update, DeviceFault, PipelineConfig, StridePolicy};
 use dos_optim::{MixedPrecisionState, UpdateRule};
@@ -29,6 +39,13 @@ use dos_zero::{partition_into_subgroups, SubgroupSpec};
 pub enum ScenarioKind {
     /// The real hybrid pipeline (must pass under every schedule).
     Pipeline,
+    /// Blocking-mode collectives over the in-process mesh transport (must
+    /// pass under every schedule). Field reuse: `params` is the per-rank
+    /// buffer length, `subgroup` the world size, `stride` the number of
+    /// all-reduce rounds, `residents` unused (0); a
+    /// [`FaultPlan::Disconnect`] names the rank that drops its transport
+    /// before the final round.
+    Rendezvous,
     /// The seeded lost-send bug fixture (fails under some schedules).
     BuggyLostSend,
 }
@@ -84,6 +101,63 @@ pub struct Observed {
     pub fp16: Vec<F16>,
 }
 
+fn rendezvous_init(rank: usize, i: usize) -> f32 {
+    ((rank * 17 + i * 7 + 3) % 23) as f32 / 23.0
+}
+
+fn rendezvous_perturb(rank: usize, round: usize, i: usize) -> f32 {
+    ((rank * 11 + round * 5 + i * 3 + 1) % 19) as f32 / 19.0 - 0.5
+}
+
+/// One rank of the rendezvous body: barrier, `rounds` all-reduce rounds
+/// with a per-rank perturbation after each, then an all-gather. The
+/// injected `dead` rank skips the final round and returns — dropping its
+/// transport, which is what its peers' collectives must survive with a
+/// typed error instead of a hang.
+///
+/// The status a rank reports deliberately omits the *blamed* rank: once
+/// the first survivor errors out, it drops its own links too, so later
+/// survivors may attribute the cascade rather than the original failure.
+/// Failure-vs-success per rank is schedule-deterministic; attribution is
+/// not, and must stay out of the bitwise terminal state.
+fn rendezvous_rank(
+    rank: usize,
+    comm: Communicator,
+    elems: usize,
+    rounds: usize,
+    dead: Option<usize>,
+) -> (Vec<f32>, f32, Vec<f32>) {
+    fn status_of(e: &CollectiveError) -> f32 {
+        if matches!(e, CollectiveError::RankFailed { .. }) {
+            1.0
+        } else {
+            2.0
+        }
+    }
+    let mut buf: Vec<f32> = (0..elems).map(|i| rendezvous_init(rank, i)).collect();
+    if let Err(e) = comm.barrier() {
+        return (buf, status_of(&e), Vec::new());
+    }
+    let my_rounds = if dead == Some(rank) { rounds - 1 } else { rounds };
+    for round in 0..my_rounds {
+        match comm.all_reduce_sum(&mut buf) {
+            Ok(()) => {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = *b * 0.5 + rendezvous_perturb(rank, round, i);
+                }
+            }
+            Err(e) => return (buf, status_of(&e), Vec::new()),
+        }
+    }
+    if dead == Some(rank) {
+        return (buf, 0.0, Vec::new());
+    }
+    match comm.all_gather(&buf) {
+        Ok(g) => (buf, 0.0, g),
+        Err(e) => (buf, status_of(&e), Vec::new()),
+    }
+}
+
 fn deterministic_init(n: usize) -> (Vec<f32>, Vec<f32>) {
     let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0).collect();
     let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
@@ -105,6 +179,7 @@ impl CheckScenario {
     pub fn encode(&self) -> String {
         let kind = match self.kind {
             ScenarioKind::Pipeline => "pl",
+            ScenarioKind::Rendezvous => "rdv",
             ScenarioKind::BuggyLostSend => "bug",
         };
         let fault = match self.fault {
@@ -130,6 +205,7 @@ impl CheckScenario {
         }
         let kind = match fields[0] {
             "pl" => ScenarioKind::Pipeline,
+            "rdv" => ScenarioKind::Rendezvous,
             "bug" => ScenarioKind::BuggyLostSend,
             other => return Err(format!("unknown scenario kind {other:?}")),
         };
@@ -162,8 +238,25 @@ impl CheckScenario {
         (state, grads, sgs)
     }
 
-    /// The sequential oracle: `full_step` + full downscale on one thread.
+    /// Rendezvous field decoding: `(world, rounds, elems, dead)`. A
+    /// disconnect rank outside the world is ignored rather than rejected,
+    /// keeping decode total over the coordinate grammar.
+    fn rendezvous_shape(&self) -> (usize, usize, usize, Option<usize>) {
+        let world = self.subgroup.max(1);
+        let dead = match self.fault {
+            FaultPlan::Disconnect(r) if r < world => Some(r),
+            _ => None,
+        };
+        (world, self.stride.max(1), self.params, dead)
+    }
+
+    /// The sequential oracle: `full_step` + full downscale on one thread
+    /// (pipeline kinds), or the rank-order collective fold
+    /// ([`CheckScenario::rendezvous_expected`]).
     pub fn expected(&self) -> Observed {
+        if self.kind == ScenarioKind::Rendezvous {
+            return self.rendezvous_expected();
+        }
         let (mut state, grads, _) = self.fresh_state();
         state.full_step(&grads);
         let fp16 = state.downscale_range(0..self.params);
@@ -183,8 +276,12 @@ impl CheckScenario {
     /// Panics on pipeline precondition errors — scenarios are constructed
     /// to satisfy them, so a failure here is a scenario-definition bug.
     pub fn observed(&self) -> Observed {
+        if self.kind == ScenarioKind::Rendezvous {
+            return self.rendezvous_observed();
+        }
         let (mut state, grads, sgs) = self.fresh_state();
         match self.kind {
+            ScenarioKind::Rendezvous => unreachable!("handled above"),
             ScenarioKind::Pipeline => {
                 let cfg = PipelineConfig {
                     stride: StridePolicy::Fixed(self.stride.max(1)),
@@ -221,6 +318,86 @@ impl CheckScenario {
                     fp16,
                 }
             }
+        }
+    }
+
+    /// Runs the blocking-mode collective rendezvous: one virtual thread
+    /// per rank over an in-process mesh. The terminal
+    /// [`Observed`] reuses the pipeline fields: `params` holds every
+    /// rank's final buffer in rank order, `momentum` one status per rank
+    /// (0.0 completed, 1.0 typed rank failure, 2.0 any other error — a
+    /// collective-layer bug the oracle flags), `variance` the
+    /// concatenated all-gather results, `fp16` is empty.
+    fn rendezvous_observed(&self) -> Observed {
+        let (world, rounds, elems, dead) = self.rendezvous_shape();
+        let comms = Communicator::world(world);
+        let per_rank: Vec<(Vec<f32>, f32, Vec<f32>)> = sync::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(rank, comm)| {
+                    scope.spawn(move || rendezvous_rank(rank, comm, elems, rounds, dead))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => panic!("rendezvous rank panicked"),
+                })
+                .collect()
+        });
+        let mut params = Vec::new();
+        let mut momentum = Vec::new();
+        let mut variance = Vec::new();
+        for (buf, status, gathered) in per_rank {
+            params.extend_from_slice(&buf);
+            momentum.push(status);
+            variance.extend_from_slice(&gathered);
+        }
+        Observed { params, momentum, variance, fp16: Vec::new() }
+    }
+
+    /// Sequential oracle for [`ScenarioKind::Rendezvous`]: replays the
+    /// rank-order element-wise fold the collective layer guarantees
+    /// (`all_reduce_sum` accumulates in rank order, independent of
+    /// arrival order), so the comparison is bitwise. With an injected
+    /// disconnect the final round fails on every survivor — buffers stay
+    /// at their pre-final-round state, no gather happens, and each
+    /// survivor's status must be the typed rank-failure marker.
+    fn rendezvous_expected(&self) -> Observed {
+        let (world, rounds, elems, dead) = self.rendezvous_shape();
+        let mut bufs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..elems).map(|i| rendezvous_init(r, i)).collect())
+            .collect();
+        let full_rounds = if dead.is_some() { rounds - 1 } else { rounds };
+        for round in 0..full_rounds {
+            let mut sum = vec![0.0f32; elems];
+            for buf in &bufs {
+                for (s, b) in sum.iter_mut().zip(buf) {
+                    *s += b;
+                }
+            }
+            for (r, buf) in bufs.iter_mut().enumerate() {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = sum[i] * 0.5 + rendezvous_perturb(r, round, i);
+                }
+            }
+        }
+        let momentum: Vec<f32> = (0..world)
+            .map(|r| if dead.is_some() && dead != Some(r) { 1.0 } else { 0.0 })
+            .collect();
+        let variance: Vec<f32> = if dead.is_some() {
+            Vec::new()
+        } else {
+            let gathered: Vec<f32> = bufs.iter().flatten().copied().collect();
+            (0..world).flat_map(|_| gathered.clone()).collect()
+        };
+        Observed {
+            params: bufs.into_iter().flatten().collect(),
+            momentum,
+            variance,
+            fp16: Vec::new(),
         }
     }
 
@@ -271,6 +448,26 @@ impl CheckScenario {
             pl(48, 8, 2, 0, FaultPlan::Disconnect(0)),
             pl(48, 8, 2, 0, FaultPlan::Disconnect(1)),
             pl(64, 8, 1, 1, FaultPlan::Disconnect(2)),
+        ]
+    }
+
+    /// The rendezvous suite `dos-cli check` explores alongside the
+    /// pipeline: blocking-mode collectives over the in-process mesh,
+    /// healthy and with a mid-run rank disconnect.
+    pub fn rendezvous_suite() -> Vec<CheckScenario> {
+        let rdv = |elems, world, rounds, fault| CheckScenario {
+            kind: ScenarioKind::Rendezvous,
+            params: elems,
+            subgroup: world,
+            stride: rounds,
+            residents: 0,
+            fault,
+        };
+        vec![
+            rdv(4, 3, 2, FaultPlan::None),
+            rdv(4, 2, 3, FaultPlan::None),
+            rdv(4, 3, 2, FaultPlan::Disconnect(1)),
+            rdv(4, 3, 1, FaultPlan::Disconnect(2)),
         ]
     }
 
@@ -387,7 +584,11 @@ mod tests {
 
     #[test]
     fn coordinates_round_trip() {
-        for sc in CheckScenario::default_suite().into_iter().chain([CheckScenario::seeded_bug()]) {
+        for sc in CheckScenario::default_suite()
+            .into_iter()
+            .chain(CheckScenario::rendezvous_suite())
+            .chain([CheckScenario::seeded_bug()])
+        {
             assert_eq!(CheckScenario::decode(&sc.encode()), Ok(sc), "{}", sc.encode());
         }
     }
@@ -404,6 +605,18 @@ mod tests {
     fn pipeline_scenarios_pass_outside_a_checked_run() {
         // Sanity: the bodies themselves are sound under the OS scheduler.
         for sc in CheckScenario::default_suite() {
+            let obs = sc.observed();
+            assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
+        }
+    }
+
+    #[test]
+    fn rendezvous_scenarios_pass_outside_a_checked_run() {
+        // Same sanity for the collective rendezvous, including the
+        // disconnect variants: survivors must report the typed rank
+        // failure (status 1.0) with buffers frozen at the pre-final-round
+        // state, under the OS scheduler too.
+        for sc in CheckScenario::rendezvous_suite() {
             let obs = sc.observed();
             assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
         }

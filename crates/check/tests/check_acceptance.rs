@@ -76,6 +76,41 @@ fn seeded_ordering_bug_is_caught_shrunk_and_replayed_by_token() {
 }
 
 #[test]
+fn rendezvous_scenarios_clear_five_hundred_distinct_schedules() {
+    // The blocking-mode collective rendezvous (barrier + all-reduce
+    // rounds + gather over the in-process mesh, healthy and with a
+    // mid-run rank disconnect) must clear 500+ distinct schedules with no
+    // deadlock and bitwise parity at every terminal state. A hang here
+    // would surface as a detected deadlock, not a stuck test.
+    let suite = CheckScenario::rendezvous_suite();
+    let mut seen = HashSet::new();
+    let mut round = 0usize;
+    while seen.len() < 500 && round < 40 {
+        for (i, sc) in suite.iter().enumerate() {
+            let cfg = ExploreConfig {
+                dfs_budget: if round == 0 { 64 } else { 0 },
+                random_walks: 64,
+                seed: xr_dv_seed(round, i),
+                max_steps: DEFAULT_MAX_STEPS,
+            };
+            let report = check_scenario(sc, &cfg, i as u64, &mut seen);
+            assert!(
+                report.failure.is_none(),
+                "{} failed: {:?}",
+                sc.encode(),
+                report.failure
+            );
+        }
+        round += 1;
+    }
+    assert!(seen.len() >= 500, "only {} distinct rendezvous schedules", seen.len());
+}
+
+fn xr_dv_seed(round: usize, i: usize) -> u64 {
+    (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64)
+}
+
+#[test]
 fn replay_token_rejects_garbage() {
     assert!(replay_token("not-a-token").is_err());
     assert!(replay_token("dc1:pl-p48-g8-k2-r0:00").is_err()); // 5-field scenario

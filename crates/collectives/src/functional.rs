@@ -1,14 +1,48 @@
-//! Functional (thread-based) collectives.
+//! Functional collectives over a pluggable, fault-tolerant transport.
 //!
-//! Real multi-worker collectives over OS threads, used by the functional
-//! data-parallel trainer: each rank contributes a buffer, a rendezvous
-//! combines them, and every rank derives its result locally. Semantically
+//! Real multi-worker collectives used by the functional data-parallel
+//! trainer: each rank broadcasts its contribution to every peer over a
+//! [`Transport`] mesh and reduces the gathered buffers **in rank order**,
+//! so the result is bitwise identical regardless of arrival order,
+//! retransmissions, or which backend carried the frames. Semantically
 //! equivalent to NCCL's `all_reduce`, `all_gather`, and `reduce_scatter`
 //! (sum reduction), which the ZeRO stages are built on.
+//!
+//! Robustness (deadline mode, `timeout: Some(_)`):
+//!
+//! * every collective has a per-op deadline; while waiting, ranks poll
+//!   peers round-robin in short slices and emit heartbeats;
+//! * suspected losses trigger retransmission of the rank's own
+//!   contribution plus a [`FrameKind::Resend`] request, backed off per the
+//!   shared [`RetryPolicy`]; contributions are sequence-numbered and
+//!   deduped, so a duplicate delivery can never double-count — retries are
+//!   bitwise-exact;
+//! * a peer that is both past the deadline and silent for several
+//!   heartbeat intervals — or whose link is gone — is reported as
+//!   [`CollectiveError::RankFailed`]; a peer that is alive but slow is a
+//!   [`CollectiveError::Timeout`]. Callers (the elastic trainer) decide
+//!   whether to evict or to keep waiting.
+//!
+//! Blocking mode (`timeout: None`) has no clock: ranks block per-peer in
+//! rank order, and liveness comes from disconnect propagation — a rank
+//! that panics unwinds, drops its transport, and every peer blocked on it
+//! gets [`CollectiveError::RankFailed`] instead of hanging (the barrier
+//! poisoning fix). This is also the mode `dos-check` explores, where the
+//! cooperative scheduler's deadlock detector subsumes timeouts.
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+
+use dos_hal::RetryPolicy;
+
+use crate::transport::{Frame, FrameKind, Transport, TransportError};
+use crate::InProcTransport;
+
+/// How many completed ops' payloads each rank keeps for serving resend
+/// requests (and absorbing very stale duplicates).
+const HISTORY: usize = 8;
 
 /// Errors from collective operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +61,32 @@ pub enum CollectiveError {
         /// World size.
         world: usize,
     },
+    /// The per-op deadline elapsed but the slow peer was recently heard
+    /// from (alive, just late). Retryable by the caller.
+    Timeout {
+        /// Which collective timed out.
+        op: &'static str,
+        /// The peer the operation was stuck on.
+        rank: usize,
+        /// Time spent in the operation before giving up.
+        elapsed: Duration,
+    },
+    /// A peer is gone: its link disconnected, or it stayed silent past the
+    /// deadline and several heartbeat intervals.
+    RankFailed {
+        /// The dead peer (the local rank itself when the local endpoint
+        /// was torn down, e.g. by an injected disconnect).
+        rank: usize,
+        /// The collective that observed the failure.
+        op: &'static str,
+    },
+    /// The transport failed in a way retries could not absorb.
+    Transport {
+        /// The collective that observed the failure.
+        op: &'static str,
+        /// Underlying transport error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CollectiveError {
@@ -38,32 +98,78 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::UnevenPartition { len, world } => {
                 write!(f, "buffer of {len} elements does not partition across {world} ranks")
             }
+            CollectiveError::Timeout { op, rank, elapsed } => {
+                write!(f, "{op} timed out after {elapsed:?} waiting on rank {rank}")
+            }
+            CollectiveError::RankFailed { rank, op } => {
+                write!(f, "rank {rank} failed during {op}")
+            }
+            CollectiveError::Transport { op, detail } => {
+                write!(f, "transport error during {op}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for CollectiveError {}
 
-#[derive(Debug)]
-struct Slot {
-    contributions: Vec<Option<Vec<f32>>>,
-    arrived: usize,
-    picked: usize,
-    result: Option<Arc<Vec<Vec<f32>>>>,
+/// Deadline / retry / heartbeat parameters of a [`Communicator`].
+#[derive(Debug, Clone)]
+pub struct CollectiveConfig {
+    /// Per-operation deadline. `None` selects blocking mode (no clock —
+    /// required under `dos-check`); `Some` selects deadline mode with
+    /// heartbeats, retransmits, and failure detection.
+    pub timeout: Option<Duration>,
+    /// Backoff schedule for loss-suspected retransmits (shared with the
+    /// HAL's fault model, so chaos campaigns tune one policy).
+    pub retry: RetryPolicy,
+    /// Heartbeat interval; the poll slice is a quarter of it. A peer
+    /// silent for `3 * heartbeat` past the deadline is declared failed.
+    pub heartbeat: Duration,
 }
 
-#[derive(Debug)]
-struct Shared {
-    world: usize,
-    slot: Mutex<Slot>,
-    cv: Condvar,
+impl Default for CollectiveConfig {
+    fn default() -> CollectiveConfig {
+        CollectiveConfig {
+            timeout: None,
+            retry: RetryPolicy::default(),
+            heartbeat: Duration::from_millis(25),
+        }
+    }
+}
+
+impl CollectiveConfig {
+    /// Deadline mode with the given per-op timeout.
+    pub fn with_timeout(timeout: Duration) -> CollectiveConfig {
+        CollectiveConfig { timeout: Some(timeout), ..CollectiveConfig::default() }
+    }
+
+    fn backoff_after(&self, attempt: u32) -> Duration {
+        let base = self.retry.backoff.as_secs().max(1e-4);
+        Duration::from_secs_f64(base * self.retry.backoff_multiplier.powi(attempt as i32))
+    }
+}
+
+struct CommState {
+    /// Monotonic collective-operation counter (identical across ranks by
+    /// SPMD construction: every rank issues the same op sequence).
+    op_seq: u64,
+    /// Per-link transmission counter; fresh per send, including resends.
+    wire_seq: u64,
+    /// Out-of-order buffer: `inbox[peer][op] = payload` for ops ahead of
+    /// the one currently being collected.
+    inbox: Vec<BTreeMap<u64, Vec<u8>>>,
+    /// Recent own contributions, kept to serve resend requests
+    /// byte-identically.
+    history: Vec<(u64, Vec<u8>)>,
 }
 
 /// One rank's handle to a world of collective peers.
 ///
-/// Create the full world with [`Communicator::world`], hand one handle to
-/// each thread, and call the collective methods; every method blocks until
-/// all ranks of the world have called it.
+/// Create an in-process world with [`Communicator::world`], hand one
+/// handle to each thread, and call the collective methods; every method
+/// completes once all ranks of the world have called it (or returns a
+/// typed error once a peer is known dead or too slow).
 ///
 /// # Examples
 ///
@@ -87,88 +193,326 @@ struct Shared {
 ///     assert_eq!(h.join().unwrap(), vec![3.0; 4]);
 /// }
 /// ```
-#[derive(Debug, Clone)]
 pub struct Communicator {
-    rank: usize,
-    shared: Arc<Shared>,
+    transport: Box<dyn Transport>,
+    cfg: CollectiveConfig,
+    state: Mutex<CommState>,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank())
+            .field("world", &self.world_size())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+fn encode_f32(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
 }
 
 impl Communicator {
-    /// Creates the handles for a world of `world` ranks.
+    /// Wraps a transport endpoint with the collective layer.
+    pub fn new(transport: Box<dyn Transport>, cfg: CollectiveConfig) -> Communicator {
+        let world = transport.world_size();
+        Communicator {
+            transport,
+            cfg,
+            state: Mutex::new(CommState {
+                op_seq: 0,
+                wire_seq: 0,
+                inbox: vec![BTreeMap::new(); world],
+                history: Vec::new(),
+            }),
+        }
+    }
+
+    /// Creates the handles for an in-process world of `world` ranks in
+    /// blocking mode (the historical default).
     ///
     /// # Panics
     ///
     /// Panics if `world` is zero.
     pub fn world(world: usize) -> Vec<Communicator> {
-        assert!(world > 0, "world must be positive");
-        let shared = Arc::new(Shared {
-            world,
-            slot: Mutex::new(Slot {
-                contributions: vec![None; world],
-                arrived: 0,
-                picked: 0,
-                result: None,
-            }),
-            cv: Condvar::new(),
-        });
-        (0..world).map(|rank| Communicator { rank, shared: Arc::clone(&shared) }).collect()
+        Communicator::world_with(world, CollectiveConfig::default())
+    }
+
+    /// Creates an in-process world with an explicit [`CollectiveConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    pub fn world_with(world: usize, cfg: CollectiveConfig) -> Vec<Communicator> {
+        InProcTransport::world(world)
+            .into_iter()
+            .map(|t| Communicator::new(Box::new(t), cfg.clone()))
+            .collect()
     }
 
     /// This handle's rank.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// World size.
     pub fn world_size(&self) -> usize {
-        self.shared.world
+        self.transport.world_size()
     }
 
-    /// Exchanges a buffer with all peers; returns every rank's contribution.
-    fn exchange(&self, data: Vec<f32>) -> Arc<Vec<Vec<f32>>> {
-        let shared = &self.shared;
-        let mut slot = shared.slot.lock();
-        // Wait for any previous round to fully drain.
-        while slot.result.is_some() {
-            shared.cv.wait(&mut slot);
-        }
-        slot.contributions[self.rank] = Some(data);
-        slot.arrived += 1;
-        if slot.arrived == shared.world {
-            let all: Vec<Vec<f32>> =
-                slot.contributions.iter_mut().map(|c| c.take().expect("deposited")).collect();
-            slot.result = Some(Arc::new(all));
-            shared.cv.notify_all();
-        } else {
-            while slot.result.is_none() {
-                shared.cv.wait(&mut slot);
+    /// Forwards the training epoch to the transport (fault plans key
+    /// scheduled disconnects and partition windows off it).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.transport.set_epoch(epoch);
+    }
+
+    /// Handles one inbound frame during collection for op `opn`.
+    /// Returns the payload if it completes the wait for `from`.
+    fn absorb(
+        &self,
+        st: &mut CommState,
+        from: usize,
+        frame: Frame,
+        opn: u64,
+        have: bool,
+    ) -> Option<Vec<u8>> {
+        match frame.kind {
+            FrameKind::Heartbeat | FrameKind::Bye => None,
+            FrameKind::Resend => {
+                // Serve byte-identical retransmission from history; unknown
+                // ops (older than the window) are ignored — the requester
+                // has either completed them or will fail by deadline.
+                if let Some((_, payload)) =
+                    st.history.iter().find(|(o, _)| *o == frame.op_seq).cloned()
+                {
+                    st.wire_seq += 1;
+                    let _ = self.transport.send(from, Frame::data(st.wire_seq, frame.op_seq, payload));
+                }
+                None
+            }
+            FrameKind::Data => {
+                if frame.op_seq == opn {
+                    // Duplicate deliveries of the op being collected are
+                    // discarded by the `have` check: idempotent.
+                    if have {
+                        None
+                    } else {
+                        Some(frame.payload)
+                    }
+                } else if frame.op_seq > opn {
+                    // Early frame for a future op: park it.
+                    st.inbox[from].entry(frame.op_seq).or_insert(frame.payload);
+                    None
+                } else {
+                    // Stale duplicate of a completed op.
+                    None
+                }
             }
         }
-        let result = Arc::clone(slot.result.as_ref().expect("result present"));
-        slot.picked += 1;
-        if slot.picked == shared.world {
-            slot.result = None;
-            slot.arrived = 0;
-            slot.picked = 0;
-            shared.cv.notify_all();
+    }
+
+    /// Exchanges a buffer with all peers; returns every rank's
+    /// contribution, indexed by rank.
+    fn exchange(&self, op: &'static str, data: Vec<f32>) -> Result<Vec<Vec<f32>>, CollectiveError> {
+        let world = self.world_size();
+        let rank = self.rank();
+        if world == 1 {
+            return Ok(vec![data]);
         }
-        result
+        let mut st = self.state.lock();
+        st.op_seq += 1;
+        let opn = st.op_seq;
+        let payload = encode_f32(&data);
+        st.history.push((opn, payload.clone()));
+        if st.history.len() > HISTORY {
+            st.history.remove(0);
+        }
+
+        // Send phase: broadcast our contribution.
+        for peer in (0..world).filter(|&p| p != rank) {
+            st.wire_seq += 1;
+            let frame = Frame::data(st.wire_seq, opn, payload.clone());
+            self.transport.send(peer, frame).map_err(|e| match e {
+                TransportError::Disconnected { peer } => CollectiveError::RankFailed { rank: peer, op },
+                other => CollectiveError::Transport { op, detail: other.to_string() },
+            })?;
+        }
+
+        // Collect phase.
+        let mut got: Vec<Option<Vec<u8>>> = vec![None; world];
+        got[rank] = Some(payload.clone());
+        for peer in (0..world).filter(|&p| p != rank) {
+            if let Some(buf) = st.inbox[peer].remove(&opn) {
+                got[peer] = Some(buf);
+            }
+        }
+        match self.cfg.timeout {
+            None => self.collect_blocking(&mut st, op, opn, &mut got)?,
+            Some(deadline) => self.collect_deadline(&mut st, op, opn, &payload, deadline, &mut got)?,
+        }
+
+        // Anything still buffered at or below this op is a stale duplicate.
+        for peer in 0..world {
+            st.inbox[peer].retain(|&o, _| o > opn);
+        }
+        Ok(got
+            .into_iter()
+            .map(|b| decode_f32(&b.unwrap_or_default()))
+            .collect())
+    }
+
+    /// Blocking collection: per-peer, in rank order. Liveness comes from
+    /// disconnect propagation (a dead peer's links error out).
+    fn collect_blocking(
+        &self,
+        st: &mut CommState,
+        op: &'static str,
+        opn: u64,
+        got: &mut [Option<Vec<u8>>],
+    ) -> Result<(), CollectiveError> {
+        for (peer, slot) in got.iter_mut().enumerate() {
+            while slot.is_none() {
+                let frame = self.transport.recv(peer).map_err(|e| match e {
+                    TransportError::Disconnected { peer } => {
+                        CollectiveError::RankFailed { rank: peer, op }
+                    }
+                    other => CollectiveError::Transport { op, detail: other.to_string() },
+                })?;
+                if let Some(buf) = self.absorb(st, peer, frame, opn, slot.is_some()) {
+                    *slot = Some(buf);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deadline collection: round-robin short-slice polling over the
+    /// missing peers, with heartbeats, backoff-scheduled retransmit
+    /// nudges, and failure attribution at the deadline.
+    fn collect_deadline(
+        &self,
+        st: &mut CommState,
+        op: &'static str,
+        opn: u64,
+        payload: &[u8],
+        deadline: Duration,
+        got: &mut [Option<Vec<u8>>],
+    ) -> Result<(), CollectiveError> {
+        let world = got.len();
+        let start = Instant::now();
+        let slice = (self.cfg.heartbeat / 4).max(Duration::from_millis(1));
+        let mut last_heard = vec![start; world];
+        let mut last_beat = start;
+        let mut attempt = vec![0u32; world];
+        let mut next_nudge = vec![start + self.cfg.backoff_after(0); world];
+        loop {
+            let missing: Vec<usize> = (0..world).filter(|&p| got[p].is_none()).collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            for &peer in &missing {
+                match self.transport.recv_timeout(peer, slice) {
+                    Ok(frame) => {
+                        last_heard[peer] = Instant::now();
+                        if let Some(buf) = self.absorb(st, peer, frame, opn, got[peer].is_some()) {
+                            got[peer] = Some(buf);
+                        }
+                    }
+                    Err(TransportError::Timeout { .. }) => {}
+                    Err(TransportError::Disconnected { peer: dead }) => {
+                        return Err(CollectiveError::RankFailed { rank: dead, op });
+                    }
+                    Err(other) => {
+                        attempt[peer] += 1;
+                        if attempt[peer] > self.cfg.retry.max_retries {
+                            return Err(CollectiveError::Transport { op, detail: other.to_string() });
+                        }
+                    }
+                }
+            }
+            let now = Instant::now();
+            // Heartbeats go only to peers we are still waiting on: a peer
+            // we already heard from may legitimately have finished its
+            // final collective and gone away.
+            if now.duration_since(last_beat) >= self.cfg.heartbeat {
+                for p in (0..world).filter(|p| got[*p].is_none()) {
+                    st.wire_seq += 1;
+                    if let Err(TransportError::Disconnected { peer: dead }) =
+                        self.transport.send(p, Frame::heartbeat(st.wire_seq))
+                    {
+                        return Err(CollectiveError::RankFailed { rank: dead, op });
+                    }
+                }
+                last_beat = now;
+            }
+            // Loss-suspected nudges: retransmit our own contribution (the
+            // peer may have lost it and be stuck waiting on *us*) and
+            // request theirs. New wire numbers, same op number: fault
+            // plans re-roll, receivers dedupe.
+            for p in (0..world).filter(|p| got[*p].is_none()) {
+                if now >= next_nudge[p] && attempt[p] <= self.cfg.retry.max_retries {
+                    st.wire_seq += 1;
+                    let resent = Frame::data(st.wire_seq, opn, payload.to_vec());
+                    st.wire_seq += 1;
+                    let ask = Frame::resend(st.wire_seq, opn);
+                    for frame in [resent, ask] {
+                        if let Err(TransportError::Disconnected { peer: dead }) =
+                            self.transport.send(p, frame)
+                        {
+                            return Err(CollectiveError::RankFailed { rank: dead, op });
+                        }
+                    }
+                    attempt[p] += 1;
+                    next_nudge[p] = now + self.cfg.backoff_after(attempt[p]);
+                }
+            }
+            let elapsed = now.duration_since(start);
+            if elapsed >= deadline {
+                let peer = *missing.first().unwrap_or(&0);
+                let silent_for = now.duration_since(last_heard[peer]);
+                return if silent_for > self.cfg.heartbeat * 3 {
+                    Err(CollectiveError::RankFailed { rank: peer, op })
+                } else {
+                    Err(CollectiveError::Timeout { op, rank: peer, elapsed })
+                };
+            }
+        }
     }
 
     /// Blocks until every rank reaches the barrier.
-    pub fn barrier(&self) {
-        let _ = self.exchange(Vec::new());
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::RankFailed`] if a participant died
+    /// before arriving (poison propagation — waiters never hang on a
+    /// dead peer), or [`CollectiveError::Timeout`] in deadline mode.
+    pub fn barrier(&self) -> Result<(), CollectiveError> {
+        self.exchange("barrier", Vec::new()).map(|_| ())
     }
 
     /// Sums `data` element-wise across all ranks, in place on every rank
-    /// (data parallelism's gradient averaging, before division).
+    /// (data parallelism's gradient averaging, before division). The sum
+    /// is accumulated in rank order, independent of arrival order.
     ///
     /// # Errors
     ///
     /// Returns [`CollectiveError::LengthMismatch`] if ranks disagree on
-    /// length.
+    /// length, or a robustness error ([`CollectiveError::Timeout`],
+    /// [`CollectiveError::RankFailed`], [`CollectiveError::Transport`]).
     pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), CollectiveError> {
-        let all = self.exchange(data.to_vec());
+        let all = self.exchange("all_reduce", data.to_vec())?;
         if all.iter().any(|c| c.len() != data.len()) {
             return Err(CollectiveError::LengthMismatch {
                 lengths: all.iter().map(Vec::len).collect(),
@@ -189,9 +533,10 @@ impl Communicator {
     /// # Errors
     ///
     /// Returns [`CollectiveError::LengthMismatch`] if ranks disagree on
-    /// length.
+    /// length, or a robustness error as for
+    /// [`Communicator::all_reduce_sum`].
     pub fn all_gather(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
-        let all = self.exchange(data.to_vec());
+        let all = self.exchange("all_gather", data.to_vec())?;
         if all.iter().any(|c| c.len() != data.len()) {
             return Err(CollectiveError::LengthMismatch {
                 lengths: all.iter().map(Vec::len).collect(),
@@ -204,27 +549,107 @@ impl Communicator {
         Ok(out)
     }
 
+    /// Gathers buffers of possibly different lengths, concatenated in rank
+    /// order (elastic checkpoint reassembly gathers uneven tail shards).
+    ///
+    /// # Errors
+    ///
+    /// Returns a robustness error as for [`Communicator::all_reduce_sum`].
+    pub fn all_gather_var(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
+        let all = self.exchange("all_gather", data.to_vec())?;
+        let mut out = Vec::new();
+        for contribution in all.iter() {
+            out.extend_from_slice(contribution);
+        }
+        Ok(out)
+    }
+
+    /// Gracefully tears down this rank's endpoint after its final
+    /// collective.
+    ///
+    /// In deadline mode a completed contribution can still be lost on the
+    /// wire: if this rank simply dropped its transport after its last op, a
+    /// slower peer whose copy of the final frame was dropped could never
+    /// get a retransmission and would misreport a rank failure. `shutdown`
+    /// closes that race: the rank lingers — serving [`FrameKind::Resend`]
+    /// requests byte-identically from history and re-broadcasting
+    /// [`FrameKind::Bye`] every heartbeat interval — until every peer has
+    /// said `Bye` back (or disconnected), or `grace` elapses. A peer is
+    /// only marked done on `Bye`/disconnect, both of which prove it needs
+    /// nothing further, so leaving early is safe.
+    ///
+    /// Blocking mode returns immediately: without lossy fault injection
+    /// frames cannot be dropped, and polling would not be meaningful under
+    /// the virtual scheduler.
+    pub fn shutdown(self, grace: Duration) {
+        if self.cfg.timeout.is_none() {
+            return;
+        }
+        let world = self.world_size();
+        let rank = self.rank();
+        if world == 1 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let opn = st.op_seq;
+        let start = Instant::now();
+        let slice = (self.cfg.heartbeat / 4).max(Duration::from_millis(1));
+        let mut done = vec![false; world];
+        done[rank] = true;
+        let mut last_bye: Option<Instant> = None;
+        while done.iter().any(|d| !d) && start.elapsed() < grace {
+            let now = Instant::now();
+            if last_bye.is_none_or(|t| now.duration_since(t) >= self.cfg.heartbeat) {
+                for (p, d) in done.iter_mut().enumerate() {
+                    if *d {
+                        continue;
+                    }
+                    st.wire_seq += 1;
+                    if self.transport.send(p, Frame::bye(st.wire_seq)).is_err() {
+                        *d = true;
+                    }
+                }
+                last_bye = Some(now);
+            }
+            for (p, d) in done.iter_mut().enumerate() {
+                if *d {
+                    continue;
+                }
+                match self.transport.recv_timeout(p, slice) {
+                    Ok(frame) if frame.kind == FrameKind::Bye => *d = true,
+                    Ok(frame) => {
+                        // Serve resends; stale data/heartbeats are no-ops.
+                        let _ = self.absorb(&mut st, p, frame, opn + 1, true);
+                    }
+                    Err(TransportError::Disconnected { .. }) => *d = true,
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
     /// Reduces (sums) full-length buffers and returns this rank's 1/world
     /// chunk (ZeRO's gradient partitioning primitive).
     ///
     /// # Errors
     ///
     /// Returns [`CollectiveError::UnevenPartition`] if the length is not a
-    /// multiple of the world size, or [`CollectiveError::LengthMismatch`]
-    /// if ranks disagree on length.
+    /// multiple of the world size, [`CollectiveError::LengthMismatch`] if
+    /// ranks disagree on length, or a robustness error as for
+    /// [`Communicator::all_reduce_sum`].
     pub fn reduce_scatter_sum(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
-        let world = self.shared.world;
+        let world = self.world_size();
         if !data.len().is_multiple_of(world) {
             return Err(CollectiveError::UnevenPartition { len: data.len(), world });
         }
-        let all = self.exchange(data.to_vec());
+        let all = self.exchange("reduce_scatter", data.to_vec())?;
         if all.iter().any(|c| c.len() != data.len()) {
             return Err(CollectiveError::LengthMismatch {
                 lengths: all.iter().map(Vec::len).collect(),
             });
         }
         let chunk = data.len() / world;
-        let start = self.rank * chunk;
+        let start = self.rank() * chunk;
         let mut out = vec![0.0; chunk];
         for contribution in all.iter() {
             for (o, c) in out.iter_mut().zip(contribution[start..start + chunk].iter()) {
@@ -238,6 +663,7 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faulty::{DisconnectPoint, DisconnectRule, FaultyTransport, TransportFaultPlan};
     use std::thread;
 
     fn run_world<F, T>(world: usize, f: F) -> Vec<T>
@@ -245,7 +671,14 @@ mod tests {
         F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
         T: Send + 'static,
     {
-        let comms = Communicator::world(world);
+        run_comms(Communicator::world(world), f)
+    }
+
+    fn run_comms<F, T>(comms: Vec<Communicator>, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|c| {
@@ -254,6 +687,20 @@ mod tests {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    /// An in-process world where each rank's transport is wrapped in the
+    /// given fault plan.
+    fn faulty_world(world: usize, plan: &TransportFaultPlan, cfg: CollectiveConfig) -> Vec<Communicator> {
+        InProcTransport::world(world)
+            .into_iter()
+            .map(|t| {
+                Communicator::new(
+                    Box::new(FaultyTransport::new(Box::new(t), plan.clone())),
+                    cfg.clone(),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -277,6 +724,17 @@ mod tests {
     }
 
     #[test]
+    fn all_gather_var_handles_uneven_shards() {
+        let results = run_world(3, |c| {
+            let data: Vec<f32> = (0..=c.rank()).map(|i| i as f32).collect();
+            c.all_gather_var(&data).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 0.0, 1.0, 0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
     fn reduce_scatter_returns_own_chunk() {
         let results = run_world(2, |c| {
             let data: Vec<f32> = (0..4).map(|i| (i + 1) as f32 * (c.rank() + 1) as f32).collect();
@@ -293,7 +751,7 @@ mod tests {
     }
 
     #[test]
-    fn repeated_collectives_reuse_the_slot() {
+    fn repeated_collectives_advance_op_numbers() {
         let results = run_world(3, |c| {
             let mut acc = 0.0;
             for round in 0..10 {
@@ -322,7 +780,7 @@ mod tests {
     fn barrier_synchronizes() {
         // All ranks must pass; hang = failure by test timeout.
         let results = run_world(4, |c| {
-            c.barrier();
+            c.barrier().unwrap();
             c.rank()
         });
         assert_eq!(results.len(), 4);
@@ -337,5 +795,183 @@ mod tests {
         assert_eq!(d, vec![1.0, 2.0]);
         assert_eq!(c.all_gather(&d).unwrap(), d);
         assert_eq!(c.reduce_scatter_sum(&d).unwrap(), d);
+    }
+
+    #[test]
+    fn barrier_poisoning_a_panicked_rank_errors_waiters_instead_of_hanging() {
+        // Satellite fix: rank 2 "panics before arriving" — modeled by its
+        // communicator being dropped during unwind. Survivors must get
+        // RankFailed, not block forever.
+        let mut comms = Communicator::world(3);
+        let dead = comms.remove(2);
+        drop(dead);
+        let results = run_comms(comms, |c| c.barrier());
+        // Attribution under cascading teardown is racy (the first survivor
+        // to error drops its own links, and the second may observe *that*
+        // death first), but the liveness contract is exact: every survivor
+        // errors with RankFailed rather than hanging, and the survivor that
+        // failed first can only have been failed by the poisoned rank 2.
+        assert!(
+            results
+                .iter()
+                .all(|r| matches!(r, Err(CollectiveError::RankFailed { op: "barrier", .. }))),
+            "survivors must all see RankFailed: {results:?}"
+        );
+        assert!(
+            results
+                .iter()
+                .any(|r| matches!(r, Err(CollectiveError::RankFailed { rank: 2, .. }))),
+            "the first failure must name the poisoned rank: {results:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_mode_matches_blocking_numerics() {
+        let cfg = CollectiveConfig::with_timeout(Duration::from_secs(5));
+        let results = run_comms(Communicator::world_with(4, cfg), |c| {
+            let mut data = vec![(c.rank() + 1) as f32; 5];
+            c.all_reduce_sum(&mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0; 5]);
+        }
+    }
+
+    #[test]
+    fn lossy_transport_is_bitwise_invisible_with_retransmits() {
+        // Drops + delays + dups, no permanent failures: every collective
+        // must converge to exactly the loss-free answer.
+        let plan = TransportFaultPlan {
+            drop_p: 0.2,
+            dup_p: 0.1,
+            delay_ticks: Some((0, 2)),
+            ..TransportFaultPlan::none(42)
+        };
+        let mut cfg = CollectiveConfig::with_timeout(Duration::from_secs(10));
+        cfg.heartbeat = Duration::from_millis(5);
+        // Enough retransmit attempts that a 0.2 drop rate cannot plausibly
+        // eat every copy of a contribution before the deadline.
+        cfg.retry.max_retries = 12;
+        let results = run_comms(faulty_world(3, &plan, cfg), |c| {
+            let mut acc = Vec::new();
+            for round in 0..6 {
+                let mut data: Vec<f32> =
+                    (0..4).map(|i| (round * 7 + i + c.rank() * 3) as f32 * 0.25).collect();
+                c.all_reduce_sum(&mut data).unwrap();
+                acc.extend(data);
+            }
+            // A fast rank must not vanish while a slower peer may still
+            // need a retransmission of its round-6 contribution.
+            c.shutdown(Duration::from_secs(10));
+            acc
+        });
+        let expected: Vec<f32> = (0..6)
+            .flat_map(|round| {
+                (0..4).map(move |i| {
+                    (0..3).map(|rank| (round * 7 + i + rank * 3) as f32 * 0.25).sum::<f32>()
+                })
+            })
+            .collect();
+        for r in results {
+            assert_eq!(r, expected, "lossy run diverged from loss-free numerics");
+        }
+    }
+
+    #[test]
+    fn mid_collective_disconnect_is_reported_within_the_deadline() {
+        // Rank 1's endpoint dies after 3 frames — inside the second
+        // all_reduce's send fan-out for world=3 (2 frames per op). The
+        // survivors must observe RankFailed (never hang), and rank 1 sees
+        // its own endpoint die.
+        let plan = TransportFaultPlan {
+            disconnects: vec![DisconnectRule { rank: 1, at: DisconnectPoint::Frame(3) }],
+            ..TransportFaultPlan::none(0)
+        };
+        let mut cfg = CollectiveConfig::with_timeout(Duration::from_millis(400));
+        cfg.heartbeat = Duration::from_millis(10);
+        let started = Instant::now();
+        let results = run_comms(faulty_world(3, &plan, cfg), |c| {
+            for round in 0..4 {
+                let mut data = vec![round as f32; 2];
+                c.all_reduce_sum(&mut data)?;
+            }
+            Ok(())
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failure detection must not hang"
+        );
+        // The injected victim must see its own endpoint die; survivors
+        // must all fail (RankFailed or, if they raced the teardown,
+        // Timeout) — exact attribution is racy under cascading link
+        // deaths, but nobody may succeed or hang.
+        let mut failed_ranks = 0;
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Err(CollectiveError::RankFailed { rank: dead, .. }) => {
+                    failed_ranks += 1;
+                    if rank == 1 {
+                        assert_eq!(dead, 1, "the victim must blame its own endpoint");
+                    }
+                }
+                Err(CollectiveError::Timeout { .. }) if rank != 1 => failed_ranks += 1,
+                other => panic!("rank {rank}: expected failure, got {other:?}"),
+            }
+        }
+        assert_eq!(failed_ranks, 3);
+    }
+
+    #[test]
+    fn slow_peer_is_a_timeout_not_a_rank_failure() {
+        // Rank 1 heartbeats diligently but never contributes: provably
+        // alive, just slow. The detector must classify that as Timeout
+        // (retry territory), not RankFailed (eviction territory).
+        let mut world = InProcTransport::world(2);
+        let t1 = world.pop().unwrap();
+        let t0 = world.pop().unwrap();
+        let mut cfg = CollectiveConfig::with_timeout(Duration::from_millis(80));
+        cfg.heartbeat = Duration::from_millis(10);
+        let c0 = Communicator::new(Box::new(t0), cfg);
+        let beater = thread::spawn(move || {
+            let stop_at = Instant::now() + Duration::from_millis(400);
+            let mut wire = 0;
+            while Instant::now() < stop_at {
+                wire += 1;
+                if t1.send(0, Frame::heartbeat(wire)).is_err() {
+                    break;
+                }
+                // Drain inbound traffic so rank 0's nudges don't pile up.
+                while t1.recv_timeout(0, Duration::from_millis(1)).is_ok() {}
+                thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let err = {
+            let mut d = vec![1.0];
+            c0.all_reduce_sum(&mut d).unwrap_err()
+        };
+        drop(c0);
+        beater.join().unwrap();
+        match err {
+            CollectiveError::Timeout { op, rank, elapsed } => {
+                assert_eq!(op, "all_reduce");
+                assert_eq!(rank, 1);
+                assert!(elapsed >= Duration::from_millis(80));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_the_failing_op_and_rank() {
+        let t = CollectiveError::Timeout {
+            op: "all_reduce",
+            rank: 2,
+            elapsed: Duration::from_millis(150),
+        };
+        assert!(t.to_string().contains("all_reduce"));
+        assert!(t.to_string().contains("rank 2"));
+        let f = CollectiveError::RankFailed { rank: 1, op: "barrier" };
+        assert_eq!(f.to_string(), "rank 1 failed during barrier");
     }
 }

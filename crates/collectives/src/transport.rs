@@ -1,0 +1,281 @@
+//! The pluggable point-to-point substrate collectives are built on.
+//!
+//! A [`Transport`] moves opaque [`Frame`]s between the ranks of a world.
+//! Everything above it — the mesh exchange, retry/backoff, sequence-number
+//! dedupe, heartbeat failure detection (`functional.rs`) — is written once
+//! against this trait, so the same collective code runs over in-process
+//! channels ([`crate::InProcTransport`]), real sockets
+//! ([`crate::SocketTransport`]), or a fault-injecting wrapper
+//! ([`crate::FaultyTransport`]).
+
+use std::time::Duration;
+
+/// Leading magic of every wire-encoded frame (`"DOSF"`).
+pub const FRAME_MAGIC: u32 = 0x444F_5346;
+
+/// What a [`Frame`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A collective contribution: `op_seq` identifies the collective
+    /// operation, the payload is the sender's buffer.
+    Data,
+    /// Liveness beacon; `op_seq` and payload are ignored.
+    Heartbeat,
+    /// Request to retransmit the `op_seq` contribution (sent when the
+    /// requester suspects its copy was lost in flight).
+    Resend,
+    /// Graceful-teardown announcement: the sender has completed its final
+    /// collective and is only lingering to serve resend requests. Peers
+    /// that have heard a `Bye` (re-broadcast periodically, since it can be
+    /// lost like any frame) from everyone may tear down immediately.
+    Bye,
+}
+
+impl FrameKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Heartbeat => 1,
+            FrameKind::Resend => 2,
+            FrameKind::Bye => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Heartbeat),
+            2 => Some(FrameKind::Resend),
+            3 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One transport message.
+///
+/// `wire_seq` is a per-link transmission counter: every transmission —
+/// including a retransmission of the *same* logical contribution — gets a
+/// fresh value, so fault injection keyed on it re-rolls the dice for
+/// retries instead of deterministically re-dropping them. `op_seq` is the
+/// logical collective-operation number used for idempotent dedupe: a rank
+/// that receives the same `(peer, op_seq)` contribution twice discards the
+/// second copy, which is what makes retransmits bitwise-safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Per-link transmission sequence number (fresh on every send).
+    pub wire_seq: u64,
+    /// Logical collective operation number (stable across retransmits).
+    pub op_seq: u64,
+    /// Message discriminator.
+    pub kind: FrameKind,
+    /// Opaque payload (little-endian `f32`s for the collectives here).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A data frame.
+    pub fn data(wire_seq: u64, op_seq: u64, payload: Vec<u8>) -> Frame {
+        Frame { wire_seq, op_seq, kind: FrameKind::Data, payload }
+    }
+
+    /// A heartbeat frame.
+    pub fn heartbeat(wire_seq: u64) -> Frame {
+        Frame { wire_seq, op_seq: 0, kind: FrameKind::Heartbeat, payload: Vec::new() }
+    }
+
+    /// A resend request for `op_seq`.
+    pub fn resend(wire_seq: u64, op_seq: u64) -> Frame {
+        Frame { wire_seq, op_seq, kind: FrameKind::Resend, payload: Vec::new() }
+    }
+
+    /// A graceful-teardown announcement.
+    pub fn bye(wire_seq: u64) -> Frame {
+        Frame { wire_seq, op_seq: 0, kind: FrameKind::Bye, payload: Vec::new() }
+    }
+
+    /// Wire encoding: `magic u32 | kind u8 | wire_seq u64 | op_seq u64 |
+    /// len u32 | payload | fnv1a-64 checksum` (all little-endian, checksum
+    /// over everything before it).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29 + self.payload.len() + 8);
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.push(self.kind.as_u8());
+        out.extend_from_slice(&self.wire_seq.to_le_bytes());
+        out.extend_from_slice(&self.op_seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame previously produced by [`Frame::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field (bad magic,
+    /// unknown kind, truncation, checksum mismatch).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, String> {
+        if bytes.len() < 25 + 8 {
+            return Err(format!("frame truncated: {} bytes", bytes.len()));
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        let expected = u64::from_le_bytes(sum);
+        let actual = fnv1a64(body);
+        if expected != actual {
+            return Err(format!("checksum mismatch: stored {expected:#x}, computed {actual:#x}"));
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&body[0..4]);
+        if u32::from_le_bytes(magic) != FRAME_MAGIC {
+            return Err("bad frame magic".to_string());
+        }
+        let kind = FrameKind::from_u8(body[4]).ok_or_else(|| format!("unknown kind {}", body[4]))?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&body[5..13]);
+        let mut o = [0u8; 8];
+        o.copy_from_slice(&body[13..21]);
+        let mut l = [0u8; 4];
+        l.copy_from_slice(&body[21..25]);
+        let len = u32::from_le_bytes(l) as usize;
+        if body.len() != 25 + len {
+            return Err(format!("length field {} disagrees with frame size", len));
+        }
+        Ok(Frame {
+            wire_seq: u64::from_le_bytes(w),
+            op_seq: u64::from_le_bytes(o),
+            kind,
+            payload: body[25..].to_vec(),
+        })
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` (the frame checksum).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Transport-level failures, attributed to a peer where possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The link to `peer` is gone (process exit, socket close, channel
+    /// endpoints dropped). Permanent for that link.
+    Disconnected {
+        /// The unreachable peer (the local rank itself when the local
+        /// endpoint was torn down, e.g. by an injected disconnect).
+        peer: usize,
+    },
+    /// Nothing arrived from `peer` before the deadline. Transient.
+    Timeout {
+        /// The silent peer.
+        peer: usize,
+    },
+    /// A frame from `peer` failed validation (checksum, framing).
+    Corrupt {
+        /// The offending peer.
+        peer: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// An I/O error on the link to `peer`.
+    Io {
+        /// The peer on the failing link.
+        peer: usize,
+        /// Stringified error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected { peer } => write!(f, "link to rank {peer} disconnected"),
+            TransportError::Timeout { peer } => write!(f, "timed out waiting on rank {peer}"),
+            TransportError::Corrupt { peer, detail } => {
+                write!(f, "corrupt frame from rank {peer}: {detail}")
+            }
+            TransportError::Io { peer, detail } => write!(f, "i/o error on link to rank {peer}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Point-to-point frame delivery between the ranks of a world.
+///
+/// Implementations must deliver frames from a given peer in send order
+/// (per-link FIFO) but are free to lose, duplicate, or arbitrarily delay
+/// them — the collectives above recover via sequence numbers, resend
+/// requests, and heartbeats. `recv`/`recv_timeout` take the *source* rank:
+/// reception is per-peer, which is what lets the mesh exchange reduce in
+/// rank order regardless of arrival order.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn world_size(&self) -> usize;
+
+    /// Sends a frame to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the link is permanently gone,
+    /// [`TransportError::Io`] for transient link errors.
+    fn send(&self, to: usize, frame: Frame) -> Result<(), TransportError>;
+
+    /// Blocks until a frame from `from` arrives (or the link dies). Used
+    /// by the deadline-free blocking mode, where `dos-check`'s deadlock
+    /// detector stands in for timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when the link is permanently gone.
+    fn recv(&self, from: usize) -> Result<Frame, TransportError>;
+
+    /// Waits up to `timeout` for a frame from `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when nothing arrived in time; the other
+    /// variants as for [`Transport::recv`].
+    fn recv_timeout(&self, from: usize, timeout: Duration) -> Result<Frame, TransportError>;
+
+    /// Advances the transport's notion of the training epoch (iteration).
+    /// Fault-injecting transports key scheduled faults (disconnects,
+    /// partition windows) off this; real transports ignore it.
+    fn set_epoch(&self, _epoch: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_wire_encoding() {
+        let f = Frame::data(7, 3, vec![1, 2, 3, 250]);
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        let hb = Frame::heartbeat(9);
+        assert_eq!(Frame::decode(&hb.encode()).unwrap(), hb);
+        let rs = Frame::resend(10, 4);
+        assert_eq!(Frame::decode(&rs.encode()).unwrap(), rs);
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let mut bytes = Frame::data(1, 1, vec![42; 16]).encode();
+        bytes[10] ^= 0xff;
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+        assert!(Frame::decode(&bytes[..10]).unwrap_err().contains("truncated"));
+    }
+}

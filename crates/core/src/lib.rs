@@ -46,7 +46,7 @@ mod nvme;
 mod perf_model;
 mod pipeline;
 mod schedulers;
-pub mod sync;
+pub use dos_sync as sync;
 
 pub use arena::{ArenaPool, PooledF16, PooledF32};
 pub use calibration::{calibrate, calibrate_with, CalibrationReport, CalibrationSpread};

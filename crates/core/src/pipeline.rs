@@ -762,3 +762,45 @@ mod tests {
         assert_eq!(pool.in_use_bytes(), 0, "worker loss must not leak leases");
     }
 }
+
+#[cfg(all(test, feature = "check"))]
+mod check_tests {
+    use crate::sync::sched::{run_with_scheduler, PendingOp, Pick, Tid};
+    use crate::{hybrid_update, PipelineConfig};
+    use dos_optim::{MixedPrecisionState, UpdateRule};
+    use dos_zero::partition_into_subgroups;
+
+    #[test]
+    fn hybrid_update_matches_sequential_under_default_and_reversed_schedules() {
+        let n = 48;
+        let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0).collect();
+        let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
+        let mut seq = MixedPrecisionState::new(init.clone(), UpdateRule::adam(), 0.01);
+        seq.full_step(&grads);
+        let expected = seq.params().to_vec();
+
+        for reversed in [false, true] {
+            let init = init.clone();
+            let grads = grads.clone();
+            let outcome = run_with_scheduler(
+                move || {
+                    let mut state = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+                    let sgs = partition_into_subgroups(n, 8);
+                    let report =
+                        hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default())
+                            .unwrap();
+                    (state.params().to_vec(), report.device_subgroups)
+                },
+                |_, enabled: &[(Tid, PendingOp)]| {
+                    let idx = if reversed { enabled.len() - 1 } else { 0 };
+                    Pick::Run(enabled[idx].0)
+                },
+                100_000,
+            );
+            assert!(outcome.error.is_none(), "teardown: {:?}", outcome.error);
+            let (params, on_device) = outcome.result.unwrap();
+            assert_eq!(params, expected, "reversed={reversed} diverged");
+            assert!(on_device > 0);
+        }
+    }
+}

@@ -41,7 +41,14 @@
 //!   --trace-out FILE also export the faulted iteration's Chrome trace,
 //!                    fault instants included
 //!   --flight-out FILE write the monitored worker-kill check's automatic
-//!                    flight-recorder dump here
+//!                    flight-recorder dump here (with --transport-faults,
+//!                    the transport check's dump — it runs last)
+//!   --transport-faults SPEC  also run DP=4 training over a
+//!                    fault-injected collective transport; SPEC grammar:
+//!                    drop:P, dup:P, delay:LO..HI, disconnect:rankR@iterN,
+//!                    part:A-B@LO..HI (comma-separated). Transient-only
+//!                    plans must stay bitwise; permanent failures must
+//!                    degrade elastically at reduced world size.
 //!
 //! monitor: run real training while serving live metrics over HTTP —
 //! `/metrics` (Prometheus text format), `/metrics.json`, and `/health`
@@ -144,7 +151,7 @@ fn usage() {
     eprintln!("       dos-cli trace <config.json> [--out trace.json] [--analyze]");
     eprintln!("       dos-cli conformance [--quick] [--json] [--filter SUBSTR]");
     eprintln!(
-        "       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE] [--flight-out FILE]"
+        "       dos-cli chaos <config.json> [--seed N] [--faults SPEC] [--trace-out FILE] [--flight-out FILE] [--transport-faults SPEC]"
     );
     eprintln!(
         "       dos-cli monitor <config.json> [--listen ADDR] [--iterations N] [--seed N] [--prom-out FILE] [--health-out FILE] [--flight-dir DIR]"
@@ -418,6 +425,10 @@ fn run_chaos_cmd(rest: &[String]) -> Result<bool, String> {
             "--flight-out" => {
                 opts.flight_out =
                     Some(args.next().ok_or("--flight-out needs a path")?.into());
+            }
+            "--transport-faults" => {
+                opts.transport_faults =
+                    Some(args.next().ok_or("--transport-faults needs a spec")?.to_string());
             }
             other if config_path.is_none() => config_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),

@@ -10,14 +10,20 @@
 //! * a crash recovers from the **newest valid checkpoint** and replays to a
 //!   **bitwise identical** final state;
 //! * simulated faults surface as **trace instants** and delay — never
-//!   drop — scheduled operations.
+//!   drop — scheduled operations;
+//! * with `--transport-faults SPEC`, DP training over a fault-injected
+//!   transport absorbs transient faults **bitwise** (sequence-numbered
+//!   retransmits) and survives permanent rank failures by **elastic
+//!   degradation** at reduced world size.
 //!
 //! Every check is reproducible from its seed; any broken invariant makes
 //! the CLI exit nonzero.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::time::Duration;
 
+use dos_collectives::TransportFaultPlan;
 use dos_core::{hybrid_update, DeviceFault, PipelineConfig};
 use dos_hal::{FaultPlan, SimTime};
 use dos_optim::{MixedPrecisionState, UpdateRule};
@@ -27,7 +33,7 @@ use dos_zero::partition_into_subgroups;
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::{ConfigError, RuntimeConfig};
-use crate::functional::{train_functional, FunctionalConfig};
+use crate::functional::{train_functional, FunctionalConfig, RankFailurePolicy};
 
 /// One class of injected fault a campaign can include.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,8 +92,16 @@ pub struct ChaosOptions {
     /// (fault instants included), if anywhere.
     pub trace_out: Option<PathBuf>,
     /// Where to write the flight-recorder dump produced by the monitored
-    /// worker-kill check, if anywhere.
+    /// worker-kill check — and, when a transport-faults spec is set, by
+    /// the transport check (which runs last and overwrites it with a dump
+    /// containing the `fault:collective:*` instants), if anywhere.
     pub flight_out: Option<PathBuf>,
+    /// Transport fault spec (the [`TransportFaultPlan::parse`] grammar,
+    /// e.g. `drop:0.05,delay:1..3,disconnect:rank1@iter3`). When present,
+    /// the campaign additionally runs DP=4 functional training over a
+    /// fault-injected transport and verifies the retransmit/elastic
+    /// invariants.
+    pub transport_faults: Option<String>,
 }
 
 impl Default for ChaosOptions {
@@ -97,6 +111,7 @@ impl Default for ChaosOptions {
             faults: FaultKind::all().to_vec(),
             trace_out: None,
             flight_out: None,
+            transport_faults: None,
         }
     }
 }
@@ -176,6 +191,9 @@ pub fn run_chaos(
         }
         if degrade || transfer {
             checks.push(check_sim_faults(config, opts, degrade, transfer)?);
+        }
+        if let Some(spec) = &opts.transport_faults {
+            checks.push(check_transport_faults(opts.seed, spec, opts.flight_out.as_deref()));
         }
 
         Ok(ChaosReport { seed: opts.seed, checks })
@@ -501,6 +519,121 @@ fn checkpoint_recovery_inner(seed: u64, dir: &std::path::Path) -> Result<String,
     ))
 }
 
+/// DP=4 functional training over a fault-injected transport. Transient
+/// faults (drops, duplications, delays) must be absorbed by the
+/// sequence-numbered retransmit path with the run staying **bitwise
+/// identical** to a fault-free one; permanent failures (disconnects,
+/// partitions) must trigger elastic degradation — evict the dead rank,
+/// rebuild at reduced world size from the latest crash-consistent
+/// checkpoint, finish the run. Either way the injections surface as
+/// `fault:collective:*` instants, and the flight dump written to
+/// `flight_out` carries them for post-mortem.
+fn check_transport_faults(
+    seed: u64,
+    spec: &str,
+    flight_out: Option<&std::path::Path>,
+) -> ChaosCheck {
+    let name = "transport-faults-dp-training".to_string();
+    let plan = match TransportFaultPlan::parse(spec, seed) {
+        Ok(p) => p,
+        Err(e) => {
+            return ChaosCheck { name, passed: false, detail: format!("bad fault spec: {e}") }
+        }
+    };
+    let dir = std::env::temp_dir()
+        .join(format!("dos-chaos-transport-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = transport_faults_inner(seed, &plan, &dir, flight_out);
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(detail) => ChaosCheck { name, passed: true, detail },
+        Err(detail) => ChaosCheck { name, passed: false, detail },
+    }
+}
+
+fn transport_faults_inner(
+    seed: u64,
+    plan: &TransportFaultPlan,
+    dir: &std::path::Path,
+    flight_out: Option<&std::path::Path>,
+) -> Result<String, String> {
+    let stream: Vec<usize> = (0..2000).map(|i| (i * 7 + 3) % 61).collect();
+    let ds = dos_data::TokenDataset::from_stream(&stream, 8);
+    let world = 4;
+    let iters = 4;
+    let mut cfg = FunctionalConfig::small();
+    cfg.world = world;
+    cfg.subgroup_size = 512;
+    cfg.seed = seed ^ 0x7A57;
+    cfg.collective_timeout = Some(Duration::from_secs(30));
+
+    let permanent = *plan != plan.without_permanent_failures();
+    let tracer = Tracer::with_flight(65_536);
+    let mut faulted = cfg.clone();
+    faulted.transport_faults = Some(plan.clone());
+    faulted.tracer = Some(tracer.clone());
+    if permanent {
+        faulted.on_rank_failure = RankFailurePolicy::Elastic;
+        faulted.checkpoint_dir = Some(dir.to_path_buf());
+        faulted.checkpoint_every = 1;
+    }
+    let run = train_functional(&faulted, &ds, iters).map_err(|e| format!("faulted run: {e}"))?;
+
+    let fault_instants = tracer
+        .events()
+        .iter()
+        .filter(|e| e.name.starts_with("fault:collective:"))
+        .count();
+    if !plan.is_noop() && fault_instants == 0 {
+        return Err("injected transport faults left no fault:collective:* instants".to_string());
+    }
+    if !run.ranks_consistent {
+        return Err("surviving ranks ended with inconsistent parameters".to_string());
+    }
+    let detail = if permanent {
+        if run.recoveries == 0 {
+            return Err("permanent rank failure triggered no elastic recovery".to_string());
+        }
+        if run.final_world >= world {
+            return Err(format!(
+                "world did not shrink under a permanent failure (final world {})",
+                run.final_world
+            ));
+        }
+        format!(
+            "{fault_instants} fault instants; {} elastic eviction(s), finished at world \
+             {} of {world}",
+            run.recoveries, run.final_world
+        )
+    } else {
+        // No permanent failure: retransmission must make the faults
+        // invisible — bitwise identical to the fault-free run.
+        let healthy =
+            train_functional(&cfg, &ds, iters).map_err(|e| format!("fault-free run: {e}"))?;
+        if run.recoveries != 0 || run.final_world != world {
+            return Err(format!(
+                "transient-only plan caused {} recoveries (final world {})",
+                run.recoveries, run.final_world
+            ));
+        }
+        if run.losses != healthy.losses || run.final_params != healthy.final_params {
+            return Err("transient transport faults changed the numerics".to_string());
+        }
+        format!(
+            "{fault_instants} fault instants absorbed by retransmission; DP={world} run \
+             bitwise identical to fault-free"
+        )
+    };
+    if let Some(out) = flight_out {
+        let dump = tracer
+            .flight()
+            .ok_or_else(|| "tracer lost its flight recorder".to_string())?
+            .dump("chaos:transport-faults");
+        std::fs::write(out, dump.to_json()).map_err(|e| format!("write {}: {e}", out.display()))?;
+    }
+    Ok(detail)
+}
+
 /// Simulated PCIe degradation + transient transfer failures: fault events
 /// must appear as trace instants, and every scheduled op must still run.
 fn check_sim_faults(
@@ -617,6 +750,7 @@ mod tests {
             faults: vec![FaultKind::WorkerKill],
             trace_out: None,
             flight_out: None,
+            transport_faults: None,
         };
         let a = run_chaos(&config, &opts).unwrap();
         let b = run_chaos(&config, &opts).unwrap();
@@ -636,6 +770,7 @@ mod tests {
             faults: vec![FaultKind::WorkerKill],
             trace_out: None,
             flight_out: Some(out.clone()),
+            transport_faults: None,
         };
         let report = run_chaos(&config, &opts).unwrap();
         assert!(report.passed(), "{}", report.render());
@@ -644,6 +779,56 @@ mod tests {
         assert!(dump.events.iter().any(|e| e.name == "fault:device-worker"));
         assert!(dump.reason.starts_with("health:degraded"));
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn transport_faults_check_absorbs_transient_faults_bitwise() {
+        let config = RuntimeConfig::from_json(r#"{ "model": "7B" }"#).unwrap();
+        let opts = ChaosOptions {
+            seed: 7,
+            faults: vec![],
+            trace_out: None,
+            flight_out: None,
+            transport_faults: Some("drop:0.05,delay:1..2".to_string()),
+        };
+        let report = run_chaos(&config, &opts).unwrap();
+        assert_eq!(report.checks.len(), 1, "{}", report.render());
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.checks[0].detail.contains("bitwise identical"), "{}", report.render());
+    }
+
+    #[test]
+    fn transport_faults_check_degrades_elastically_and_dumps_flight() {
+        let out = std::env::temp_dir()
+            .join(format!("dos-chaos-transport-flight-{}.json", std::process::id()));
+        let config = RuntimeConfig::from_json(r#"{ "model": "7B" }"#).unwrap();
+        let opts = ChaosOptions {
+            seed: 7,
+            faults: vec![],
+            trace_out: None,
+            flight_out: Some(out.clone()),
+            transport_faults: Some("drop:0.05,delay:1..3,disconnect:rank1@iter3".to_string()),
+        };
+        let report = run_chaos(&config, &opts).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.checks[0].detail.contains("eviction"), "{}", report.render());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let dump = dos_telemetry::FlightDump::from_json(&text).unwrap();
+        assert!(
+            dump.events.iter().any(|e| e.name.starts_with("fault:collective:")),
+            "flight dump missing fault:collective instants"
+        );
+        std::fs::remove_file(&out).ok();
+
+        // A garbage spec is a failed check, not a crash.
+        let opts = ChaosOptions {
+            transport_faults: Some("drop:lots".to_string()),
+            flight_out: None,
+            ..opts
+        };
+        let report = run_chaos(&config, &opts).unwrap();
+        assert!(!report.passed());
+        assert!(report.checks[0].detail.contains("bad fault spec"), "{}", report.render());
     }
 
     #[test]
@@ -666,6 +851,7 @@ mod tests {
             faults: vec![FaultKind::Degrade, FaultKind::TransferFail],
             trace_out: Some(out.clone()),
             flight_out: None,
+            transport_faults: None,
         };
         let report = run_chaos(&config, &opts).unwrap();
         assert!(report.passed(), "{}", report.render());

@@ -61,7 +61,7 @@ impl From<serde_json::Error> for ConfigError {
 // The `"deep_optimizer_states"` entry itself is owned by `dos-train` (the
 // functional Trainer's JSON surface shares it); re-exported here so the
 // simulator-facing document keeps its historical import paths.
-pub use dos_train::{DosEntry, NamedStride, StrideEntry};
+pub use dos_train::{CollectivesEntry, DosEntry, NamedStride, StrideEntry};
 
 /// The whole runtime configuration document.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -9,7 +9,15 @@
 //! back. This is the paper's training loop in miniature — with real
 //! numerics instead of a timing model.
 
-use dos_collectives::{CollectiveError, Communicator};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dos_collectives::{
+    CollectiveConfig, CollectiveError, Communicator, FaultyTransport, InProcTransport,
+    Transport, TransportFaultPlan,
+};
+#[cfg(unix)]
+use dos_collectives::SocketTransport;
 use dos_control::{WallClockTuner, WallClockTunerConfig};
 use dos_core::{ArenaPool, PipelineConfig, PipelineError, StridePolicy};
 use dos_data::{DataLoader, TokenDataset};
@@ -27,12 +35,6 @@ pub enum TrainError {
     Checkpoint(CheckpointError),
     /// The hybrid update pipeline rejected its inputs.
     Pipeline(PipelineError),
-    /// Resuming from a checkpoint needs `world == 1` (the snapshot holds a
-    /// single rank's full optimizer state).
-    ResumeRequiresSingleRank {
-        /// The configured world size.
-        world: usize,
-    },
     /// A collective operation failed (ranks out of lockstep).
     Collective(CollectiveError),
     /// A rank thread panicked.
@@ -49,9 +51,6 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             TrainError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
-            TrainError::ResumeRequiresSingleRank { world } => {
-                write!(f, "resume requires world == 1, configured world is {world}")
-            }
             TrainError::Collective(e) => write!(f, "collective failure: {e}"),
             TrainError::RankPanicked => write!(f, "a rank thread panicked"),
             TrainError::Monitor(detail) => write!(f, "metrics endpoint failure: {detail}"),
@@ -86,6 +85,31 @@ impl From<CollectiveError> for TrainError {
     fn from(e: CollectiveError) -> Self {
         TrainError::Collective(e)
     }
+}
+
+/// What the coordinator does when a rank fails mid-run (link dead, peer
+/// silent past its deadline, or its thread panicked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankFailurePolicy {
+    /// Abort the run, surfacing the typed [`TrainError::Collective`].
+    Error,
+    /// Elastic degradation: evict the dead rank, rebuild the communicator
+    /// at the next step boundary from the latest crash-consistent
+    /// checkpoint, and continue at the reduced world size.
+    Elastic,
+}
+
+/// Which point-to-point substrate carries the collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportBackend {
+    /// In-process channels between the rank threads (single process).
+    InProc,
+    /// Unix-domain sockets rendezvousing in this directory
+    /// (`rank<r>.sock` files) — the same wire protocol real multi-process
+    /// launches speak, driven here with one endpoint per rank thread.
+    /// Unix only; selecting it elsewhere is a transport error at run
+    /// start.
+    Uds(std::path::PathBuf),
 }
 
 /// Configuration of a functional training run.
@@ -136,8 +160,25 @@ pub struct FunctionalConfig {
     /// model takes the snapshot's device parameters, the optimizer its
     /// state, the data loader fast-forwards past the iterations already
     /// done, and new checkpoints continue its iteration numbering.
-    /// Requires `world == 1`.
+    /// Snapshots hold the *full* optimizer state (gathered across ranks at
+    /// capture time), so any world size can resume from any snapshot —
+    /// each rank re-shards the zero-padded full state.
     pub resume: Option<TrainingCheckpoint>,
+    /// Point-to-point substrate for the collectives; see
+    /// [`TransportBackend`].
+    pub transport: TransportBackend,
+    /// Per-collective deadline. `None` keeps the historical blocking mode
+    /// (liveness via disconnect propagation); `Some` enables heartbeats,
+    /// backoff retransmits, and timeout-vs-rank-failure attribution.
+    pub collective_timeout: Option<Duration>,
+    /// Wrap every rank's transport in seeded fault injection (chaos
+    /// campaigns and the lossy-transport bitwise tests). `None` runs the
+    /// transport clean.
+    pub transport_faults: Option<TransportFaultPlan>,
+    /// Rank-failure handling; see [`RankFailurePolicy`]. Elastic recovery
+    /// strips permanent failures from the re-armed fault plan and emits
+    /// `health:degraded` / `fault:collective:evict` tracer instants.
+    pub on_rank_failure: RankFailurePolicy,
     /// Wall-clock tracer shared by every rank thread. Each rank records
     /// phase spans onto its own `rank{r}` track, and the hybrid pipeline
     /// records prefetch/update/flush spans onto the shared `cpu` and
@@ -171,9 +212,38 @@ impl FunctionalConfig {
             checkpoint_keep: 3,
             checkpoint_every: 10,
             resume: None,
+            transport: TransportBackend::InProc,
+            collective_timeout: None,
+            transport_faults: None,
+            on_rank_failure: RankFailurePolicy::Error,
             tracer: None,
             monitor_listen: None,
         }
+    }
+
+    /// Applies the JSON `"collectives"` entry (the `dos-train` config
+    /// surface, re-exported by [`crate::config`]) onto this run: transport
+    /// backend, per-collective deadline, and rank-failure policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the entry's own validation failures (unknown transport or
+    /// policy names, `"uds"` without a `socket_dir`).
+    pub fn apply_collectives(
+        &mut self,
+        entry: &dos_train::CollectivesEntry,
+    ) -> Result<(), dos_train::TrainerError> {
+        entry.validate()?;
+        self.transport = match (entry.transport.as_str(), &entry.socket_dir) {
+            ("uds", Some(dir)) => TransportBackend::Uds(dir.into()),
+            _ => TransportBackend::InProc,
+        };
+        self.collective_timeout = entry.collective_timeout_ms.map(Duration::from_millis);
+        self.on_rank_failure = match entry.on_rank_failure.as_str() {
+            "elastic" => RankFailurePolicy::Elastic,
+            _ => RankFailurePolicy::Error,
+        };
+        Ok(())
     }
 }
 
@@ -193,6 +263,13 @@ pub struct FunctionalReport {
     /// The bound metrics-endpoint address, when `monitor_listen` was set
     /// (`"127.0.0.1:0"` resolves to the actual ephemeral port here).
     pub monitor_addr: Option<String>,
+    /// How many times elastic recovery evicted a failed rank and restarted
+    /// from a checkpoint. Zero on a healthy run. When nonzero, `losses`
+    /// covers only the final (successful) segment.
+    pub recoveries: usize,
+    /// The world size the run finished at (smaller than the configured
+    /// world after elastic degradation).
+    pub final_world: usize,
 }
 
 /// Mean cross-entropy loss and perplexity of a model over an entire
@@ -239,9 +316,6 @@ pub fn train_functional(
     iterations: usize,
 ) -> Result<FunctionalReport, TrainError> {
     assert!(cfg.world > 0, "world must be positive");
-    if cfg.resume.is_some() && cfg.world != 1 {
-        return Err(TrainError::ResumeRequiresSingleRank { world: cfg.world });
-    }
     // With a listen address, serve live metrics for the duration of the
     // run. A flight-only tracer (bounded ring, no unbounded store) is
     // attached when the caller did not configure one, so the pipeline's
@@ -265,30 +339,164 @@ pub fn train_functional(
         _ => None,
     };
     let monitor_addr = server.as_ref().map(|s| s.addr().to_string());
-    let comms = Communicator::world(cfg.world);
 
-    let results: Vec<(Vec<f32>, Vec<f32>, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|comm| {
-                scope.spawn(move || {
-                    run_rank(cfg, dataset, iterations, comm)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().map_err(|_| TrainError::RankPanicked).and_then(|r| r))
-            .collect::<Result<Vec<_>, TrainError>>()
-    })?;
+    // The coordinator: run a world of rank threads; under the elastic
+    // policy, a rank failure evicts the dead rank and restarts the
+    // survivors from the latest crash-consistent checkpoint at the reduced
+    // world size (ISSUE: rebuild the communicator at a step boundary).
+    let target = cfg.resume.as_ref().map_or(0, |c| c.iteration) + iterations;
+    let mut world = cfg.world;
+    let mut resume = cfg.resume.clone();
+    let mut remaining = iterations;
+    let mut plan = cfg.transport_faults.clone();
+    let mut recoveries = 0usize;
+    let (results, final_world) = loop {
+        let comms = build_comms(cfg, world, plan.as_ref())?;
+        let run: Result<Vec<RankRun>, TrainError> =
+            std::thread::scope(|scope| {
+                let resume_ref = resume.as_ref();
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|comm| {
+                        scope.spawn(move || run_rank(cfg, dataset, remaining, comm, resume_ref))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(|_| TrainError::RankPanicked).and_then(|r| r))
+                    .collect()
+            });
+        match run {
+            Ok(results) => break (results, world),
+            Err(e) => {
+                let evictable = matches!(
+                    &e,
+                    TrainError::RankPanicked
+                        | TrainError::Collective(CollectiveError::RankFailed { .. })
+                        | TrainError::Collective(CollectiveError::Timeout { .. })
+                );
+                if cfg.on_rank_failure != RankFailurePolicy::Elastic || world <= 1 || !evictable
+                {
+                    return Err(e);
+                }
+                world -= 1;
+                recoveries += 1;
+                // Survivors are re-armed without the permanent failures
+                // that already fired (the evicted rank's disconnect must
+                // not kill the new world's same-numbered rank).
+                plan = plan.as_ref().map(TransportFaultPlan::without_permanent_failures);
+                if let Some(t) = &cfg.tracer {
+                    t.instant_at("faults", "fault:collective:evict", "fault", t.now());
+                    t.instant_at("health", "health:degraded", "health", t.now());
+                }
+                // Rewind to the newest checkpoint that validates; with no
+                // store (or none written yet), restart the attempt from
+                // the run's original starting point.
+                resume = cfg
+                    .checkpoint_dir
+                    .as_ref()
+                    .and_then(|dir| CheckpointStore::open(dir, cfg.checkpoint_keep).ok())
+                    .and_then(|store| store.latest_valid().ok())
+                    .map(|(ckpt, _)| ckpt)
+                    .or_else(|| cfg.resume.clone());
+                remaining = target - resume.as_ref().map_or(0, |c| c.iteration);
+            }
+        }
+    };
 
     let losses = results[0].0.clone();
     let final_params = results[0].1.clone();
     let degraded_steps = results[0].2;
     let ranks_consistent = results.iter().all(|(_, p, _)| *p == final_params);
     drop(server); // release the port before returning
-    Ok(FunctionalReport { losses, ranks_consistent, final_params, degraded_steps, monitor_addr })
+    Ok(FunctionalReport {
+        losses,
+        ranks_consistent,
+        final_params,
+        degraded_steps,
+        monitor_addr,
+        recoveries,
+        final_world,
+    })
 }
+
+/// Builds the world's communicators per the configured transport options:
+/// in-process channels or a UDS mesh, each rank's endpoint optionally
+/// wrapped in seeded fault injection, in blocking or deadline mode.
+fn build_comms(
+    cfg: &FunctionalConfig,
+    world: usize,
+    plan: Option<&TransportFaultPlan>,
+) -> Result<Vec<Communicator>, TrainError> {
+    let ccfg = CollectiveConfig { timeout: cfg.collective_timeout, ..CollectiveConfig::default() };
+    let endpoints: Vec<Box<dyn Transport>> = match &cfg.transport {
+        TransportBackend::InProc => InProcTransport::world(world)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect(),
+        TransportBackend::Uds(dir) => uds_world(world, dir)?,
+    };
+    Ok(endpoints
+        .into_iter()
+        .map(|t| {
+            let t: Box<dyn Transport> = match plan {
+                None => t,
+                Some(plan) => {
+                    let mut faulty = FaultyTransport::new(t, plan.clone());
+                    if let Some(tracer) = &cfg.tracer {
+                        faulty = faulty.with_tracer(Arc::new(tracer.clone()));
+                    }
+                    Box::new(faulty)
+                }
+            };
+            Communicator::new(t, ccfg.clone())
+        })
+        .collect())
+}
+
+/// Rendezvouses a full UDS mesh under `dir`. The per-rank handshake dials
+/// every lower rank while accepting from every higher one, so the
+/// endpoints must connect concurrently — one rendezvous thread per rank;
+/// building them sequentially would deadlock.
+#[cfg(unix)]
+fn uds_world(world: usize, dir: &std::path::Path) -> Result<Vec<Box<dyn Transport>>, TrainError> {
+    const HANDSHAKE: Duration = Duration::from_secs(10);
+    std::fs::create_dir_all(dir).map_err(|e| {
+        TrainError::Collective(CollectiveError::Transport {
+            op: "connect",
+            detail: format!("create {}: {e}", dir.display()),
+        })
+    })?;
+    let handles: Vec<_> = (0..world)
+        .map(|rank| {
+            let dir = dir.to_path_buf();
+            std::thread::spawn(move || SocketTransport::connect_uds(rank, world, &dir, HANDSHAKE))
+        })
+        .collect();
+    let mut endpoints: Vec<Box<dyn Transport>> = Vec::with_capacity(world);
+    for h in handles {
+        let t = h.join().map_err(|_| TrainError::RankPanicked)?.map_err(|e| {
+            TrainError::Collective(CollectiveError::Transport {
+                op: "connect",
+                detail: e.to_string(),
+            })
+        })?;
+        endpoints.push(Box::new(t));
+    }
+    Ok(endpoints)
+}
+
+#[cfg(not(unix))]
+fn uds_world(_world: usize, dir: &std::path::Path) -> Result<Vec<Box<dyn Transport>>, TrainError> {
+    Err(TrainError::Collective(CollectiveError::Transport {
+        op: "connect",
+        detail: format!("UDS transport ({}) requires unix", dir.display()),
+    }))
+}
+
+/// One rank's run result: (per-iteration losses, final parameters,
+/// degraded-step count).
+type RankRun = (Vec<f32>, Vec<f32>, usize);
 
 /// One rank's training loop.
 fn run_rank(
@@ -296,7 +504,8 @@ fn run_rank(
     dataset: &TokenDataset,
     iterations: usize,
     comm: Communicator,
-) -> Result<(Vec<f32>, Vec<f32>, usize), TrainError> {
+    resume: Option<&TrainingCheckpoint>,
+) -> Result<RankRun, TrainError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -315,24 +524,38 @@ fn run_rank(
     let init = pad_to_multiple(model.gather_params(), world);
     let padded_n = init.len();
     let shard = rank_range(padded_n, rank, world);
-    let resume_at = cfg.resume.as_ref().map_or(0, |c| c.iteration);
-    let mut state = match &cfg.resume {
-        // `world == 1` (checked by the caller): the shard is the full space.
+    let resume_at = resume.map_or(0, |c| c.iteration);
+    let mut state = match resume {
+        // Snapshots hold the full optimizer state, so any world size can
+        // resume: zero-pad the full space to this world's padded size and
+        // slice out this rank's shard. The pad region's state is exactly
+        // what a fresh run carries there (zero grads keep zero m/v, so the
+        // pad never moves), making re-sharded resume bitwise-correct.
         Some(ckpt) => {
             let restored = ckpt.restore(&mut model)?;
-            if restored.len() != shard.len() {
+            if restored.len() != model.num_params() {
                 return Err(CheckpointError::ShapeMismatch {
-                    expected: shard.len(),
+                    expected: model.num_params(),
                     got: restored.len(),
                 }
                 .into());
             }
+            let p = pad_to_multiple(restored.params().to_vec(), world);
+            let m = pad_to_multiple(restored.momentum().to_vec(), world);
+            let v = pad_to_multiple(restored.variance().to_vec(), world);
             // Fast-forward the data stream past the iterations already done
             // so the resumed run sees the batches an uninterrupted one would.
             for _ in 0..ckpt.iteration {
                 let _ = loader.next_batch(dataset);
             }
-            restored
+            MixedPrecisionState::from_parts(
+                p[shard.clone()].to_vec(),
+                m[shard.clone()].to_vec(),
+                v[shard.clone()].to_vec(),
+                restored.rule(),
+                restored.lr(),
+                restored.step_count(),
+            )
         }
         None => MixedPrecisionState::new(init[shard.clone()].to_vec(), cfg.rule, cfg.lr),
     };
@@ -372,6 +595,9 @@ fn run_rank(
     let mut losses = Vec::with_capacity(iterations);
     for rel_it in 0..iterations {
         let it = rel_it + resume_at;
+        // Scheduled transport faults (disconnects, partition windows) key
+        // off the training iteration.
+        comm.set_epoch(it as u64);
         let batch = loader.next_batch(dataset);
         let fwd_span =
             cfg.tracer.as_ref().map(|t| t.span(&format!("fwd-bwd:it{it}"), "forward-backward"));
@@ -502,13 +728,35 @@ fn run_rank(
         model.zero_grads();
         drop(gather_span);
 
-        // Rank 0 snapshots its state at update boundaries and writes it in
-        // the background (the DataStates-style asynchronous flush the
-        // host-resident state enables, §2). The capture is an owned copy,
-        // so training continues immediately.
-        if let Some(store) = &store {
-            if (it + 1).is_multiple_of(cfg.checkpoint_every.max(1)) {
-                let snapshot = TrainingCheckpoint::capture(&mut model, &state, it + 1);
+        // Snapshot at update boundaries and write in the background (the
+        // DataStates-style asynchronous flush the host-resident state
+        // enables, §2). Checkpoints are world-size independent: every rank
+        // contributes its optimizer shard to a full-state gather (elastic
+        // recovery may reload at a smaller world), then rank 0 assembles
+        // and persists. The capture is an owned copy, so training
+        // continues immediately.
+        if cfg.checkpoint_dir.is_some() && (it + 1).is_multiple_of(cfg.checkpoint_every.max(1)) {
+            let mut p = comm.all_gather_var(state.params())?;
+            let mut m = comm.all_gather_var(state.momentum())?;
+            let mut v = comm.all_gather_var(state.variance())?;
+            if let Some(store) = &store {
+                let n = model.num_params();
+                p.truncate(n);
+                m.truncate(n);
+                v.truncate(n);
+                let full = MixedPrecisionState::from_parts(
+                    p,
+                    m,
+                    v,
+                    state.rule(),
+                    state.lr(),
+                    state.step_count(),
+                );
+                let snapshot = TrainingCheckpoint {
+                    params: model.gather_params(),
+                    optimizer: full,
+                    iteration: it + 1,
+                };
                 checkpointer.save_async_in(snapshot, store)?;
             }
         }
@@ -520,6 +768,10 @@ fn run_rank(
     }
     checkpointer.drain()?;
     let finals = model.gather_params();
+    // In deadline mode a fast rank must linger to serve retransmissions of
+    // its final contributions before its endpoint vanishes (no-op in
+    // blocking mode).
+    comm.shutdown(cfg.collective_timeout.unwrap_or(Duration::ZERO));
     Ok((losses, finals, degraded_steps))
 }
 
@@ -813,7 +1065,6 @@ mod loss_scaling_tests {
 #[cfg(test)]
 mod checkpoint_in_training_tests {
     use super::*;
-    use crate::checkpoint::TrainingCheckpoint;
 
     fn toy_dataset(seq: usize) -> TokenDataset {
         let stream: Vec<usize> = (0..2000).map(|i| (i * 7 + 3) % 61).collect();
@@ -893,21 +1144,41 @@ mod checkpoint_in_training_tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Checkpoints hold the full gathered optimizer state, so a multi-rank
+    /// world resumes from a multi-rank run's snapshot bitwise-exactly.
     #[test]
-    fn resume_with_multiple_ranks_is_a_typed_error() {
+    fn resume_with_multiple_ranks_matches_uninterrupted() {
+        let dir = tmp_dir("multiworld-resume");
         let ds = toy_dataset(8);
-        let mut model_rng = rand::rngs::StdRng::seed_from_u64(1);
-        use rand::SeedableRng;
-        let mut model = dos_nn::Gpt::new(GptConfig::tiny(), &mut model_rng);
-        let state = MixedPrecisionState::new(model.gather_params(), UpdateRule::adam(), 1e-2);
-        let ckpt = TrainingCheckpoint::capture(&mut model, &state, 3);
         let mut cfg = FunctionalConfig::small();
         cfg.world = 2;
-        cfg.resume = Some(ckpt);
-        match train_functional(&cfg, &ds, 2) {
-            Err(TrainError::ResumeRequiresSingleRank { world: 2 }) => {}
-            other => panic!("expected ResumeRequiresSingleRank, got {other:?}"),
-        }
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.checkpoint_every = 2;
+
+        let uninterrupted = {
+            let mut c = cfg.clone();
+            c.checkpoint_dir = None;
+            train_functional(&c, &ds, 8).unwrap()
+        };
+
+        // "Crash" after 5 iterations (latest checkpoint is at iteration 4).
+        train_functional(&cfg, &ds, 5).unwrap();
+        let store = CheckpointStore::open(&dir, cfg.checkpoint_keep).unwrap();
+        let (ckpt, _) = store.latest_valid().unwrap();
+        assert_eq!(ckpt.iteration, 4);
+
+        let mut resumed_cfg = cfg.clone();
+        resumed_cfg.resume = Some(ckpt);
+        let resumed = train_functional(&resumed_cfg, &ds, 4).unwrap();
+
+        assert!(resumed.ranks_consistent);
+        assert_eq!(resumed.final_params, uninterrupted.final_params);
+        assert_eq!(
+            resumed.losses[..],
+            uninterrupted.losses[4..],
+            "resumed losses must continue the uninterrupted trajectory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
@@ -940,6 +1211,190 @@ mod degraded_training_tests {
             assert_eq!(run.final_params, healthy.final_params, "{fault:?} changed the params");
             assert_eq!(run.degraded_steps, 5, "{fault:?} should degrade every step");
         }
+    }
+}
+
+#[cfg(test)]
+mod elastic_tests {
+    use super::*;
+    use dos_collectives::{DisconnectPoint, DisconnectRule};
+    use std::time::Instant;
+
+    fn toy_dataset(seq: usize) -> TokenDataset {
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 7 + 3) % 61).collect();
+        TokenDataset::from_stream(&stream, seq)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dos-train-elastic-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Satellite 3, detection half: a rank dies *inside* a collective at a
+    /// seeded point; under the Error policy the survivors surface a typed
+    /// failure within the deadline — they never hang.
+    #[test]
+    fn killing_a_rank_mid_collective_is_a_typed_error_within_the_deadline() {
+        let ds = toy_dataset(8);
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 3;
+        cfg.collective_timeout = Some(Duration::from_millis(500));
+        cfg.transport_faults = Some(TransportFaultPlan {
+            disconnects: vec![DisconnectRule { rank: 1, at: DisconnectPoint::Epoch(2) }],
+            ..TransportFaultPlan::none(7)
+        });
+        let started = Instant::now();
+        match train_functional(&cfg, &ds, 4) {
+            Err(TrainError::Collective(
+                CollectiveError::RankFailed { .. } | CollectiveError::Timeout { .. },
+            )) => {}
+            other => panic!("expected a rank-failure error, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "failure detection must be deadline-bounded, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    /// Satellite 3, recovery half: under the Elastic policy a permanent
+    /// rank disconnect shrinks the world and training continues from the
+    /// latest checkpoint — bitwise identical to a fresh start from that
+    /// same checkpoint at the reduced world size.
+    #[test]
+    fn elastic_restart_is_bitwise_identical_to_fresh_start_from_checkpoint() {
+        let ds = toy_dataset(8);
+        let elastic_dir = tmp_dir("evict");
+        let baseline_dir = tmp_dir("baseline");
+
+        let tracer = dos_telemetry::Tracer::new();
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 2;
+        cfg.checkpoint_dir = Some(elastic_dir.clone());
+        cfg.checkpoint_every = 2;
+        cfg.collective_timeout = Some(Duration::from_secs(2));
+        cfg.on_rank_failure = RankFailurePolicy::Elastic;
+        cfg.transport_faults = Some(TransportFaultPlan {
+            disconnects: vec![DisconnectRule { rank: 1, at: DisconnectPoint::Epoch(3) }],
+            ..TransportFaultPlan::none(11)
+        });
+        cfg.tracer = Some(tracer.clone());
+        let elastic = train_functional(&cfg, &ds, 6).unwrap();
+        assert_eq!(elastic.recoveries, 1, "exactly one eviction");
+        assert_eq!(elastic.final_world, 1, "world shrank by the dead rank");
+        let names: Vec<String> = tracer.events().into_iter().map(|e| e.name).collect();
+        assert!(names.iter().any(|n| n == "fault:collective:evict"), "{names:?}");
+        assert!(names.iter().any(|n| n == "health:degraded"), "{names:?}");
+
+        // Baseline: the same trajectory up to the checkpoint the elastic
+        // run rewound to (iteration 2, before the epoch-3 disconnect), then
+        // a fresh resume at the reduced world with a clean transport.
+        let mut pre = FunctionalConfig::small();
+        pre.world = 2;
+        pre.checkpoint_dir = Some(baseline_dir.clone());
+        pre.checkpoint_every = 2;
+        train_functional(&pre, &ds, 2).unwrap();
+        let (ckpt, _) = CheckpointStore::open(&baseline_dir, pre.checkpoint_keep)
+            .unwrap()
+            .latest_valid()
+            .unwrap();
+        assert_eq!(ckpt.iteration, 2);
+        let mut fresh = FunctionalConfig::small();
+        fresh.world = 1;
+        fresh.resume = Some(ckpt);
+        let baseline = train_functional(&fresh, &ds, 4).unwrap();
+
+        assert_eq!(
+            elastic.final_params, baseline.final_params,
+            "elastic continuation must match a fresh reduced-world resume bitwise"
+        );
+        assert_eq!(elastic.losses, baseline.losses);
+        let _ = std::fs::remove_dir_all(&elastic_dir);
+        let _ = std::fs::remove_dir_all(&baseline_dir);
+    }
+
+    /// The UDS backend speaks the real wire protocol (length-prefixed
+    /// checksummed frames over sockets) yet must be numerically invisible:
+    /// the same run over `inproc` and `uds` is bitwise identical.
+    #[cfg(unix)]
+    #[test]
+    fn uds_transport_matches_inproc_bitwise() {
+        let ds = toy_dataset(8);
+        let mut cfg = FunctionalConfig::small();
+        cfg.world = 2;
+        let reference = train_functional(&cfg, &ds, 3).unwrap();
+
+        let dir = tmp_dir("uds");
+        let mut uds = cfg.clone();
+        uds.transport = TransportBackend::Uds(dir.clone());
+        uds.collective_timeout = Some(Duration::from_secs(10));
+        let run = train_functional(&uds, &ds, 3).unwrap();
+        assert!(run.ranks_consistent);
+        assert_eq!(run.losses, reference.losses, "losses diverged over UDS");
+        assert_eq!(run.final_params, reference.final_params, "params diverged over UDS");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The JSON `"collectives"` entry maps onto the run config — and its
+    /// validation failures surface instead of silently defaulting.
+    #[test]
+    fn collectives_entry_applies_to_the_run_config() {
+        let entry: dos_train::CollectivesEntry = serde_json::from_str(
+            r#"{ "collective_timeout_ms": 1500, "on_rank_failure": "elastic" }"#,
+        )
+        .unwrap();
+        let mut cfg = FunctionalConfig::small();
+        cfg.apply_collectives(&entry).unwrap();
+        assert_eq!(cfg.transport, TransportBackend::InProc);
+        assert_eq!(cfg.collective_timeout, Some(Duration::from_millis(1500)));
+        assert_eq!(cfg.on_rank_failure, RankFailurePolicy::Elastic);
+
+        let entry: dos_train::CollectivesEntry = serde_json::from_str(
+            r#"{ "transport": "uds", "socket_dir": "/tmp/dos-uds-mesh" }"#,
+        )
+        .unwrap();
+        let mut cfg = FunctionalConfig::small();
+        cfg.apply_collectives(&entry).unwrap();
+        assert_eq!(cfg.transport, TransportBackend::Uds("/tmp/dos-uds-mesh".into()));
+        assert_eq!(cfg.on_rank_failure, RankFailurePolicy::Error);
+
+        let entry: dos_train::CollectivesEntry =
+            serde_json::from_str(r#"{ "transport": "uds" }"#).unwrap();
+        assert!(FunctionalConfig::small().apply_collectives(&entry).is_err());
+    }
+
+    /// Acceptance: DP=4 training under a pinned seeded plan of drops and
+    /// delays is bitwise identical to the fault-free run — retransmission
+    /// is sequence-numbered and idempotent all the way up the stack.
+    #[test]
+    fn dp4_training_under_lossy_transport_is_bitwise_identical() {
+        let ds = toy_dataset(8);
+        let mut clean = FunctionalConfig::small();
+        clean.world = 4;
+        let reference = train_functional(&clean, &ds, 4).unwrap();
+
+        let tracer = dos_telemetry::Tracer::new();
+        let mut lossy = clean.clone();
+        lossy.collective_timeout = Some(Duration::from_secs(30));
+        lossy.transport_faults = Some(TransportFaultPlan {
+            drop_p: 0.05,
+            delay_ticks: Some((1, 3)),
+            ..TransportFaultPlan::none(7)
+        });
+        lossy.tracer = Some(tracer.clone());
+        let run = train_functional(&lossy, &ds, 4).unwrap();
+        assert_eq!(run.recoveries, 0);
+        assert!(run.ranks_consistent);
+        assert_eq!(run.losses, reference.losses, "losses diverged under loss");
+        assert_eq!(run.final_params, reference.final_params, "params diverged under loss");
+        // The plan actually fired: injected faults are visible as
+        // fault:collective:* instants (flight-recorder bait).
+        assert!(
+            tracer.events().iter().any(|e| e.name.starts_with("fault:collective:")),
+            "expected injected-fault instants in the trace"
+        );
     }
 }
 

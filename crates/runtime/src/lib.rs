@@ -39,9 +39,10 @@ pub use autotune::{
 };
 pub use checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
 pub use chaos::{run_chaos, ChaosCheck, ChaosOptions, ChaosReport, FaultKind};
-pub use config::{ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
+pub use config::{CollectivesEntry, ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
 pub use functional::{
-    evaluate, train_functional, FunctionalConfig, FunctionalReport, TrainError,
+    evaluate, train_functional, FunctionalConfig, FunctionalReport, RankFailurePolicy, TrainError,
+    TransportBackend,
 };
 pub use monitor::{run_monitor, MonitorOptions, MonitorOutcome};
 pub use sim_trainer::{run_iteration, run_training, scheduler_for, trace_iteration};

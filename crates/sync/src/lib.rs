@@ -19,11 +19,22 @@
 //! this crate in the same workspace (Cargo unifies features across the
 //! build graph) without perturbing anything the conformance suite
 //! measures.
+//!
+//! Historically this module lived inside `dos-core`; it became its own
+//! crate so that crates *below* `dos-core` in the dependency graph
+//! (`dos-collectives`' in-process transport, most notably) can route their
+//! concurrency through the same facade and become explorable by
+//! `dos-check`. `dos-core` re-exports it as `dos_core::sync`, so existing
+//! paths keep working.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 #[cfg(feature = "check")]
 pub mod sched;
 
-pub use crossbeam::channel::{RecvError, SendError, TryRecvError};
+pub use crossbeam::channel::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 // ---------------------------------------------------------------------------
 // Channels
@@ -100,6 +111,25 @@ impl<T> Receiver<T> {
             ReceiverRepr::Real(rx) => rx.recv(),
             #[cfg(feature = "check")]
             ReceiverRepr::Virt(rx) => rx.recv(),
+        }
+    }
+
+    /// Receives with a deadline. Inside a checked run the timeout is
+    /// virtual and never fires: the cooperative scheduler's deadlock
+    /// detector subsumes it (a recv that can never be enabled is reported
+    /// as a deadlock rather than spun on), so the virtualized arm degrades
+    /// to a plain blocking [`Receiver::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when the channel is empty and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        match &self.0 {
+            ReceiverRepr::Real(rx) => rx.recv_timeout(timeout),
+            #[cfg(feature = "check")]
+            ReceiverRepr::Virt(rx) => rx.recv().map_err(|RecvError| RecvTimeoutError::Disconnected),
         }
     }
 
@@ -424,41 +454,4 @@ mod tests {
         assert_eq!(v, 42);
     }
 
-    #[test]
-    fn hybrid_update_matches_sequential_under_default_and_reversed_schedules() {
-        use crate::{hybrid_update, PipelineConfig};
-        use dos_optim::{MixedPrecisionState, UpdateRule};
-        use dos_zero::partition_into_subgroups;
-
-        let n = 48;
-        let init: Vec<f32> = (0..n).map(|i| ((i * 13 + 5) % 31) as f32 / 31.0).collect();
-        let grads: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 29) as f32 / 29.0 - 0.5).collect();
-        let mut seq = MixedPrecisionState::new(init.clone(), UpdateRule::adam(), 0.01);
-        seq.full_step(&grads);
-        let expected = seq.params().to_vec();
-
-        for reversed in [false, true] {
-            let init = init.clone();
-            let grads = grads.clone();
-            let outcome = run_with_scheduler(
-                move || {
-                    let mut state = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
-                    let sgs = partition_into_subgroups(n, 8);
-                    let report =
-                        hybrid_update(&mut state, &grads, &sgs, PipelineConfig::default())
-                            .unwrap();
-                    (state.params().to_vec(), report.device_subgroups)
-                },
-                |_, enabled: &[(sched::Tid, PendingOp)]| {
-                    let idx = if reversed { enabled.len() - 1 } else { 0 };
-                    Pick::Run(enabled[idx].0)
-                },
-                100_000,
-            );
-            assert!(outcome.error.is_none(), "teardown: {:?}", outcome.error);
-            let (params, on_device) = outcome.result.unwrap();
-            assert_eq!(params, expected, "reversed={reversed} diverged");
-            assert!(on_device > 0);
-        }
-    }
 }

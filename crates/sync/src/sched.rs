@@ -1,4 +1,4 @@
-//! Cooperative scheduler: the `check`-mode backend of the [`crate::sync`]
+//! Cooperative scheduler: the `check`-mode backend of the [`crate`]-level
 //! facade.
 //!
 //! A *checked run* executes a closure (the "root body") on a virtual

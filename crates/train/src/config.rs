@@ -150,6 +150,79 @@ impl Default for MonitorEntry {
     }
 }
 
+/// The optional `"collectives"` JSON entry: data-parallel transport
+/// robustness knobs. The single-process [`crate::Trainer`] carries it
+/// untouched; `dos-runtime`'s functional trainer consumes it via
+/// `FunctionalConfig::apply_collectives`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct CollectivesEntry {
+    /// Transport backend: `"inproc"` (rank threads in one process) or
+    /// `"uds"` (Unix-domain sockets rendezvousing in `socket_dir`).
+    pub transport: String,
+    /// Rendezvous directory for the `"uds"` backend (`rank<r>.sock`
+    /// files). Required when `transport` is `"uds"`.
+    pub socket_dir: Option<String>,
+    /// Per-collective deadline in milliseconds. Absent keeps the blocking
+    /// mode (liveness via disconnect propagation); present enables
+    /// heartbeats, backoff retransmits, and timeout-vs-rank-failure
+    /// attribution.
+    pub collective_timeout_ms: Option<u64>,
+    /// `"error"` aborts the run when a rank dies; `"elastic"` evicts the
+    /// dead rank and continues at reduced world size from the latest
+    /// crash-consistent checkpoint.
+    pub on_rank_failure: String,
+}
+
+impl Default for CollectivesEntry {
+    fn default() -> Self {
+        CollectivesEntry {
+            transport: "inproc".to_string(),
+            socket_dir: None,
+            collective_timeout_ms: None,
+            on_rank_failure: "error".to_string(),
+        }
+    }
+}
+
+impl CollectivesEntry {
+    /// Validates the backend and policy names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] for unknown names, or `"uds"`
+    /// without a `socket_dir`.
+    pub fn validate(&self) -> Result<(), TrainerError> {
+        match self.transport.as_str() {
+            "inproc" => {}
+            "uds" => {
+                if self.socket_dir.is_none() {
+                    return Err(TrainerError::Invalid {
+                        detail: "collectives.transport \"uds\" requires socket_dir".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(TrainerError::Invalid {
+                    detail: format!(
+                        "unknown collectives.transport {other:?} (expected \"inproc\" or \"uds\")"
+                    ),
+                })
+            }
+        }
+        if !matches!(self.on_rank_failure.as_str(), "error" | "elastic") {
+            return Err(TrainerError::Invalid {
+                detail: format!(
+                    "unknown collectives.on_rank_failure {:?} (expected \"error\" or \
+                     \"elastic\")",
+                    self.on_rank_failure
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// A functional-trainer configuration document: one optimizer shard, its
 /// partitioning, the update rule, and the middleware entry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -178,6 +251,10 @@ pub struct TrainerConfig {
     /// health detection). Absent → zero observability overhead.
     #[serde(default)]
     pub monitor: Option<MonitorEntry>,
+    /// Optional data-parallel transport entry (backend, deadlines,
+    /// rank-failure policy); see [`CollectivesEntry`].
+    #[serde(default)]
+    pub collectives: Option<CollectivesEntry>,
 }
 
 fn default_rule() -> String {
@@ -234,17 +311,21 @@ impl TrainerConfig {
         }
     }
 
-    /// Validates shape fields.
+    /// Validates shape fields and the optional entries.
     ///
     /// # Errors
     ///
     /// Returns [`TrainerError::Invalid`] when `params` or `subgroup_size`
-    /// is zero.
+    /// is zero, or the `collectives` entry names an unknown backend or
+    /// policy.
     pub fn validate(&self) -> Result<(), TrainerError> {
         if self.params == 0 || self.subgroup_size == 0 {
             return Err(TrainerError::Invalid {
                 detail: "params and subgroup_size must be positive".into(),
             });
+        }
+        if let Some(c) = &self.collectives {
+            c.validate()?;
         }
         Ok(())
     }
@@ -322,6 +403,52 @@ mod tests {
         // Typos inside the entry fail fast like everywhere else.
         assert!(TrainerConfig::from_json(
             r#"{ "params": 8, "subgroup_size": 4, "monitor": { "listne": "x" } }"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn collectives_entry_parses_validates_and_round_trips() {
+        let cfg = TrainerConfig::from_json(r#"{ "params": 8, "subgroup_size": 4 }"#).unwrap();
+        assert!(cfg.collectives.is_none(), "absent entry stays absent");
+
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4,
+                 "collectives": { "collective_timeout_ms": 2000,
+                                  "on_rank_failure": "elastic" } }"#,
+        )
+        .unwrap();
+        cfg.validate().unwrap();
+        let c = cfg.collectives.clone().unwrap();
+        assert_eq!(c.transport, "inproc");
+        assert_eq!(c.collective_timeout_ms, Some(2000));
+        assert_eq!(c.on_rank_failure, "elastic");
+        let again = TrainerConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again.collectives, Some(c));
+
+        // The UDS backend needs a rendezvous directory.
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4, "collectives": { "transport": "uds" } }"#,
+        )
+        .unwrap();
+        assert!(matches!(cfg.validate(), Err(TrainerError::Invalid { .. })));
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4,
+                 "collectives": { "transport": "uds", "socket_dir": "/tmp/dos-uds" } }"#,
+        )
+        .unwrap();
+        cfg.validate().unwrap();
+
+        // Unknown names and typos fail fast.
+        for bad in [
+            r#"{ "params": 8, "subgroup_size": 4, "collectives": { "transport": "rdma" } }"#,
+            r#"{ "params": 8, "subgroup_size": 4,
+                 "collectives": { "on_rank_failure": "shrug" } }"#,
+        ] {
+            assert!(TrainerConfig::from_json(bad).unwrap().validate().is_err(), "{bad}");
+        }
+        assert!(TrainerConfig::from_json(
+            r#"{ "params": 8, "subgroup_size": 4, "collectives": { "transprot": "uds" } }"#
         )
         .is_err());
     }

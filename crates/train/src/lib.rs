@@ -25,5 +25,7 @@
 pub mod config;
 pub mod trainer;
 
-pub use config::{DosEntry, MonitorEntry, NamedStride, StrideEntry, TrainerConfig, TrainerError};
+pub use config::{
+    CollectivesEntry, DosEntry, MonitorEntry, NamedStride, StrideEntry, TrainerConfig, TrainerError,
+};
 pub use trainer::Trainer;

@@ -44,6 +44,7 @@ fn fault_subset_runs_only_selected_checks() {
         faults: vec![FaultKind::CkptCorrupt],
         trace_out: None,
         flight_out: None,
+        transport_faults: None,
     };
     let report = run_chaos(&config(), &opts).unwrap();
     assert_eq!(report.checks.len(), 1, "{}", report.render());
@@ -61,6 +62,7 @@ fn campaigns_vary_with_the_seed_but_always_hold() {
             faults: vec![FaultKind::WorkerKill],
             trace_out: None,
             flight_out: None,
+            transport_faults: None,
         };
         let report = run_chaos(&config(), &opts).unwrap();
         assert!(report.passed(), "seed {seed}:\n{}", report.render());
