@@ -1,0 +1,98 @@
+//! `serve_bench`: the pinned multi-tenant serving benchmark — aggregate
+//! virtual throughput and p99 admission-to-start latency for a 200-job
+//! open-loop schedule against the Equation 1 packing oracle, with an
+//! optional CI regression gate; schema `dos-bench/serve-v1`, committed
+//! baseline `BENCH_9.json`.
+//!
+//! ```text
+//! serve_bench [--json] [--out PATH] [--baseline PATH] [--jobs N] [--seed S]
+//! ```
+//!
+//! `--baseline BENCH_9.json` exits nonzero when any serving invariant
+//! breaks (lost jobs, starvation, unbounded p99, no preemption, proof
+//! divergence) or throughput/oracle-ratio regress past the committed
+//! tolerances.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dos_bench::serve::{regression_gate, render, run_serve_bench, ServeBenchReport};
+
+struct Options {
+    json: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    jobs: usize,
+    seed: u64,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { json: false, out: None, baseline: None, jobs: 200, seed: 0 };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().map(String::from).ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--jobs" => opts.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.jobs == 0 {
+        return Err("--jobs must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let report = run_serve_bench(opts.jobs, opts.seed)?;
+    let rendered_json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+    if opts.json {
+        println!("{rendered_json}");
+    } else {
+        print!("{}", render(&report));
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{rendered_json}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let baseline: ServeBenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e:?}", path.display()))?;
+        regression_gate(&report, &baseline)?;
+        eprintln!(
+            "regression gate passed: {:.3e} pps (ratio {:.3}) vs baseline {:.3e} ({:.3})",
+            report.aggregate_pps,
+            report.oracle_ratio,
+            baseline.aggregate_pps,
+            baseline.oracle_ratio
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            eprintln!("usage: serve_bench [--json] [--out PATH] [--baseline PATH] [--jobs N] [--seed S]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

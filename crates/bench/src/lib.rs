@@ -17,6 +17,7 @@ pub mod contention;
 pub mod extensions;
 pub mod kernels;
 pub mod scaling;
+pub mod serve;
 pub mod support;
 pub mod tables;
 pub mod timelines;

@@ -1,0 +1,175 @@
+//! Concurrency hygiene: flag raw `std::sync` blocking primitives in code
+//! under check.
+//!
+//! Schedule exploration only sees yield points that go through the
+//! `dos_core::sync` facade. A raw `std::sync::Mutex`, `Condvar`,
+//! `RwLock`, `Barrier`, or `mpsc` channel in explored code blocks the
+//! *OS* thread instead of the virtual one — interleavings hide from the
+//! explorer and a deadlock under check becomes a wedge instead of a
+//! reported failure. This pass scans the crates whose bodies the
+//! scenarios run (`dos-core`, `dos-collectives`, `dos-train`,
+//! `dos-control`, `dos-serve`) and reports every offending line.
+//!
+//! Escape hatch: a line containing `check-hygiene: allow` is skipped, as
+//! are `//` comment lines. The facade's own implementation
+//! (`core/src/sync`) is exempt — wrapping the primitives is its job.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Substrings that mark a facade bypass when they appear with a
+/// `std::sync` qualification on the same line.
+const BLOCKING_PRIMITIVES: [&str; 5] = ["Mutex", "Condvar", "RwLock", "Barrier", "mpsc"];
+
+/// One offending source line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HygieneFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The primitive that matched.
+    pub pattern: String,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+/// Summary of one hygiene scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HygieneSummary {
+    /// Rust files scanned.
+    pub scanned_files: usize,
+    /// Facade bypasses found (must be empty to pass).
+    pub findings: Vec<HygieneFinding>,
+}
+
+/// The source roots the default scan covers: every crate whose code runs
+/// inside a check scenario body.
+pub fn default_roots() -> Vec<PathBuf> {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    ["core/src", "collectives/src", "train/src", "control/src", "serve/src"]
+        .iter()
+        .map(|r| ws.join(r))
+        .collect()
+}
+
+fn flagged(line: &str) -> Option<&'static str> {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") || line.contains("check-hygiene: allow") {
+        return None;
+    }
+    if !line.contains("std::sync") {
+        return None;
+    }
+    BLOCKING_PRIMITIVES.iter().find(|p| line.contains(*p)).copied()
+}
+
+fn scan_file(path: &Path, rel: &str, out: &mut HygieneSummary) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    out.scanned_files += 1;
+    for (i, line) in text.lines().enumerate() {
+        if let Some(pattern) = flagged(line) {
+            out.findings.push(HygieneFinding {
+                file: rel.to_string(),
+                line: i + 1,
+                pattern: pattern.to_string(),
+                snippet: line.trim().to_string(),
+            });
+        }
+    }
+}
+
+fn scan_dir(dir: &Path, root: &Path, out: &mut HygieneSummary) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            // The facade implementation itself is exempt.
+            if path.file_name().is_some_and(|n| n == "sync") {
+                continue;
+            }
+            scan_dir(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            && path.file_stem().is_none_or(|n| n != "sync")
+        {
+            let rel = path
+                .strip_prefix(root.join(".."))
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            scan_file(&path, &rel, out);
+        }
+    }
+}
+
+/// Scans `roots` (each a crate `src/` directory) for facade bypasses.
+pub fn scan(roots: &[PathBuf]) -> HygieneSummary {
+    let mut out = HygieneSummary::default();
+    for root in roots {
+        scan_dir(root, root, &mut out);
+    }
+    out
+}
+
+/// Scans the default code-under-check roots.
+pub fn scan_default() -> HygieneSummary {
+    scan(&default_roots())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dos-hygiene-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn flags_raw_primitives_and_honors_allows() {
+        let root = tmp_root("flags");
+        std::fs::write(
+            root.join("bad.rs"),
+            "use std::sync::Mutex;\n\
+             // use std::sync::Condvar; (comment: fine)\n\
+             let m: std::sync::RwLock<u8>; // check-hygiene: allow\n\
+             let c = std::sync::mpsc::channel::<u8>();\n\
+             use std::sync::Arc; // Arc is not a blocking primitive\n",
+        )
+        .unwrap();
+        let summary = scan(std::slice::from_ref(&root));
+        assert_eq!(summary.scanned_files, 1);
+        let patterns: Vec<&str> =
+            summary.findings.iter().map(|f| f.pattern.as_str()).collect();
+        assert_eq!(patterns, vec!["Mutex", "mpsc"], "{:?}", summary.findings);
+        assert_eq!(summary.findings[0].line, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sync_facade_files_are_exempt(){
+        let root = tmp_root("facade");
+        std::fs::create_dir_all(root.join("sync")).unwrap();
+        std::fs::write(root.join("sync/mod.rs"), "use std::sync::Condvar;\n").unwrap();
+        std::fs::write(root.join("sync.rs"), "use std::sync::Mutex;\n").unwrap();
+        std::fs::write(root.join("other.rs"), "fn ok() {}\n").unwrap();
+        let summary = scan(std::slice::from_ref(&root));
+        assert!(summary.findings.is_empty(), "{:?}", summary.findings);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn the_real_code_under_check_is_clean() {
+        let summary = scan_default();
+        assert!(summary.scanned_files > 10, "roots missing? {summary:?}");
+        assert!(
+            summary.findings.is_empty(),
+            "facade bypass in code under check: {:?}",
+            summary.findings
+        );
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod explore;
 pub mod fuzz;
+pub mod hygiene;
 pub mod report;
 pub mod scenarios;
 pub mod shrink;
@@ -145,6 +146,7 @@ pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, String> {
     let suite: Vec<CheckScenario> = CheckScenario::default_suite()
         .into_iter()
         .chain(CheckScenario::rendezvous_suite())
+        .chain(CheckScenario::coordinator_suite())
         .collect();
     let mut distinct_seen: HashSet<u64> = HashSet::new();
     let mut scenarios: Vec<ScenarioReport> = Vec::new();
@@ -215,12 +217,17 @@ pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, String> {
 
     let fuzz_summary =
         FuzzSummary { sampled: opts.fuzz, corpus_replayed, failures };
-    let passed =
-        scenarios.iter().all(|s| s.failure.is_none()) && fuzz_summary.failures.is_empty();
+    // Hygiene: explored bodies must route all blocking through the
+    // dos_core::sync facade, or exploration silently loses interleavings.
+    let hygiene = hygiene::scan_default();
+    let passed = scenarios.iter().all(|s| s.failure.is_none())
+        && fuzz_summary.failures.is_empty()
+        && hygiene.findings.is_empty();
     Ok(CheckReport {
         distinct_total: distinct_seen.len(),
         scenarios,
         fuzz: fuzz_summary,
+        hygiene,
         passed,
     })
 }

@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::hygiene::HygieneSummary;
+
 /// A failing schedule, tokenized and shrunk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScheduleFailureReport {
@@ -70,6 +72,9 @@ pub struct CheckReport {
     pub distinct_total: usize,
     /// Fuzz summary.
     pub fuzz: FuzzSummary,
+    /// Concurrency-hygiene scan over the code under check.
+    #[serde(default)]
+    pub hygiene: HygieneSummary,
     /// Whether everything passed.
     pub passed: bool,
 }
@@ -115,6 +120,14 @@ impl CheckReport {
             self.fuzz.corpus_replayed,
             self.fuzz.failures.len()
         ));
+        out.push_str(&format!(
+            "hygiene: {} files scanned, {} facade bypass(es)\n",
+            self.hygiene.scanned_files,
+            self.hygiene.findings.len()
+        ));
+        for f in &self.hygiene.findings {
+            out.push_str(&format!("  FAIL {}:{} raw std::sync {}: {}\n", f.file, f.line, f.pattern, f.snippet));
+        }
         for f in &self.fuzz.failures {
             out.push_str(&format!("  FAIL [{}] {}\n    {}\n", f.origin, f.coordinates, f.divergence));
             out.push_str(&format!("    shrunk case ({} trials):\n", f.shrink_trials));

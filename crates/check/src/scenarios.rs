@@ -29,6 +29,8 @@
 
 use dos_collectives::{CollectiveError, Communicator};
 use dos_core::sync;
+use dos_hal::HardwareProfile;
+use dos_serve::{Coordinator, JobSpec, ServeOptions};
 use dos_core::{hybrid_update, DeviceFault, PipelineConfig, StridePolicy};
 use dos_optim::{MixedPrecisionState, UpdateRule};
 use dos_tensor::F16;
@@ -46,6 +48,15 @@ pub enum ScenarioKind {
     /// [`FaultPlan::Disconnect`] names the rank that drops its transport
     /// before the final round.
     Rendezvous,
+    /// The `dos-serve` coordinator on a one-GPU cluster: two tenants
+    /// submit one job each from concurrent virtual threads, so admit,
+    /// preempt, and complete events interleave freely. Field reuse:
+    /// `params`/`subgroup` shape each job's trainer, `stride` is the
+    /// iteration count per job, `residents` the lease length in
+    /// iterations (1 forces a preemption between every pair of slices).
+    /// Must pass under every schedule: no lost jobs, no double-granted
+    /// leases, and per-tenant numerics bitwise equal to dedicated runs.
+    Coordinator,
     /// The seeded lost-send bug fixture (fails under some schedules).
     BuggyLostSend,
 }
@@ -180,6 +191,7 @@ impl CheckScenario {
         let kind = match self.kind {
             ScenarioKind::Pipeline => "pl",
             ScenarioKind::Rendezvous => "rdv",
+            ScenarioKind::Coordinator => "co",
             ScenarioKind::BuggyLostSend => "bug",
         };
         let fault = match self.fault {
@@ -206,6 +218,7 @@ impl CheckScenario {
         let kind = match fields[0] {
             "pl" => ScenarioKind::Pipeline,
             "rdv" => ScenarioKind::Rendezvous,
+            "co" => ScenarioKind::Coordinator,
             "bug" => ScenarioKind::BuggyLostSend,
             other => return Err(format!("unknown scenario kind {other:?}")),
         };
@@ -257,6 +270,9 @@ impl CheckScenario {
         if self.kind == ScenarioKind::Rendezvous {
             return self.rendezvous_expected();
         }
+        if self.kind == ScenarioKind::Coordinator {
+            return self.coordinator_expected();
+        }
         let (mut state, grads, _) = self.fresh_state();
         state.full_step(&grads);
         let fp16 = state.downscale_range(0..self.params);
@@ -279,9 +295,12 @@ impl CheckScenario {
         if self.kind == ScenarioKind::Rendezvous {
             return self.rendezvous_observed();
         }
+        if self.kind == ScenarioKind::Coordinator {
+            return self.coordinator_observed();
+        }
         let (mut state, grads, sgs) = self.fresh_state();
         match self.kind {
-            ScenarioKind::Rendezvous => unreachable!("handled above"),
+            ScenarioKind::Rendezvous | ScenarioKind::Coordinator => unreachable!("handled above"),
             ScenarioKind::Pipeline => {
                 let cfg = PipelineConfig {
                     stride: StridePolicy::Fixed(self.stride.max(1)),
@@ -355,6 +374,112 @@ impl CheckScenario {
             momentum.push(status);
             variance.extend_from_slice(&gathered);
         }
+        Observed { params, momentum, variance, fp16: Vec::new() }
+    }
+
+    /// The two-tenant fixture the coordinator scenario serves: one job
+    /// per tenant, CPU-only strides (the coordinator's own concurrency is
+    /// what exploration should bite on, not the inner pipeline's), seeds
+    /// fixed so every job's numerics are a pure function of its spec.
+    fn coordinator_fixture(&self) -> Vec<JobSpec> {
+        let iterations = self.stride.max(1);
+        ["alfa", "beta"]
+            .iter()
+            .enumerate()
+            .map(|(i, tenant)| {
+                let spec: Result<JobSpec, _> = serde_json::from_str(&format!(
+                    r#"{{ "tenant": "{tenant}", "name": "j", "iterations": {iterations},
+                          "seed": {}, "trainer": {{
+                              "params": {}, "subgroup_size": {},
+                              "deep_optimizer_states": {{ "update_stride": "cpu_only" }} }} }}"#,
+                    i as u64 + 1,
+                    self.params,
+                    self.subgroup,
+                ));
+                match spec {
+                    Ok(s) => s,
+                    Err(e) => panic!("scenario {} fixture: {e}", self.encode()),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the coordinator body: two virtual submitter threads race
+    /// their jobs into the intake channel while the coordinator admits,
+    /// grants, preempts, and completes on a one-GPU cluster. The terminal
+    /// [`Observed`] packs every job's final state sorted by tenant —
+    /// schedule-invariant by design — plus `[completed,
+    /// lease_violations]` markers appended to `momentum`.
+    fn coordinator_observed(&self) -> Observed {
+        let fixture = self.coordinator_fixture();
+        let profile = HardwareProfile::jlse_h100().with_num_gpus(1);
+        let slice = self.residents.max(1);
+        let (tx, rx) = sync::unbounded();
+        let (report, states) = sync::scope(|scope| {
+            for spec in fixture {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let _ = tx.send(spec);
+                });
+            }
+            drop(tx);
+            let mut coord = Coordinator::new(
+                profile,
+                ServeOptions {
+                    slice_iters: Some(slice),
+                    retain_final_states: true,
+                    prove_preemption: false,
+                    ..ServeOptions::default()
+                },
+            );
+            let report = match coord.run_channel(rx) {
+                Ok(r) => r,
+                Err(e) => panic!("scenario {} serve failure: {e}", self.encode()),
+            };
+            (report, coord.job_states())
+        });
+        let mut params = Vec::new();
+        let mut momentum = Vec::new();
+        let mut variance = Vec::new();
+        for (_, _, state) in &states {
+            params.extend_from_slice(&state.params);
+            momentum.extend_from_slice(state.optimizer.momentum());
+            variance.extend_from_slice(state.optimizer.variance());
+        }
+        momentum.push(report.completed as f32);
+        momentum.push(report.lease_violations as f32);
+        Observed { params, momentum, variance, fp16: Vec::new() }
+    }
+
+    /// Sequential oracle for [`ScenarioKind::Coordinator`]: each job run
+    /// standalone on a dedicated trainer (no coordinator, no preemption),
+    /// in tenant order — exactly what the served numerics must equal
+    /// bitwise on every terminal schedule. The markers assert both jobs
+    /// completed and no lease was ever double-granted.
+    fn coordinator_expected(&self) -> Observed {
+        let mut params = Vec::new();
+        let mut momentum = Vec::new();
+        let mut variance = Vec::new();
+        let fixture = self.coordinator_fixture();
+        let completed = fixture.len() as f32;
+        for spec in fixture {
+            let init = dos_serve::init_stream(spec.seed, spec.trainer.params);
+            let mut trainer = match spec.trainer.clone().build(init) {
+                Ok(t) => t,
+                Err(e) => panic!("scenario {} oracle build: {e}", self.encode()),
+            };
+            for iter in 0..spec.iterations {
+                let grads = dos_serve::grad_stream(spec.seed, iter, spec.trainer.params);
+                if let Err(e) = trainer.step(&grads) {
+                    panic!("scenario {} oracle step: {e}", self.encode());
+                }
+            }
+            params.extend_from_slice(trainer.params());
+            momentum.extend_from_slice(trainer.momentum());
+            variance.extend_from_slice(trainer.variance());
+        }
+        momentum.push(completed);
+        momentum.push(0.0);
         Observed { params, momentum, variance, fp16: Vec::new() }
     }
 
@@ -469,6 +594,22 @@ impl CheckScenario {
             rdv(4, 3, 2, FaultPlan::Disconnect(1)),
             rdv(4, 3, 1, FaultPlan::Disconnect(2)),
         ]
+    }
+
+    /// The coordinator suite `dos-cli check` explores alongside the
+    /// pipeline: the two-tenant serve fixture, once with single-iteration
+    /// leases (a preemption between every pair of slices) and once with a
+    /// lease long enough that jobs complete unpreempted.
+    pub fn coordinator_suite() -> Vec<CheckScenario> {
+        let co = |params, subgroup, iterations, slice| CheckScenario {
+            kind: ScenarioKind::Coordinator,
+            params,
+            subgroup,
+            stride: iterations,
+            residents: slice,
+            fault: FaultPlan::None,
+        };
+        vec![co(16, 8, 2, 1), co(16, 8, 2, 2)]
     }
 
     /// The canonical seeded-bug demo scenario: stride 1 ships every
@@ -587,6 +728,7 @@ mod tests {
         for sc in CheckScenario::default_suite()
             .into_iter()
             .chain(CheckScenario::rendezvous_suite())
+            .chain(CheckScenario::coordinator_suite())
             .chain([CheckScenario::seeded_bug()])
         {
             assert_eq!(CheckScenario::decode(&sc.encode()), Ok(sc), "{}", sc.encode());
@@ -605,6 +747,16 @@ mod tests {
     fn pipeline_scenarios_pass_outside_a_checked_run() {
         // Sanity: the bodies themselves are sound under the OS scheduler.
         for sc in CheckScenario::default_suite() {
+            let obs = sc.observed();
+            assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
+        }
+    }
+
+    #[test]
+    fn coordinator_scenarios_pass_outside_a_checked_run() {
+        // The serve fixture's numerics must match dedicated runs even
+        // under the OS scheduler (preemption included).
+        for sc in CheckScenario::coordinator_suite() {
             let obs = sc.observed();
             assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
         }

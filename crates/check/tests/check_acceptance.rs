@@ -111,6 +111,37 @@ fn xr_dv_seed(round: usize, i: usize) -> u64 {
 }
 
 #[test]
+fn coordinator_scenarios_clear_two_hundred_distinct_schedules() {
+    // The multi-tenant serve coordinator (two submitter threads racing
+    // into the intake channel, one-GPU cluster, preemption between
+    // slices) must clear 200+ distinct schedules with no lost job, no
+    // double-granted lease, and bitwise-identical per-tenant numerics at
+    // every terminal state.
+    let suite = CheckScenario::coordinator_suite();
+    let mut seen = HashSet::new();
+    let mut round = 0usize;
+    while seen.len() < 200 && round < 40 {
+        for (i, sc) in suite.iter().enumerate() {
+            let cfg = ExploreConfig {
+                dfs_budget: if round == 0 { 48 } else { 0 },
+                random_walks: 48,
+                seed: xr_dv_seed(round, i).wrapping_add(0xc0),
+                max_steps: DEFAULT_MAX_STEPS,
+            };
+            let report = check_scenario(sc, &cfg, 100 + i as u64, &mut seen);
+            assert!(
+                report.failure.is_none(),
+                "{} failed: {:?}",
+                sc.encode(),
+                report.failure
+            );
+        }
+        round += 1;
+    }
+    assert!(seen.len() >= 200, "only {} distinct coordinator schedules", seen.len());
+}
+
+#[test]
 fn replay_token_rejects_garbage() {
     assert!(replay_token("not-a-token").is_err());
     assert!(replay_token("dc1:pl-p48-g8-k2-r0:00").is_err()); // 5-field scenario

@@ -20,6 +20,7 @@
 //! | [`train`] | `dos-train` | JSON-configured Trainer facade over the pooled functional pipeline |
 //! | [`runtime`] | `dos-runtime` | trainer facade + JSON config |
 //! | [`oracle`] | `dos-oracle` | differential conformance harness (Eq. 1 vs simulator vs pipeline) |
+//! | [`serve`] | `dos-serve` | multi-tenant control plane: admission, fair-share scheduling, checkpoint preemption |
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the full
 //! system inventory.
@@ -37,6 +38,7 @@ pub use dos_nn as nn;
 pub use dos_optim as optim;
 pub use dos_oracle as oracle;
 pub use dos_runtime as runtime;
+pub use dos_serve as serve;
 pub use dos_sim as sim;
 pub use dos_telemetry as telemetry;
 pub use dos_tensor as tensor;

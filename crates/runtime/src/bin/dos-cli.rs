@@ -12,6 +12,9 @@
 //! dos-cli autotune <config.json> [--iterations N] [--seed N] [--faults SPEC]
 //!                  [--trace-out FILE] [--json]
 //! dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]
+//! dos-cli serve <jobs.json> [--jobs N] [--open-loop RATE] [--seed S]
+//!               [--listen ADDR] [--ckpt-dir DIR] [--trace-out FILE]
+//!               [--out FILE] [--json] [--require-preemption]
 //! dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json]
 //!               [--corpus DIR] [--replay TOKEN]
 //!
@@ -82,6 +85,31 @@
 //!   --ug PPS         GPU update rate to assume, params/s (default: 25e9,
 //!                    the H100 profile's nominal)
 //!   --json           emit the measurements as JSON instead of a table
+//!
+//! serve: run the multi-tenant control plane over a submission file —
+//! admission control against the profile's budgets, weighted-deficit
+//! fair-share scheduling with time-sliced leases, and checkpoint-based
+//! preemption proven bitwise against an uninterrupted run. Exits nonzero
+//! if any serving gate fails: lost jobs, double-granted leases, starved
+//! tenants, unbounded p99 admission-to-start latency, or aggregate
+//! throughput under 85% of the Equation 1 packing oracle.
+//!   --jobs N         expand the file's jobs as prototypes into a seeded
+//!                    open-loop schedule of N jobs (default: run the file
+//!                    as-is; the CI smoke uses --jobs 200)
+//!   --open-loop RATE arrival rate, jobs per virtual second (default:
+//!                    derived from Equation 1 job cost, slightly above
+//!                    the cluster's drain rate; implies --jobs 200)
+//!   --seed S         seed for per-job data streams + arrival jitter
+//!   --listen ADDR    serve /metrics, /metrics.json, and the /tenants
+//!                    table while running, then self-scrape and verify
+//!                    tenant-labelled series are present
+//!   --ckpt-dir DIR   preempt through an on-disk checkpoint store
+//!                    (default: in-memory checkpoints)
+//!   --trace-out FILE export the Chrome trace, serve:* instants included
+//!   --out FILE       write the ServeReport JSON here
+//!   --json           emit the ServeReport as JSON instead of a table
+//!   --require-preemption  also fail unless the run preempted at least
+//!                    once and proved resume bitwise-identical
 //!
 //! check: deterministic schedule exploration of the hybrid update pipeline
 //! (cooperative scheduler, sleep-set-pruned DFS + seeded random walks,
@@ -161,8 +189,182 @@ fn usage() {
     );
     eprintln!("       dos-cli calibrate [--elements N] [--rounds N] [--ug PPS] [--json]");
     eprintln!(
+        "       dos-cli serve <jobs.json> [--jobs N] [--open-loop RATE] [--seed S] [--listen ADDR] [--ckpt-dir DIR] [--trace-out FILE] [--out FILE] [--json] [--require-preemption]"
+    );
+    eprintln!(
         "       dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json] [--corpus DIR] [--replay TOKEN]"
     );
+}
+
+/// Runs the multi-tenant control plane over a submission file;
+/// `Ok(true)` means every serving gate held.
+fn run_serve_cmd(rest: &[String]) -> Result<bool, String> {
+    let mut spec_path = None;
+    let mut jobs: Option<usize> = None;
+    let mut rate: Option<f64> = None;
+    let mut seed: u64 = 0;
+    let mut listen: Option<String> = None;
+    let mut ckpt_dir: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut json = false;
+    let mut require_preemption = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = Some(v.parse().map_err(|_| format!("bad job count `{v}`"))?);
+            }
+            "--open-loop" => {
+                let v = args.next().ok_or("--open-loop needs a rate")?;
+                rate = Some(v.parse().map_err(|_| format!("bad rate `{v}`"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--listen" => {
+                listen = Some(args.next().ok_or("--listen needs an address")?.to_string());
+            }
+            "--ckpt-dir" => {
+                ckpt_dir = Some(args.next().ok_or("--ckpt-dir needs a path")?.into());
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?.to_string());
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a path")?.to_string()),
+            "--json" => json = true,
+            "--require-preemption" => require_preemption = true,
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let spec_path = spec_path.ok_or("missing submission file path")?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = dos_serve::ServeSpec::from_json(&text)?;
+    spec.validate()?;
+    let profile = spec.resolve_profile()?;
+
+    let submission = if jobs.is_some() || rate.is_some() {
+        let opts = dos_serve::OpenLoopOptions {
+            jobs: jobs.unwrap_or(200),
+            seed,
+            rate_jobs_per_sec: rate,
+        };
+        dos_serve::open_loop_schedule(&profile, &spec.jobs, &opts)?
+    } else {
+        spec.jobs.clone()
+    };
+    let submitted = submission.len();
+
+    let mut coord = dos_serve::Coordinator::new(profile, dos_serve::ServeOptions {
+        checkpoint_dir: ckpt_dir,
+        ..dos_serve::ServeOptions::default()
+    });
+
+    // The endpoint serves the live registry and the tenant table while
+    // the virtual-time run executes; it stops when dropped.
+    let server = match &listen {
+        Some(addr) => Some(
+            dos_telemetry::MetricsServer::start_with_routes(
+                addr,
+                coord.tracer().metrics().clone(),
+                None,
+                vec![("/tenants".to_string(), coord.tenants_doc().route())],
+            )
+            .map_err(|e| format!("metrics server: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let report = coord.run(submission).map_err(|e| e.to_string())?;
+
+    if let Some(server) = &server {
+        let addr = server.addr();
+        let (status, prom) = dos_telemetry::http_get(addr, "/metrics")?;
+        if status != 200 || !prom.contains("tenant=\"") {
+            return Err(format!(
+                "self-scrape of {addr}/metrics invalid (status {status}, tenant labels {})",
+                if prom.contains("tenant=\"") { "present" } else { "missing" }
+            ));
+        }
+        dos_telemetry::parse_prometheus(&prom)
+            .map_err(|e| format!("self-scraped payload does not parse: {e}"))?;
+        let (status, tenants) = dos_telemetry::http_get(addr, "/tenants")?;
+        let table: Vec<dos_serve::TenantReport> = serde_json::from_str(&tenants)
+            .map_err(|e| format!("/tenants payload does not parse: {e}"))?;
+        if status != 200 || table.is_empty() {
+            return Err(format!("/tenants invalid (status {status}, {} rows)", table.len()));
+        }
+        eprintln!("self-scrape of {addr} valid: tenant-labelled metrics + /tenants table");
+    }
+
+    if let Some(path) = &trace_out {
+        let trace = dos_telemetry::chrome_trace(coord.tracer());
+        let rendered = serde_json::to_string_pretty(&trace)
+            .map_err(|e| format!("cannot serialize trace: {e}"))?;
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let rendered = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+    if let Some(path) = &out {
+        std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "served {submitted} job(s): {} completed, {} rejected, {} failed in {:.3e} virtual s",
+            report.completed, report.rejected, report.failed, report.makespan_secs,
+        );
+        println!(
+            "  throughput {:.3e} params/s = {:.1}% of the packing oracle ({:.3e})",
+            report.aggregate_pps,
+            report.oracle_ratio * 100.0,
+            report.oracle_pps,
+        );
+        println!(
+            "  waits: mean {:.3e}s, p99 {:.3e}s, max {:.3e}s (bound {:.3e}s); {} preemption(s), {} migration(s)",
+            report.mean_wait_secs,
+            report.p99_wait_secs,
+            report.max_wait_secs,
+            report.wait_bound_secs,
+            report.preemptions,
+            report.migrations,
+        );
+        for t in &report.tenants {
+            println!(
+                "  {:>10} | w {:>4.1} | {}/{} done | {} preempt | max wait {:.3e}s | gap {:.3e}s",
+                t.tenant, t.weight, t.completed, t.jobs, t.preemptions, t.max_wait_secs,
+                t.max_service_gap_secs,
+            );
+        }
+        if let Some(proof) = &report.proof {
+            println!(
+                "  preemption proof: {}/{} resumed over {} preemption(s), bitwise {}",
+                proof.tenant,
+                proof.name,
+                proof.preemptions,
+                if proof.bitwise_identical { "identical" } else { "DIVERGED" },
+            );
+        }
+    }
+    if let Err(gate) = report.healthy() {
+        eprintln!("serving gate failed: {gate}");
+        return Ok(false);
+    }
+    if require_preemption && report.preemptions == 0 {
+        eprintln!("serving gate failed: no preemption exercised (--require-preemption)");
+        return Ok(false);
+    }
+    if require_preemption && !report.proof.as_ref().is_some_and(|p| p.bitwise_identical) {
+        eprintln!("serving gate failed: no bitwise preemption proof (--require-preemption)");
+        return Ok(false);
+    }
+    Ok(true)
 }
 
 /// Runs schedule exploration + differential fuzzing (or replays one
@@ -685,6 +887,17 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("calibrate") {
         return match run_calibrate(&raw[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        return match run_serve_cmd(&raw[1..]) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

@@ -31,7 +31,7 @@ use dos_sim::simulate_iteration_faulted;
 use dos_telemetry::Tracer;
 use dos_zero::partition_into_subgroups;
 
-use crate::checkpoint::CheckpointStore;
+use dos_train::checkpoint::CheckpointStore;
 use crate::config::{ConfigError, RuntimeConfig};
 use crate::functional::{train_functional, FunctionalConfig, RankFailurePolicy};
 

@@ -25,7 +25,7 @@ use dos_nn::{Gpt, GptConfig, VisitParams};
 use dos_optim::{clip_grad_norm, DynamicLossScaler, LrSchedule, MixedPrecisionState, UpdateRule};
 use dos_zero::{partition_into_subgroups, rank_range};
 
-use crate::checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
+use dos_train::checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
 
 /// Everything that can abort a functional training run.
 #[derive(Debug)]

@@ -28,7 +28,6 @@
 
 mod autotune;
 mod chaos;
-mod checkpoint;
 mod config;
 mod functional;
 mod monitor;
@@ -37,7 +36,12 @@ mod sim_trainer;
 pub use autotune::{
     run_autotune, AutotuneOptions, AutotuneOutcome, AUTOTUNE_PARITY_TOLERANCE,
 };
-pub use checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
+// Checkpointing moved down the stack into `dos-train` (so the serving
+// control plane can preempt/resume without depending on this crate);
+// re-exported here so existing `dos_runtime::CheckpointStore` paths hold.
+pub use dos_train::checkpoint::{
+    AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint,
+};
 pub use chaos::{run_chaos, ChaosCheck, ChaosOptions, ChaosReport, FaultKind};
 pub use config::{CollectivesEntry, ConfigError, DosEntry, NamedStride, RuntimeConfig, StrideEntry};
 pub use functional::{

@@ -1,0 +1,286 @@
+//! Admission control: pricing job demands against the cluster's capacity.
+//!
+//! The controller tracks what the running set has committed of each
+//! budget — GPU slots, per-GPU HBM, node DRAM, aggregate PCIe — and
+//! answers three questions about a candidate job: *can it ever fit*
+//! (reject when not), *does it fit right now* (queue when not), and
+//! *which GPU slot does it get* (reservation). Releases return the
+//! committed budgets, so preemption frees real capacity.
+//!
+//! All arithmetic is integer/IEEE-deterministic and the slot picker is
+//! lowest-index-first, so admission decisions are a pure function of the
+//! submission history — a requirement for `dos-check` exploration and
+//! the bitwise preemption proof.
+
+use serde::{Deserialize, Serialize};
+
+use dos_hal::HardwareProfile;
+
+/// A job's resource demand, as priced by the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// HBM on the granted GPU, bytes.
+    pub hbm_bytes: u64,
+    /// Host DRAM while running (FP32 shards + staging), bytes.
+    pub dram_bytes: u64,
+    /// Update-phase interconnect share, bytes/second.
+    pub pcie_bps: f64,
+}
+
+/// The cluster-wide budgets admission prices against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCapacity {
+    /// Concurrent job slots (one GPU each).
+    pub gpu_slots: usize,
+    /// HBM per GPU, bytes.
+    pub hbm_per_gpu: u64,
+    /// Host DRAM shared by all running jobs, bytes.
+    pub dram_bytes: u64,
+    /// Aggregate interconnect bandwidth, bytes/second.
+    pub pcie_bps: f64,
+}
+
+impl ClusterCapacity {
+    /// Derives the capacity from a `dos-hal` hardware profile: one slot
+    /// per GPU, the profile's HBM/DRAM budgets, and the update-phase
+    /// link bandwidth aggregated over GPUs.
+    pub fn from_profile(profile: &HardwareProfile) -> ClusterCapacity {
+        ClusterCapacity {
+            gpu_slots: profile.num_gpus,
+            hbm_per_gpu: profile.gpu_hbm_bytes,
+            dram_bytes: profile.host_dram_bytes,
+            pcie_bps: profile.update_link_bw() * profile.num_gpus as f64,
+        }
+    }
+}
+
+/// The outcome of evaluating one job against current headroom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionDecision {
+    /// Fits now; a reservation will succeed.
+    Admit,
+    /// Feasible but not now — wait for running jobs to release budgets.
+    Queue {
+        /// The budget that is currently exhausted.
+        reason: String,
+    },
+    /// Can never fit, even on an idle cluster.
+    Reject {
+        /// The budget the demand exceeds outright.
+        reason: String,
+    },
+}
+
+/// Tracks committed budgets and hands out GPU slot reservations.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cap: ClusterCapacity,
+    /// Per-slot committed HBM; `None` means the slot is free.
+    slots: Vec<Option<u64>>,
+    committed_dram: u64,
+    committed_pcie: f64,
+}
+
+impl AdmissionController {
+    /// A controller over `cap` with everything free.
+    pub fn new(cap: ClusterCapacity) -> AdmissionController {
+        AdmissionController {
+            slots: vec![None; cap.gpu_slots],
+            committed_dram: 0,
+            committed_pcie: 0.0,
+            cap,
+        }
+    }
+
+    /// The capacity this controller prices against.
+    pub fn capacity(&self) -> &ClusterCapacity {
+        &self.cap
+    }
+
+    /// Number of currently free GPU slots.
+    pub fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Number of currently running (reserved) jobs.
+    pub fn running(&self) -> usize {
+        self.cap.gpu_slots - self.free_slots()
+    }
+
+    /// DRAM committed to the running set, bytes.
+    pub fn committed_dram(&self) -> u64 {
+        self.committed_dram
+    }
+
+    /// PCIe bandwidth committed to the running set, bytes/second.
+    pub fn committed_pcie(&self) -> f64 {
+        self.committed_pcie
+    }
+
+    /// Per-slot committed HBM (`None` = free slot), for invariant checks.
+    pub fn slot_hbm(&self) -> &[Option<u64>] {
+        &self.slots
+    }
+
+    /// Whether `demand` could ever be admitted on an idle cluster.
+    ///
+    /// # Errors
+    ///
+    /// Names the budget the demand exceeds outright.
+    pub fn feasible(&self, demand: &Demand) -> Result<(), String> {
+        if self.cap.gpu_slots == 0 {
+            return Err("cluster has zero GPU slots".to_string());
+        }
+        if demand.hbm_bytes > self.cap.hbm_per_gpu {
+            return Err(format!(
+                "HBM demand {} exceeds per-GPU capacity {}",
+                demand.hbm_bytes, self.cap.hbm_per_gpu
+            ));
+        }
+        if demand.dram_bytes > self.cap.dram_bytes {
+            return Err(format!(
+                "DRAM demand {} exceeds node capacity {}",
+                demand.dram_bytes, self.cap.dram_bytes
+            ));
+        }
+        if demand.pcie_bps.is_nan() || demand.pcie_bps < 0.0 || demand.pcie_bps > self.cap.pcie_bps {
+            return Err(format!(
+                "PCIe demand {:.3e} B/s exceeds aggregate capacity {:.3e} B/s",
+                demand.pcie_bps, self.cap.pcie_bps
+            ));
+        }
+        Ok(())
+    }
+
+    /// Evaluates `demand` against current headroom.
+    pub fn evaluate(&self, demand: &Demand) -> AdmissionDecision {
+        if let Err(reason) = self.feasible(demand) {
+            return AdmissionDecision::Reject { reason };
+        }
+        if self.free_slots() == 0 {
+            return AdmissionDecision::Queue { reason: "no free GPU slot".to_string() };
+        }
+        if self.committed_dram + demand.dram_bytes > self.cap.dram_bytes {
+            return AdmissionDecision::Queue {
+                reason: format!(
+                    "DRAM headroom {} < demand {}",
+                    self.cap.dram_bytes - self.committed_dram,
+                    demand.dram_bytes
+                ),
+            };
+        }
+        if self.committed_pcie + demand.pcie_bps > self.cap.pcie_bps {
+            return AdmissionDecision::Queue {
+                reason: format!(
+                    "PCIe headroom {:.3e} < demand {:.3e}",
+                    self.cap.pcie_bps - self.committed_pcie,
+                    demand.pcie_bps
+                ),
+            };
+        }
+        AdmissionDecision::Admit
+    }
+
+    /// Reserves the lowest free GPU slot for `demand`, committing its
+    /// budgets. Returns the slot index, or `None` if the demand does not
+    /// fit right now (callers should have seen [`AdmissionDecision::Admit`]).
+    pub fn reserve(&mut self, demand: &Demand) -> Option<usize> {
+        if self.evaluate(demand) != AdmissionDecision::Admit {
+            return None;
+        }
+        let gpu = self.slots.iter().position(|s| s.is_none())?;
+        self.slots[gpu] = Some(demand.hbm_bytes);
+        self.committed_dram += demand.dram_bytes;
+        self.committed_pcie += demand.pcie_bps;
+        Some(gpu)
+    }
+
+    /// Releases the reservation on `gpu`, returning its budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range or not currently reserved — a
+    /// double release is a lease-accounting bug the caller must surface,
+    /// not absorb.
+    pub fn release(&mut self, gpu: usize, demand: &Demand) {
+        assert!(
+            self.slots[gpu].take().is_some(),
+            "release of unreserved GPU slot {gpu}"
+        );
+        self.committed_dram = self.committed_dram.saturating_sub(demand.dram_bytes);
+        self.committed_pcie = (self.committed_pcie - demand.pcie_bps).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> ClusterCapacity {
+        ClusterCapacity { gpu_slots: 2, hbm_per_gpu: 1000, dram_bytes: 3000, pcie_bps: 100.0 }
+    }
+
+    fn demand(hbm: u64, dram: u64, pcie: f64) -> Demand {
+        Demand { hbm_bytes: hbm, dram_bytes: dram, pcie_bps: pcie }
+    }
+
+    #[test]
+    fn from_profile_aggregates_the_link() {
+        let p = HardwareProfile::jlse_h100();
+        let c = ClusterCapacity::from_profile(&p);
+        assert_eq!(c.gpu_slots, p.num_gpus);
+        assert_eq!(c.hbm_per_gpu, p.gpu_hbm_bytes);
+        assert_eq!(c.dram_bytes, p.host_dram_bytes);
+        assert!((c.pcie_bps - p.update_link_bw() * p.num_gpus as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_demands_are_rejected_not_queued() {
+        let ctl = AdmissionController::new(cap());
+        for d in [demand(1001, 0, 0.0), demand(0, 3001, 0.0), demand(0, 0, 100.1)] {
+            assert!(matches!(ctl.evaluate(&d), AdmissionDecision::Reject { .. }), "{d:?}");
+        }
+        assert!(matches!(ctl.evaluate(&demand(1000, 3000, 100.0)), AdmissionDecision::Admit));
+    }
+
+    #[test]
+    fn exhausted_budgets_queue_and_release_restores_them() {
+        let mut ctl = AdmissionController::new(cap());
+        let d = demand(500, 1600, 40.0);
+        let g0 = ctl.reserve(&d).unwrap();
+        assert_eq!(g0, 0);
+        // Second copy exceeds DRAM headroom (1600 + 1600 > 3000): queue.
+        assert!(matches!(ctl.evaluate(&d), AdmissionDecision::Queue { .. }));
+        // A DRAM-light job still fits on the second slot.
+        let light = demand(500, 100, 40.0);
+        let g1 = ctl.reserve(&light).unwrap();
+        assert_eq!(g1, 1);
+        // Slots exhausted now.
+        assert!(matches!(ctl.evaluate(&light), AdmissionDecision::Queue { .. }));
+        ctl.release(g0, &d);
+        assert_eq!(ctl.free_slots(), 1);
+        assert_eq!(ctl.committed_dram(), 100);
+        // The freed slot is the lowest index again.
+        assert_eq!(ctl.reserve(&d).unwrap(), 0);
+    }
+
+    #[test]
+    fn pcie_headroom_binds() {
+        let mut ctl = AdmissionController::new(cap());
+        assert!(ctl.reserve(&demand(10, 10, 70.0)).is_some());
+        match ctl.evaluate(&demand(10, 10, 40.0)) {
+            AdmissionDecision::Queue { reason } => assert!(reason.contains("PCIe"), "{reason}"),
+            other => panic!("expected PCIe queue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreserved")]
+    fn double_release_panics() {
+        let mut ctl = AdmissionController::new(cap());
+        let d = demand(1, 1, 1.0);
+        let g = ctl.reserve(&d).unwrap();
+        ctl.release(g, &d);
+        ctl.release(g, &d);
+    }
+}

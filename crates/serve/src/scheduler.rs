@@ -1,0 +1,251 @@
+//! Fair-share scheduling: weighted deficit round-robin with aging.
+//!
+//! Each tenant carries a *deficit* — virtual seconds of service it is
+//! owed. Every credit round adds `weight × quantum` to each backlogged
+//! tenant (clamped above by a per-tenant burst cap so an idle tenant
+//! cannot hoard unbounded credit); granting a lease charges its virtual
+//! duration (clamped below by a global floor so one long slice cannot
+//! bury a tenant forever). The scheduler is *work-conserving*: when a
+//! GPU slot is free and any tenant has backlog, something is granted —
+//! the deficit only decides **who**.
+//!
+//! Starvation freedom comes from aging: a backlogged tenant's rank gains
+//! `waited_rounds × aging_step` on top of its deficit, and the step is
+//! sized so that any tenant that keeps waiting eventually outranks every
+//! possible deficit gap. Ties break on tenant name (then job ordinal at
+//! the caller), keeping grant order a pure function of history.
+
+use std::collections::BTreeMap;
+
+use crate::spec::MAX_PRIORITY;
+
+/// Tuning knobs of the deficit round-robin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Virtual seconds of service credited per weight unit per round.
+    pub quantum_secs: f64,
+    /// Burst cap in rounds: a tenant's deficit saturates at
+    /// `weight × quantum × burst_rounds`.
+    pub burst_rounds: f64,
+    /// Rank bonus per round spent waiting while backlogged.
+    pub aging_step: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        let quantum_secs = 0.05;
+        SchedulerConfig {
+            quantum_secs,
+            burst_rounds: 8.0,
+            // One waited round outweighs a full quantum at max weight, so
+            // ranks of perpetual waiters grow without bound while deficit
+            // gaps stay bounded by the burst cap and charge floor.
+            aging_step: quantum_secs * f64::from(MAX_PRIORITY) * 2.0,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The saturation deficit for a tenant of `weight`.
+    pub fn deficit_cap(&self, weight: f64) -> f64 {
+        weight * self.quantum_secs * self.burst_rounds
+    }
+
+    /// The global floor no deficit may sink below.
+    pub fn deficit_floor(&self) -> f64 {
+        -self.deficit_cap(f64::from(MAX_PRIORITY) * 2.0)
+    }
+}
+
+/// Per-tenant fair-share account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// Fair-share weight (priority × deadline-class factor).
+    pub weight: f64,
+    /// Virtual seconds of service owed (bounded both ways).
+    pub deficit: f64,
+    /// Credit rounds spent backlogged since the last grant.
+    pub waited_rounds: usize,
+    /// Leases granted to this tenant so far.
+    pub granted: u64,
+}
+
+/// The weighted deficit round-robin scheduler.
+#[derive(Debug)]
+pub struct FairScheduler {
+    cfg: SchedulerConfig,
+    tenants: BTreeMap<String, TenantShare>,
+}
+
+impl FairScheduler {
+    /// An empty scheduler with the given knobs.
+    pub fn new(cfg: SchedulerConfig) -> FairScheduler {
+        FairScheduler { cfg, tenants: BTreeMap::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Registers `tenant` with `weight` (idempotent; the maximum weight
+    /// across its jobs wins, so one high-priority job lifts the tenant).
+    pub fn ensure_tenant(&mut self, tenant: &str, weight: f64) {
+        let share = self.tenants.entry(tenant.to_string()).or_insert(TenantShare {
+            weight,
+            deficit: 0.0,
+            waited_rounds: 0,
+            granted: 0,
+        });
+        share.weight = share.weight.max(weight);
+    }
+
+    /// The share record of `tenant`, if registered.
+    pub fn share(&self, tenant: &str) -> Option<&TenantShare> {
+        self.tenants.get(tenant)
+    }
+
+    /// All registered tenants in name order.
+    pub fn shares(&self) -> impl Iterator<Item = (&str, &TenantShare)> {
+        self.tenants.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// One credit round over `backlogged` tenants: each gains
+    /// `weight × quantum` of deficit (saturating at its burst cap) and
+    /// one waited round.
+    pub fn credit<'a, I: IntoIterator<Item = &'a str>>(&mut self, backlogged: I) {
+        for name in backlogged {
+            if let Some(share) = self.tenants.get_mut(name) {
+                let cap = self.cfg.deficit_cap(share.weight);
+                share.deficit = (share.deficit + share.weight * self.cfg.quantum_secs).min(cap);
+                share.waited_rounds += 1;
+            }
+        }
+    }
+
+    /// The grant rank of `tenant`: deficit plus its aging bonus.
+    /// Unregistered tenants rank at the floor.
+    pub fn rank(&self, tenant: &str) -> f64 {
+        match self.tenants.get(tenant) {
+            Some(s) => s.deficit + s.waited_rounds as f64 * self.cfg.aging_step,
+            None => self.cfg.deficit_floor(),
+        }
+    }
+
+    /// Orders candidate tenants best-first: descending rank, ties broken
+    /// by ascending name. `candidates` must be free of duplicates.
+    pub fn order<'a>(&self, candidates: &[&'a str]) -> Vec<&'a str> {
+        let mut ranked: Vec<(&str, f64)> =
+            candidates.iter().map(|t| (*t, self.rank(t))).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0)));
+        ranked.into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Records a granted lease of virtual duration `secs` to `tenant`:
+    /// charges the deficit (clamped at the global floor) and resets its
+    /// aging clock.
+    pub fn charge(&mut self, tenant: &str, secs: f64) {
+        let floor = self.cfg.deficit_floor();
+        if let Some(share) = self.tenants.get_mut(tenant) {
+            share.deficit = (share.deficit - secs).max(floor);
+            share.waited_rounds = 0;
+            share.granted += 1;
+        }
+    }
+
+    /// Asserts the deficit-bound invariant for every tenant; returns the
+    /// first violation. Exercised by proptests and `debug_assert`s.
+    pub fn check_bounds(&self) -> Result<(), String> {
+        let floor = self.cfg.deficit_floor();
+        for (name, share) in &self.tenants {
+            let cap = self.cfg.deficit_cap(share.weight);
+            if !(share.deficit >= floor - 1e-9 && share.deficit <= cap + 1e-9) {
+                return Err(format!(
+                    "tenant {name}: deficit {} outside [{floor}, {cap}]",
+                    share.deficit
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> FairScheduler {
+        let mut s = FairScheduler::new(SchedulerConfig::default());
+        s.ensure_tenant("heavy", 8.0);
+        s.ensure_tenant("light", 1.0);
+        s
+    }
+
+    #[test]
+    fn credit_favors_weight_and_charge_resets_aging() {
+        let mut s = sched();
+        s.credit(["heavy", "light"]);
+        assert!(s.rank("heavy") > s.rank("light"));
+        assert_eq!(s.order(&["light", "heavy"]), vec!["heavy", "light"]);
+        s.charge("heavy", 1.0);
+        assert_eq!(s.share("heavy").unwrap().waited_rounds, 0);
+        assert_eq!(s.share("heavy").unwrap().granted, 1);
+        // After a big charge the light tenant outranks the heavy one.
+        assert_eq!(s.order(&["heavy", "light"]), vec!["light", "heavy"]);
+    }
+
+    #[test]
+    fn deficits_stay_bounded_both_ways() {
+        let mut s = sched();
+        for _ in 0..10_000 {
+            s.credit(["heavy", "light"]);
+        }
+        s.check_bounds().unwrap();
+        let cfg = *s.config();
+        assert!(s.share("heavy").unwrap().deficit <= cfg.deficit_cap(8.0) + 1e-9);
+        for _ in 0..10_000 {
+            s.charge("light", 5.0);
+        }
+        s.check_bounds().unwrap();
+        assert!(s.share("light").unwrap().deficit >= cfg.deficit_floor() - 1e-9);
+    }
+
+    #[test]
+    fn aging_eventually_outranks_any_deficit_gap() {
+        let mut s = sched();
+        // Saturate heavy's deficit and pin light at the floor.
+        for _ in 0..100 {
+            s.credit(["heavy"]);
+        }
+        s.charge("light", 1e18);
+        // Heavy keeps being granted (each grant resets its aging clock)
+        // while light only waits: light's rank must still overtake within
+        // a bounded number of rounds — the starvation-freedom invariant.
+        let mut rounds = 0usize;
+        while s.rank("light") <= s.rank("heavy") {
+            s.credit(["heavy", "light"]);
+            s.charge("heavy", 0.0);
+            rounds += 1;
+            assert!(rounds < 10_000, "light tenant starved");
+        }
+        assert!(rounds > 0);
+        s.check_bounds().unwrap();
+    }
+
+    #[test]
+    fn ties_break_on_tenant_name() {
+        let mut s = FairScheduler::new(SchedulerConfig::default());
+        s.ensure_tenant("beta", 2.0);
+        s.ensure_tenant("alfa", 2.0);
+        assert_eq!(s.order(&["beta", "alfa"]), vec!["alfa", "beta"]);
+    }
+
+    #[test]
+    fn max_weight_across_jobs_wins() {
+        let mut s = FairScheduler::new(SchedulerConfig::default());
+        s.ensure_tenant("t", 2.0);
+        s.ensure_tenant("t", 5.0);
+        s.ensure_tenant("t", 1.0);
+        assert_eq!(s.share("t").unwrap().weight, 5.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Job specifications: the JSON surface a tenant submits.
+//!
+//! A [`JobSpec`] wraps the `dos-train` [`TrainerConfig`] document with the
+//! multi-tenant envelope — tenant identity, priority, deadline class, and
+//! explicit (or derived) HBM/DRAM/PCIe demands the admission controller
+//! prices against the `dos-hal` capacity budgets. A [`ServeSpec`] is a
+//! whole submission file: a hardware profile name plus a list of jobs.
+
+use serde::{Deserialize, Serialize};
+
+use dos_hal::HardwareProfile;
+use dos_train::TrainerConfig;
+
+use crate::admission::Demand;
+
+/// Highest admissible priority (inclusive); weights scale linearly in it.
+pub const MAX_PRIORITY: u8 = 9;
+
+/// Derived DRAM demand per parameter, bytes: FP32 master + momentum +
+/// variance (12) plus one FP32 staging copy in flight (4).
+pub const DRAM_BYTES_PER_PARAM: u64 = 16;
+
+/// Derived HBM demand per parameter, bytes: the FP16 working copy.
+pub const HBM_BYTES_PER_PARAM: u64 = 2;
+
+/// Derived HBM staging overhead per subgroup parameter, bytes: FP32
+/// params/momentum/variance/gradients windows (4 × 4).
+pub const HBM_STAGING_BYTES_PER_SUBGROUP_PARAM: u64 = 16;
+
+/// How latency-sensitive a job is; feeds the fair-share weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum DeadlineClass {
+    /// Latency-critical fine-tune; doubled share weight.
+    Interactive,
+    /// The default service class.
+    #[default]
+    Standard,
+    /// Throughput-oriented background job; halved share weight.
+    Batch,
+}
+
+impl DeadlineClass {
+    /// The weight multiplier of the class.
+    pub fn weight_factor(self) -> f64 {
+        match self {
+            DeadlineClass::Interactive => 2.0,
+            DeadlineClass::Standard => 1.0,
+            DeadlineClass::Batch => 0.5,
+        }
+    }
+}
+
+/// One tenant job: identity + service envelope + the wrapped trainer
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct JobSpec {
+    /// Tenant the job bills to (fair-share accounting key). Non-empty.
+    pub tenant: String,
+    /// Job name, unique per tenant in one submission.
+    pub name: String,
+    /// Priority `1..=9`; the fair-share weight scales linearly in it.
+    #[serde(default = "default_priority")]
+    pub priority: u8,
+    /// Service class (weight multiplier).
+    #[serde(default)]
+    pub deadline: DeadlineClass,
+    /// Optimizer steps the job runs before completing.
+    pub iterations: usize,
+    /// Virtual arrival time, seconds (open-loop schedules pin this).
+    #[serde(default)]
+    pub arrival_secs: f64,
+    /// Seed of the job's deterministic init/gradient streams.
+    #[serde(default)]
+    pub seed: u64,
+    /// Explicit HBM demand, bytes; derived from the trainer shape when
+    /// absent.
+    #[serde(default)]
+    pub hbm_bytes: Option<u64>,
+    /// Explicit DRAM demand, bytes; derived when absent.
+    #[serde(default)]
+    pub dram_bytes: Option<u64>,
+    /// Explicit PCIe demand, bytes/s; one GPU's update-phase link share
+    /// when absent.
+    #[serde(default)]
+    pub pcie_bps: Option<f64>,
+    /// The wrapped `dos-train` configuration.
+    pub trainer: TrainerConfig,
+}
+
+fn default_priority() -> u8 {
+    4
+}
+
+impl JobSpec {
+    /// Validates the envelope and the wrapped trainer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenant.trim().is_empty() {
+            return Err("tenant must be non-empty".to_string());
+        }
+        if self.name.trim().is_empty() {
+            return Err(format!("tenant {:?}: job name must be non-empty", self.tenant));
+        }
+        if self.priority == 0 || self.priority > MAX_PRIORITY {
+            return Err(format!(
+                "job {}/{}: priority {} outside 1..={MAX_PRIORITY}",
+                self.tenant, self.name, self.priority
+            ));
+        }
+        if self.iterations == 0 {
+            return Err(format!("job {}/{}: iterations must be positive", self.tenant, self.name));
+        }
+        if !self.arrival_secs.is_finite() || self.arrival_secs < 0.0 {
+            return Err(format!(
+                "job {}/{}: arrival_secs must be finite and non-negative",
+                self.tenant, self.name
+            ));
+        }
+        self.trainer
+            .validate()
+            .map_err(|e| format!("job {}/{}: trainer: {e}", self.tenant, self.name))?;
+        self.trainer
+            .resolve_rule()
+            .map_err(|e| format!("job {}/{}: trainer: {e}", self.tenant, self.name))?;
+        Ok(())
+    }
+
+    /// The fair-share weight: priority × deadline-class factor.
+    pub fn weight(&self) -> f64 {
+        f64::from(self.priority) * self.deadline.weight_factor()
+    }
+
+    /// The job's resource demand against `profile`, deriving any budget
+    /// the spec leaves implicit from the trainer shape.
+    pub fn demand(&self, profile: &HardwareProfile) -> Demand {
+        let params = self.trainer.params as u64;
+        let subgroup = self.trainer.subgroup_size as u64;
+        Demand {
+            hbm_bytes: self.hbm_bytes.unwrap_or(
+                params * HBM_BYTES_PER_PARAM + subgroup * HBM_STAGING_BYTES_PER_SUBGROUP_PARAM,
+            ),
+            dram_bytes: self.dram_bytes.unwrap_or(params * DRAM_BYTES_PER_PARAM),
+            pcie_bps: self.pcie_bps.unwrap_or_else(|| profile.update_link_bw()),
+        }
+    }
+}
+
+/// A whole submission document: hardware profile + jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ServeSpec {
+    /// Hardware profile name (a `dos-hal` preset); the JLSE 4×H100 testbed
+    /// when absent.
+    #[serde(default)]
+    pub profile: Option<String>,
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl ServeSpec {
+    /// Parses a submission document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on malformed JSON.
+    pub fn from_json(json: &str) -> Result<ServeSpec, String> {
+        serde_json::from_str(json).map_err(|e| format!("serve spec: {e}"))
+    }
+
+    /// Resolves the named hardware profile against the `dos-hal` presets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name and the known ones.
+    pub fn resolve_profile(&self) -> Result<HardwareProfile, String> {
+        let Some(name) = &self.profile else {
+            return Ok(HardwareProfile::jlse_h100());
+        };
+        HardwareProfile::presets()
+            .into_iter()
+            .find(|p| &p.name == name)
+            .ok_or_else(|| {
+                let known: Vec<String> =
+                    HardwareProfile::presets().into_iter().map(|p| p.name).collect();
+                format!("unknown profile {name:?} (known: {})", known.join(", "))
+            })
+    }
+
+    /// Validates every job plus cross-job constraints (unique
+    /// tenant/name pairs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.jobs.is_empty() {
+            return Err("serve spec has no jobs".to_string());
+        }
+        let mut seen: Vec<(&str, &str)> = Vec::new();
+        for job in &self.jobs {
+            job.validate()?;
+            let key = (job.tenant.as_str(), job.name.as_str());
+            if seen.contains(&key) {
+                return Err(format!("duplicate job {}/{}", job.tenant, job.name));
+            }
+            seen.push(key);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_json() -> &'static str {
+        r#"{
+            "tenant": "acme", "name": "ft-1", "priority": 6,
+            "deadline": "interactive", "iterations": 4, "seed": 7,
+            "trainer": { "params": 64, "subgroup_size": 8,
+                         "deep_optimizer_states": { "update_stride": 2 } }
+        }"#
+    }
+
+    #[test]
+    fn job_spec_parses_and_validates() {
+        let job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        assert_eq!(job.tenant, "acme");
+        assert_eq!(job.deadline, DeadlineClass::Interactive);
+        assert_eq!(job.weight(), 12.0);
+        job.validate().unwrap();
+    }
+
+    #[test]
+    fn derived_demand_follows_the_trainer_shape() {
+        let job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        let profile = HardwareProfile::jlse_h100();
+        let d = job.demand(&profile);
+        assert_eq!(d.dram_bytes, 64 * DRAM_BYTES_PER_PARAM);
+        assert_eq!(d.hbm_bytes, 64 * 2 + 8 * 16);
+        assert_eq!(d.pcie_bps, profile.update_link_bw());
+        // Explicit budgets win over derivation.
+        let mut job = job;
+        job.hbm_bytes = Some(1 << 30);
+        assert_eq!(job.demand(&profile).hbm_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn envelope_violations_are_rejected() {
+        let mut job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        job.priority = 0;
+        assert!(job.validate().is_err());
+        job.priority = 10;
+        assert!(job.validate().is_err());
+        let mut job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        job.tenant = " ".to_string();
+        assert!(job.validate().is_err());
+        let mut job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        job.iterations = 0;
+        assert!(job.validate().is_err());
+        let mut job: JobSpec = serde_json::from_str(job_json()).unwrap();
+        job.arrival_secs = f64::NAN;
+        assert!(job.validate().is_err());
+    }
+
+    #[test]
+    fn serve_spec_resolves_profiles_and_rejects_duplicates() {
+        let json = format!(
+            r#"{{ "profile": "4xV100-32GB", "jobs": [{j}, {j}] }}"#,
+            j = job_json()
+        );
+        let spec = ServeSpec::from_json(&json).unwrap();
+        assert_eq!(spec.resolve_profile().unwrap().name, "4xV100-32GB");
+        assert!(spec.validate().unwrap_err().contains("duplicate"));
+
+        let spec = ServeSpec { profile: Some("nope".into()), jobs: vec![] };
+        assert!(spec.resolve_profile().is_err());
+        assert!(spec.validate().is_err());
+
+        let spec = ServeSpec::from_json(&format!(r#"{{ "jobs": [{}] }}"#, job_json())).unwrap();
+        assert_eq!(spec.resolve_profile().unwrap().name, "jlse-4xH100");
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_fields_fail_fast() {
+        assert!(ServeSpec::from_json(r#"{ "jobs": [], "extra": 1 }"#).is_err());
+    }
+}

@@ -47,34 +47,60 @@ fn escape_label(value: &str) -> String {
     out
 }
 
+/// Splits a registry metric name into its base name and any extra label
+/// pairs encoded after `|` separators (`serve.tenant.pps|tenant=acme` →
+/// base `serve.tenant.pps`, labels `[("tenant", "acme")]`). Multi-tenant
+/// producers use this convention so one dotted registry stays flat while
+/// the Prometheus rendering grows real per-tenant label dimensions. A
+/// segment without `=` is kept verbatim in the base name.
+pub fn split_name_labels(name: &str) -> (String, Vec<(String, String)>) {
+    let mut parts = name.split('|');
+    let mut base = parts.next().unwrap_or_default().to_string();
+    let mut labels = Vec::new();
+    for seg in parts {
+        match seg.split_once('=') {
+            Some((k, v)) if !k.is_empty() => labels.push((k.to_string(), v.to_string())),
+            _ => {
+                base.push('|');
+                base.push_str(seg);
+            }
+        }
+    }
+    (base, labels)
+}
+
+/// Renders the `{name="...",extra="..."}` label block for a registry name.
+fn label_block(name: &str) -> String {
+    let (base, labels) = split_name_labels(name);
+    let mut out = format!("name=\"{}\"", escape_label(&base));
+    for (k, v) in &labels {
+        out.push_str(&format!(",{}=\"{}\"", k, escape_label(v)));
+    }
+    out
+}
+
 /// Renders a snapshot in the Prometheus text exposition format. Dotted
-/// workspace metric names ride in the `name` label (see module docs).
+/// workspace metric names ride in the `name` label (see module docs);
+/// `|key=value` suffixes on a registry name become additional labels
+/// (see [`split_name_labels`]).
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     if !snap.counters.is_empty() {
         out.push_str("# TYPE dos_counter counter\n");
         for c in &snap.counters {
-            out.push_str(&format!(
-                "dos_counter{{name=\"{}\"}} {}\n",
-                escape_label(&c.name),
-                c.value
-            ));
+            out.push_str(&format!("dos_counter{{{}}} {}\n", label_block(&c.name), c.value));
         }
     }
     if !snap.gauges.is_empty() {
         out.push_str("# TYPE dos_gauge gauge\n");
         for g in &snap.gauges {
-            out.push_str(&format!(
-                "dos_gauge{{name=\"{}\"}} {}\n",
-                escape_label(&g.name),
-                g.value
-            ));
+            out.push_str(&format!("dos_gauge{{{}}} {}\n", label_block(&g.name), g.value));
         }
     }
     if !snap.histograms.is_empty() {
         out.push_str("# TYPE dos_histogram histogram\n");
         for h in &snap.histograms {
-            let name = escape_label(&h.name);
+            let labels = label_block(&h.name);
             let mut cumulative = 0u64;
             for (i, &count) in h.histogram.counts().iter().enumerate() {
                 cumulative += count;
@@ -83,12 +109,12 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
                     None => "+Inf".to_string(),
                 };
                 out.push_str(&format!(
-                    "dos_histogram_bucket{{name=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                    "dos_histogram_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
                 ));
             }
-            out.push_str(&format!("dos_histogram_sum{{name=\"{name}\"}} {}\n", h.histogram.sum()));
+            out.push_str(&format!("dos_histogram_sum{{{labels}}} {}\n", h.histogram.sum()));
             out.push_str(&format!(
-                "dos_histogram_count{{name=\"{name}\"}} {}\n",
+                "dos_histogram_count{{{labels}}} {}\n",
                 h.histogram.count()
             ));
         }
@@ -181,10 +207,55 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.flush();
 }
 
+/// A dynamic JSON route handler: called per request, returns the body.
+pub type JsonRouteFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A shared, replaceable JSON document — the bridge between a producer
+/// that periodically re-publishes a payload (the serving control plane's
+/// tenant table) and a [`MetricsServer`] route that must read it from the
+/// serving thread. Lives here rather than in the producer because
+/// producers under `dos-check` exploration may not hold raw `std::sync`
+/// primitives; this crate is outside the checked set.
+#[derive(Debug, Clone, Default)]
+pub struct SharedDoc {
+    body: Arc<std::sync::Mutex<String>>,
+}
+
+impl SharedDoc {
+    /// An empty document (`{}` until first publish).
+    pub fn new() -> SharedDoc {
+        SharedDoc { body: Arc::new(std::sync::Mutex::new("{}".to_string())) }
+    }
+
+    /// Replaces the document body.
+    pub fn publish(&self, body: String) {
+        match self.body.lock() {
+            Ok(mut slot) => *slot = body,
+            Err(poisoned) => *poisoned.into_inner() = body,
+        }
+    }
+
+    /// The current body.
+    pub fn snapshot(&self) -> String {
+        match self.body.lock() {
+            Ok(slot) => slot.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// A route handler serving the current body, for
+    /// [`MetricsServer::start_with_routes`].
+    pub fn route(&self) -> JsonRouteFn {
+        let doc = self.clone();
+        Arc::new(move || doc.snapshot())
+    }
+}
+
 fn handle_connection(
     stream: &mut TcpStream,
     metrics: &MetricsRegistry,
     health: Option<&HealthBoard>,
+    routes: &[(String, JsonRouteFn)],
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut buf = [0u8; 2048];
@@ -217,13 +288,21 @@ fn handle_connection(
             };
             respond(stream, "200 OK", "application/json", &body);
         }
-        "/" => respond(
-            stream,
-            "200 OK",
-            "text/plain; charset=utf-8",
-            "dos metrics endpoint: /metrics (Prometheus), /metrics.json, /health\n",
-        ),
-        _ => respond(stream, "404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+        "/" => {
+            let mut index =
+                "dos metrics endpoint: /metrics (Prometheus), /metrics.json, /health".to_string();
+            for (path, _) in routes {
+                index.push_str(&format!(", {path}"));
+            }
+            index.push('\n');
+            respond(stream, "200 OK", "text/plain; charset=utf-8", &index);
+        }
+        other => match routes.iter().find(|(path, _)| path == other) {
+            Some((_, handler)) => {
+                respond(stream, "200 OK", "application/json", &handler());
+            }
+            None => respond(stream, "404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+        },
     }
 }
 
@@ -251,6 +330,22 @@ impl MetricsServer {
         metrics: MetricsRegistry,
         health: Option<HealthBoard>,
     ) -> Result<MetricsServer, String> {
+        MetricsServer::start_with_routes(listen, metrics, health, Vec::new())
+    }
+
+    /// Like [`MetricsServer::start`], plus extra JSON routes: each
+    /// `(path, handler)` pair is served at `path` with the handler invoked
+    /// per request (the serving control plane mounts `/tenants` this way).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the address cannot be bound.
+    pub fn start_with_routes(
+        listen: &str,
+        metrics: MetricsRegistry,
+        health: Option<HealthBoard>,
+        routes: Vec<(String, JsonRouteFn)>,
+    ) -> Result<MetricsServer, String> {
         let listener =
             TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
         let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
@@ -266,7 +361,7 @@ impl MetricsServer {
                     match listener.accept() {
                         Ok((mut stream, _peer)) => {
                             let _ = stream.set_nonblocking(false);
-                            handle_connection(&mut stream, &metrics, health.as_ref());
+                            handle_connection(&mut stream, &metrics, health.as_ref(), &routes);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -369,6 +464,61 @@ mod tests {
             buckets.windows(2).all(|w| w[0].value <= w[1].value),
             "buckets must be cumulative: {buckets:?}"
         );
+    }
+
+    #[test]
+    fn tenant_label_segments_become_real_labels() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("serve.tenant.pps|tenant=acme", 123.0);
+        m.inc_counter("serve.tenant.preemptions|tenant=acme|gpu=2", 4);
+        let text = prometheus_text(&m.snapshot());
+        assert!(
+            text.contains("dos_gauge{name=\"serve.tenant.pps\",tenant=\"acme\"} 123"),
+            "{text}"
+        );
+        let samples = parse_prometheus(&text).expect("payload parses");
+        let c = samples
+            .iter()
+            .find(|s| s.metric == "dos_counter")
+            .expect("counter present");
+        assert_eq!(c.label("name"), Some("serve.tenant.preemptions"));
+        assert_eq!(c.label("tenant"), Some("acme"));
+        assert_eq!(c.label("gpu"), Some("2"));
+        // A `|` segment without `=` stays part of the base name.
+        let (base, labels) = split_name_labels("odd|segment");
+        assert_eq!(base, "odd|segment");
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn custom_json_routes_are_served_and_indexed() {
+        let server = MetricsServer::start_with_routes(
+            "127.0.0.1:0",
+            MetricsRegistry::new(),
+            None,
+            vec![("/tenants".to_string(), Arc::new(|| "{\"tenants\":[]}".to_string()) as _)],
+        )
+        .expect("server starts");
+        let addr = server.addr();
+        let (status, body) = http_get(addr, "/tenants").expect("tenants scrape");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"tenants\":[]}");
+        let (_, index) = http_get(addr, "/").expect("index");
+        assert!(index.contains("/tenants"), "{index}");
+        let (status, _) = http_get(addr, "/nope").expect("404 route");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn shared_doc_publishes_through_its_route() {
+        let doc = SharedDoc::new();
+        let route = doc.route();
+        assert_eq!(route(), "{}");
+        doc.publish("{\"tenants\":[\"acme\"]}".to_string());
+        assert_eq!(route(), "{\"tenants\":[\"acme\"]}");
+        // Clones share the same body.
+        doc.clone().publish("{}".to_string());
+        assert_eq!(doc.snapshot(), "{}");
     }
 
     #[test]

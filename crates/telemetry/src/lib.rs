@@ -41,7 +41,10 @@ pub use analyze::{
     TraceAnalysis, IDLE_GAP_BOUNDS,
 };
 pub use chrome::{chrome_trace, chrome_trace_from_timeline, ChromeArgs, ChromeEvent, ChromeTrace};
-pub use expose::{http_get, parse_prometheus, prometheus_text, MetricsServer, PromSample};
+pub use expose::{
+    http_get, parse_prometheus, prometheus_text, split_name_labels, JsonRouteFn, MetricsServer,
+    PromSample, SharedDoc,
+};
 pub use flight::{
     install_flight_panic_hook, FlightDump, FlightEvent, FlightRecorder,
 };

@@ -62,7 +62,7 @@ impl From<PipelineError> for TrainerError {
 }
 
 /// The `"deep_optimizer_states"` JSON entry (§4.4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields, default)]
 pub struct DosEntry {
     /// Master switch; `false` leaves the baseline scheduler in place.
@@ -225,7 +225,7 @@ impl CollectivesEntry {
 
 /// A functional-trainer configuration document: one optimizer shard, its
 /// partitioning, the update rule, and the middleware entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct TrainerConfig {
     /// Flat parameter count of the optimizer shard.

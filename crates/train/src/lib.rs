@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod config;
 pub mod trainer;
 
+pub use checkpoint::{AsyncCheckpointer, CheckpointError, CheckpointStore, TrainingCheckpoint};
 pub use config::{
     CollectivesEntry, DosEntry, MonitorEntry, NamedStride, StrideEntry, TrainerConfig, TrainerError,
 };

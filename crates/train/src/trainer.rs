@@ -8,6 +8,7 @@ use dos_telemetry::{
 };
 use dos_zero::{partition_into_subgroups, SubgroupSpec};
 
+use crate::checkpoint::TrainingCheckpoint;
 use crate::config::{TrainerConfig, TrainerError};
 
 /// Track names the pipeline records its spans on (kept in sync with
@@ -148,6 +149,18 @@ impl Trainer {
         mon.last_events = events;
     }
 
+    /// Captures a consistent snapshot of the trainer's optimizer state,
+    /// suitable for [`crate::checkpoint::CheckpointStore::save`] and for
+    /// resuming via [`TrainerConfig::resume`]. Preemption in the serving
+    /// control plane is exactly `checkpoint()` + drop.
+    pub fn checkpoint(&self) -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            params: self.state.params().to_vec(),
+            optimizer: self.state.clone(),
+            iteration: self.steps_taken,
+        }
+    }
+
     /// The resolved configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.cfg
@@ -224,9 +237,44 @@ impl TrainerConfig {
             });
         }
         let rule = self.resolve_rule()?;
+        let state = MixedPrecisionState::new(init, rule, self.lr);
+        self.assemble(state, 0)
+    }
+
+    /// Rebuilds a [`Trainer`] from this configuration and a previously
+    /// captured [`TrainingCheckpoint`], continuing at the checkpoint's
+    /// iteration with its exact optimizer state (master params, moments,
+    /// step counts) — the resume half of checkpoint-based preemption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Invalid`] for an unresolvable config or a
+    /// checkpoint whose shard length disagrees with `params`.
+    pub fn resume(self, checkpoint: &TrainingCheckpoint) -> Result<Trainer, TrainerError> {
+        self.validate()?;
+        self.resolve_rule()?;
+        if checkpoint.optimizer.len() != self.params {
+            return Err(TrainerError::Invalid {
+                detail: format!(
+                    "checkpoint shard length {} != params {}",
+                    checkpoint.optimizer.len(),
+                    self.params
+                ),
+            });
+        }
+        self.assemble(checkpoint.optimizer.clone(), checkpoint.iteration)
+    }
+
+    /// Shared tail of [`TrainerConfig::build`]/[`TrainerConfig::resume`]:
+    /// wires the pipeline, partition, monitoring, and staging arena around
+    /// an already-constructed optimizer state.
+    fn assemble(
+        self,
+        state: MixedPrecisionState,
+        steps_taken: usize,
+    ) -> Result<Trainer, TrainerError> {
         let pipeline = self.pipeline();
         let subgroups = partition_into_subgroups(self.params, self.subgroup_size);
-        let state = MixedPrecisionState::new(init, rule, self.lr);
         let monitoring = self.monitor.as_ref().map(|entry| Monitoring {
             tracer: Tracer::flight_only(entry.flight_capacity),
             detect: entry.health,
@@ -243,7 +291,7 @@ impl TrainerConfig {
             Some(mon) => ArenaPool::with_metrics(mon.tracer.metrics().clone()),
             None => ArenaPool::new(),
         };
-        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool, steps_taken: 0, monitoring })
+        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool, steps_taken, monitoring })
     }
 }
 
@@ -360,6 +408,47 @@ mod tests {
         assert_eq!(dump.reason, "health:degraded");
         assert!(dump.events.iter().any(|e| e.name == "fault:device-worker"), "{dump:?}");
         assert!(dump.events.iter().any(|e| e.name == "health:degraded"));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise_identical_to_uninterrupted() {
+        let n = 47;
+        let json = r#"{ "params": 47, "subgroup_size": 8,
+                        "deep_optimizer_states": { "update_stride": 2 } }"#;
+        let cfg = TrainerConfig::from_json(json).unwrap();
+        let mut a = cfg.clone().build(init(n)).unwrap();
+        let mut b = cfg.clone().build(init(n)).unwrap();
+        for step in 0..5 {
+            a.step(&grads(n, step)).unwrap();
+        }
+        // B: 2 steps, preempt (checkpoint + drop), resume, 3 more.
+        for step in 0..2 {
+            b.step(&grads(n, step)).unwrap();
+        }
+        let snap = b.checkpoint();
+        assert_eq!(snap.iteration, 2);
+        drop(b);
+        // Round-trip through the on-disk format like a real preemption does.
+        let snap = TrainingCheckpoint::from_bytes(&snap.to_bytes().unwrap()).unwrap();
+        let mut b = cfg.resume(&snap).unwrap();
+        assert_eq!(b.steps_taken(), 2);
+        for step in 2..5 {
+            b.step(&grads(n, step)).unwrap();
+        }
+        assert_eq!(a.params(), b.params());
+        assert_eq!(a.momentum(), b.momentum());
+        assert_eq!(a.variance(), b.variance());
+        assert_eq!(a.steps_taken(), b.steps_taken());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_shards() {
+        let json = r#"{ "params": 8, "subgroup_size": 4 }"#;
+        let cfg = TrainerConfig::from_json(json).unwrap();
+        let t = cfg.clone().build(vec![0.0; 8]).unwrap();
+        let snap = t.checkpoint();
+        let bigger = TrainerConfig::from_json(r#"{ "params": 12, "subgroup_size": 4 }"#).unwrap();
+        assert!(matches!(bigger.resume(&snap), Err(TrainerError::Invalid { .. })));
     }
 
     #[test]
