@@ -1,0 +1,5 @@
+//! Regenerates the `extension_zenflow` extension experiment; see `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", dos_bench::extensions::extension_zenflow());
+}

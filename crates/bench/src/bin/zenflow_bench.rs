@@ -1,0 +1,91 @@
+//! `zenflow_bench`: the pinned ZenFlowAsync-vs-DOS iteration-time
+//! benchmark — averaged virtual iteration seconds for ZeRO-3, DOS, and
+//! ZenFlow (S=0 and the pinned staleness bound) on the 20B zoo config,
+//! with an optional CI regression gate; schema `dos-bench/zenflow-v1`,
+//! committed baseline `BENCH_10.json`.
+//!
+//! ```text
+//! zenflow_bench [--json] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `--baseline BENCH_10.json` exits nonzero when a ZenFlow invariant
+//! breaks (staleness slowing the schedule, cold work no longer deferred,
+//! a stalled update phase, losing to ZeRO-3) or iteration time / gains
+//! regress past the committed tolerances.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dos_bench::zenflow::{regression_gate, render, run_zenflow_bench, ZenFlowBenchReport};
+
+struct Options {
+    json: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { json: false, out: None, baseline: None };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().map(String::from).ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let report = run_zenflow_bench()?;
+    let rendered_json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+    if opts.json {
+        println!("{rendered_json}");
+    } else {
+        print!("{}", render(&report));
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{rendered_json}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let baseline: ZenFlowBenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e:?}", path.display()))?;
+        regression_gate(&report, &baseline)?;
+        eprintln!(
+            "regression gate passed: async {:.3}s ({:.2}x vs zero3) vs baseline {:.3}s ({:.2}x)",
+            report.zenflow_async_avg_secs,
+            report.gain_vs_zero3,
+            baseline.zenflow_async_avg_secs,
+            baseline.gain_vs_zero3
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("zenflow_bench: {e}");
+            eprintln!("usage: zenflow_bench [--json] [--out PATH] [--baseline PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zenflow_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod serve;
 pub mod support;
 pub mod tables;
 pub mod timelines;
+pub mod zenflow;
 
 /// One experiment: its name and the function that renders it.
 pub type Experiment = (&'static str, fn() -> String);
@@ -60,5 +61,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("extension_zero_stages", extensions::extension_zero_stages),
         ("extension_numa_contention", contention::extension_numa_contention),
         ("extension_adaptive_control", adaptive::extension_adaptive_control),
+        ("extension_zenflow", extensions::extension_zenflow),
     ]
 }

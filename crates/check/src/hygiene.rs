@@ -10,6 +10,15 @@
 //! scenarios run (`dos-core`, `dos-collectives`, `dos-train`,
 //! `dos-control`, `dos-serve`) and reports every offending line.
 //!
+//! Raw `std::sync::atomic` types are flagged for the same reason from the
+//! other direction: an atomic load/store is *not* a facade yield point, so
+//! cross-thread communication through one is invisible to the explorer —
+//! a spin-until-flag loop wedges the virtual scheduler, and an
+//! `Ordering`-bearing handshake hides exactly the interleavings the
+//! checker exists to enumerate. Lock-free code with a genuine reason
+//! (e.g. telemetry counters never read back by explored control flow)
+//! must carry the explicit `check-hygiene: allow` marker.
+//!
 //! Escape hatch: a line containing `check-hygiene: allow` is skipped, as
 //! are `//` comment lines. The facade's own implementation
 //! (`core/src/sync`) is exempt — wrapping the primitives is its job.
@@ -21,6 +30,11 @@ use serde::{Deserialize, Serialize};
 /// Substrings that mark a facade bypass when they appear with a
 /// `std::sync` qualification on the same line.
 const BLOCKING_PRIMITIVES: [&str; 5] = ["Mutex", "Condvar", "RwLock", "Barrier", "mpsc"];
+
+/// Substrings that mark an ordering-bearing atomic when they appear with a
+/// `std::sync::atomic` qualification on the same line (`Atomic` covers the
+/// whole `AtomicBool`/`AtomicUsize`/`AtomicU64`/… family).
+const ATOMIC_PRIMITIVES: [&str; 3] = ["Atomic", "Ordering", "fence"];
 
 /// One offending source line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +75,9 @@ fn flagged(line: &str) -> Option<&'static str> {
     }
     if !line.contains("std::sync") {
         return None;
+    }
+    if line.contains("std::sync::atomic") {
+        return ATOMIC_PRIMITIVES.iter().find(|p| line.contains(*p)).copied();
     }
     BLOCKING_PRIMITIVES.iter().find(|p| line.contains(*p)).copied()
 }
@@ -146,6 +163,27 @@ mod tests {
         let patterns: Vec<&str> =
             summary.findings.iter().map(|f| f.pattern.as_str()).collect();
         assert_eq!(patterns, vec!["Mutex", "mpsc"], "{:?}", summary.findings);
+        assert_eq!(summary.findings[0].line, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flags_raw_atomics_and_honors_allows() {
+        // One flagged site (a raw atomic handshake) and one allowed site
+        // (the escape hatch), pinning the atomic arm of the scan.
+        let root = tmp_root("atomics");
+        std::fs::write(
+            root.join("spin.rs"),
+            "use std::sync::atomic::{AtomicBool, Ordering};\n\
+             // use std::sync::atomic::fence; (comment: fine)\n\
+             use std::sync::atomic::AtomicU64; // check-hygiene: allow — write-only counter\n",
+        )
+        .unwrap();
+        let summary = scan(std::slice::from_ref(&root));
+        assert_eq!(summary.scanned_files, 1);
+        let patterns: Vec<&str> =
+            summary.findings.iter().map(|f| f.pattern.as_str()).collect();
+        assert_eq!(patterns, vec!["Atomic"], "{:?}", summary.findings);
         assert_eq!(summary.findings[0].line, 1);
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -20,10 +20,13 @@
 //!
 //! [`run_check`] is the entry point behind `dos-cli check`; it explores
 //! the default scenario suite (healthy pipeline plus both `PanicAfter`
-//! and `DisconnectAfter` recovery paths, and the blocking-mode collective
-//! rendezvous — healthy and with a mid-run rank disconnect) until the
-//! requested number of distinct schedules is reached, then runs the fuzz
-//! arms, and returns a JSON-serializable [`report::CheckReport`].
+//! and `DisconnectAfter` recovery paths, the blocking-mode collective
+//! rendezvous — healthy and with a mid-run rank disconnect — the
+//! two-tenant serve coordinator, and the ZenFlow cross-iteration
+//! asynchronous update pipeline) until the requested number of distinct
+//! schedules is reached, then runs the fuzz arms, and returns a
+//! JSON-serializable [`report::CheckReport`]. A scenario prefix filter
+//! (`dos-cli check --scenario zf`) narrows the suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,11 +64,21 @@ pub struct CheckOptions {
     pub seed: u64,
     /// Regression corpus directory (`tests/corpus/`); `None` skips replay.
     pub corpus_dir: Option<PathBuf>,
+    /// Restrict exploration to scenarios whose coordinate starts with this
+    /// prefix (e.g. `"zf"` for the ZenFlow suite, `"pl-p48"` for the
+    /// 48-parameter pipeline shapes); `None` explores the full suite.
+    pub scenario_filter: Option<String>,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { schedules: 1_200, fuzz: 24, seed: 0, corpus_dir: None }
+        CheckOptions {
+            schedules: 1_200,
+            fuzz: 24,
+            seed: 0,
+            corpus_dir: None,
+            scenario_filter: None,
+        }
     }
 }
 
@@ -147,7 +160,19 @@ pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, String> {
         .into_iter()
         .chain(CheckScenario::rendezvous_suite())
         .chain(CheckScenario::coordinator_suite())
+        .chain(CheckScenario::zenflow_suite())
+        .filter(|sc| {
+            opts.scenario_filter
+                .as_deref()
+                .is_none_or(|f| sc.encode().starts_with(f))
+        })
         .collect();
+    if suite.is_empty() {
+        return Err(format!(
+            "scenario filter {:?} matches nothing in the suite",
+            opts.scenario_filter.as_deref().unwrap_or("")
+        ));
+    }
     let mut distinct_seen: HashSet<u64> = HashSet::new();
     let mut scenarios: Vec<ScenarioReport> = Vec::new();
 

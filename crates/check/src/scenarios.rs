@@ -31,7 +31,10 @@ use dos_collectives::{CollectiveError, Communicator};
 use dos_core::sync;
 use dos_hal::HardwareProfile;
 use dos_serve::{Coordinator, JobSpec, ServeOptions};
-use dos_core::{hybrid_update, DeviceFault, PipelineConfig, StridePolicy};
+use dos_core::{
+    hybrid_update, zenflow_reference, DeviceFault, PipelineConfig, StridePolicy, ZenFlowConfig,
+    ZenFlowPipeline,
+};
 use dos_optim::{MixedPrecisionState, UpdateRule};
 use dos_tensor::F16;
 use dos_zero::{partition_into_subgroups, SubgroupSpec};
@@ -57,6 +60,17 @@ pub enum ScenarioKind {
     /// Must pass under every schedule: no lost jobs, no double-granted
     /// leases, and per-tenant numerics bitwise equal to dedicated runs.
     Coordinator,
+    /// The ZenFlow cross-iteration asynchronous update pipeline
+    /// ([`dos_core::ZenFlowPipeline`]): hot subgroups update inside the
+    /// step, cold subgroups accumulate and flush to detached workers that
+    /// race the following steps, with a `poll_pending` harvest between
+    /// steps and a final drain barrier. Field reuse: `stride` is the
+    /// staleness bound `S`, `residents` the hot subgroup count `r`
+    /// (importance ratio `r / n`). Must pass under every schedule: the
+    /// drained terminal state is bitwise equal to the sequential
+    /// bounded-staleness oracle [`dos_core::zenflow_reference`], and the
+    /// observed max staleness never exceeds `S`.
+    ZenFlow,
     /// The seeded lost-send bug fixture (fails under some schedules).
     BuggyLostSend,
 }
@@ -175,6 +189,18 @@ fn deterministic_init(n: usize) -> (Vec<f32>, Vec<f32>) {
     (init, grads)
 }
 
+/// Per-step gradient stream for the ZenFlow scenario (step 0 coincides
+/// with the single-step pipeline formula above). Time-varying so the
+/// importance partition actually moves across steps.
+fn zenflow_grads(n: usize, step: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 7 + step * 11 + 1) % 29) as f32 / 29.0 - 0.5).collect()
+}
+
+/// Steps the ZenFlow scenario drives before draining: enough for cold
+/// subgroups to flush mid-run (workers racing later steps) *and* to leave
+/// residue for the drain barrier at every suite staleness bound.
+const ZENFLOW_STEPS: usize = 3;
+
 fn first_mismatch_f32(name: &str, got: &[f32], want: &[f32]) -> Option<String> {
     if got.len() != want.len() {
         return Some(format!("{name}: length {} != {}", got.len(), want.len()));
@@ -192,6 +218,7 @@ impl CheckScenario {
             ScenarioKind::Pipeline => "pl",
             ScenarioKind::Rendezvous => "rdv",
             ScenarioKind::Coordinator => "co",
+            ScenarioKind::ZenFlow => "zf",
             ScenarioKind::BuggyLostSend => "bug",
         };
         let fault = match self.fault {
@@ -219,6 +246,7 @@ impl CheckScenario {
             "pl" => ScenarioKind::Pipeline,
             "rdv" => ScenarioKind::Rendezvous,
             "co" => ScenarioKind::Coordinator,
+            "zf" => ScenarioKind::ZenFlow,
             "bug" => ScenarioKind::BuggyLostSend,
             other => return Err(format!("unknown scenario kind {other:?}")),
         };
@@ -273,6 +301,9 @@ impl CheckScenario {
         if self.kind == ScenarioKind::Coordinator {
             return self.coordinator_expected();
         }
+        if self.kind == ScenarioKind::ZenFlow {
+            return self.zenflow_expected();
+        }
         let (mut state, grads, _) = self.fresh_state();
         state.full_step(&grads);
         let fp16 = state.downscale_range(0..self.params);
@@ -298,9 +329,14 @@ impl CheckScenario {
         if self.kind == ScenarioKind::Coordinator {
             return self.coordinator_observed();
         }
+        if self.kind == ScenarioKind::ZenFlow {
+            return self.zenflow_observed();
+        }
         let (mut state, grads, sgs) = self.fresh_state();
         match self.kind {
-            ScenarioKind::Rendezvous | ScenarioKind::Coordinator => unreachable!("handled above"),
+            ScenarioKind::Rendezvous | ScenarioKind::Coordinator | ScenarioKind::ZenFlow => {
+                unreachable!("handled above")
+            }
             ScenarioKind::Pipeline => {
                 let cfg = PipelineConfig {
                     stride: StridePolicy::Fixed(self.stride.max(1)),
@@ -483,6 +519,83 @@ impl CheckScenario {
         Observed { params, momentum, variance, fp16: Vec::new() }
     }
 
+    /// Decodes the ZenFlow policy from the coordinate fields: `stride` is
+    /// the staleness bound, `residents` the hot subgroup count `r`, turned
+    /// into an importance ratio `r / n` (clamped so at least one and at
+    /// most all subgroups are hot — `hot_count` ceils, so the ratio maps
+    /// back onto exactly `r` for the suite shapes).
+    fn zenflow_config(&self) -> ZenFlowConfig {
+        let n = dos_zero::partition_into_subgroups(self.params, self.subgroup).len().max(1);
+        let r = self.residents.clamp(1, n);
+        ZenFlowConfig {
+            importance_ratio: r as f64 / n as f64,
+            staleness_bound: self.stride.max(1),
+        }
+    }
+
+    /// Runs the ZenFlow cross-iteration body: [`ZENFLOW_STEPS`] calls to
+    /// [`ZenFlowPipeline::step`] with a [`ZenFlowPipeline::poll_pending`]
+    /// harvest between steps (so finished asynchronous workers rendezvous
+    /// at schedule-dependent points), then the mandatory drain barrier.
+    /// The terminal [`Observed`] packs the full optimizer state, the full
+    /// FP16 downscale, and the observed maximum staleness appended to
+    /// `momentum` — so a schedule that over-ages a cold gradient diverges
+    /// from the oracle even if the numerics happen to agree.
+    ///
+    /// The staleness bound is also asserted directly: exceeding it panics,
+    /// which exploration reports as a schedule failure.
+    fn zenflow_observed(&self) -> Observed {
+        let (init, _) = deterministic_init(self.params);
+        let mut state = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+        let sgs = partition_into_subgroups(self.params, self.subgroup);
+        let cfg = self.zenflow_config();
+        let mut pipe = ZenFlowPipeline::new(sgs, cfg);
+        for t in 0..ZENFLOW_STEPS {
+            pipe.step(&mut state, &zenflow_grads(self.params, t));
+            pipe.poll_pending(&mut state);
+        }
+        pipe.drain(&mut state);
+        let max_age = pipe.max_age_seen();
+        assert!(
+            max_age <= cfg.effective_staleness(),
+            "scenario {}: staleness bound violated ({max_age} > {})",
+            self.encode(),
+            cfg.effective_staleness()
+        );
+        let fp16 = state.downscale_range(0..self.params);
+        let mut momentum = state.momentum().to_vec();
+        momentum.push(max_age as f32);
+        Observed {
+            params: state.params().to_vec(),
+            momentum,
+            variance: state.variance().to_vec(),
+            fp16,
+        }
+    }
+
+    /// Sequential oracle for [`ScenarioKind::ZenFlow`]:
+    /// [`zenflow_reference`] over the same gradient stream — the identical
+    /// importance/accumulate/flush/drain decisions inline on one thread —
+    /// with the reference's max staleness as the `momentum` marker.
+    fn zenflow_expected(&self) -> Observed {
+        let (init, _) = deterministic_init(self.params);
+        let mut state = MixedPrecisionState::new(init, UpdateRule::adam(), 0.01);
+        let sgs = partition_into_subgroups(self.params, self.subgroup);
+        let cfg = self.zenflow_config();
+        let steps: Vec<Vec<f32>> =
+            (0..ZENFLOW_STEPS).map(|t| zenflow_grads(self.params, t)).collect();
+        let max_age = zenflow_reference(&mut state, &sgs, &cfg, &steps);
+        let fp16 = state.downscale_range(0..self.params);
+        let mut momentum = state.momentum().to_vec();
+        momentum.push(max_age as f32);
+        Observed {
+            params: state.params().to_vec(),
+            momentum,
+            variance: state.variance().to_vec(),
+            fp16,
+        }
+    }
+
     /// Sequential oracle for [`ScenarioKind::Rendezvous`]: replays the
     /// rank-order element-wise fold the collective layer guarantees
     /// (`all_reduce_sum` accumulates in rank order, independent of
@@ -612,6 +725,22 @@ impl CheckScenario {
         vec![co(16, 8, 2, 1), co(16, 8, 2, 2)]
     }
 
+    /// The ZenFlow suite `dos-cli check` explores alongside the pipeline:
+    /// the cross-iteration asynchronous update body across staleness
+    /// bounds and hot-set sizes (6 subgroups with 2 hot, then 8 subgroups
+    /// with 3 hot).
+    pub fn zenflow_suite() -> Vec<CheckScenario> {
+        let zf = |params, subgroup, staleness, hot| CheckScenario {
+            kind: ScenarioKind::ZenFlow,
+            params,
+            subgroup,
+            stride: staleness,
+            residents: hot,
+            fault: FaultPlan::None,
+        };
+        vec![zf(48, 8, 1, 2), zf(48, 8, 2, 2), zf(64, 8, 1, 3)]
+    }
+
     /// The canonical seeded-bug demo scenario: stride 1 ships every
     /// subgroup, the worker disconnects after one job, and the buggy
     /// fallback drops any job whose send fails.
@@ -729,6 +858,7 @@ mod tests {
             .into_iter()
             .chain(CheckScenario::rendezvous_suite())
             .chain(CheckScenario::coordinator_suite())
+            .chain(CheckScenario::zenflow_suite())
             .chain([CheckScenario::seeded_bug()])
         {
             assert_eq!(CheckScenario::decode(&sc.encode()), Ok(sc), "{}", sc.encode());
@@ -771,6 +901,20 @@ mod tests {
         for sc in CheckScenario::rendezvous_suite() {
             let obs = sc.observed();
             assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
+        }
+    }
+
+    #[test]
+    fn zenflow_scenarios_pass_outside_a_checked_run() {
+        // The cross-iteration bodies must match the sequential
+        // bounded-staleness oracle bitwise under the OS scheduler too,
+        // and every suite entry must exercise the cold path (a marker of
+        // 0 would mean the scenario degenerated to synchronous Adam).
+        for sc in CheckScenario::zenflow_suite() {
+            let obs = sc.observed();
+            assert!(sc.verify(&obs).is_none(), "{} diverged", sc.encode());
+            let max_age = obs.momentum[obs.momentum.len() - 1];
+            assert!(max_age >= 1.0, "{}: cold path never exercised", sc.encode());
         }
     }
 

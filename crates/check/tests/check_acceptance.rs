@@ -15,7 +15,13 @@ use dos_check::{check_scenario, replay_token, run_check, CheckOptions, DEFAULT_M
 
 #[test]
 fn full_check_run_clears_a_thousand_distinct_schedules() {
-    let opts = CheckOptions { schedules: 1_000, fuzz: 8, seed: 7, corpus_dir: None };
+    let opts = CheckOptions {
+        schedules: 1_000,
+        fuzz: 8,
+        seed: 7,
+        corpus_dir: None,
+        scenario_filter: None,
+    };
     let report = run_check(&opts).unwrap();
     assert!(report.passed, "check failed:\n{}", report.render_human());
     assert!(
@@ -139,6 +145,45 @@ fn coordinator_scenarios_clear_two_hundred_distinct_schedules() {
         round += 1;
     }
     assert!(seen.len() >= 200, "only {} distinct coordinator schedules", seen.len());
+}
+
+#[test]
+fn zenflow_scenarios_clear_a_thousand_distinct_schedules() {
+    // The ZenFlow cross-iteration bodies (hot synchronous updates racing
+    // detached cold-flush workers across step boundaries, harvested at
+    // `poll_pending` yield points) must clear 1,000+ distinct schedules
+    // with the staleness bound held and bitwise parity against the
+    // sequential bounded-staleness oracle at every terminal state. Runs
+    // through `run_check` with the scenario prefix filter, which is
+    // exactly what the CI smoke invokes via `dos-cli check --scenario zf`.
+    let opts = CheckOptions {
+        schedules: 1_000,
+        fuzz: 0,
+        seed: 11,
+        corpus_dir: None,
+        scenario_filter: Some("zf".to_string()),
+    };
+    let report = run_check(&opts).unwrap();
+    assert!(report.passed, "zenflow check failed:\n{}", report.render_human());
+    assert!(
+        report.distinct_total >= 1_000,
+        "only {} distinct zenflow schedules explored",
+        report.distinct_total
+    );
+    assert_eq!(report.scenarios.len(), CheckScenario::zenflow_suite().len());
+    assert!(report.scenarios.iter().all(|s| s.scenario.starts_with("zf-")));
+}
+
+#[test]
+fn scenario_filter_rejects_a_prefix_matching_nothing() {
+    let opts = CheckOptions {
+        schedules: 16,
+        fuzz: 0,
+        seed: 0,
+        corpus_dir: None,
+        scenario_filter: Some("nope".to_string()),
+    };
+    assert!(run_check(&opts).is_err());
 }
 
 #[test]

@@ -15,7 +15,9 @@
 //! no clock) applies only the permanent rules — disconnects — and delivers
 //! everything else verbatim.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// Relaxed counters local to one rank's endpoint — never a cross-thread
+// handshake, so no interleaving hides from the explorer.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering}; // check-hygiene: allow
 use std::sync::Arc;
 use std::time::Duration;
 

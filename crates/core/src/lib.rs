@@ -46,6 +46,7 @@ mod nvme;
 mod perf_model;
 mod pipeline;
 mod schedulers;
+mod zenflow;
 pub use dos_sync as sync;
 
 pub use arena::{ArenaPool, PooledF16, PooledF32};
@@ -57,4 +58,5 @@ pub use pipeline::{
     hybrid_update, hybrid_update_pooled, hybrid_update_traced, DeviceFault, PipelineConfig,
     PipelineDegradation, PipelineError, PipelineReport,
 };
-pub use schedulers::{DeepOptimizerStates, StridePolicy, TwinFlow, Zero3Offload};
+pub use schedulers::{DeepOptimizerStates, StridePolicy, TwinFlow, ZenFlowAsync, Zero3Offload};
+pub use zenflow::{zenflow_reference, ZenFlowConfig, ZenFlowPipeline, ZenFlowStepReport};

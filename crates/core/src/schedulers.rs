@@ -1,8 +1,16 @@
-//! Update-phase schedulers: the two baselines and the paper's contribution.
+//! Update-phase schedulers: the two baselines, the paper's contribution,
+//! and the ZenFlow-style asynchronous extension.
 //!
-//! All three implement [`UpdateScheduler`] over the update primitives of
-//! [`IterationScenario`]; Figure 5 of the paper illustrates exactly these
-//! schedules (TwinFlow on top, Deep Optimizer States below).
+//! All four implement [`UpdateScheduler`] over the update primitives of
+//! [`IterationScenario`]; Figure 5 of the paper illustrates the first three
+//! schedules (TwinFlow on top, Deep Optimizer States below), and
+//! [`ZenFlowAsync`] breaks the iteration barrier entirely (arXiv
+//! 2505.12242): the important subgroups update on-GPU inside the
+//! iteration while the cold bulk's CPU updates spill into the next
+//! iteration's forward/backward under a bounded-staleness window.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 use dos_hal::{OpId, SimError};
 use dos_sim::{IterationScenario, UpdateScheduler};
@@ -74,6 +82,112 @@ impl DeepOptimizerStates {
             StridePolicy::Fixed(k) => Some(k.max(1)),
             StridePolicy::CpuOnly => None,
         }
+    }
+}
+
+/// ZenFlow-style stall-free updates (arXiv 2505.12242): the importance
+/// partition's hot subset (top-p gradient norm; the first
+/// `ceil(importance_ratio × n)` subgroups stand in for it here, since
+/// same-sized subgroups make the timing identical) updates on the GPU
+/// inside the iteration, while the cold bulk's CPU update + downscale +
+/// H2D chains are *not* joined into the returned op — under
+/// [`dos_sim::simulate_training`]'s shared engine they run during the next
+/// iteration's forward/backward. A bounded-staleness window `S` limits how
+/// many cold batches may be in flight: pushing past it inserts a drain
+/// barrier that joins the oldest batch into the iteration boundary, so the
+/// cold update of iteration *i* always lands before the forward pass of
+/// iteration *i + S + 1*. `S = 0` degenerates to a fully synchronous
+/// schedule.
+///
+/// Unlike [`DeepOptimizerStates`] this scheduler never toggles the DRAM
+/// contention factor: its CPU work runs under the next iteration's
+/// forward/backward, whose PCIe traffic pattern the single-phase
+/// contention model does not describe.
+///
+/// The pending-batch window lives inside the scheduler value, so one
+/// instance must drive one engine: [`dos_sim::simulate_training`] (one
+/// shared engine) is the intended driver, and single-shot
+/// [`dos_sim::simulate_iteration`] calls are fine because each constructs
+/// a fresh scheduler. Do not reuse an instance across
+/// `simulate_training_controlled`'s per-iteration engines — the stashed
+/// [`OpId`]s would not survive the engine swap.
+#[derive(Debug, Clone)]
+pub struct ZenFlowAsync {
+    /// Fraction of subgroups in the hot (GPU-updated, in-iteration)
+    /// importance subset. Clamped to `[0, 1]`; at least one subgroup goes
+    /// hot for any positive ratio.
+    pub importance_ratio: f64,
+    /// Bounded-staleness window `S`: how many cold update batches may
+    /// remain un-joined past their iteration boundary. `0` is synchronous.
+    pub staleness_bound: usize,
+    /// Cold-batch completion ops not yet joined into an iteration
+    /// boundary, oldest first.
+    pending: RefCell<VecDeque<Vec<OpId>>>,
+}
+
+impl Default for ZenFlowAsync {
+    fn default() -> Self {
+        ZenFlowAsync {
+            importance_ratio: 0.1,
+            staleness_bound: 1,
+            pending: RefCell::new(VecDeque::new()),
+        }
+    }
+}
+
+impl ZenFlowAsync {
+    /// Creates the scheduler with an explicit importance ratio and
+    /// staleness bound.
+    pub fn new(importance_ratio: f64, staleness_bound: usize) -> ZenFlowAsync {
+        ZenFlowAsync { importance_ratio, staleness_bound, ..Default::default() }
+    }
+}
+
+impl UpdateScheduler for ZenFlowAsync {
+    fn name(&self) -> &str {
+        "zenflow-async"
+    }
+
+    fn schedule_update(
+        &self,
+        scn: &mut IterationScenario,
+        grads_ready: OpId,
+    ) -> Result<OpId, SimError> {
+        let ratio = self.importance_ratio.clamp(0.0, 1.0);
+        let (hot, cold) = split_residents(scn.subgroups(), ratio, true);
+
+        let mut completion: Vec<OpId> = Vec::new();
+        // Hot subset: GPU-resident importance set, updated immediately —
+        // the only update work inside the iteration barrier.
+        for sg in &hot {
+            completion.push(scn.gpu_update(sg, &[grads_ready])?);
+        }
+
+        // Cold bulk: per-subgroup CPU update → downscale → H2D chains.
+        // Their terminal ops form this iteration's batch, deliberately not
+        // joined into the returned op so they overlap the next iteration.
+        let mut batch: Vec<OpId> = Vec::with_capacity(cold.len());
+        for sg in &cold {
+            let u = scn.cpu_update(sg, &[grads_ready])?;
+            let d = scn.cpu_downscale(sg, &[u])?;
+            batch.push(scn.h2d_updated_params(sg, &[d])?);
+        }
+
+        let mut pending = self.pending.borrow_mut();
+        if !batch.is_empty() {
+            pending.push_back(batch);
+        }
+        // Drain barrier: joining the oldest batch(es) here gates the next
+        // forward on their completion, enforcing the staleness bound.
+        while pending.len() > self.staleness_bound {
+            if let Some(oldest) = pending.pop_front() {
+                completion.extend(oldest);
+            }
+        }
+        drop(pending);
+
+        let streams = scn.rank.streams;
+        scn.rank.sim.join(streams.compute, completion)
     }
 }
 
@@ -248,7 +362,7 @@ mod tests {
     use super::*;
     use dos_hal::HardwareProfile;
     use dos_nn::ModelSpec;
-    use dos_sim::{simulate_iteration, TrainConfig};
+    use dos_sim::{simulate_iteration, simulate_training, TrainConfig};
     use dos_zero::OffloadConfig;
 
     fn baseline_cfg(model: &str) -> TrainConfig {
@@ -260,6 +374,91 @@ mod tests {
             ModelSpec::by_name(model).unwrap(),
             HardwareProfile::jlse_h100(),
         )
+    }
+
+#[test]
+    fn zenflow_defers_cold_updates_past_the_iteration_barrier() {
+        // With S >= 1 the cold bulk books as spill (un-joined async work)
+        // and the joined update phase is just the hot GPU subset.
+        let mut cfg = baseline_cfg("20B");
+        cfg.offload.gpu_resident_ratio = 0.1;
+        let zf = simulate_iteration(&cfg, &ZenFlowAsync::new(0.1, 1)).unwrap();
+        let zero3 = simulate_iteration(&baseline_cfg("20B"), &Zero3Offload).unwrap();
+        assert!(zf.spill_secs > 1.0, "cold work not deferred: {:.3}", zf.spill_secs);
+        assert!(
+            zf.update_secs < 0.1 * zero3.update_secs,
+            "hot-only update {:.3}s not stall-free vs zero3 {:.3}s",
+            zf.update_secs,
+            zero3.update_secs
+        );
+    }
+
+    #[test]
+    fn zenflow_staleness_zero_is_fully_synchronous() {
+        // S = 0 drains every batch inside its own iteration: no spill, and
+        // the update phase carries the full hot + cold chain.
+        let mut cfg = baseline_cfg("20B");
+        cfg.offload.gpu_resident_ratio = 0.1;
+        let sync = simulate_iteration(&cfg, &ZenFlowAsync::new(0.1, 0)).unwrap();
+        assert!(sync.spill_secs < 1e-9, "synchronous run spilled {:.3}s", sync.spill_secs);
+        let deferred = simulate_iteration(&cfg, &ZenFlowAsync::new(0.1, 1)).unwrap();
+        assert!(sync.update_secs > 10.0 * deferred.update_secs);
+    }
+
+    #[test]
+    fn zenflow_training_beats_synchronous_and_zero3() {
+        // Over a multi-iteration run the deferred cold updates hide under
+        // the next iteration's fwd/bwd: ~12% faster than the S=0 drain-
+        // every-step schedule and ~25% faster than ZeRO-3 on 20B.
+        let mut cfg = baseline_cfg("20B");
+        cfg.offload.gpu_resident_ratio = 0.1;
+        let async1 = simulate_training(&cfg, &ZenFlowAsync::new(0.1, 1), 6).unwrap();
+        let sync0 = simulate_training(&cfg, &ZenFlowAsync::new(0.1, 0), 6).unwrap();
+        let zero3 = simulate_training(&baseline_cfg("20B"), &Zero3Offload, 6).unwrap();
+        let vs_sync = sync0.avg_iteration_secs / async1.avg_iteration_secs;
+        let vs_zero3 = zero3.avg_iteration_secs / async1.avg_iteration_secs;
+        assert!((1.05..1.4).contains(&vs_sync), "gain vs synchronous {vs_sync:.2}");
+        assert!((1.15..1.6).contains(&vs_zero3), "gain vs zero3 {vs_zero3:.2}");
+    }
+
+    #[test]
+    fn zenflow_iteration_time_is_monotone_in_staleness() {
+        // Looser bounds can only help (or match): S=0 >= S=1 >= S=3.
+        let mut cfg = baseline_cfg("20B");
+        cfg.offload.gpu_resident_ratio = 0.1;
+        let avg = |s: usize| {
+            simulate_training(&cfg, &ZenFlowAsync::new(0.1, s), 6)
+                .unwrap()
+                .avg_iteration_secs
+        };
+        let (s0, s1, s3) = (avg(0), avg(1), avg(3));
+        assert!(s0 >= s1 - 1e-9, "S=0 ({s0:.3}) faster than S=1 ({s1:.3})");
+        assert!(s1 >= s3 - 1e-9, "S=1 ({s1:.3}) faster than S=3 ({s3:.3})");
+    }
+
+    #[test]
+    fn zenflow_cold_updates_run_under_the_next_iterations_fwd_bwd() {
+        // The ZenFlow claim, machine-checked on the trace: deferred CPU
+        // updates of iteration i overlap the GPU's forward/backward work
+        // of iteration i+1. The synchronous baseline shows ~zero overlap.
+        use dos_sim::simulate_training_timeline;
+        use dos_telemetry::cross_phase_overlap_secs;
+        let mut cfg = baseline_cfg("20B");
+        cfg.offload.gpu_resident_ratio = 0.1;
+        let (_, tl) =
+            simulate_training_timeline(&cfg, &ZenFlowAsync::new(0.1, 1), 4).unwrap();
+        let covered = cross_phase_overlap_secs(&tl, "update", "cpu", "forward", "gpu")
+            + cross_phase_overlap_secs(&tl, "update", "cpu", "backward", "gpu");
+        assert!(covered > 1.0, "cold cpu updates not hidden under fwd/bwd: {covered:.3}s");
+
+        let (_, tl3) =
+            simulate_training_timeline(&baseline_cfg("20B"), &Zero3Offload, 4).unwrap();
+        let covered3 = cross_phase_overlap_secs(&tl3, "update", "cpu", "forward", "gpu")
+            + cross_phase_overlap_secs(&tl3, "update", "cpu", "backward", "gpu");
+        assert!(
+            covered3 < 1e-9,
+            "zero3 should have no cross-iteration overlap: {covered3:.3}s"
+        );
     }
 
     #[test]

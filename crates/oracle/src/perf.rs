@@ -14,7 +14,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use dos_core::{DeepOptimizerStates, PerfModel, StridePolicy, TwinFlow, Zero3Offload};
+use dos_core::{
+    DeepOptimizerStates, NvmeOffload, PerfModel, StridePolicy, TwinFlow, ZenFlowAsync,
+    Zero3Offload,
+};
 use dos_hal::HardwareProfile;
 use dos_nn::ModelSpec;
 use dos_sim::{simulate_iteration, TrainConfig};
@@ -31,6 +34,14 @@ pub enum SchedulerKind {
     TwinFlow,
     /// Deep Optimizer States with the given stride policy.
     DeepOptimizerStates(StridePolicy),
+    /// ZenFlow-style asynchronous updates: the cell's resident ratio is the
+    /// importance ratio (the hot on-GPU subset); staleness bound S = 1, so
+    /// the cold bulk spills past the iteration barrier and the joined
+    /// update phase is the hot subset only.
+    ZenFlowAsync,
+    /// NVMe-tier streaming offload (ZeRO-Infinity-style CPU pipeline; the
+    /// auto stride refuses GPU interleaving on this tier).
+    NvmeOffload,
 }
 
 impl SchedulerKind {
@@ -39,6 +50,8 @@ impl SchedulerKind {
             SchedulerKind::Zero3Offload => "zero3-offload",
             SchedulerKind::TwinFlow => "twinflow",
             SchedulerKind::DeepOptimizerStates(_) => "deep-optimizer-states",
+            SchedulerKind::ZenFlowAsync => "zenflow-async",
+            SchedulerKind::NvmeOffload => "nvme",
         }
     }
 
@@ -49,6 +62,8 @@ impl SchedulerKind {
             SchedulerKind::DeepOptimizerStates(StridePolicy::Adaptive) => "adaptive".to_string(),
             SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly) => "cpu-only".to_string(),
             SchedulerKind::DeepOptimizerStates(StridePolicy::Fixed(k)) => format!("k={k}"),
+            SchedulerKind::ZenFlowAsync => "S=1".to_string(),
+            SchedulerKind::NvmeOffload => "auto".to_string(),
         }
     }
 }
@@ -82,11 +97,20 @@ impl ToleranceBand {
 ///   chain, the last GPU update behind the H2D link), so what remains
 ///   outside the band is only sub-subgroup scheduling jitter — the full
 ///   H100 matrix observes sim/pred in [0.97, 1.05].
+/// * ZenFlowAsync's joined update phase is just the hot subgroups
+///   serialized on the GPU — a single-resource chain like ZeRO-3's, so
+///   the band is near-exact (partial-subgroup rounding only).
+/// * The NVMe stream alternates reads and writes with each write gated on
+///   its CPU update; the closed form counts whole subgroups on the drive
+///   plus that per-subgroup CPU stall, leaving pipeline fill/tail effects
+///   inside a ±10% band.
 pub fn band_for(kind: SchedulerKind) -> ToleranceBand {
     match kind {
         SchedulerKind::Zero3Offload => ToleranceBand { lo: 0.99, hi: 1.01 },
         SchedulerKind::TwinFlow => ToleranceBand { lo: 0.98, hi: 1.02 },
         SchedulerKind::DeepOptimizerStates(_) => ToleranceBand { lo: 0.92, hi: 1.12 },
+        SchedulerKind::ZenFlowAsync => ToleranceBand { lo: 0.98, hi: 1.02 },
+        SchedulerKind::NvmeOffload => ToleranceBand { lo: 0.90, hi: 1.10 },
     }
 }
 
@@ -211,6 +235,22 @@ pub fn predict_update_secs(cfg: &TrainConfig, kind: SchedulerKind) -> f64 {
                 (dynamic_params / inputs.uc + drain).max(resident_params / inputs.ug)
             }
         }
+        SchedulerKind::ZenFlowAsync => {
+            // With S >= 1 the cold bulk spills past the barrier; the joined
+            // update phase is the hot (head) subgroups serialized on the
+            // GPU's compute stream.
+            let hot_params: f64 = sgs[..n_static].iter().map(|s| s.len() as f64).sum();
+            hot_params / inputs.ug
+        }
+        SchedulerKind::NvmeOffload => {
+            // Reads and writes alternate on the single NVMe stream, and
+            // each subgroup's write waits for its CPU update (the
+            // downscale/H2D leg rides off the critical path): per subgroup
+            // 12S/read + S/Uc + 12S/write, whole-state totals below.
+            let read = 12.0 * params / cfg.profile.nvme_read_bw;
+            let write = 12.0 * params / cfg.profile.nvme_write_bw;
+            read + write + params / inputs.uc
+        }
     }
 }
 
@@ -229,14 +269,17 @@ pub fn evaluate_cell(
     let spec = ModelSpec::by_name(model)
         .unwrap_or_else(|| panic!("unknown model `{model}` in conformance matrix"));
     let mut cfg = match kind {
-        SchedulerKind::Zero3Offload | SchedulerKind::TwinFlow => {
+        SchedulerKind::Zero3Offload | SchedulerKind::TwinFlow | SchedulerKind::ZenFlowAsync => {
             TrainConfig::baseline(spec, profile.clone())
         }
-        SchedulerKind::DeepOptimizerStates(_) => {
+        SchedulerKind::DeepOptimizerStates(_) | SchedulerKind::NvmeOffload => {
             TrainConfig::deep_optimizer_states(spec, profile.clone())
         }
     };
     cfg.offload.gpu_resident_ratio = resident_ratio;
+    if kind == SchedulerKind::NvmeOffload {
+        cfg.offload.optimizer_on_nvme = true;
+    }
 
     let report = match kind {
         SchedulerKind::Zero3Offload => simulate_iteration(&cfg, &Zero3Offload),
@@ -245,6 +288,10 @@ pub fn evaluate_cell(
             &cfg,
             &DeepOptimizerStates { stride, ..DeepOptimizerStates::default() },
         ),
+        SchedulerKind::ZenFlowAsync => {
+            simulate_iteration(&cfg, &ZenFlowAsync::new(resident_ratio, 1))
+        }
+        SchedulerKind::NvmeOffload => simulate_iteration(&cfg, &NvmeOffload::default()),
     }
     .expect("conformance simulation failed");
 
@@ -274,7 +321,12 @@ fn matrix_specs(
             SchedulerKind::DeepOptimizerStates(StridePolicy::CpuOnly),
             0.0,
         ));
+        specs.push((model.clone(), SchedulerKind::NvmeOffload, 0.0));
         for &ratio in ratios {
+            // Ratio 0 would leave the hot set (and the prediction) empty.
+            if ratio > 0.0 {
+                specs.push((model.clone(), SchedulerKind::ZenFlowAsync, ratio));
+            }
             specs.push((model.clone(), SchedulerKind::TwinFlow, ratio));
             specs.push((
                 model.clone(),
@@ -394,6 +446,61 @@ mod tests {
                 cell.predicted_secs
             );
         }
+    }
+
+    #[test]
+    fn zenflow_prediction_tracks_importance_sweep() {
+        for ratio in [0.1, 0.3, 0.5] {
+            let cell = evaluate_cell(
+                "20B",
+                &HardwareProfile::jlse_h100(),
+                SchedulerKind::ZenFlowAsync,
+                ratio,
+            );
+            assert!(
+                cell.conformant(),
+                "ratio={ratio}: sim/pred {:.3} outside {:?} (sim {:.4}s pred {:.4}s)",
+                cell.ratio(),
+                cell.band,
+                cell.simulated_secs,
+                cell.predicted_secs
+            );
+        }
+    }
+
+    #[test]
+    fn nvme_prediction_holds_on_the_streaming_tier() {
+        for model in ["7B", "20B"] {
+            let cell = evaluate_cell(
+                model,
+                &HardwareProfile::jlse_h100(),
+                SchedulerKind::NvmeOffload,
+                0.0,
+            );
+            assert!(
+                cell.conformant(),
+                "{model}: sim/pred {:.3} outside {:?} (sim {:.3}s pred {:.3}s)",
+                cell.ratio(),
+                cell.band,
+                cell.simulated_secs,
+                cell.predicted_secs
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_includes_the_zenflow_and_nvme_arms() {
+        let specs = matrix_specs(&["20B".to_string()], &[2], &[0.0, 0.3]);
+        let zen: Vec<_> = specs
+            .iter()
+            .filter(|(_, k, _)| *k == SchedulerKind::ZenFlowAsync)
+            .collect();
+        assert_eq!(zen.len(), 1, "zenflow only at nonzero ratios: {zen:?}");
+        assert_eq!(zen[0].2, 0.3);
+        assert_eq!(
+            specs.iter().filter(|(_, k, _)| *k == SchedulerKind::NvmeOffload).count(),
+            1
+        );
     }
 
     #[test]

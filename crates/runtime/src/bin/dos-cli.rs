@@ -15,7 +15,7 @@
 //! dos-cli serve <jobs.json> [--jobs N] [--open-loop RATE] [--seed S]
 //!               [--listen ADDR] [--ckpt-dir DIR] [--trace-out FILE]
 //!               [--out FILE] [--json] [--require-preemption]
-//! dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json]
+//! dos-cli check [--schedules N] [--fuzz N] [--seed S] [--scenario PREFIX] [--json]
 //!               [--corpus DIR] [--replay TOKEN]
 //!
 //!   --iterations N   simulate N iterations (default: 1, with breakdown)
@@ -33,7 +33,9 @@
 //!   --quick          reduced matrix (2 models, strides 1..3, 2 ratios)
 //!   --json           emit the DivergenceReport as JSON instead of a table
 //!   --filter SUBSTR  only run cells whose coordinates contain SUBSTR,
-//!                    e.g. `20B/`, `zero3-offload`, `adamw/k=3`
+//!                    e.g. `20B/`, `zero3-offload`, `adamw/k=3`,
+//!                    `zenflow-async` (stall-free updates), `nvme/`
+//!                    (ZeRO-Infinity-style NVMe offload)
 //!
 //! chaos: run a seeded fault-injection campaign (device-worker kills,
 //! torn checkpoints, PCIe degradation windows, transient transfer
@@ -111,17 +113,22 @@
 //!   --require-preemption  also fail unless the run preempted at least
 //!                    once and proved resume bitwise-identical
 //!
-//! check: deterministic schedule exploration of the hybrid update pipeline
-//! (cooperative scheduler, sleep-set-pruned DFS + seeded random walks,
-//! bitwise parity with the sequential oracle at every terminal schedule)
-//! plus differential fuzzing through the tri-oracle; exit nonzero on any
-//! divergence, deadlock, or panic.
+//! check: deterministic schedule exploration of the hybrid update
+//! pipeline, the collective rendezvous, the serve coordinator, and the
+//! ZenFlow cross-iteration asynchronous updates (cooperative scheduler,
+//! sleep-set-pruned DFS + seeded random walks, bitwise parity with the
+//! sequential oracle at every terminal schedule) plus differential
+//! fuzzing through the tri-oracle; exit nonzero on any divergence,
+//! deadlock, or panic.
 //!   --schedules N    target distinct schedules across the suite
 //!                    (default: 1200)
 //!   --fuzz N         sampled fuzz cases (default: 24)
 //!   --seed S         seed for random walks and fuzz sampling (default: 0)
 //!   --corpus DIR     regression corpus to replay (default: tests/corpus
 //!                    when it exists; pass --corpus '' to skip)
+//!   --scenario PREFIX explore only scenarios whose coordinate starts with
+//!                    PREFIX (e.g. `zf` for the ZenFlow cross-iteration
+//!                    suite, `rdv` for the collective rendezvous)
 //!   --json           emit the CheckReport as JSON instead of a summary
 //!   --replay TOKEN   replay one failing schedule token (dc1:…) and exit
 //!                    nonzero iff it still reproduces
@@ -192,7 +199,7 @@ fn usage() {
         "       dos-cli serve <jobs.json> [--jobs N] [--open-loop RATE] [--seed S] [--listen ADDR] [--ckpt-dir DIR] [--trace-out FILE] [--out FILE] [--json] [--require-preemption]"
     );
     eprintln!(
-        "       dos-cli check [--schedules N] [--fuzz N] [--seed S] [--json] [--corpus DIR] [--replay TOKEN]"
+        "       dos-cli check [--schedules N] [--fuzz N] [--seed S] [--scenario PREFIX] [--json] [--corpus DIR] [--replay TOKEN]"
     );
 }
 
@@ -390,6 +397,10 @@ fn run_check_cmd(rest: &[String]) -> Result<bool, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
             }
             "--json" => json = true,
+            "--scenario" => {
+                let v = args.next().ok_or("--scenario needs a coordinate prefix")?;
+                opts.scenario_filter = Some(v.to_string());
+            }
             "--replay" => {
                 replay = Some(args.next().ok_or("--replay needs a token")?.to_string());
             }

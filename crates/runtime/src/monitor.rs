@@ -90,6 +90,9 @@ fn resolve_config(config_json: &str) -> Result<TrainerConfig, String> {
             weight_decay: 0.0,
             lr: 0.01,
             static_residents: 1,
+            scheduler: "hybrid".to_string(),
+            importance_ratio: 0.1,
+            staleness_bound: 1,
             deep_optimizer_states: rc.deep_optimizer_states,
             monitor: None,
             collectives: None,

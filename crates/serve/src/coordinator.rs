@@ -845,7 +845,7 @@ impl Coordinator {
         let _ = slice.handle.join();
         self.now = self.now.max(slice.virt_end);
         self.tracer.metrics().set_gauge("serve.running", self.running.len() as f64);
-        let trainer = match outcome {
+        let mut trainer = match outcome {
             Ok(Ok(trainer)) => trainer,
             Ok(Err(e)) => {
                 self.fail_job(slice.job, Some(slice.gpu), slice.virt_end, e);

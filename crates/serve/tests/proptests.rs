@@ -1,12 +1,16 @@
 //! Property tests of the control plane's safety invariants: admission
-//! never over-commits a budget, deficit counters stay bounded, and aging
-//! guarantees no backlogged tenant waits forever.
+//! never over-commits a budget, deficit counters stay bounded, aging
+//! guarantees no backlogged tenant waits forever, and checkpoint-based
+//! preemption never resumes a torn file even while the store rotates.
 
 use proptest::prelude::*;
 
+use dos_hal::HardwareProfile;
 use dos_serve::{
-    AdmissionController, ClusterCapacity, Demand, FairScheduler, SchedulerConfig, MAX_PRIORITY,
+    grad_stream, init_stream, AdmissionController, ClusterCapacity, Coordinator, Demand,
+    FairScheduler, JobSpec, SchedulerConfig, ServeOptions, MAX_PRIORITY,
 };
+use dos_train::checkpoint::CheckpointStore;
 
 fn capacity() -> ClusterCapacity {
     ClusterCapacity {
@@ -14,6 +18,103 @@ fn capacity() -> ClusterCapacity {
         hbm_per_gpu: 1 << 30,
         dram_bytes: 8 << 30,
         pcie_bps: 64e9,
+    }
+}
+
+fn preempt_spec(tenant: &str, seed: u64, iterations: usize) -> JobSpec {
+    serde_json::from_str(&format!(
+        r#"{{ "tenant": "{tenant}", "name": "j", "iterations": {iterations},
+              "seed": {seed}, "trainer": {{
+                  "params": 16, "subgroup_size": 8,
+                  "deep_optimizer_states": {{ "update_stride": "cpu_only" }} }} }}"#,
+    ))
+    .expect("well-formed fixture spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Preemption racing checkpoint rotation: two tenants on one GPU with
+    /// single-iteration leases preempt at every slice boundary, so each
+    /// job's [`CheckpointStore`] saves more checkpoints than it retains
+    /// (rotation prunes mid-run) while the coordinator keeps resuming
+    /// from the same directory. The [`dos_serve::PreemptionProof`] must
+    /// hold; and when the newest rotated file is then torn at an
+    /// arbitrary byte (a crash mid-copy), `latest_valid()` must fall back
+    /// to the older intact checkpoint — never the torn file — and that
+    /// fallback must still resume to the bitwise state of an
+    /// uninterrupted run.
+    #[test]
+    fn preemption_never_resumes_a_torn_rotated_checkpoint(
+        iterations in 4usize..8,
+        cut_pct in 5usize..95,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "dos-serve-preempt-rot-{}-{iterations}-{cut_pct}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let profile = HardwareProfile::jlse_h100().with_num_gpus(1);
+        let mut coord = Coordinator::new(
+            profile,
+            ServeOptions {
+                slice_iters: Some(1),
+                checkpoint_dir: Some(dir.clone()),
+                retain_final_states: true,
+                prove_preemption: true,
+                ..ServeOptions::default()
+            },
+        );
+        let specs = vec![preempt_spec("alfa", 1, iterations), preempt_spec("beta", 2, iterations)];
+        let spec0 = specs[0].clone();
+        let report = coord.run(specs).expect("serve run");
+        prop_assert_eq!(report.completed, 2);
+        prop_assert_eq!(report.lease_violations, 0);
+        let proof = report.proof.clone().expect("a preempted job completed");
+        prop_assert!(proof.preemptions >= 1, "no preemption happened");
+        prop_assert!(proof.bitwise_identical, "preempted numerics diverged: {proof:?}");
+
+        // Rotation really pruned: the job saved more checkpoints than the
+        // store retains.
+        let store = CheckpointStore::open(dir.join("job-0000"), 2)
+            .expect("job checkpoint store");
+        let files = store.list();
+        prop_assert!(!files.is_empty() && files.len() <= 2, "{files:?}");
+        prop_assert!(
+            proof.preemptions > files.len(),
+            "store never rotated: {} saves, {} files",
+            proof.preemptions,
+            files.len()
+        );
+
+        // Tear the newest file at an arbitrary byte (crash mid-copy) …
+        let newest = files[files.len() - 1].clone();
+        let bytes = std::fs::read(&newest).expect("read newest checkpoint");
+        let cut = (bytes.len() * cut_pct / 100).clamp(1, bytes.len() - 1);
+        std::fs::write(&newest, &bytes[..cut]).expect("tear newest checkpoint");
+
+        // … and recovery must skip it for the older intact checkpoint.
+        let (ckpt, path) = store.latest_valid().expect("fallback checkpoint");
+        prop_assert!(path != newest, "latest_valid resumed the torn file");
+        prop_assert!(ckpt.iteration < iterations);
+
+        // The fallback still resumes to the bitwise state of an
+        // uninterrupted dedicated run.
+        let n = spec0.trainer.params;
+        let mut resumed = spec0.trainer.clone().resume(&ckpt).expect("resume");
+        for iter in ckpt.iteration..iterations {
+            resumed.step(&grad_stream(spec0.seed, iter, n)).expect("resumed step");
+        }
+        let mut dedicated =
+            spec0.trainer.clone().build(init_stream(spec0.seed, n)).expect("build");
+        for iter in 0..iterations {
+            dedicated.step(&grad_stream(spec0.seed, iter, n)).expect("dedicated step");
+        }
+        prop_assert!(resumed.params() == dedicated.params(), "params diverged");
+        prop_assert!(resumed.momentum() == dedicated.momentum(), "momentum diverged");
+        prop_assert!(resumed.variance() == dedicated.variance(), "variance diverged");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -193,6 +193,24 @@ pub fn simulate_training(
     sched: &dyn UpdateScheduler,
     iterations: usize,
 ) -> Result<TrainingReport, SimError> {
+    simulate_training_timeline(cfg, sched, iterations).map(|(report, _)| report)
+}
+
+/// Like [`simulate_training`], additionally returning the shared engine's
+/// full multi-iteration [`dos_telemetry::Timeline`]. The timeline is what
+/// lets the analyzer check *cross-iteration* overlap — e.g. that a
+/// stall-free scheduler's `update`-phase CPU spans run concurrently with
+/// the next iteration's `forward`/`backward` GPU spans
+/// ([`dos_telemetry::cross_phase_overlap_secs`]).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn simulate_training_timeline(
+    cfg: &TrainConfig,
+    sched: &dyn UpdateScheduler,
+    iterations: usize,
+) -> Result<(TrainingReport, dos_telemetry::Timeline), SimError> {
     let mut scn = IterationScenario::new(cfg.clone());
     let mut prev_update: Option<OpId> = None;
     let mut ends = Vec::with_capacity(iterations);
@@ -208,7 +226,7 @@ pub fn simulate_training(
         ends.push(scn.rank.sim.finish_time(upd).as_secs());
     }
     let total = scn.rank.sim.makespan().as_secs();
-    Ok(TrainingReport {
+    let report = TrainingReport {
         scheduler: sched.name().to_string(),
         model: cfg.spec.name.clone(),
         iterations,
@@ -216,7 +234,8 @@ pub fn simulate_training(
         avg_iteration_secs: ends.last().copied().unwrap_or(0.0) / iterations.max(1) as f64,
         iteration_ends: ends,
         oom: scn.rank.hbm.validate().err().map(|e| e.to_string()),
-    })
+    };
+    Ok((report, scn.timeline()))
 }
 
 /// One iteration's plan, produced by an [`IterationController`] before the

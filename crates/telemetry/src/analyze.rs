@@ -164,6 +164,32 @@ fn fill_drain(busy_sets: &[(String, Vec<(f64, f64)>)], start: f64, end: f64) -> 
     }
 }
 
+/// Seconds during which `resource_a` was busy with `phase_a` work *while*
+/// `resource_b` was busy with `phase_b` work, anywhere in the run.
+///
+/// The per-phase [`OverlapStat`]s only see pairs *within* one phase; this
+/// measures concurrency *across* phases — the ZenFlow-style claim that
+/// iteration `i`'s deferred CPU updates (`("update", "cpu")`) run under
+/// cover of iteration `i+1`'s forward/backward (`("forward", "gpu")` /
+/// `("backward", "gpu")`). Returns 0.0 when either side has no spans.
+pub fn cross_phase_overlap_secs(
+    tl: &Timeline,
+    phase_a: &str,
+    resource_a: &str,
+    phase_b: &str,
+    resource_b: &str,
+) -> f64 {
+    let busy = |phase: &str, resource: &str| -> Vec<(f64, f64)> {
+        merge(
+            tl.for_phase(phase)
+                .filter(|s| s.resource == resource)
+                .map(|s| (s.start, s.end))
+                .collect(),
+        )
+    };
+    measure(&intersect(&busy(phase_a, resource_a), &busy(phase_b, resource_b)))
+}
+
 /// Analyzes a timeline into per-phase busy/overlap/stall statistics,
 /// deriving every phase window from span extents (earliest span start,
 /// latest span end). Equivalent to [`analyze_with_boundaries`] with no
@@ -601,6 +627,33 @@ mod tests {
         assert_eq!(a.phase("update").unwrap().start, 10.0);
         assert_eq!(a.phase("backward").unwrap().end, 10.0);
         assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    #[test]
+    fn cross_phase_overlap_measures_concurrency_across_phases() {
+        // Deferred cpu updates [2, 6] run while the next iteration's
+        // forward [3, 5] and backward [5, 8] occupy the gpu.
+        let mut tl = Timeline::new();
+        tl.record("cpu", "cpu-update:sg1", "update", 2.0, 6.0, 4.0);
+        tl.record("gpu", "fwd", "forward", 3.0, 5.0, 10.0);
+        tl.record("gpu", "bwd", "backward", 5.0, 8.0, 10.0);
+        let fwd = cross_phase_overlap_secs(&tl, "update", "cpu", "forward", "gpu");
+        let bwd = cross_phase_overlap_secs(&tl, "update", "cpu", "backward", "gpu");
+        assert!((fwd - 2.0).abs() < 1e-12, "fwd overlap {fwd}");
+        assert!((bwd - 1.0).abs() < 1e-12, "bwd overlap {bwd}");
+        // Wrong resource or absent phase: zero.
+        assert_eq!(cross_phase_overlap_secs(&tl, "update", "gpu", "forward", "gpu"), 0.0);
+        assert_eq!(cross_phase_overlap_secs(&tl, "update", "cpu", "nvme-io", "nvme"), 0.0);
+    }
+
+    #[test]
+    fn cross_phase_overlap_merges_fragmented_spans() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "a", "update", 0.0, 1.0, 1.0);
+        tl.record("cpu", "b", "update", 0.5, 2.0, 1.0); // overlapping: merge
+        tl.record("gpu", "fwd", "forward", 1.5, 3.0, 1.0);
+        let secs = cross_phase_overlap_secs(&tl, "update", "cpu", "forward", "gpu");
+        assert!((secs - 0.5).abs() < 1e-12, "overlap {secs}");
     }
 
     #[test]

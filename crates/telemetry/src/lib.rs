@@ -37,8 +37,8 @@ mod timeline;
 mod tracer;
 
 pub use analyze::{
-    analyze, analyze_tracer, analyze_with_boundaries, OverlapStat, PhaseAnalysis, ResourceStats,
-    TraceAnalysis, IDLE_GAP_BOUNDS,
+    analyze, analyze_tracer, analyze_with_boundaries, cross_phase_overlap_secs, OverlapStat,
+    PhaseAnalysis, ResourceStats, TraceAnalysis, IDLE_GAP_BOUNDS,
 };
 pub use chrome::{chrome_trace, chrome_trace_from_timeline, ChromeArgs, ChromeEvent, ChromeTrace};
 pub use expose::{

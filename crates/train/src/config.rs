@@ -244,6 +244,21 @@ pub struct TrainerConfig {
     /// Trailing subgroups treated as static device residents.
     #[serde(default)]
     pub static_residents: usize,
+    /// Update scheduler: `"hybrid"` (the paper's interleaved in-barrier
+    /// pipeline, the default) or `"zenflow_async"` (cross-iteration
+    /// bounded-staleness updates; see `importance_ratio` /
+    /// `staleness_bound`).
+    #[serde(default = "default_scheduler")]
+    pub scheduler: String,
+    /// ZenFlow only: fraction of subgroups updated synchronously each step
+    /// (the top-p importance set). In (0, 1]; at least one subgroup is
+    /// always hot.
+    #[serde(default = "default_importance_ratio")]
+    pub importance_ratio: f64,
+    /// ZenFlow only: bounded staleness window S — a cold subgroup's
+    /// gradient is delayed at most S steps before its update is forced.
+    #[serde(default = "default_staleness_bound")]
+    pub staleness_bound: usize,
     /// The middleware entry.
     #[serde(default)]
     pub deep_optimizer_states: DosEntry,
@@ -262,6 +277,15 @@ fn default_rule() -> String {
 }
 fn default_lr() -> f32 {
     0.01
+}
+fn default_scheduler() -> String {
+    "hybrid".to_string()
+}
+fn default_importance_ratio() -> f64 {
+    0.1
+}
+fn default_staleness_bound() -> usize {
+    1
 }
 
 impl TrainerConfig {
@@ -311,18 +335,57 @@ impl TrainerConfig {
         }
     }
 
+    /// Whether the `"zenflow_async"` scheduler is selected.
+    pub fn is_zenflow(&self) -> bool {
+        self.scheduler == "zenflow_async"
+    }
+
+    /// The ZenFlow policy knobs as a pipeline configuration.
+    pub fn zenflow(&self) -> dos_core::ZenFlowConfig {
+        dos_core::ZenFlowConfig {
+            importance_ratio: self.importance_ratio,
+            staleness_bound: self.staleness_bound,
+        }
+    }
+
     /// Validates shape fields and the optional entries.
     ///
     /// # Errors
     ///
     /// Returns [`TrainerError::Invalid`] when `params` or `subgroup_size`
-    /// is zero, or the `collectives` entry names an unknown backend or
-    /// policy.
+    /// is zero, the `scheduler` name or its knobs are out of range, or the
+    /// `collectives` entry names an unknown backend or policy.
     pub fn validate(&self) -> Result<(), TrainerError> {
         if self.params == 0 || self.subgroup_size == 0 {
             return Err(TrainerError::Invalid {
                 detail: "params and subgroup_size must be positive".into(),
             });
+        }
+        match self.scheduler.as_str() {
+            "hybrid" => {}
+            "zenflow_async" => {
+                if !(self.importance_ratio > 0.0 && self.importance_ratio <= 1.0) {
+                    return Err(TrainerError::Invalid {
+                        detail: format!(
+                            "importance_ratio {} outside (0, 1]",
+                            self.importance_ratio
+                        ),
+                    });
+                }
+                if self.staleness_bound == 0 {
+                    return Err(TrainerError::Invalid {
+                        detail: "staleness_bound must be at least 1".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(TrainerError::Invalid {
+                    detail: format!(
+                        "unknown scheduler {other:?} (expected \"hybrid\" or \
+                         \"zenflow_async\")"
+                    ),
+                })
+            }
         }
         if let Some(c) = &self.collectives {
             c.validate()?;
@@ -451,6 +514,46 @@ mod tests {
             r#"{ "params": 8, "subgroup_size": 4, "collectives": { "transprot": "uds" } }"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn zenflow_entry_parses_validates_and_round_trips() {
+        let cfg = TrainerConfig::from_json(r#"{ "params": 8, "subgroup_size": 4 }"#).unwrap();
+        assert_eq!(cfg.scheduler, "hybrid");
+        assert!(!cfg.is_zenflow());
+        cfg.validate().unwrap();
+
+        let cfg = TrainerConfig::from_json(
+            r#"{ "params": 48, "subgroup_size": 8, "scheduler": "zenflow_async",
+                 "importance_ratio": 0.25, "staleness_bound": 2 }"#,
+        )
+        .unwrap();
+        assert!(cfg.is_zenflow());
+        cfg.validate().unwrap();
+        let zf = cfg.zenflow();
+        assert_eq!(zf.importance_ratio, 0.25);
+        assert_eq!(zf.staleness_bound, 2);
+        let again = TrainerConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(again.scheduler, "zenflow_async");
+        assert_eq!(again.importance_ratio, 0.25);
+
+        for bad in [
+            r#"{ "params": 8, "subgroup_size": 4, "scheduler": "zenflow" }"#,
+            r#"{ "params": 8, "subgroup_size": 4, "scheduler": "zenflow_async",
+                 "importance_ratio": 0.0 }"#,
+            r#"{ "params": 8, "subgroup_size": 4, "scheduler": "zenflow_async",
+                 "importance_ratio": 1.5 }"#,
+            r#"{ "params": 8, "subgroup_size": 4, "scheduler": "zenflow_async",
+                 "staleness_bound": 0 }"#,
+        ] {
+            assert!(
+                matches!(
+                    TrainerConfig::from_json(bad).unwrap().validate(),
+                    Err(TrainerError::Invalid { .. })
+                ),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The [`Trainer`] facade: a JSON-configured optimizer shard stepped
 //! through the zero-copy hybrid-update pipeline.
 
-use dos_core::{hybrid_update_pooled, ArenaPool, DeviceFault, PipelineConfig, PipelineReport};
+use dos_core::{
+    hybrid_update_pooled, ArenaPool, DeviceFault, PipelineConfig, PipelineReport,
+    ZenFlowPipeline,
+};
 use dos_optim::MixedPrecisionState;
 use dos_telemetry::{
     window_stats, HealthBoard, HealthEvent, HealthMonitor, IterationReport, Tracer, HEALTH_TRACK,
@@ -32,6 +35,10 @@ pub struct Trainer {
     pool: ArenaPool,
     steps_taken: usize,
     monitoring: Option<Monitoring>,
+    /// Present when `"scheduler": "zenflow_async"` is configured: the
+    /// cross-iteration bounded-staleness update driver that replaces the
+    /// in-barrier hybrid pipeline.
+    zenflow: Option<ZenFlowPipeline>,
 }
 
 /// Per-trainer monitoring state: a flight-only tracer feeding the ring
@@ -87,14 +94,36 @@ impl Trainer {
         }
         let window_start = self.monitoring.as_ref().map(|m| m.tracer.now());
         let wall = std::time::Instant::now();
-        let report = hybrid_update_pooled(
-            &mut self.state,
-            grads,
-            &self.subgroups,
-            self.pipeline,
-            self.monitoring.as_ref().map(|m| &m.tracer),
-            &self.pool,
-        )?;
+        let report = match &mut self.zenflow {
+            Some(zf) => {
+                let zr = zf.step(&mut self.state, grads);
+                // The device view is downscaled *before* harvesting, so
+                // cold in-flight ranges deterministically show their
+                // pre-dispatch (bounded-stale) parameters — the precision
+                // the next iteration actually trains with under ZenFlow.
+                // Staged through the arena (same vectorized kernel, bit
+                // identical) so monitored ZenFlow runs publish the arena
+                // gauges the /metrics smoke keys on.
+                let staged = self.pool.lease_f16_downscaled(self.state.params());
+                let fp16_params = staged.to_vec();
+                drop(staged);
+                zf.poll_pending(&mut self.state);
+                PipelineReport {
+                    fp16_params,
+                    device_subgroups: zr.hot.len(),
+                    cpu_subgroups: zr.flushed.len(),
+                    degraded: None,
+                }
+            }
+            None => hybrid_update_pooled(
+                &mut self.state,
+                grads,
+                &self.subgroups,
+                self.pipeline,
+                self.monitoring.as_ref().map(|m| &m.tracer),
+                &self.pool,
+            )?,
+        };
         self.steps_taken += 1;
         if let Some(start) = window_start {
             self.observe_iteration(start, wall.elapsed().as_secs_f64(), &report);
@@ -153,12 +182,37 @@ impl Trainer {
     /// suitable for [`crate::checkpoint::CheckpointStore::save`] and for
     /// resuming via [`TrainerConfig::resume`]. Preemption in the serving
     /// control plane is exactly `checkpoint()` + drop.
-    pub fn checkpoint(&self) -> TrainingCheckpoint {
+    ///
+    /// Under the ZenFlow scheduler this is a **drain barrier**: every
+    /// in-flight asynchronous update is joined and any residual
+    /// accumulated gradient applied before the state is copied, so the
+    /// checkpoint is never torn across a cross-iteration update.
+    pub fn checkpoint(&mut self) -> TrainingCheckpoint {
+        if let Some(zf) = &mut self.zenflow {
+            zf.drain(&mut self.state);
+        }
         TrainingCheckpoint {
             params: self.state.params().to_vec(),
             optimizer: self.state.clone(),
             iteration: self.steps_taken,
         }
+    }
+
+    /// Joins every in-flight ZenFlow update and applies any residual
+    /// accumulated gradient (a no-op under the hybrid scheduler). After
+    /// this, [`Trainer::params`]/[`Trainer::momentum`]/[`Trainer::variance`]
+    /// read the fully-settled state the sequential bounded-staleness
+    /// oracle produces.
+    pub fn drain(&mut self) {
+        if let Some(zf) = &mut self.zenflow {
+            zf.drain(&mut self.state);
+        }
+    }
+
+    /// The ZenFlow driver, when `"scheduler": "zenflow_async"` is
+    /// configured (staleness telemetry lives on it).
+    pub fn zenflow(&self) -> Option<&ZenFlowPipeline> {
+        self.zenflow.as_ref()
     }
 
     /// The resolved configuration.
@@ -291,7 +345,10 @@ impl TrainerConfig {
             Some(mon) => ArenaPool::with_metrics(mon.tracer.metrics().clone()),
             None => ArenaPool::new(),
         };
-        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool, steps_taken, monitoring })
+        let zenflow = self
+            .is_zenflow()
+            .then(|| ZenFlowPipeline::new(subgroups.clone(), self.zenflow()));
+        Ok(Trainer { cfg: self, state, subgroups, pipeline, pool, steps_taken, monitoring, zenflow })
     }
 }
 
@@ -442,10 +499,113 @@ mod tests {
     }
 
     #[test]
+    fn zenflow_trainer_matches_the_bounded_staleness_oracle_bitwise() {
+        let n = 48;
+        let json = r#"{ "params": 48, "subgroup_size": 8, "scheduler": "zenflow_async",
+                        "importance_ratio": 0.25, "staleness_bound": 2 }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        let steps: Vec<Vec<f32>> = (0..5).map(|t| grads(n, t)).collect();
+        for g in &steps {
+            let report = trainer.step(g).unwrap();
+            assert!(report.device_subgroups >= 1, "hot set never empty");
+            assert!(report.degraded.is_none());
+        }
+        trainer.drain();
+        let zf = trainer.zenflow().unwrap();
+        assert!(zf.max_age_seen() <= 2, "staleness bound violated: {}", zf.max_age_seen());
+
+        let mut oracle = MixedPrecisionState::new(init(n), UpdateRule::adam(), 0.01);
+        let subgroups = dos_zero::partition_into_subgroups(n, 8);
+        let cfg = dos_core::ZenFlowConfig { importance_ratio: 0.25, staleness_bound: 2 };
+        dos_core::zenflow_reference(&mut oracle, &subgroups, &cfg, &steps);
+        assert_eq!(trainer.params(), oracle.params());
+        assert_eq!(trainer.momentum(), oracle.momentum());
+        assert_eq!(trainer.variance(), oracle.variance());
+    }
+
+    #[test]
+    fn monitored_zenflow_run_publishes_arena_gauges() {
+        // The ZenFlow path stages its device downscale through the arena,
+        // so a monitored run's /metrics payload carries the same
+        // arena.in_use_bytes gauge the smoke tests key on.
+        let n = 48;
+        let json = r#"{ "params": 48, "subgroup_size": 8, "scheduler": "zenflow_async",
+                        "importance_ratio": 0.25, "staleness_bound": 1,
+                        "monitor": { "flight_capacity": 256 } }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        for step in 0..3 {
+            trainer.step(&grads(n, step)).unwrap();
+        }
+        let metrics = trainer.tracer().unwrap().metrics().clone();
+        assert!(metrics.gauge("arena.in_use_bytes").is_some(), "missing arena gauge");
+        assert_eq!(trainer.arena().in_use_bytes(), 0, "staging lease returned");
+        assert!(trainer.arena().high_water_bytes() >= n * 2, "downscale staged via arena");
+    }
+
+    #[test]
+    fn zenflow_checkpoint_is_a_drain_barrier() {
+        let n = 48;
+        let json = r#"{ "params": 48, "subgroup_size": 8, "scheduler": "zenflow_async",
+                        "importance_ratio": 0.25, "staleness_bound": 3 }"#;
+        let mut trainer = Trainer::from_json(json, init(n)).unwrap();
+        trainer.step(&grads(n, 0)).unwrap();
+        // A checkpoint right after one step (cold residue still pending)
+        // must capture the fully-settled oracle state, never a torn one.
+        let snap = trainer.checkpoint();
+        let mut oracle = MixedPrecisionState::new(init(n), UpdateRule::adam(), 0.01);
+        let subgroups = dos_zero::partition_into_subgroups(n, 8);
+        let cfg = dos_core::ZenFlowConfig { importance_ratio: 0.25, staleness_bound: 3 };
+        dos_core::zenflow_reference(&mut oracle, &subgroups, &cfg, &[grads(n, 0)]);
+        assert_eq!(snap.params, oracle.params());
+        assert_eq!(snap.optimizer.momentum(), oracle.momentum());
+    }
+
+    #[test]
+    fn zenflow_loss_trajectory_tracks_the_synchronous_baseline() {
+        // Minimize 0.5‖p‖² by gradient descent (grad = p): the delayed
+        // cold updates may lag the synchronous trajectory, but within the
+        // declared staleness tolerance — and both must actually converge.
+        let n = 64;
+        let loss = |p: &[f32]| -> f64 { p.iter().map(|x| (*x as f64) * (*x as f64)).sum() };
+        let sync_json = r#"{ "params": 64, "subgroup_size": 8 }"#;
+        let zen_json = r#"{ "params": 64, "subgroup_size": 8, "scheduler": "zenflow_async",
+                            "importance_ratio": 0.25, "staleness_bound": 2 }"#;
+        let mut sync = Trainer::from_json(sync_json, init(n)).unwrap();
+        let mut zen = Trainer::from_json(zen_json, init(n)).unwrap();
+        let initial = loss(&init(n));
+        // Declared tolerance: over a dozen-step horizon the bounded-stale
+        // trajectory stays within 25% of the synchronous one (a cold
+        // subgroup lags at most S=2 updates, and Adam's normalization
+        // makes each collapsed update worth roughly one step).
+        const TOLERANCE: f64 = 0.25;
+        const HORIZON: usize = 12;
+        let mut prev_zen = f64::INFINITY;
+        for t in 0..60 {
+            let gs: Vec<f32> = sync.params().to_vec();
+            sync.step(&gs).unwrap();
+            let gz: Vec<f32> = zen.params().to_vec();
+            zen.step(&gz).unwrap();
+            let (ls, lz) = (loss(sync.params()), loss(zen.params()));
+            if t < HORIZON {
+                assert!(
+                    (ls - lz).abs() <= TOLERANCE * ls.max(1e-6),
+                    "t={t}: diverged past tolerance: sync {ls:.6} vs zenflow {lz:.6}"
+                );
+            }
+            assert!(lz <= prev_zen + 1e-9, "t={t}: zenflow loss rose: {lz:.6} > {prev_zen:.6}");
+            prev_zen = lz;
+        }
+        zen.drain();
+        let (ls, lz) = (loss(sync.params()), loss(zen.params()));
+        assert!(ls < 0.2 * initial, "baseline failed to converge: {ls:.6} vs {initial:.6}");
+        assert!(lz < 0.5 * initial, "zenflow failed to converge: {lz:.6} vs {initial:.6}");
+    }
+
+    #[test]
     fn resume_rejects_mismatched_shards() {
         let json = r#"{ "params": 8, "subgroup_size": 4 }"#;
         let cfg = TrainerConfig::from_json(json).unwrap();
-        let t = cfg.clone().build(vec![0.0; 8]).unwrap();
+        let mut t = cfg.clone().build(vec![0.0; 8]).unwrap();
         let snap = t.checkpoint();
         let bigger = TrainerConfig::from_json(r#"{ "params": 12, "subgroup_size": 4 }"#).unwrap();
         assert!(matches!(bigger.resume(&snap), Err(TrainerError::Invalid { .. })));
